@@ -1,0 +1,214 @@
+// Command chordsim reproduces the paper's motivating DHT application
+// (Section 1.1 and the companion work it cites as [3]): it compares
+// three load-balancing schemes on a simulated Chord overlay with real
+// finger-table routing —
+//
+//	plain    — consistent hashing, one hash per item (d = 1)
+//	virtual  — Chord's remedy: v = log2(n) virtual servers per node
+//	choices  — the paper's proposal: d hashes per item, store at the
+//	           least-loaded candidate, redirect stubs at the losers
+//
+// and reports, per scheme, the distribution of the maximum physical
+// load, the routing state (virtual nodes per server), and the mean
+// insert and lookup hop counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+
+	"geobalance/internal/chord"
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1024, "physical servers")
+		items   = flag.Int("items", 0, "items to insert (0 = same as servers)")
+		d       = flag.Int("d", 2, "choices for the d-choice scheme")
+		vFactor = flag.Int("v", 0, "virtual servers per node (0 = log2 n)")
+		trials  = flag.Int("trials", 50, "independent trials")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		churn   = flag.Int("churn", 0, "after inserting, run this many join+leave pairs and report migration costs")
+	)
+	flag.Parse()
+	if *items == 0 {
+		*items = *n
+	}
+	if *vFactor == 0 {
+		*vFactor = int(math.Max(1, math.Round(math.Log2(float64(*n)))))
+	}
+	if err := run(*n, *items, *d, *vFactor, *trials, *seed, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "chordsim:", err)
+		os.Exit(1)
+	}
+	if *churn > 0 {
+		if err := runChurn(*n, *items, *d, *churn, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "chordsim churn:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runChurn measures migration and load under membership churn: a loaded
+// overlay absorbs `events` join+leave pairs with rebalance-on-departure
+// on/off, reporting items moved and the resulting max load.
+func runChurn(n, items, d, events int, seed uint64) error {
+	fmt.Printf("\nChurn: %d join+leave pairs on a loaded overlay (n=%d, %d items, d=%d)\n",
+		events, n, items, d)
+	for _, rebalance := range []bool{false, true} {
+		r := rng.NewStream(seed, 0xC0FFEE)
+		nw, err := chord.NewNetwork(chord.Config{PhysicalServers: n, VirtualFactor: 1}, r)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < items; i++ {
+			if _, err := nw.Insert(fmt.Sprintf("item-%d", i), d, r); err != nil {
+				return err
+			}
+		}
+		before := nw.MaxLoad()
+		var movedJoin, movedLeave int
+		victim := 0
+		for e := 0; e < events; e++ {
+			_, m := nw.JoinServer(r)
+			movedJoin += m
+			for !nw.Alive(victim) {
+				victim++
+			}
+			ml, err := nw.LeaveServer(victim, rebalance)
+			if err != nil {
+				return err
+			}
+			victim++
+			movedLeave += ml
+		}
+		fmt.Printf("  rebalance=%-5v max load %d -> %d   moved/join %.1f   moved/leave %.1f\n",
+			rebalance, before, nw.MaxLoad(),
+			float64(movedJoin)/float64(events), float64(movedLeave)/float64(events))
+	}
+	return nil
+}
+
+type scheme struct {
+	name    string
+	vFactor int // virtual nodes per physical server
+	d       int // hash choices per item
+}
+
+type result struct {
+	maxLoad    *stats.IntHist
+	insertHops stats.Summary
+	lookupHops stats.Summary
+	redirected float64 // fraction of lookups redirected
+}
+
+func run(n, items, d, vFactor, trials int, seed uint64, workers int) error {
+	schemes := []scheme{
+		{"plain (d=1, v=1)", 1, 1},
+		{fmt.Sprintf("virtual (d=1, v=%d)", vFactor), vFactor, 1},
+		{fmt.Sprintf("choices (d=%d, v=1)", d), 1, d},
+	}
+	fmt.Printf("Chord load balance: n=%d servers, %d items, %d trials, seed %d\n\n",
+		n, items, trials, seed)
+	for si, sc := range schemes {
+		res, err := runScheme(n, items, sc, trials, seed+uint64(si)*0x51ab, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s   routing state: %d virtual node(s)/server\n", sc.name, sc.vFactor)
+		fmt.Printf("  max physical load: mean %.2f  mode %d\n", res.maxLoad.Mean(), res.maxLoad.Mode())
+		for _, row := range res.maxLoad.PaperRows() {
+			fmt.Printf("    %s\n", row)
+		}
+		fmt.Printf("  insert cost: %.2f hops/item   lookup cost: %.2f hops (%.0f%% redirected)\n\n",
+			res.insertHops.Mean(), res.lookupHops.Mean(), 100*res.redirected)
+	}
+	return nil
+}
+
+func runScheme(n, items int, sc scheme, trials int, seed uint64, workers int) (*result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	var (
+		mu     sync.Mutex
+		next   int
+		agg    = &result{maxLoad: stats.NewIntHist()}
+		redSum float64
+		redN   int
+		first  error
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if first != nil || next >= trials {
+					mu.Unlock()
+					return
+				}
+				t := next
+				next++
+				mu.Unlock()
+
+				r := rng.NewStream(seed, uint64(t))
+				nw, err := chord.NewNetwork(chord.Config{
+					PhysicalServers: n, VirtualFactor: sc.vFactor,
+				}, r)
+				if err == nil {
+					var ins, lk stats.Summary
+					red := 0
+					for i := 0; i < items && err == nil; i++ {
+						var st chord.InsertStats
+						st, err = nw.Insert(fmt.Sprintf("item-%d", i), sc.d, r)
+						ins.Add(float64(st.Hops))
+					}
+					for i := 0; i < items && err == nil; i++ {
+						var st chord.LookupStats
+						st, err = nw.Lookup(fmt.Sprintf("item-%d", i), r)
+						lk.Add(float64(st.Hops))
+						if st.Redirected {
+							red++
+						}
+					}
+					if err == nil {
+						mu.Lock()
+						agg.maxLoad.Add(nw.MaxLoad())
+						agg.insertHops.Add(ins.Mean())
+						agg.lookupHops.Add(lk.Mean())
+						redSum += float64(red) / float64(items)
+						redN++
+						mu.Unlock()
+						continue
+					}
+				}
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	if redN > 0 {
+		agg.redirected = redSum / float64(redN)
+	}
+	return agg, nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// cmdAll runs the entire reduced-scale experiment suite in sequence — a
+// one-command smoke reproduction of every artifact in EXPERIMENTS.md.
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	trials := fs.Int("trials", 50, "trials per experiment (reduced scale)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr := fmt.Sprint(*trials)
+	small := []struct {
+		name string
+		run  func([]string) error
+		args []string
+	}{
+		{"table1", cmdTable1, []string{"-n", "2^8,2^12", "-trials", tr}},
+		{"table2", cmdTable2, []string{"-n", "2^8,2^12", "-trials", tr}},
+		{"table3", cmdTable3, []string{"-n", "2^8,2^12", "-trials", tr}},
+		{"lemma4", cmdLemma4, []string{"-n", "2^12", "-trials", tr}},
+		{"lemma6", cmdLemma6, []string{"-n", "2^12", "-trials", tr}},
+		{"lemma8", cmdLemma8, []string{"-n", "2^8,2^10", "-trials", "10"}},
+		{"lemma9", cmdLemma9, []string{"-n", "2^9", "-trials", "20"}},
+		{"negdep", cmdNegDep, []string{"-n", "2^10", "-trials", tr}},
+		{"mn", cmdMN, []string{"-n", "2^10", "-trials", tr, "-ratios", "1,4,16"}},
+		{"dim3", cmdDim3, []string{"-n", "2^8,2^10", "-trials", "20"}},
+		{"uniform", cmdUniform, []string{"-n", "2^8,2^12", "-trials", tr}},
+		{"fluid", cmdFluid, []string{"-n", "2^14"}},
+		{"theory", cmdTheory, nil},
+		{"churn", cmdChurn, []string{"-n", "2^10", "-trials", "10", "-steps", "4"}},
+		{"queue", cmdQueue, []string{"-n", "2^8", "-warmup", "10", "-horizon", "50"}},
+		{"hetero", cmdHetero, []string{"-n", "2^10", "-trials", "20", "-m", "4"}},
+		{"sized", cmdSized, []string{"-n", "2^10", "-items", "2^12", "-trials", "20"}},
+		{"batch", cmdBatch, []string{"-n", "2^10", "-trials", "20", "-sizes", "1,64,1024"}},
+		{"trace", cmdTrace, []string{"-n", "2^12", "-points", "8"}},
+	}
+	start := time.Now()
+	for _, e := range small {
+		fmt.Fprintf(stdout, "══ %s %v ════════════════════════════════════════\n", e.name, e.args)
+		if err := e.run(e.args); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintln(stdout)
+	}
+	fmt.Fprintf(stdout, "all experiments completed in %.1fs (reduced scale; see EXPERIMENTS.md for full-scale flags)\n",
+		time.Since(start).Seconds())
+	return nil
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"geobalance/internal/balls"
+	"geobalance/internal/core"
+	"geobalance/internal/ring"
+	"geobalance/internal/rng"
+	"geobalance/internal/sim"
+	"geobalance/internal/stats"
+)
+
+func cmdHetero(args []string) error {
+	fs := flag.NewFlagSet("hetero", flag.ExitOnError)
+	c := addCommon(fs)
+	n := addIntExpr(fs, "n", 1<<12, "site count")
+	d := fs.Int("d", 2, "choices")
+	mult := fs.Int("m", 8, "balls as a multiple of n")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Heterogeneous capacities on the ring: n=%s, d=%d, m=%d*n, %d trials, seed %d\n",
+		pow2Label(*n), *d, *mult, c.trials, c.seed)
+	fmt.Fprintf(stdout, "capacities cycle through {1,2,3,4}; metric: ceil(max load/capacity)\n\n")
+	for _, aware := range []bool{false, true} {
+		aware := aware
+		trial := func(r *rng.Rand) (int, error) {
+			sp, err := ring.NewRandom(*n, r)
+			if err != nil {
+				return 0, err
+			}
+			a, err := core.New(sp, core.Config{D: *d})
+			if err != nil {
+				return 0, err
+			}
+			caps := make([]float64, *n)
+			for i := range caps {
+				caps[i] = float64(1 + i%4)
+			}
+			if aware {
+				if err := a.SetCapacities(caps); err != nil {
+					return 0, err
+				}
+			}
+			a.PlaceN(*mult**n, r)
+			var worst float64
+			for i, l := range a.Loads() {
+				if v := float64(l) / caps[i]; v > worst {
+					worst = v
+				}
+			}
+			return int(worst + 0.999999), nil
+		}
+		h, err := sim.Run(c.trials, c.seed, c.workers, trial)
+		if err != nil {
+			return err
+		}
+		name := "capacity-blind"
+		if aware {
+			name = "capacity-aware"
+		}
+		printCellBlock(name, h)
+	}
+	return nil
+}
+
+func cmdMixed(args []string) error {
+	fs := flag.NewFlagSet("mixed", flag.ExitOnError)
+	c := addCommon(fs)
+	n := addIntExpr(fs, "n", 1<<12, "bin count (uniform bins, m = n)")
+	betas := fs.String("betas", "0,0.25,0.5,0.75,1", "beta values to sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bs, err := parseFloatList(*betas)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "(1+beta)-choice process (Peres-Talwar-Wieder), uniform bins, n=%s (m=n),\n", pow2Label(*n))
+	fmt.Fprintf(stdout, "%d trials, seed %d. beta=0 is one choice; beta=1 is two choices.\n\n", c.trials, c.seed)
+	for _, beta := range bs {
+		beta := beta
+		trial := func(r *rng.Rand) (int, error) {
+			loads, err := balls.MixedChoice(*n, *n, beta, r)
+			if err != nil {
+				return 0, err
+			}
+			return stats.MaxLoad(loads), nil
+		}
+		h, err := sim.Run(c.trials, c.seed+uint64(beta*1000), c.workers, trial)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "beta=%.2f   mean max load %.2f   mode %d\n", beta, h.Mean(), h.Mode())
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	n := addIntExpr(fs, "n", 1<<14, "site count")
+	d := fs.Int("d", 2, "choices")
+	mult := fs.Int("m", 4, "balls as a multiple of n")
+	points := fs.Int("points", 16, "checkpoints along the process")
+	seed := fs.Uint64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := rng.New(*seed)
+	sp, err := ring.NewRandom(*n, r)
+	if err != nil {
+		return err
+	}
+	a, err := core.New(sp, core.Config{D: *d})
+	if err != nil {
+		return err
+	}
+	m := *mult * *n
+	fmt.Fprintf(stdout, "Process trace on the ring: n=%s, d=%d, m=%d, seed %d\n", pow2Label(*n), *d, m, *seed)
+	fmt.Fprintf(stdout, "(the layered induction of Theorem 1 tracks these nu_i over the whole process)\n\n")
+	fmt.Fprintf(stdout, "%10s %8s %10s %10s %10s %10s\n", "balls", "maxload", "nu_1", "nu_2", "nu_3", "nu_4")
+	step := m / *points
+	if step < 1 {
+		step = 1
+	}
+	for placed := 0; placed < m; {
+		batch := step
+		if placed+batch > m {
+			batch = m - placed
+		}
+		a.PlaceN(batch, r)
+		placed += batch
+		loads := a.Loads()
+		fmt.Fprintf(stdout, "%10d %8d %10d %10d %10d %10d\n",
+			placed, a.MaxLoad(),
+			stats.BinsWithLoadAtLeast(loads, 1),
+			stats.BinsWithLoadAtLeast(loads, 2),
+			stats.BinsWithLoadAtLeast(loads, 3),
+			stats.BinsWithLoadAtLeast(loads, 4))
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// commonFlags carries the flags shared by every experiment subcommand.
+type commonFlags struct {
+	trials  int
+	seed    uint64
+	workers int
+}
+
+func addCommon(fs *flag.FlagSet) *commonFlags {
+	c := &commonFlags{}
+	fs.IntVar(&c.trials, "trials", 200, "independent trials per table cell (paper: 1000)")
+	fs.Uint64Var(&c.seed, "seed", 1, "master seed; trials derive deterministic substreams")
+	fs.IntVar(&c.workers, "workers", 0, "parallel workers (0 = all CPUs)")
+	return c
+}
+
+// parseIntList parses a comma-separated list of integers, each either a
+// plain value ("4096") or a power of two ("2^12").
+func parseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := parseIntExpr(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list %q", s)
+	}
+	return out, nil
+}
+
+func parseIntExpr(p string) (int, error) {
+	if rest, ok := strings.CutPrefix(p, "2^"); ok {
+		e, err := strconv.Atoi(rest)
+		if err != nil || e < 0 || e > 40 {
+			return 0, fmt.Errorf("bad power-of-two %q", p)
+		}
+		return 1 << e, nil
+	}
+	v, err := strconv.Atoi(p)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", p)
+	}
+	return v, nil
+}
+
+// pow2Label renders n as "2^k" when it is a power of two, else as "%d".
+func pow2Label(n int) string {
+	if n > 0 && n&(n-1) == 0 {
+		e := 0
+		for v := n; v > 1; v >>= 1 {
+			e++
+		}
+		return fmt.Sprintf("2^%d", e)
+	}
+	return strconv.Itoa(n)
+}
+
+// intExpr is a flag.Value for integers that also accepts "2^k" syntax.
+type intExpr int
+
+// String renders the current value.
+func (v *intExpr) String() string { return strconv.Itoa(int(*v)) }
+
+// Set parses a plain integer or a "2^k" power of two.
+func (v *intExpr) Set(s string) error {
+	n, err := parseIntExpr(s)
+	if err != nil {
+		return err
+	}
+	*v = intExpr(n)
+	return nil
+}
+
+// addIntExpr registers an int flag accepting "2^k" syntax and returns a
+// pointer to its value.
+func addIntExpr(fs *flag.FlagSet, name string, def int, usage string) *int {
+	v := intExpr(def)
+	fs.Var(&v, name, usage)
+	return (*int)(&v)
+}
+
+// parseFloatList parses a comma-separated list of floats.
+func parseFloatList(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+)
+
+func TestParseIntList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"1,2,3", []int{1, 2, 3}, false},
+		{"2^8", []int{256}, false},
+		{"2^8,2^12, 16", []int{256, 4096, 16}, false},
+		{" 4 , 8 ", []int{4, 8}, false},
+		{"", nil, true},
+		{",,,", nil, true},
+		{"abc", nil, true},
+		{"2^", nil, true},
+		{"2^-1", nil, true},
+		{"2^99", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseIntList(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseIntList(%q) succeeded with %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseIntList(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseIntList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFloatList(t *testing.T) {
+	got, err := parseFloatList("1.5, 2,3e-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2, 0.03}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if _, err := parseFloatList("x"); err == nil {
+		t.Error("bad float accepted")
+	}
+	if _, err := parseFloatList(""); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestPow2Label(t *testing.T) {
+	cases := map[int]string{
+		1:    "2^0",
+		2:    "2^1",
+		256:  "2^8",
+		4096: "2^12",
+		3:    "3",
+		100:  "100",
+		-4:   "-4",
+	}
+	for in, want := range cases {
+		if got := pow2Label(in); got != want {
+			t.Errorf("pow2Label(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestIntExprFlag(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	n := addIntExpr(fs, "n", 1024, "test")
+	if err := fs.Parse([]string{"-n", "2^14"}); err != nil {
+		t.Fatal(err)
+	}
+	if *n != 16384 {
+		t.Fatalf("intExpr parsed %d, want 16384", *n)
+	}
+	fs2 := flag.NewFlagSet("t2", flag.ContinueOnError)
+	m := addIntExpr(fs2, "n", 1024, "test")
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *m != 1024 {
+		t.Fatalf("intExpr default %d, want 1024", *m)
+	}
+	fs3 := flag.NewFlagSet("t3", flag.ContinueOnError)
+	fs3.SetOutput(discard{})
+	addIntExpr(fs3, "n", 1, "test")
+	if err := fs3.Parse([]string{"-n", "nope"}); err == nil {
+		t.Error("bad intExpr accepted")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestTieFromName(t *testing.T) {
+	for _, name := range []string{"random", "smaller", "larger", "left"} {
+		tie, err := tieFromName(name)
+		if err != nil {
+			t.Errorf("tieFromName(%q): %v", name, err)
+		}
+		if tie.String() != name {
+			t.Errorf("round trip %q -> %v", name, tie)
+		}
+	}
+	if _, err := tieFromName("bogus"); err == nil {
+		t.Error("bogus tie name accepted")
+	}
+}

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"geobalance/internal/balls"
+	"geobalance/internal/fluid"
+	"geobalance/internal/rng"
+	"geobalance/internal/tailbound"
+	"geobalance/internal/torus"
+	"geobalance/internal/voronoi"
+)
+
+func cmdLemma4(args []string) error {
+	fs := flag.NewFlagSet("lemma4", flag.ExitOnError)
+	c := addCommon(fs)
+	n := addIntExpr(fs, "n", 1<<14, "points on the circle")
+	cList := fs.String("c", "2,3,4,5,6,8", "thresholds c (arcs of length >= c/n)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cs, err := parseFloatList(*cList)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Lemma 4: arcs of length >= c/n on a ring of n=%s points, %d trials, seed %d\n",
+		pow2Label(*n), c.trials, c.seed)
+	fmt.Fprintf(stdout, "bound: Pr(N_c >= 2ne^-c) <= e^{-ne^-c/3}\n\n")
+	fmt.Fprintf(stdout, "%6s %12s %12s %12s %12s %14s %14s\n",
+		"c", "mean N_c", "max N_c", "E bound", "2ne^-c", "exceed frac", "prob bound")
+	for _, cv := range cs {
+		res, err := tailbound.EmpiricalArcTail(*n, cv, c.trials, c.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%6.1f %12.2f %12d %12.2f %12.2f %14.4f %14.6g\n",
+			cv, res.MeanCount, res.MaxCount, float64(*n)*math.Exp(-cv),
+			res.CountBound, res.ExceedFrac, res.ProbBound)
+	}
+	return nil
+}
+
+func cmdLemma6(args []string) error {
+	fs := flag.NewFlagSet("lemma6", flag.ExitOnError)
+	c := addCommon(fs)
+	n := addIntExpr(fs, "n", 1<<14, "points on the circle")
+	aList := fs.String("a", "", "counts a of longest arcs (default: lemma's valid range)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var as []int
+	if *aList == "" {
+		// The lemma's range is (ln n)^2 <= a <= n/64; pick a spread.
+		lo := int(math.Pow(math.Log(float64(*n)), 2))
+		hi := *n / 64
+		for a := lo; a <= hi; a *= 2 {
+			as = append(as, a)
+		}
+		if len(as) == 0 {
+			as = []int{lo}
+		}
+	} else {
+		var err error
+		as, err = parseIntList(*aList)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "Lemma 6: total length of the a longest arcs, n=%s, %d trials, seed %d\n",
+		pow2Label(*n), c.trials, c.seed)
+	fmt.Fprintf(stdout, "bound: sum <= 2(a/n)ln(n/a) with probability 1 - o(1/n^2)\n\n")
+	fmt.Fprintf(stdout, "%8s %12s %12s %12s %12s %12s\n",
+		"a", "mean sum", "max sum", "bound", "uniform a/n", "exceed frac")
+	for _, a := range as {
+		res, err := tailbound.EmpiricalTopArcSum(*n, a, c.trials, c.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%8d %12.5f %12.5f %12.5f %12.5f %12.4f\n",
+			a, res.MeanSum, res.MaxSum, res.SumBound, float64(a)/float64(*n), res.ExceedFrac)
+	}
+	return nil
+}
+
+func cmdLemma9(args []string) error {
+	fs := flag.NewFlagSet("lemma9", flag.ExitOnError)
+	c := addCommon(fs)
+	n := addIntExpr(fs, "n", 1<<10, "sites on the torus (exact Voronoi areas per trial)")
+	cList := fs.String("c", "6,8,10,12", "thresholds c (cells of area >= c/n)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cs, err := parseFloatList(*cList)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Lemma 9: Voronoi cells of area >= c/n on a torus of n=%s sites, %d trials, seed %d\n",
+		pow2Label(*n), c.trials, c.seed)
+	fmt.Fprintf(stdout, "bound: count < 12ne^{-c/6} with probability 1 - o(1/n^4)\n\n")
+	fmt.Fprintf(stdout, "%6s %12s %12s %14s %16s %14s\n",
+		"c", "mean count", "max count", "12ne^{-c/6}", "E[Z] (exact)", "exceed frac")
+	for _, cv := range cs {
+		res, err := tailbound.EmpiricalVoronoiTail(*n, cv, c.trials, c.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%6.1f %12.2f %12d %14.2f %16.2f %14.4f\n",
+			cv, res.MeanCount, res.MaxCount, res.CountBound,
+			tailbound.Lemma9ExpectedSubregions(*n, cv), res.ExceedFrac)
+	}
+	return nil
+}
+
+func cmdNegDep(args []string) error {
+	fs := flag.NewFlagSet("negdep", flag.ExitOnError)
+	c := addCommon(fs)
+	n := addIntExpr(fs, "n", 1<<12, "points on the circle")
+	cList := fs.String("c", "1,2,3,4", "thresholds c (arcs of length >= c/n)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cs, err := parseFloatList(*cList)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Lemma 3: negative dependence of the long-arc indicators Z_j, n=%s, %d trials, seed %d\n",
+		pow2Label(*n), c.trials, c.seed)
+	fmt.Fprintf(stdout, "negative dependence implies Var(N_c) <= np(1-p) and E[ZiZj] <= p^2\n\n")
+	fmt.Fprintf(stdout, "%6s %12s %12s %12s %14s %14s\n",
+		"c", "mean N_c", "Var(N_c)", "np(1-p)", "E[ZiZj]", "p^2")
+	for _, cv := range cs {
+		res, err := tailbound.EmpiricalNegativeDependence(*n, cv, c.trials, c.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%6.1f %12.2f %12.2f %12.2f %14.6g %14.6g\n",
+			cv, res.MeanCount, res.VarCount, res.IndepVar, res.PairwiseE, res.PairwiseBound)
+	}
+	return nil
+}
+
+func cmdLemma8(args []string) error {
+	fs := flag.NewFlagSet("lemma8", flag.ExitOnError)
+	c := addCommon(fs)
+	nList := fs.String("n", "2^8,2^10,2^12", "site counts")
+	cList := fs.String("c", "4,8,12", "thresholds c")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseIntList(*nList)
+	if err != nil {
+		return err
+	}
+	cs, err := parseFloatList(*cList)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Lemma 8 (Figure 1): every Voronoi cell of area >= c/n has an empty 60-degree\n")
+	fmt.Fprintf(stdout, "sector in the disk of area c/n around its site. %d trials per row, seed %d.\n\n", c.trials, c.seed)
+	fmt.Fprintf(stdout, "%8s %6s %14s %12s %12s\n", "n", "c", "large cells", "violations", "Z (bound)")
+	for _, n := range ns {
+		for _, cv := range cs {
+			var totLarge, totViol, totZ int
+			for t := 0; t < c.trials; t++ {
+				r := rng.NewStream(c.seed, uint64(t))
+				sp, err := torus.NewRandom(n, 2, r)
+				if err != nil {
+					return err
+				}
+				diag, err := voronoi.Compute(sp)
+				if err != nil {
+					return err
+				}
+				large, viol := voronoi.CheckLemma8(sp, diag, cv)
+				totLarge += large
+				totViol += viol
+				totZ += voronoi.SubregionUpperBound(sp, cv)
+			}
+			fmt.Fprintf(stdout, "%8s %6.1f %14d %12d %12d\n", pow2Label(n), cv, totLarge, totViol, totZ)
+		}
+	}
+	return nil
+}
+
+func cmdFluid(args []string) error {
+	fs := flag.NewFlagSet("fluid", flag.ExitOnError)
+	c := addCommon(fs)
+	n := addIntExpr(fs, "n", 1<<16, "bins for the empirical comparison")
+	d := fs.Int("d", 2, "choices")
+	t := fs.Float64("t", 1, "balls per bin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tail, err := fluid.Solve(*d, *t, 24, 4000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Fluid limit vs simulation: uniform bins, n=%s, d=%d, m/n=%.2f\n\n", pow2Label(*n), *d, *t)
+	// One big empirical run for tail fractions (the per-bin loads matter
+	// here, not just the max, so run the process directly).
+	r := rng.New(c.seed)
+	spLoads := make([]int, 64)
+	loads, err := balls.DChoices(*n, int(*t*float64(*n)), *d, r)
+	if err != nil {
+		return err
+	}
+	for _, l := range loads {
+		if int(l) < len(spLoads) {
+			spLoads[l]++
+		}
+	}
+	fmt.Fprintf(stdout, "%6s %16s %16s\n", "i", "fluid s_i", "empirical s_i")
+	cum := 0
+	for i := len(spLoads) - 1; i >= 0; i-- {
+		cum += spLoads[i]
+		spLoads[i] = cum
+	}
+	for i := 0; i <= 8; i++ {
+		emp := 0.0
+		if i < len(spLoads) {
+			emp = float64(spLoads[i]) / float64(*n)
+		}
+		fmt.Fprintf(stdout, "%6d %16.6g %16.6g\n", i, tail.TailFrac(i), emp)
+	}
+	fmt.Fprintf(stdout, "\nfluid mean load: %.6f (want %.6f)\n", tail.MeanLoad(), *t)
+	fmt.Fprintf(stdout, "heuristic max-load prediction (s_i*n < 1): %d\n", tail.PredictMaxLoad(*n, 1))
+	return nil
+}
+
+func cmdTheory(args []string) error {
+	fs := flag.NewFlagSet("theory", flag.ExitOnError)
+	nList := fs.String("n", "2^8,2^12,2^16,2^20,2^24", "site counts")
+	dList := fs.String("d", "2,3,4", "choice counts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseIntList(*nList)
+	if err != nil {
+		return err
+	}
+	ds, err := parseIntList(*dList)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "Theorem 1 beta recursion: levels above 256 before p_i < 6 ln n / n.")
+	fmt.Fprintln(stdout, "(The absolute constant is loose by design; the growth in n and d is the point.)")
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "%8s", "n")
+	for _, d := range ds {
+		fmt.Fprintf(stdout, " %14s", fmt.Sprintf("d=%d levels", d))
+	}
+	fmt.Fprintf(stdout, " %18s\n", "loglog n / log d (d=2)")
+	for _, n := range ns {
+		fmt.Fprintf(stdout, "%8s", pow2Label(n))
+		for _, d := range ds {
+			_, iStar := tailbound.BetaRecursion(n, d)
+			fmt.Fprintf(stdout, " %14d", iStar-256)
+		}
+		fmt.Fprintf(stdout, " %18.2f\n", math.Log(math.Log(float64(n)))/math.Log(2))
+	}
+	return nil
+}

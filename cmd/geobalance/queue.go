@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"geobalance/internal/core"
+	"geobalance/internal/queueing"
+	"geobalance/internal/ring"
+	"geobalance/internal/rng"
+	"geobalance/internal/torus"
+)
+
+func cmdQueue(args []string) error {
+	fs := flag.NewFlagSet("queue", flag.ExitOnError)
+	c := addCommon(fs)
+	n := addIntExpr(fs, "n", 1<<10, "servers")
+	lambda := fs.Float64("lambda", 0.9, "arrival rate per server (0 < lambda < 1)")
+	dList := fs.String("d", "1,2", "choice counts")
+	spaceName := fs.String("space", "ring", "geometry: uniform|ring|torus")
+	horizon := fs.Float64("horizon", 200, "measured simulation time")
+	warmup := fs.Float64("warmup", 40, "warmup time discarded before measuring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := parseIntList(*dList)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Supermarket model on %q: n=%s servers, lambda=%.2f, warmup %.0f, horizon %.0f, seed %d\n",
+		*spaceName, pow2Label(*n), *lambda, *warmup, *horizon, c.seed)
+	fmt.Fprintf(stdout, "(uniform fixed point: s_i = lambda^{(d^i-1)/(d-1)}; geometric spaces shift it)\n\n")
+	for _, d := range ds {
+		r := rng.NewStream(c.seed, uint64(d))
+		var sp core.Space
+		switch *spaceName {
+		case "uniform":
+			sp, err = core.NewUniform(*n)
+		case "ring":
+			sp, err = ring.NewRandom(*n, r)
+		case "torus":
+			sp, err = torus.NewRandom(*n, 2, r)
+		default:
+			return fmt.Errorf("unknown space %q", *spaceName)
+		}
+		if err != nil {
+			return err
+		}
+		res, err := queueing.Run(sp, queueing.Config{
+			Lambda: *lambda, D: d, Warmup: *warmup, Horizon: *horizon,
+		}, r)
+		if err != nil {
+			return err
+		}
+		fixed := queueing.UniformTail(*lambda, d, 8)
+		fmt.Fprintf(stdout, "d=%d   mean jobs/server %.3f   max queue %d   (%d arrivals)\n",
+			d, res.MeanJobs, res.MaxQueue, res.Arrivals)
+		fmt.Fprintf(stdout, "   %4s %14s %18s\n", "i", "measured s_i", "uniform fixed pt")
+		for i := 1; i <= 8; i++ {
+			fmt.Fprintf(stdout, "   %4d %14.6f %18.6g\n", i, res.Tail[i], fixed[i])
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}

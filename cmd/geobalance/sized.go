@@ -1,0 +1,104 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"geobalance/internal/core"
+	"geobalance/internal/ring"
+	"geobalance/internal/rng"
+	"geobalance/internal/sim"
+	"geobalance/internal/workload"
+)
+
+func cmdSized(args []string) error {
+	fs := flag.NewFlagSet("sized", flag.ExitOnError)
+	c := addCommon(fs)
+	n := addIntExpr(fs, "n", 1<<12, "site count")
+	m := addIntExpr(fs, "items", 1<<12, "items to place")
+	dList := fs.String("d", "1,2", "choice counts")
+	alpha := fs.Float64("alpha", 1.5, "bounded-Pareto shape for item sizes")
+	maxSize := fs.Float64("maxsize", 20, "bounded-Pareto upper bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := parseIntList(*dList)
+	if err != nil {
+		return err
+	}
+	pareto, err := workload.NewBoundedPareto(*alpha, 1, *maxSize)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Weighted balls on the ring: n=%s sites, %s items, sizes ~ BoundedPareto(%.2f, 1, %.0f)\n",
+		pow2Label(*n), pow2Label(*m), *alpha, *maxSize)
+	fmt.Fprintf(stdout, "mean size %.2f, %d trials, seed %d. Metric: max total size per server.\n\n",
+		pareto.Mean(), c.trials, c.seed)
+	for _, d := range ds {
+		d := d
+		trial := func(r *rng.Rand) (int, error) {
+			sp, err := ring.NewRandom(*n, r)
+			if err != nil {
+				return 0, err
+			}
+			a, err := core.New(sp, core.Config{D: d})
+			if err != nil {
+				return 0, err
+			}
+			for i := 0; i < *m; i++ {
+				if _, err := a.PlaceSized(pareto.Next(r), r); err != nil {
+					return 0, err
+				}
+			}
+			return a.MaxLoad(), nil
+		}
+		h, err := sim.Run(c.trials, c.seed+uint64(d), c.workers, trial)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "d=%d   max size: mean %.1f  p50 %d  p99 %d  worst %d\n",
+			d, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+	}
+	return nil
+}
+
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	c := addCommon(fs)
+	n := addIntExpr(fs, "n", 1<<12, "site count (m = n balls)")
+	d := fs.Int("d", 2, "choices")
+	batches := fs.String("sizes", "1,16,256,4096", "batch sizes (staleness windows)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bs, err := parseIntList(*batches)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Batched placement on the ring (stale loads within a batch): n=%s, d=%d,\n",
+		pow2Label(*n), *d)
+	fmt.Fprintf(stdout, "%d trials, seed %d. Sequential placement is batch size 1.\n\n", c.trials, c.seed)
+	for _, b := range bs {
+		b := b
+		trial := func(r *rng.Rand) (int, error) {
+			sp, err := ring.NewRandom(*n, r)
+			if err != nil {
+				return 0, err
+			}
+			a, err := core.New(sp, core.Config{D: *d})
+			if err != nil {
+				return 0, err
+			}
+			if err := a.PlaceNBatched(*n, b, r); err != nil {
+				return 0, err
+			}
+			return a.MaxLoad(), nil
+		}
+		h, err := sim.Run(c.trials, c.seed+uint64(b), c.workers, trial)
+		if err != nil {
+			return err
+		}
+		printCellBlock(fmt.Sprintf("batch=%d", b), h)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"geobalance/internal/chord"
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+)
+
+func cmdStabilize(args []string) error {
+	fs := flag.NewFlagSet("stabilize", flag.ExitOnError)
+	c := addCommon(fs)
+	nList := fs.String("n", "2^6,2^8,2^10", "ring sizes")
+	joinFrac := fs.Float64("joins", 0.25, "concurrent joins as a fraction of n")
+	failFrac := fs.Float64("fails", 0.25, "simultaneous failures as a fraction of n")
+	succList := fs.Int("succlist", 0, "successor list length (0 = 2 log2 n)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseIntList(*nList)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Chord stabilization: rounds to converge after churn batches, %d trials, seed %d\n\n",
+		c.trials, c.seed)
+	fmt.Fprintf(stdout, "%8s %16s %16s %16s\n", "n", "join rounds", "heal rounds", "post-heal hops")
+	for _, n := range ns {
+		r := *succList
+		if r == 0 {
+			r = 2 * log2i(n)
+		}
+		var joinRounds, healRounds, hops stats.Summary
+		for trial := 0; trial < c.trials; trial++ {
+			rr := rng.NewStream(c.seed, uint64(trial))
+			ids := make([]chord.ID, n)
+			seen := make(map[chord.ID]bool)
+			for i := range ids {
+				for {
+					id := chord.ID(rr.Uint64())
+					if !seen[id] {
+						seen[id] = true
+						ids[i] = id
+						break
+					}
+				}
+			}
+			p, err := chord.NewProtocol(ids)
+			if err != nil {
+				return err
+			}
+			if err := p.EnableSuccessorLists(r); err != nil {
+				return err
+			}
+			p.EnableFingers()
+			// Batch of concurrent joins.
+			joins := int(*joinFrac * float64(n))
+			for j := 0; j < joins; j++ {
+				if _, err := p.Join(chord.ID(rr.Uint64())); err != nil {
+					return err
+				}
+			}
+			jr, ok := p.RoundsToStabilize(100 * n)
+			if !ok {
+				return fmt.Errorf("n=%d: joins did not stabilize", n)
+			}
+			joinRounds.Add(float64(jr))
+			// Batch of simultaneous failures.
+			fails := int(*failFrac * float64(n))
+			for f := 0; f < fails; {
+				v := rr.Intn(p.NumNodes())
+				if p.AliveNode(v) {
+					if err := p.Fail(v); err != nil {
+						return err
+					}
+					f++
+				}
+			}
+			hr, ok := p.RoundsToHeal(100 * n)
+			if !ok {
+				return fmt.Errorf("n=%d: failures did not heal", n)
+			}
+			healRounds.Add(float64(hr))
+			// Repair fingers and measure routed lookups on live nodes.
+			for k := 0; k < 20; k++ {
+				p.FixFingersRound(8, rr)
+			}
+			var h stats.Summary
+			for q := 0; q < 100; q++ {
+				from := rr.Intn(p.NumNodes())
+				if !p.AliveNode(from) {
+					continue
+				}
+				_, hopCount := p.RouteP(from, chord.ID(rr.Uint64()))
+				h.Add(float64(hopCount))
+			}
+			if h.N() > 0 {
+				hops.Add(h.Mean())
+			}
+		}
+		fmt.Fprintf(stdout, "%8s %16.1f %16.1f %16.1f\n",
+			pow2Label(n), joinRounds.Mean(), healRounds.Mean(), hops.Mean())
+	}
+	return nil
+}
+
+func log2i(n int) int {
+	k := 0
+	for v := n; v > 1; v >>= 1 {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,362 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"geobalance/internal/core"
+	"geobalance/internal/ring"
+	"geobalance/internal/rng"
+	"geobalance/internal/sim"
+	"geobalance/internal/stats"
+	"geobalance/internal/viz"
+)
+
+// writeCSVIfRequested dumps cells to a CSV file when path is non-empty.
+func writeCSVIfRequested(path string, cells []sim.Cell) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sim.WriteCellsCSV(f, cells); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nwrote %s\n", path)
+	return nil
+}
+
+// printCellBlock prints one table cell as the paper does: a header line
+// and one "value ...... percent%" row per observed max load.
+func printCellBlock(label string, h *stats.IntHist) {
+	fmt.Fprintf(stdout, "%s   (mean %.2f, mode %d)\n", label, h.Mean(), h.Mode())
+	for _, row := range h.PaperRows() {
+		fmt.Fprintf(stdout, "    %s\n", row)
+	}
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	c := addCommon(fs)
+	nList := fs.String("n", "2^8,2^12,2^16", "site counts (paper: 2^8,2^12,2^16,2^20,2^24)")
+	dList := fs.String("d", "1,2,3,4", "choice counts")
+	csvPath := fs.String("csv", "", "optional CSV output path")
+	svgDir := fs.String("svg", "", "optional directory for per-cell histogram SVGs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseIntList(*nList)
+	if err != nil {
+		return err
+	}
+	ds, err := parseIntList(*dList)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Table 1: experimental maximum load with random arcs (m = n), %d trials, seed %d\n\n",
+		c.trials, c.seed)
+	var cells []sim.Cell
+	for _, n := range ns {
+		for _, d := range ds {
+			cells = append(cells, sim.Cell{
+				Label: fmt.Sprintf("n=%s d=%d", pow2Label(n), d),
+				N:     n, M: n, D: d, Tie: core.TieRandom,
+			})
+		}
+	}
+	out, err := sim.Table(cells, func(cell sim.Cell) sim.TrialFunc {
+		return sim.RingTrial(cell.N, cell.M, cell.D, cell.Tie, false)
+	}, c.trials, c.seed, c.workers)
+	if err != nil {
+		return err
+	}
+	for _, cell := range out {
+		printCellBlock(cell.Label, cell.Hist)
+	}
+	if err := writeHistogramSVGs(*svgDir, out); err != nil {
+		return err
+	}
+	return writeCSVIfRequested(*csvPath, out)
+}
+
+// writeHistogramSVGs renders each cell's max-load distribution as a bar
+// chart in dir (no-op when dir is empty).
+func writeHistogramSVGs(dir string, cells []sim.Cell) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, cell := range cells {
+		name := strings.NewReplacer(" ", "_", "^", "").Replace(cell.Label) + ".svg"
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		err = viz.WriteHistogramSVG(f, cell.Hist, viz.HistogramOptions{Title: cell.Label})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "\nwrote %d histogram SVGs to %s\n", len(cells), dir)
+	return nil
+}
+
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	c := addCommon(fs)
+	nList := fs.String("n", "2^8,2^12,2^16", "site counts (paper: 2^8,2^12,2^16,2^20)")
+	dList := fs.String("d", "1,2,3,4", "choice counts")
+	tieName := fs.String("tiebreak", "random", "tie-break rule: random|smaller|larger")
+	csvPath := fs.String("csv", "", "optional CSV output path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseIntList(*nList)
+	if err != nil {
+		return err
+	}
+	ds, err := parseIntList(*dList)
+	if err != nil {
+		return err
+	}
+	tie, err := tieFromName(*tieName)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Table 2: experimental maximum load with random torus polygons (m = n), "+
+		"%d trials, seed %d, tie-break %s\n\n", c.trials, c.seed, tie)
+	var cells []sim.Cell
+	for _, n := range ns {
+		for _, d := range ds {
+			cells = append(cells, sim.Cell{
+				Label: fmt.Sprintf("n=%s d=%d", pow2Label(n), d),
+				N:     n, M: n, D: d, Tie: tie,
+			})
+		}
+	}
+	out, err := sim.Table(cells, func(cell sim.Cell) sim.TrialFunc {
+		return sim.TorusTrial(cell.N, cell.M, cell.D, 2, cell.Tie)
+	}, c.trials, c.seed, c.workers)
+	if err != nil {
+		return err
+	}
+	for _, cell := range out {
+		printCellBlock(cell.Label, cell.Hist)
+	}
+	return writeCSVIfRequested(*csvPath, out)
+}
+
+func tieFromName(s string) (core.TieBreak, error) {
+	switch s {
+	case "random":
+		return core.TieRandom, nil
+	case "smaller":
+		return core.TieSmaller, nil
+	case "larger":
+		return core.TieLarger, nil
+	case "left":
+		return core.TieLeft, nil
+	}
+	return 0, fmt.Errorf("unknown tie-break %q (want random|smaller|larger|left)", s)
+}
+
+func cmdTable3(args []string) error {
+	fs := flag.NewFlagSet("table3", flag.ExitOnError)
+	c := addCommon(fs)
+	nList := fs.String("n", "2^8,2^12,2^16", "site counts (paper: 2^8..2^24)")
+	d := fs.Int("d", 2, "choices (paper uses 2)")
+	csvPath := fs.String("csv", "", "optional CSV output path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseIntList(*nList)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Table 3: maximum load varying tie-break strategies for random arcs, "+
+		"d=%d (m = n), %d trials, seed %d\n\n", *d, c.trials, c.seed)
+	strategies := []struct {
+		name string
+		tie  core.TieBreak
+	}{
+		{"arc-larger", core.TieLarger},
+		{"arc-random", core.TieRandom},
+		{"arc-left", core.TieLeft},
+		{"arc-smaller", core.TieSmaller},
+	}
+	var allCells []sim.Cell
+	for _, n := range ns {
+		var cells []sim.Cell
+		for _, s := range strategies {
+			cells = append(cells, sim.Cell{
+				Label: fmt.Sprintf("n=%s %s", pow2Label(n), s.name),
+				N:     n, M: n, D: *d, Tie: s.tie,
+			})
+		}
+		out, err := sim.Table(cells, func(cell sim.Cell) sim.TrialFunc {
+			return sim.RingTrial(cell.N, cell.M, cell.D, cell.Tie, cell.Tie == core.TieLeft)
+		}, c.trials, c.seed, c.workers)
+		if err != nil {
+			return err
+		}
+		for _, cell := range out {
+			printCellBlock(cell.Label, cell.Hist)
+		}
+		allCells = append(allCells, out...)
+		fmt.Fprintln(stdout)
+	}
+	return writeCSVIfRequested(*csvPath, allCells)
+}
+
+func cmdMN(args []string) error {
+	fs := flag.NewFlagSet("mn", flag.ExitOnError)
+	c := addCommon(fs)
+	n := addIntExpr(fs, "n", 1<<12, "site count")
+	ratios := fs.String("ratios", "1,2,4,8,16,32", "m/n ratios to sweep")
+	d := fs.Int("d", 2, "choices")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rs, err := parseIntList(*ratios)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "m != n scaling on the ring: n=%s, d=%d, %d trials, seed %d\n", pow2Label(*n), *d, c.trials, c.seed)
+	fmt.Fprintf(stdout, "(Theorem 1 remark: max load = O(m/n) + O(log log n / log d))\n\n")
+	for _, ratio := range rs {
+		m := *n * ratio
+		h, err := sim.Run(c.trials, c.seed+uint64(ratio), c.workers, sim.RingTrial(*n, m, *d, core.TieRandom, false))
+		if err != nil {
+			return err
+		}
+		printCellBlock(fmt.Sprintf("m/n=%-3d (m=%d) mean above m/n: %.2f", ratio, m, h.Mean()-float64(ratio)), h)
+	}
+	return nil
+}
+
+func cmdChurn(args []string) error {
+	fs := flag.NewFlagSet("churn", flag.ExitOnError)
+	c := addCommon(fs)
+	n := addIntExpr(fs, "n", 1<<12, "site count (live balls kept at n)")
+	dList := fs.String("d", "1,2", "choice counts")
+	steps := fs.Int("steps", 10, "delete+insert steps per trial, in multiples of n")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := parseIntList(*dList)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Infinite process on the ring: n=%s live balls, %d*n delete+insert steps,\n",
+		pow2Label(*n), *steps)
+	fmt.Fprintf(stdout, "%d trials, seed %d. Metric: peak max load over the whole run.\n\n", c.trials, c.seed)
+	for _, d := range ds {
+		d := d
+		trial := func(r *rng.Rand) (int, error) {
+			sp, err := ring.NewRandom(*n, r)
+			if err != nil {
+				return 0, err
+			}
+			a, err := core.New(sp, core.Config{D: d, TrackBalls: true})
+			if err != nil {
+				return 0, err
+			}
+			a.PlaceN(*n, r)
+			peak := a.MaxLoad()
+			for s := 0; s < *steps**n; s++ {
+				a.DeleteRandom(r)
+				a.Place(r)
+				if m := a.MaxLoad(); m > peak {
+					peak = m
+				}
+			}
+			return peak, nil
+		}
+		h, err := sim.Run(c.trials, c.seed+uint64(d), c.workers, trial)
+		if err != nil {
+			return err
+		}
+		printCellBlock(fmt.Sprintf("d=%d", d), h)
+	}
+	return nil
+}
+
+func cmdDim3(args []string) error {
+	fs := flag.NewFlagSet("dim3", flag.ExitOnError)
+	c := addCommon(fs)
+	nList := fs.String("n", "2^8,2^12,2^14", "site counts")
+	dList := fs.String("d", "1,2", "choice counts")
+	dim := fs.Int("dim", 3, "torus dimension")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseIntList(*nList)
+	if err != nil {
+		return err
+	}
+	ds, err := parseIntList(*dList)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Higher-dimension extension: %d-D torus (m = n), %d trials, seed %d\n\n", *dim, c.trials, c.seed)
+	for _, n := range ns {
+		for _, d := range ds {
+			h, err := sim.Run(c.trials, c.seed+uint64(n*10+d), c.workers, sim.TorusTrial(n, n, d, *dim, core.TieRandom))
+			if err != nil {
+				return err
+			}
+			printCellBlock(fmt.Sprintf("n=%s d=%d", pow2Label(n), d), h)
+		}
+	}
+	return nil
+}
+
+func cmdUniform(args []string) error {
+	fs := flag.NewFlagSet("uniform", flag.ExitOnError)
+	c := addCommon(fs)
+	nList := fs.String("n", "2^8,2^12,2^16", "bin counts")
+	dList := fs.String("d", "1,2,3,4", "choice counts")
+	goLeft := fs.Bool("goleft", false, "use Vöcking's go-left scheme instead of random ties")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseIntList(*nList)
+	if err != nil {
+		return err
+	}
+	ds, err := parseIntList(*dList)
+	if err != nil {
+		return err
+	}
+	tie := core.TieRandom
+	if *goLeft {
+		tie = core.TieLeft
+	}
+	fmt.Fprintf(stdout, "Uniform-bin baseline (Azar et al. setting), tie-break %s, %d trials, seed %d\n\n",
+		tie, c.trials, c.seed)
+	for _, n := range ns {
+		for _, d := range ds {
+			if tie == core.TieLeft && d < 2 {
+				continue
+			}
+			h, err := sim.Run(c.trials, c.seed+uint64(n*10+d), c.workers,
+				sim.UniformTrial(n, n, d, tie, *goLeft))
+			if err != nil {
+				return err
+			}
+			printCellBlock(fmt.Sprintf("n=%s d=%d", pow2Label(n), d), h)
+		}
+	}
+	return nil
+}

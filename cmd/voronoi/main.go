@@ -1,0 +1,94 @@
+// Command voronoi builds the exact Voronoi diagram of n random sites on
+// the 2-D unit torus and reports the cell-area statistics that drive the
+// paper's Section 3 analysis: area quantiles, the largest cells against
+// the Θ(log n / n) law, the Lemma 9 tail profile, and (optionally) a
+// per-cell CSV dump for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"geobalance/internal/rng"
+	"geobalance/internal/torus"
+	"geobalance/internal/viz"
+	"geobalance/internal/voronoi"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 4096, "sites on the torus")
+		seed = flag.Uint64("seed", 1, "seed")
+		csv  = flag.String("csv", "", "optional path for a per-cell area CSV dump")
+		svg  = flag.String("svg", "", "optional path for an SVG rendering (cells shaded by area)")
+	)
+	flag.Parse()
+	if err := run(*n, *seed, *csv, *svg); err != nil {
+		fmt.Fprintln(os.Stderr, "voronoi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, seed uint64, csvPath, svgPath string) error {
+	r := rng.New(seed)
+	sp, err := torus.NewRandom(n, 2, r)
+	if err != nil {
+		return err
+	}
+	d, err := voronoi.Compute(sp)
+	if err != nil {
+		return err
+	}
+	areas := make([]float64, n)
+	copy(areas, d.Areas())
+	sort.Float64s(areas)
+
+	fmt.Printf("Voronoi diagram: n=%d sites, seed=%d\n\n", n, seed)
+	fmt.Printf("total area:      %.12f (exact construction; must be 1)\n", d.TotalArea())
+	fmt.Printf("mean cell:       %.3e (1/n = %.3e)\n", 1.0/float64(n), 1.0/float64(n))
+	q := func(p float64) float64 { return areas[int(p*float64(n-1))] }
+	fmt.Printf("quantiles (xn):  p01 %.3f  p25 %.3f  p50 %.3f  p75 %.3f  p99 %.3f  max %.3f\n",
+		q(0.01)*float64(n), q(0.25)*float64(n), q(0.50)*float64(n),
+		q(0.75)*float64(n), q(0.99)*float64(n), areas[n-1]*float64(n))
+	fmt.Printf("largest cell:    %.3e = %.2f * ln(n)/n  (Section 3: Theta(log n / n))\n",
+		areas[n-1], areas[n-1]*float64(n)/math.Log(float64(n)))
+
+	fmt.Printf("\nLemma 9 tail: cells with area >= c/n\n")
+	fmt.Printf("%6s %10s %14s\n", "c", "count", "bound 12ne^{-c/6}")
+	for _, c := range []float64{2, 4, 6, 8, 10, 12} {
+		fmt.Printf("%6.1f %10d %14.1f\n",
+			c, d.CountAreasAtLeast(c/float64(n)), 12*float64(n)*math.Exp(-c/6))
+	}
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "site,x,y,area,vertices")
+		for i := 0; i < n; i++ {
+			site := sp.Site(i)
+			if _, err := fmt.Fprintf(f, "%d,%.9f,%.9f,%.9e,%d\n",
+				i, site[0], site[1], d.Area(i), len(d.Cell(i))); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("\nwrote %s\n", csvPath)
+	}
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := viz.WriteVoronoiSVG(f, sp, d, viz.VoronoiOptions{DrawSites: n <= 4096}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", svgPath)
+	}
+	return nil
+}

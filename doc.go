@@ -1,0 +1,27 @@
+// Package geobalance is a production-quality Go reproduction of
+// "Geometric Generalizations of the Power of Two Choices" (Byers,
+// Considine, Mitzenmacher; SPAA 2004): the power-of-d-choices load
+// balancing paradigm in geometric spaces where servers own their
+// nearest-neighbor regions and are therefore selected with non-uniform
+// probability.
+//
+// The root package carries the repository-level benchmark harness
+// (bench_test.go), with one benchmark family per table and figure of the
+// paper. The implementation lives under internal/:
+//
+//	internal/core      the geometric d-choice allocator (the paper's contribution)
+//	internal/ring      the 1-D ring of Theorem 1 (consistent-hashing arcs)
+//	internal/torus     the k-D torus of Section 3 with a grid NN index
+//	internal/voronoi   exact Voronoi cells and areas on the 2-D torus
+//	internal/balls     classical uniform balls-into-bins baselines
+//	internal/chord     Chord DHT simulator (the Section 1.1 application)
+//	internal/tailbound the paper's lemma bounds and empirical verifiers
+//	internal/fluid     fluid-limit ODE predictor for the uniform case
+//	internal/sim       parallel deterministic experiment harness
+//	internal/stats     histograms and summaries for the paper's tables
+//	internal/geom      shared geometry primitives
+//	internal/rng       fast deterministic PRNG (xoshiro256++/SplitMix64)
+//
+// See README.md for usage, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package geobalance

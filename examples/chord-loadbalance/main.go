@@ -1,0 +1,64 @@
+// Chord load balance: the DHT application from Section 1.1.
+//
+// The demo builds a Chord overlay, inserts keys three ways — plain
+// consistent hashing, log n virtual servers (Chord's remedy), and the
+// paper's two-choices scheme with redirect stubs — and prints the load
+// and routing cost of each, showing that two choices beat virtual
+// servers on load while keeping per-node routing state constant.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"geobalance/internal/chord"
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+)
+
+const nServers = 1024
+
+func main() {
+	vlog := int(math.Round(math.Log2(nServers)))
+	configs := []struct {
+		name string
+		v    int // virtual servers per node
+		d    int // hash choices per key
+	}{
+		{"plain consistent hashing", 1, 1},
+		{fmt.Sprintf("%d virtual servers/node", vlog), vlog, 1},
+		{"power of two choices", 1, 2},
+	}
+	fmt.Printf("Chord with %d servers, %d keys\n\n", nServers, nServers)
+	for i, cfg := range configs {
+		r := rng.New(uint64(1000 + i))
+		nw, err := chord.NewNetwork(chord.Config{
+			PhysicalServers: nServers,
+			VirtualFactor:   cfg.v,
+		}, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var insertHops, lookupHops stats.Summary
+		for k := 0; k < nServers; k++ {
+			key := fmt.Sprintf("object:%d", k)
+			st, err := nw.Insert(key, cfg.d, r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			insertHops.Add(float64(st.Hops))
+		}
+		for k := 0; k < nServers; k++ {
+			st, err := nw.Lookup(fmt.Sprintf("object:%d", k), r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lookupHops.Add(float64(st.Hops))
+		}
+		fmt.Printf("%-28s max load %2d   finger tables/node %2d   insert %.1f hops   lookup %.1f hops\n",
+			cfg.name, nw.MaxLoad(), cfg.v, insertHops.Mean(), lookupHops.Mean())
+	}
+	fmt.Println("\nTwo choices match or beat log n virtual servers with 1/log n of the")
+	fmt.Println("routing state; lookups pay at most one redirect hop.")
+}

@@ -1,0 +1,69 @@
+// Shard router: the hashring facade in the role a downstream system
+// would actually use it for — routing cache keys to a fleet of servers
+// with two-choice load balancing, surviving a scale-up and a failure
+// with minimal key movement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geobalance/internal/hashring"
+)
+
+func main() {
+	servers := make([]string, 50)
+	for i := range servers {
+		servers[i] = fmt.Sprintf("cache-%02d.example.com", i)
+	}
+	ring, err := hashring.New(servers, hashring.WithChoices(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A couple of beefier machines.
+	for _, big := range []string{"cache-00.example.com", "cache-01.example.com"} {
+		if err := ring.SetCapacity(big, 4); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		if _, err := ring.Place(fmt.Sprintf("user:%d:profile", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report(ring, "after initial placement")
+
+	// Scale up: five new servers join; only captured keys move.
+	for i := 50; i < 55; i++ {
+		if err := ring.AddServer(fmt.Sprintf("cache-%02d.example.com", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	moved := ring.Rebalance()
+	fmt.Printf("scale-up to 55 servers moved %d/%d keys (%.1f%%)\n",
+		moved, keys, 100*float64(moved)/keys)
+	report(ring, "after scale-up")
+
+	// A server dies; its keys re-home to their surviving candidates.
+	if err := ring.RemoveServer("cache-07.example.com"); err != nil {
+		log.Fatal(err)
+	}
+	moved = ring.Rebalance()
+	fmt.Printf("failure of cache-07 moved %d keys\n", moved)
+	report(ring, "after failure")
+
+	where, err := ring.Locate("user:12345:profile")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user:12345:profile lives on %s\n", where)
+}
+
+func report(r *hashring.Ring, when string) {
+	loads := r.Loads()
+	mean := float64(r.NumKeys()) / float64(len(loads))
+	fmt.Printf("%-24s servers %d   mean %.0f keys   max %d (%.2fx mean)\n",
+		when, r.NumServers(), mean, r.MaxLoad(), float64(r.MaxLoad())/mean)
+}

@@ -1,0 +1,88 @@
+// Tail bounds: watching the paper's lemmas hold on live data.
+//
+// The proofs of Theorem 1 and its torus analogue rest on tail bounds for
+// the sizes of nearest-neighbor regions: Lemma 4 (number of long arcs),
+// Lemma 6 (total length of the longest arcs), and Lemma 9 (number of
+// large Voronoi cells). This example measures each quantity on random
+// instances and prints it against the analytic bound, then runs the
+// Theorem 1 layered-induction profile nu_i on a live allocation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"geobalance/internal/core"
+	"geobalance/internal/ring"
+	"geobalance/internal/rng"
+	"geobalance/internal/tailbound"
+)
+
+func main() {
+	const n = 1 << 13
+	const trials = 100
+
+	fmt.Printf("Lemma 4 on a ring of n=%d points (%d trials):\n", n, trials)
+	fmt.Printf("%6s %12s %12s %12s\n", "c", "mean N_c", "bound 2ne^-c", "exceeded")
+	for _, c := range []float64{2, 4, 6} {
+		res, err := tailbound.EmpiricalArcTail(n, c, trials, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6.1f %12.2f %12.2f %11.1f%%\n",
+			c, res.MeanCount, res.CountBound, 100*res.ExceedFrac)
+	}
+
+	fmt.Printf("\nLemma 6, total length of the a longest arcs:\n")
+	fmt.Printf("%6s %12s %12s\n", "a", "mean sum", "bound")
+	for _, a := range []int{96, 128, 192} {
+		res, err := tailbound.EmpiricalTopArcSum(n, a, trials, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %12.5f %12.5f\n", a, res.MeanSum, res.SumBound)
+	}
+
+	fmt.Printf("\nLemma 9 on a torus of n=%d sites (exact Voronoi areas, %d trials):\n", 1<<10, 20)
+	fmt.Printf("%6s %12s %14s\n", "c", "mean count", "bound 12ne^-c/6")
+	for _, c := range []float64{6, 9, 12} {
+		res, err := tailbound.EmpiricalVoronoiTail(1<<10, c, 20, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6.1f %12.2f %14.2f\n", c, res.MeanCount, res.CountBound)
+	}
+
+	// Layered induction live: nu_i from one allocation run.
+	fmt.Printf("\nTheorem 1 profile: bins with load >= i (n=%d, d=2):\n", n)
+	r := rng.New(4)
+	sp, err := ring.NewRandom(n, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := core.New(sp, core.Config{D: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a.PlaceN(n, r)
+	nus := tailbound.NuBetaCheck(a.Loads())
+	for i, nu := range nus {
+		bar := ""
+		if nu > 0 {
+			bar = fmt.Sprintf("%.*s", min(60, 1+int(10*math.Log10(float64(nu)+1))), bars)
+		}
+		fmt.Printf("  nu_%d = %6d  %s\n", i+1, nu, bar)
+	}
+	fmt.Printf("max load: %d (log log n / log 2 = %.1f)\n",
+		a.MaxLoad(), math.Log2(math.Log2(float64(n))))
+}
+
+const bars = "############################################################"
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

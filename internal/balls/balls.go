@@ -1,0 +1,144 @@
+// Package balls implements the classical balls-into-bins processes in
+// the uniform setting of Azar, Broder, Karlin and Upfal — the baseline
+// the paper generalizes. All bins are selected equiprobably:
+//
+//   - OneChoice: each ball lands in a single uniform bin (max load
+//     Θ(log n / log log n) for m = n).
+//   - DChoices: each ball inspects d uniform bins and joins the least
+//     loaded (max load log log n / log d + O(1)).
+//   - GoLeft: Vöcking's asymmetric scheme — bins are split into d groups,
+//     the ball draws one bin per group, joins the least loaded, and
+//     breaks ties toward the leftmost group (max load
+//     log log n / (d log phi_d) + O(1)).
+//
+// The implementations are independent of internal/core so the geometric
+// allocator can be validated against them (core with a uniform space
+// must be statistically indistinguishable from DChoices).
+package balls
+
+import (
+	"fmt"
+
+	"geobalance/internal/rng"
+)
+
+// OneChoice throws m balls into n uniform bins and returns the loads.
+func OneChoice(n, m int, r *rng.Rand) ([]int32, error) {
+	if err := check(n, m, 1); err != nil {
+		return nil, err
+	}
+	loads := make([]int32, n)
+	for i := 0; i < m; i++ {
+		loads[r.Intn(n)]++
+	}
+	return loads, nil
+}
+
+// DChoices throws m balls into n uniform bins, each ball joining the
+// least loaded of d independent uniform candidates (ties broken
+// uniformly at random among the tied candidates), and returns the loads.
+func DChoices(n, m, d int, r *rng.Rand) ([]int32, error) {
+	if err := check(n, m, d); err != nil {
+		return nil, err
+	}
+	loads := make([]int32, n)
+	for i := 0; i < m; i++ {
+		best := r.Intn(n)
+		ties := 1
+		for k := 1; k < d; k++ {
+			c := r.Intn(n)
+			if c == best {
+				continue
+			}
+			switch {
+			case loads[c] < loads[best]:
+				best, ties = c, 1
+			case loads[c] == loads[best]:
+				ties++
+				if r.Intn(ties) == 0 {
+					best = c
+				}
+			}
+		}
+		loads[best]++
+	}
+	return loads, nil
+}
+
+// GoLeft throws m balls into n uniform bins using Vöcking's Always-Go-
+// Left scheme: the bins are partitioned into d contiguous groups of
+// near-equal size; each ball draws one uniform bin from every group and
+// joins the least loaded, breaking ties toward the lowest-numbered
+// group. Returns the loads.
+func GoLeft(n, m, d int, r *rng.Rand) ([]int32, error) {
+	if err := check(n, m, d); err != nil {
+		return nil, err
+	}
+	if d > n {
+		return nil, fmt.Errorf("balls: GoLeft needs d <= n, got d=%d n=%d", d, n)
+	}
+	loads := make([]int32, n)
+	// Group k covers [bounds[k], bounds[k+1]).
+	bounds := make([]int, d+1)
+	for k := 0; k <= d; k++ {
+		bounds[k] = k * n / d
+	}
+	for i := 0; i < m; i++ {
+		best := -1
+		for k := 0; k < d; k++ {
+			lo, hi := bounds[k], bounds[k+1]
+			c := lo + r.Intn(hi-lo)
+			// Strictly-less comparison implements "ties go left": the
+			// earliest (leftmost) group wins on equality.
+			if best == -1 || loads[c] < loads[best] {
+				best = c
+			}
+		}
+		loads[best]++
+	}
+	return loads, nil
+}
+
+// MixedChoice throws m balls into n uniform bins with the (1+beta)
+// process of Peres, Talwar and Wieder: each ball flips an independent
+// beta-coin; heads uses two choices, tails one. beta interpolates
+// between OneChoice (beta = 0) and DChoices with d = 2 (beta = 1); for
+// fixed 0 < beta < 1 the max load is m/n + Theta(log n / beta) — an
+// ablation for how much "choice" the paper's scheme actually needs.
+func MixedChoice(n, m int, beta float64, r *rng.Rand) ([]int32, error) {
+	if err := check(n, m, 1); err != nil {
+		return nil, err
+	}
+	if beta < 0 || beta > 1 || beta != beta {
+		return nil, fmt.Errorf("balls: beta = %v outside [0, 1]", beta)
+	}
+	loads := make([]int32, n)
+	for i := 0; i < m; i++ {
+		best := r.Intn(n)
+		if r.Float64() < beta {
+			if c := r.Intn(n); c != best {
+				switch {
+				case loads[c] < loads[best]:
+					best = c
+				case loads[c] == loads[best] && r.Intn(2) == 0:
+					best = c
+				}
+			}
+		}
+		loads[best]++
+	}
+	return loads, nil
+}
+
+func check(n, m, d int) error {
+	if n < 1 {
+		return fmt.Errorf("balls: need at least 1 bin, got %d", n)
+	}
+	if m < 0 {
+		return fmt.Errorf("balls: negative ball count %d", m)
+	}
+	if d < 1 {
+		return fmt.Errorf("balls: need at least 1 choice, got %d", d)
+	}
+	return nil
+}

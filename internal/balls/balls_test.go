@@ -1,0 +1,293 @@
+package balls
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+)
+
+func TestValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := OneChoice(0, 1, r); err == nil {
+		t.Error("OneChoice(0 bins) accepted")
+	}
+	if _, err := OneChoice(1, -1, r); err == nil {
+		t.Error("negative balls accepted")
+	}
+	if _, err := DChoices(10, 10, 0, r); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := GoLeft(2, 10, 3, r); err == nil {
+		t.Error("GoLeft with d > n accepted")
+	}
+}
+
+func TestConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(500)
+		m := r.Intn(2000)
+		d := 1 + r.Intn(4)
+		l1, err := OneChoice(n, m, r)
+		if err != nil || stats.TotalLoad(l1) != m {
+			return false
+		}
+		l2, err := DChoices(n, m, d, r)
+		if err != nil || stats.TotalLoad(l2) != m {
+			return false
+		}
+		if d <= n {
+			l3, err := GoLeft(n, m, d, r)
+			if err != nil || stats.TotalLoad(l3) != m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroBalls(t *testing.T) {
+	r := rng.New(2)
+	loads, err := DChoices(10, 0, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxLoad(loads) != 0 {
+		t.Fatal("zero balls produced nonzero load")
+	}
+}
+
+func TestSingleBin(t *testing.T) {
+	r := rng.New(3)
+	for _, f := range []func() ([]int32, error){
+		func() ([]int32, error) { return OneChoice(1, 17, r) },
+		func() ([]int32, error) { return DChoices(1, 17, 3, r) },
+		func() ([]int32, error) { return GoLeft(1, 17, 1, r) },
+	} {
+		loads, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loads[0] != 17 {
+			t.Fatalf("single bin load = %d, want 17", loads[0])
+		}
+	}
+}
+
+// TestOneChoiceMaxLoadOrder: for m=n, one choice gives max load around
+// ln n / ln ln n; at n=4096 that is ~5.3, and empirically 6-12.
+func TestOneChoiceMaxLoadOrder(t *testing.T) {
+	r := rng.New(4)
+	const n = 4096
+	h := stats.NewIntHist()
+	for trial := 0; trial < 100; trial++ {
+		loads, err := OneChoice(n, n, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Add(stats.MaxLoad(loads))
+	}
+	if h.Min() < 5 || h.Max() > 15 {
+		t.Fatalf("one-choice max load range [%d, %d] implausible for n=%d", h.Min(), h.Max(), n)
+	}
+}
+
+// TestTwoChoicesMaxLoadOrder: d=2 keeps the max load at 3-5 for n=4096
+// (log log n / log 2 + O(1); cf. paper Table 1 where d=2 yields 4-5 at
+// n=2^12).
+func TestTwoChoicesMaxLoadOrder(t *testing.T) {
+	r := rng.New(5)
+	const n = 4096
+	h := stats.NewIntHist()
+	for trial := 0; trial < 100; trial++ {
+		loads, err := DChoices(n, n, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Add(stats.MaxLoad(loads))
+	}
+	if h.Min() < 3 || h.Max() > 6 {
+		t.Fatalf("two-choice max load range [%d, %d] implausible", h.Min(), h.Max())
+	}
+}
+
+// TestTwoChoicesBeatOneChoice is the headline qualitative claim.
+func TestTwoChoicesBeatOneChoice(t *testing.T) {
+	r := rng.New(6)
+	const n, trials = 8192, 30
+	var one, two float64
+	for trial := 0; trial < trials; trial++ {
+		l1, err := OneChoice(n, n, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := DChoices(n, n, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one += float64(stats.MaxLoad(l1))
+		two += float64(stats.MaxLoad(l2))
+	}
+	if two >= one {
+		t.Fatalf("two choices (%v) did not beat one choice (%v)", two/trials, one/trials)
+	}
+	if one/trials < two/trials+1.5 {
+		t.Fatalf("improvement too small: one=%v two=%v", one/trials, two/trials)
+	}
+}
+
+// TestGoLeftAtLeastAsGoodAsDChoices: Vöcking's scheme is provably
+// better asymptotically; at moderate n it should be no worse on average.
+func TestGoLeftAtLeastAsGoodAsDChoices(t *testing.T) {
+	r := rng.New(7)
+	const n, trials = 8192, 50
+	var plain, left float64
+	for trial := 0; trial < trials; trial++ {
+		l2, err := DChoices(n, n, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l3, err := GoLeft(n, n, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain += float64(stats.MaxLoad(l2))
+		left += float64(stats.MaxLoad(l3))
+	}
+	if left > plain+0.3*trials/trials {
+		t.Fatalf("go-left (%v) clearly worse than plain d-choice (%v)", left/trials, plain/trials)
+	}
+}
+
+// TestDChoicesMonotoneInD: more choices never hurt (on average).
+func TestDChoicesMonotoneInD(t *testing.T) {
+	r := rng.New(8)
+	const n, trials = 4096, 30
+	means := make([]float64, 5)
+	for d := 1; d <= 4; d++ {
+		var sum float64
+		for trial := 0; trial < trials; trial++ {
+			loads, err := DChoices(n, n, d, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(stats.MaxLoad(loads))
+		}
+		means[d] = sum / trials
+	}
+	if !(means[1] > means[2] && means[2] >= means[3]-0.2 && means[3] >= means[4]-0.2) {
+		t.Fatalf("max load not monotone in d: %v", means[1:])
+	}
+}
+
+func TestMixedChoiceValidation(t *testing.T) {
+	r := rng.New(20)
+	for _, beta := range []float64{-0.1, 1.5, math.NaN()} {
+		if _, err := MixedChoice(10, 10, beta, r); err == nil {
+			t.Errorf("beta = %v accepted", beta)
+		}
+	}
+	if _, err := MixedChoice(0, 10, 0.5, r); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestMixedChoiceConservation(t *testing.T) {
+	r := rng.New(21)
+	loads, err := MixedChoice(100, 5000, 0.3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalLoad(loads) != 5000 {
+		t.Fatal("balls lost")
+	}
+}
+
+// TestMixedChoiceInterpolates: mean max load decreases monotonically
+// (within noise) as beta goes 0 -> 0.5 -> 1, with the endpoints near
+// OneChoice and DChoices(d=2) respectively.
+func TestMixedChoiceInterpolates(t *testing.T) {
+	const n, trials = 1 << 12, 30
+	mean := func(beta float64) float64 {
+		r := rng.New(22)
+		var sum float64
+		for i := 0; i < trials; i++ {
+			loads, err := MixedChoice(n, n, beta, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(stats.MaxLoad(loads))
+		}
+		return sum / trials
+	}
+	m0, mHalf, m1 := mean(0), mean(0.5), mean(1)
+	if !(m0 > mHalf && mHalf > m1) {
+		t.Fatalf("not interpolating: beta 0/0.5/1 -> %v/%v/%v", m0, mHalf, m1)
+	}
+	// Endpoints match the dedicated implementations statistically.
+	r := rng.New(23)
+	var one, two float64
+	for i := 0; i < trials; i++ {
+		l1, err := OneChoice(n, n, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := DChoices(n, n, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one += float64(stats.MaxLoad(l1))
+		two += float64(stats.MaxLoad(l2))
+	}
+	one, two = one/trials, two/trials
+	if math.Abs(m0-one) > 1.2 {
+		t.Errorf("beta=0 mean %v far from OneChoice %v", m0, one)
+	}
+	if math.Abs(m1-two) > 0.7 {
+		t.Errorf("beta=1 mean %v far from DChoices %v", m1, two)
+	}
+}
+
+func TestOneChoiceUniform(t *testing.T) {
+	// Chi-squared-style sanity: all bins near m/n.
+	r := rng.New(9)
+	const n, m = 100, 1_000_000
+	loads, err := OneChoice(n, m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(m) / n
+	for i, l := range loads {
+		if math.Abs(float64(l)-want) > 6*math.Sqrt(want) {
+			t.Errorf("bin %d load %d deviates from %v by more than 6 sigma", i, l, want)
+		}
+	}
+}
+
+func BenchmarkDChoices(b *testing.B) {
+	r := rng.New(1)
+	const n = 1 << 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DChoices(n, n, 2, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGoLeft(b *testing.B) {
+	r := rng.New(1)
+	const n = 1 << 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GoLeft(n, n, 2, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

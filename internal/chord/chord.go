@@ -1,0 +1,338 @@
+// Package chord implements a Chord-style distributed hash table
+// simulator — the motivating application of the paper's Section 1.1.
+//
+// Chord hashes servers and keys onto a ring of 2^64 IDs; a key is owned
+// by its clockwise successor node. Plain consistent hashing (d = 1)
+// suffers the Θ(log n)-factor load imbalance caused by non-uniform arc
+// lengths. The simulator implements the three remedies the paper
+// discusses:
+//
+//   - Virtual servers (Chord's original fix): each physical server runs
+//     v virtual nodes, shrinking the variance of total arc length at the
+//     cost of v-fold routing state.
+//   - Power of d choices (the paper's proposal, detailed in its
+//     companion work [3]): each item is hashed with d independent salts,
+//     the d successor owners are probed, and the item is stored at the
+//     least-loaded physical server; the losing candidates store a
+//     redirection stub so lookups stay O(log n) + 1 hops.
+//
+// Routing uses real finger tables — lookups are routed greedily through
+// closest-preceding fingers and the simulator counts hops — so the load
+// and routing costs of the schemes can be compared, reproducing the
+// E-CH experiment.
+package chord
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"geobalance/internal/rng"
+)
+
+// ID is a point on the Chord identifier ring of size 2^64. Arithmetic
+// wraps naturally with uint64 overflow.
+type ID uint64
+
+// fingerBits is the number of finger-table entries per node (one per bit
+// of the ID space, as in Chord).
+const fingerBits = 64
+
+// HashKey maps a key and a salt (choice index) to a ring ID. The key is
+// hashed with FNV-1a and the result is passed through a SplitMix64
+// finalizer: raw FNV-1a of short keys has poor avalanche in its high
+// bits (sequential keys land on adjacent ring positions, which would
+// wreck consistent hashing), and the finalizer restores full diffusion.
+// Distinct salts act as the d independent hash functions of the
+// d-choice scheme.
+func HashKey(key string, salt int) ID {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(salt)*0x9e3779b97f4a7c15)
+	h.Write(buf[:])
+	h.Write([]byte(key))
+	return ID(rng.Mix64(h.Sum64()))
+}
+
+// node is one virtual node on the ring.
+type node struct {
+	id      ID
+	phys    int // index of owning physical server
+	fingers []int32
+	succ    int32
+}
+
+// Network is a static Chord overlay: a set of physical servers, each
+// running one or more virtual nodes, with finger tables built and item
+// placement tracked per physical server.
+type Network struct {
+	nodes     []node // sorted by id
+	physCount int    // physical server slots ever created (including departed)
+	vFactor   int
+	loads     []int32 // items stored per physical server
+	redirects []int32 // redirect stubs stored per physical server
+	alive     []bool  // false once a server has left
+	items     map[string]itemRecord
+}
+
+type itemRecord struct {
+	d     int // number of choices used at insert
+	owner int // physical server storing the item
+	salt  int // which of the d hashes won (the item lives at that hash's successor)
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// PhysicalServers is the number of physical servers (>= 1).
+	PhysicalServers int
+	// VirtualFactor is the number of virtual nodes per physical server
+	// (>= 1; 1 means plain consistent hashing; Chord's recommendation is
+	// Θ(log n)).
+	VirtualFactor int
+}
+
+// NewNetwork builds the overlay: virtual node IDs are drawn uniformly at
+// random (modelling hashed server identities), sorted, and finger tables
+// are constructed for every virtual node.
+func NewNetwork(cfg Config, r *rng.Rand) (*Network, error) {
+	if cfg.PhysicalServers < 1 {
+		return nil, fmt.Errorf("chord: need >= 1 physical server, got %d", cfg.PhysicalServers)
+	}
+	if cfg.VirtualFactor < 1 {
+		return nil, fmt.Errorf("chord: need virtual factor >= 1, got %d", cfg.VirtualFactor)
+	}
+	total := cfg.PhysicalServers * cfg.VirtualFactor
+	nw := &Network{
+		nodes:     make([]node, 0, total),
+		physCount: cfg.PhysicalServers,
+		vFactor:   cfg.VirtualFactor,
+		loads:     make([]int32, cfg.PhysicalServers),
+		redirects: make([]int32, cfg.PhysicalServers),
+		alive:     make([]bool, cfg.PhysicalServers),
+		items:     make(map[string]itemRecord),
+	}
+	for p := range nw.alive {
+		nw.alive[p] = true
+	}
+	for p := 0; p < cfg.PhysicalServers; p++ {
+		for v := 0; v < cfg.VirtualFactor; v++ {
+			nw.nodes = append(nw.nodes, node{id: ID(r.Uint64()), phys: p})
+		}
+	}
+	sort.Slice(nw.nodes, func(i, j int) bool { return nw.nodes[i].id < nw.nodes[j].id })
+	nw.buildFingers()
+	return nw, nil
+}
+
+// buildFingers constructs, for every node, the successor pointer and the
+// finger table: finger k points to successor(id + 2^k).
+func (nw *Network) buildFingers() {
+	n := len(nw.nodes)
+	for i := range nw.nodes {
+		nd := &nw.nodes[i]
+		nd.succ = int32((i + 1) % n)
+		nd.fingers = make([]int32, fingerBits)
+		for k := 0; k < fingerBits; k++ {
+			target := nd.id + 1<<uint(k)
+			nd.fingers[k] = int32(nw.successorIndex(target))
+		}
+	}
+}
+
+// successorIndex returns the index of the first node with id >= target
+// (wrapping to node 0 past the top of the ring).
+func (nw *Network) successorIndex(target ID) int {
+	i := sort.Search(len(nw.nodes), func(i int) bool { return nw.nodes[i].id >= target })
+	if i == len(nw.nodes) {
+		return 0
+	}
+	return i
+}
+
+// NumVirtualNodes returns the number of virtual nodes on the ring.
+func (nw *Network) NumVirtualNodes() int { return len(nw.nodes) }
+
+// NumPhysicalServers returns the number of physical servers.
+func (nw *Network) NumPhysicalServers() int { return nw.physCount }
+
+// PhysicalLoads returns the item count per physical server. The returned
+// slice is shared; callers must not modify it.
+func (nw *Network) PhysicalLoads() []int32 { return nw.loads }
+
+// Redirects returns the redirect-stub count per physical server.
+func (nw *Network) Redirects() []int32 { return nw.redirects }
+
+// inOpenClosed reports whether x lies in the clockwise interval (a, b].
+func inOpenClosed(x, a, b ID) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	if a > b {
+		return x > a || x <= b
+	}
+	return true // a == b: the interval is the whole ring
+}
+
+// inOpen reports whether x lies in the clockwise interval (a, b).
+func inOpen(x, a, b ID) bool {
+	if a < b {
+		return x > a && x < b
+	}
+	if a > b {
+		return x > a || x < b
+	}
+	return x != a // a == b: whole ring minus the endpoint
+}
+
+// Route performs a Chord lookup for target starting at virtual node
+// `from`, returning the index of the owning virtual node and the number
+// of routing hops taken. It follows the standard greedy algorithm:
+// forward to the closest finger strictly preceding the target until the
+// target falls between the current node and its successor.
+func (nw *Network) Route(from int, target ID) (owner, hops int) {
+	if len(nw.nodes) == 1 {
+		return 0, 0
+	}
+	cur := from
+	for {
+		succ := int(nw.nodes[cur].succ)
+		if inOpenClosed(target, nw.nodes[cur].id, nw.nodes[succ].id) {
+			return succ, hops + 1 // final hop to the owner
+		}
+		next := nw.closestPrecedingFinger(cur, target)
+		if next == cur {
+			// Fingers degenerate (tiny ring): fall back to successor.
+			next = succ
+		}
+		cur = next
+		hops++
+		if hops > 2*len(nw.nodes) {
+			panic("chord: routing loop") // cannot happen with a consistent table
+		}
+	}
+}
+
+// closestPrecedingFinger returns cur's finger whose id most closely
+// precedes target.
+func (nw *Network) closestPrecedingFinger(cur int, target ID) int {
+	nd := &nw.nodes[cur]
+	for k := fingerBits - 1; k >= 0; k-- {
+		f := int(nd.fingers[k])
+		if f != cur && inOpen(nw.nodes[f].id, nd.id, target) {
+			return f
+		}
+	}
+	return cur
+}
+
+// Owner returns the physical server owning ring position id, without
+// routing (an oracle lookup used for verification and fast simulation).
+func (nw *Network) Owner(id ID) int {
+	return nw.nodes[nw.successorIndex(id)].phys
+}
+
+// InsertStats reports the message cost of an insert operation.
+type InsertStats struct {
+	Hops      int // total routing hops across all candidate lookups
+	Candidate int // which choice won (0-based)
+	Owner     int // physical server that stored the item
+}
+
+// Insert stores a key using the d-choice scheme: the key is hashed with
+// salts 0..d-1, each candidate's owner is found by routed lookups
+// starting from a random virtual node, and the item is stored at the
+// candidate whose physical server is least loaded (ties broken toward
+// the earliest choice, which also minimizes later lookup cost). The
+// losing candidates' owners store redirect stubs.
+//
+// d = 1 is plain consistent hashing (no stubs). The key must not already
+// be present.
+func (nw *Network) Insert(key string, d int, r *rng.Rand) (InsertStats, error) {
+	if d < 1 {
+		return InsertStats{}, fmt.Errorf("chord: need d >= 1, got %d", d)
+	}
+	if _, dup := nw.items[key]; dup {
+		return InsertStats{}, fmt.Errorf("chord: duplicate key %q", key)
+	}
+	var stats InsertStats
+	bestPhys := -1
+	candPhys := make([]int, d)
+	for j := 0; j < d; j++ {
+		target := HashKey(key, j)
+		from := r.Intn(len(nw.nodes))
+		ownerNode, hops := nw.Route(from, target)
+		stats.Hops += hops
+		phys := nw.nodes[ownerNode].phys
+		candPhys[j] = phys
+		if bestPhys == -1 || nw.loads[phys] < nw.loads[bestPhys] {
+			bestPhys = phys
+			stats.Candidate = j
+		}
+	}
+	nw.loads[bestPhys]++
+	stats.Owner = bestPhys
+	for j := 0; j < d; j++ {
+		if j != stats.Candidate {
+			nw.redirects[candPhys[j]]++
+		}
+	}
+	nw.items[key] = itemRecord{d: d, owner: bestPhys, salt: stats.Candidate}
+	return stats, nil
+}
+
+// LookupStats reports the message cost of a lookup operation.
+type LookupStats struct {
+	Hops       int  // routing hops plus any redirect hop
+	Redirected bool // true if the item was found via a redirect stub
+}
+
+// Lookup locates a previously inserted key, starting from a random
+// virtual node. It routes to the owner of the key's first hash; if the
+// item was stored at a different candidate (d >= 2), the stub there
+// redirects the query in one additional hop, exactly as in the
+// companion-paper design.
+func (nw *Network) Lookup(key string, r *rng.Rand) (LookupStats, error) {
+	rec, ok := nw.items[key]
+	if !ok {
+		return LookupStats{}, fmt.Errorf("chord: key %q not found", key)
+	}
+	target := HashKey(key, 0)
+	from := r.Intn(len(nw.nodes))
+	ownerNode, hops := nw.Route(from, target)
+	st := LookupStats{Hops: hops}
+	if nw.nodes[ownerNode].phys != rec.owner {
+		st.Hops++ // follow the redirect stub
+		st.Redirected = true
+	}
+	return st, nil
+}
+
+// MaxLoad returns the maximum item count over physical servers.
+func (nw *Network) MaxLoad() int {
+	var m int32
+	for _, l := range nw.loads {
+		if l > m {
+			m = l
+		}
+	}
+	return int(m)
+}
+
+// ArcFraction returns, for each physical server, the total fraction of
+// the ID ring owned by its virtual nodes — the quantity whose
+// non-uniformity causes the d=1 imbalance.
+func (nw *Network) ArcFraction() []float64 {
+	out := make([]float64, nw.physCount)
+	n := len(nw.nodes)
+	for i, nd := range nw.nodes {
+		// Node i owns the arc from its predecessor (exclusive) to itself.
+		prev := nw.nodes[(i+n-1)%n].id
+		arc := uint64(nd.id - prev) // wraps correctly for i == 0
+		if n == 1 {
+			arc = ^uint64(0)
+		}
+		out[nd.phys] += float64(arc) / (1 << 63) / 2
+	}
+	return out
+}

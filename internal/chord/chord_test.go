@@ -1,0 +1,317 @@
+package chord
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+)
+
+func mustNet(t testing.TB, phys, v int, seed uint64) *Network {
+	t.Helper()
+	nw, err := NewNetwork(Config{PhysicalServers: phys, VirtualFactor: v}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := NewNetwork(Config{PhysicalServers: 0, VirtualFactor: 1}, r); err == nil {
+		t.Error("0 servers accepted")
+	}
+	if _, err := NewNetwork(Config{PhysicalServers: 4, VirtualFactor: 0}, r); err == nil {
+		t.Error("0 virtual factor accepted")
+	}
+}
+
+func TestHashKeyDeterministicAndSaltSensitive(t *testing.T) {
+	if HashKey("a", 0) != HashKey("a", 0) {
+		t.Error("HashKey not deterministic")
+	}
+	if HashKey("a", 0) == HashKey("a", 1) {
+		t.Error("salts collide")
+	}
+	if HashKey("a", 0) == HashKey("b", 0) {
+		t.Error("keys collide (suspicious)")
+	}
+}
+
+func TestRouteMatchesOracle(t *testing.T) {
+	nw := mustNet(t, 100, 1, 2)
+	r := rng.New(3)
+	for i := 0; i < 2000; i++ {
+		target := ID(r.Uint64())
+		from := r.Intn(nw.NumVirtualNodes())
+		owner, hops := nw.Route(from, target)
+		if nw.nodes[owner].phys != nw.Owner(target) {
+			t.Fatalf("routed owner %d != oracle owner %d", nw.nodes[owner].phys, nw.Owner(target))
+		}
+		if hops < 1 {
+			t.Fatalf("hops = %d", hops)
+		}
+	}
+}
+
+func TestRouteHopBound(t *testing.T) {
+	// Chord guarantees O(log n) hops; check <= 2*log2(n) + 5 empirically.
+	for _, n := range []int{16, 256, 4096} {
+		nw := mustNet(t, n, 1, uint64(n))
+		r := rng.New(uint64(n) + 7)
+		bound := 2*int(math.Log2(float64(n))) + 5
+		for i := 0; i < 500; i++ {
+			_, hops := nw.Route(r.Intn(n), ID(r.Uint64()))
+			if hops > bound {
+				t.Fatalf("n=%d: lookup took %d hops, bound %d", n, hops, bound)
+			}
+		}
+	}
+}
+
+func TestRouteMeanHopsLogarithmic(t *testing.T) {
+	// Mean hops should be ~ (1/2) log2 n.
+	nw := mustNet(t, 1024, 1, 5)
+	r := rng.New(6)
+	var sum float64
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		_, hops := nw.Route(r.Intn(1024), ID(r.Uint64()))
+		sum += float64(hops)
+	}
+	mean := sum / trials
+	if mean < 2 || mean > 10 {
+		t.Fatalf("mean hops %v implausible for n=1024 (expect ~5)", mean)
+	}
+}
+
+func TestSingleNodeNetwork(t *testing.T) {
+	nw := mustNet(t, 1, 1, 7)
+	owner, hops := nw.Route(0, ID(12345))
+	if owner != 0 || hops != 0 {
+		t.Fatalf("single-node route = (%d, %d)", owner, hops)
+	}
+	r := rng.New(8)
+	if _, err := nw.Insert("k", 3, r); err != nil {
+		t.Fatal(err)
+	}
+	if nw.MaxLoad() != 1 {
+		t.Fatal("item lost")
+	}
+	st, err := nw.Lookup("k", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Redirected {
+		t.Fatal("redirect on a single node")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	nw := mustNet(t, 8, 1, 9)
+	r := rng.New(10)
+	if _, err := nw.Insert("k", 0, r); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := nw.Insert("k", 2, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Insert("k", 2, r); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+}
+
+func TestLookupUnknownKey(t *testing.T) {
+	nw := mustNet(t, 8, 1, 11)
+	if _, err := nw.Lookup("missing", rng.New(12)); err == nil {
+		t.Error("unknown key lookup succeeded")
+	}
+}
+
+func TestInsertConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		phys := 1 + r.Intn(64)
+		d := 1 + r.Intn(3)
+		nw, err := NewNetwork(Config{PhysicalServers: phys, VirtualFactor: 1}, r)
+		if err != nil {
+			return false
+		}
+		m := r.Intn(200)
+		for i := 0; i < m; i++ {
+			if _, err := nw.Insert(fmt.Sprintf("key-%d", i), d, r); err != nil {
+				return false
+			}
+		}
+		return stats.TotalLoad(nw.PhysicalLoads()) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedirectAccounting(t *testing.T) {
+	nw := mustNet(t, 64, 1, 13)
+	r := rng.New(14)
+	const m, d = 500, 3
+	for i := 0; i < m; i++ {
+		if _, err := nw.Insert(fmt.Sprintf("key-%d", i), d, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stubs int
+	for _, s := range nw.Redirects() {
+		stubs += int(s)
+	}
+	// Each insert creates exactly d-1 stubs (even when candidates share
+	// a physical server, the stub is still installed at that server).
+	if stubs != m*(d-1) {
+		t.Fatalf("stub count %d, want %d", stubs, m*(d-1))
+	}
+}
+
+func TestLookupFindsEveryItem(t *testing.T) {
+	nw := mustNet(t, 128, 1, 15)
+	r := rng.New(16)
+	const m = 1000
+	for i := 0; i < m; i++ {
+		if _, err := nw.Insert(fmt.Sprintf("key-%d", i), 2, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var redirected int
+	for i := 0; i < m; i++ {
+		st, err := nw.Lookup(fmt.Sprintf("key-%d", i), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Redirected {
+			redirected++
+		}
+		if st.Hops < 1 {
+			t.Fatalf("lookup hops = %d", st.Hops)
+		}
+	}
+	// With d=2 roughly half the items live at the second choice.
+	if redirected < m/5 || redirected > 4*m/5 {
+		t.Fatalf("redirected %d of %d lookups; expected a substantial fraction", redirected, m)
+	}
+}
+
+func TestTwoChoicesBeatOneChoiceChord(t *testing.T) {
+	// The E-CH headline: with m = n items, d=2 cuts the max physical
+	// load versus plain consistent hashing.
+	const n, trialCount = 512, 10
+	var one, two float64
+	for trial := 0; trial < trialCount; trial++ {
+		r := rng.New(uint64(trial) + 100)
+		nw1 := mustNet(t, n, 1, uint64(trial)+200)
+		nw2 := mustNet(t, n, 1, uint64(trial)+200) // same topology seed
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("item-%d", i)
+			if _, err := nw1.Insert(key, 1, r); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := nw2.Insert(key, 2, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		one += float64(nw1.MaxLoad())
+		two += float64(nw2.MaxLoad())
+	}
+	if two >= one {
+		t.Fatalf("chord d=2 mean max load %v not below d=1 %v", two/trialCount, one/trialCount)
+	}
+}
+
+func TestVirtualServersReduceArcVariance(t *testing.T) {
+	// Virtual servers shrink the spread of per-server arc fractions.
+	spread := func(v int) float64 {
+		nw := mustNet(t, 256, v, 17)
+		fracs := nw.ArcFraction()
+		var s stats.Summary
+		for _, f := range fracs {
+			s.Add(f)
+		}
+		return s.Std() / s.Mean()
+	}
+	if spread(8) >= spread(1) {
+		t.Fatalf("virtual servers did not reduce arc spread: v=8 %v vs v=1 %v", spread(8), spread(1))
+	}
+}
+
+func TestArcFractionsSumToOne(t *testing.T) {
+	for _, v := range []int{1, 4} {
+		nw := mustNet(t, 100, v, 18)
+		var sum float64
+		for _, f := range nw.ArcFraction() {
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("v=%d: arc fractions sum to %v", v, sum)
+		}
+	}
+}
+
+func TestTwoChoicesVsVirtualServers(t *testing.T) {
+	// The companion-paper comparison: d=2 choices achieve a max load at
+	// least as good as log n virtual servers, with far less routing state.
+	const n, trialCount = 256, 8
+	vlog := int(math.Log2(n))
+	var vs, ch float64
+	for trial := 0; trial < trialCount; trial++ {
+		r := rng.New(uint64(trial) + 300)
+		nwV := mustNet(t, n, vlog, uint64(trial)+400)
+		nwC := mustNet(t, n, 1, uint64(trial)+500)
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("item-%d", i)
+			if _, err := nwV.Insert(key, 1, r); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := nwC.Insert(key, 2, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		vs += float64(nwV.MaxLoad())
+		ch += float64(nwC.MaxLoad())
+	}
+	if ch > vs+0.5 {
+		t.Fatalf("d=2 (%v) clearly worse than log-n virtual servers (%v)", ch/trialCount, vs/trialCount)
+	}
+}
+
+func BenchmarkRoute(b *testing.B) {
+	nw := mustNet(b, 1<<12, 1, 1)
+	r := rng.New(2)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		_, hops := nw.Route(r.Intn(nw.NumVirtualNodes()), ID(r.Uint64()))
+		sink += hops
+	}
+	_ = sink
+}
+
+func BenchmarkInsertD2(b *testing.B) {
+	nw := mustNet(b, 1<<12, 1, 1)
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.Insert(fmt.Sprintf("bench-%d", i), 2, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildNetwork(b *testing.B) {
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewNetwork(Config{PhysicalServers: 1 << 10, VirtualFactor: 1}, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

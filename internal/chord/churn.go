@@ -1,0 +1,189 @@
+// Churn: server join and departure with item migration.
+//
+// The paper evaluates a static system, but its Chord application only
+// makes sense if the load-balancing scheme survives membership changes
+// — the property that motivated consistent hashing in the first place.
+// This file implements the two membership operations:
+//
+//   - JoinServer: a new physical server hashes its virtual node(s) onto
+//     the ring; exactly the items whose winning-hash arcs it captures
+//     migrate to it (the consistent-hashing minimal-disruption
+//     property, verified by tests).
+//   - LeaveServer: a server departs; each item it stored moves to the
+//     new successor of its stored hash, or — with rebalance enabled and
+//     d >= 2 — to the least-loaded of its surviving candidates, the
+//     "power of two choices on departure" refinement.
+//
+// Redirect stubs are recomputed wholesale after each membership change;
+// in a real deployment they would be patched incrementally, but the
+// resulting state is identical and the simulator only reports state,
+// not stub-maintenance traffic.
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"geobalance/internal/rng"
+)
+
+// JoinServer adds one physical server running the network's virtual
+// factor of nodes at random ring positions, rebuilds routing state, and
+// migrates the items whose winning-hash arcs the new node(s) captured.
+// It returns the new server's index and the number of items migrated.
+func (nw *Network) JoinServer(r *rng.Rand) (server int, migrated int) {
+	server = nw.physCount
+	nw.physCount++
+	nw.loads = append(nw.loads, 0)
+	nw.redirects = append(nw.redirects, 0)
+	nw.alive = append(nw.alive, true)
+	for v := 0; v < nw.vFactor; v++ {
+		nw.nodes = append(nw.nodes, node{id: ID(r.Uint64()), phys: server})
+	}
+	sort.Slice(nw.nodes, func(i, j int) bool { return nw.nodes[i].id < nw.nodes[j].id })
+	nw.buildFingers()
+	migrated = nw.remapItems(nil)
+	return server, migrated
+}
+
+// LeaveServer removes physical server p from the ring. Items stored at
+// p move to the new successor of their stored hash; when rebalance is
+// true, items inserted with d >= 2 choices move instead to the
+// least-loaded of their surviving candidates (ties toward the earliest
+// choice). It returns the number of items migrated.
+func (nw *Network) LeaveServer(p int, rebalance bool) (migrated int, err error) {
+	if p < 0 || p >= nw.physCount {
+		return 0, fmt.Errorf("chord: no server %d", p)
+	}
+	if !nw.alive[p] {
+		return 0, fmt.Errorf("chord: server %d already left", p)
+	}
+	if nw.AliveServers() == 1 {
+		return 0, fmt.Errorf("chord: cannot remove the last server")
+	}
+	nw.alive[p] = false
+	kept := nw.nodes[:0]
+	for _, nd := range nw.nodes {
+		if nd.phys != p {
+			kept = append(kept, nd)
+		}
+	}
+	nw.nodes = kept
+	nw.buildFingers()
+
+	var rebalanceSet map[string]bool
+	if rebalance {
+		rebalanceSet = make(map[string]bool)
+		for key, rec := range nw.items {
+			if rec.owner == p && rec.d >= 2 {
+				rebalanceSet[key] = true
+			}
+		}
+	}
+	migrated = nw.remapItems(rebalanceSet)
+	if nw.loads[p] != 0 || nw.redirects[p] != 0 {
+		panic("chord: departed server retained state")
+	}
+	return migrated, nil
+}
+
+// remapItems restores the placement invariant after a topology change:
+// every item sits at the successor of its winning hash, and stubs sit
+// at the successors of its losing hashes. Items whose key is in
+// rebalance (may be nil) are instead re-homed at the least-loaded of
+// their current candidates. Returns the number of items whose physical
+// server changed. Keys are processed in sorted order so that the
+// load-sensitive rebalance path is deterministic.
+func (nw *Network) remapItems(rebalance map[string]bool) (migrated int) {
+	keys := make([]string, 0, len(nw.items))
+	for key := range nw.items {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	for i := range nw.redirects {
+		nw.redirects[i] = 0
+	}
+	// First pass: detach loads of items that must move, then re-place.
+	// (Processing per item keeps loads consistent for rebalance.)
+	for _, key := range keys {
+		rec := nw.items[key]
+		var newOwner, newSalt int
+		if rebalance != nil && rebalance[key] {
+			newOwner, newSalt = -1, -1
+			for j := 0; j < rec.d; j++ {
+				phys := nw.Owner(HashKey(key, j))
+				if newOwner == -1 || nw.loads[phys] < nw.loads[newOwner] {
+					newOwner, newSalt = phys, j
+				}
+			}
+		} else {
+			newSalt = rec.salt
+			newOwner = nw.Owner(HashKey(key, rec.salt))
+		}
+		if newOwner != rec.owner {
+			nw.loads[rec.owner]--
+			nw.loads[newOwner]++
+			migrated++
+			rec.owner, rec.salt = newOwner, newSalt
+			nw.items[key] = rec
+		} else if newSalt != rec.salt {
+			rec.salt = newSalt
+			nw.items[key] = rec
+		}
+		for j := 0; j < rec.d; j++ {
+			if j != rec.salt {
+				nw.redirects[nw.Owner(HashKey(key, j))]++
+			}
+		}
+	}
+	return migrated
+}
+
+// AliveServers returns the number of physical servers currently in the
+// ring.
+func (nw *Network) AliveServers() int {
+	count := 0
+	for _, a := range nw.alive {
+		if a {
+			count++
+		}
+	}
+	return count
+}
+
+// Alive reports whether physical server p is in the ring.
+func (nw *Network) Alive(p int) bool {
+	return p >= 0 && p < nw.physCount && nw.alive[p]
+}
+
+// CheckInvariants verifies the placement invariants after arbitrary
+// churn. It is exported for tests and returns the first violation.
+func (nw *Network) CheckInvariants() error {
+	loads := make([]int32, nw.physCount)
+	stubs := make([]int32, nw.physCount)
+	for key, rec := range nw.items {
+		owner := nw.Owner(HashKey(key, rec.salt))
+		if owner != rec.owner {
+			return fmt.Errorf("item %q recorded at %d but its hash maps to %d", key, rec.owner, owner)
+		}
+		if !nw.alive[rec.owner] {
+			return fmt.Errorf("item %q stored at departed server %d", key, rec.owner)
+		}
+		loads[rec.owner]++
+		for j := 0; j < rec.d; j++ {
+			if j != rec.salt {
+				stubs[nw.Owner(HashKey(key, j))]++
+			}
+		}
+	}
+	for p := 0; p < nw.physCount; p++ {
+		if loads[p] != nw.loads[p] {
+			return fmt.Errorf("server %d: recorded load %d, actual %d", p, nw.loads[p], loads[p])
+		}
+		if stubs[p] != nw.redirects[p] {
+			return fmt.Errorf("server %d: recorded stubs %d, actual %d", p, nw.redirects[p], stubs[p])
+		}
+	}
+	return nil
+}

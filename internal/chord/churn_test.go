@@ -1,0 +1,240 @@
+package chord
+
+import (
+	"fmt"
+	"testing"
+
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+)
+
+func insertItems(t testing.TB, nw *Network, m, d int, r *rng.Rand) {
+	t.Helper()
+	for i := 0; i < m; i++ {
+		if _, err := nw.Insert(fmt.Sprintf("item-%d", i), d, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJoinMigratesMinimally(t *testing.T) {
+	// Consistent hashing's minimal-disruption property: a join moves
+	// only ~m/(n+1) items in expectation (for v=1, d=1).
+	const n, m = 128, 4096
+	nw := mustNet(t, n, 1, 1)
+	r := rng.New(2)
+	insertItems(t, nw, m, 1, r)
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	_, migrated := nw.JoinServer(r)
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatalf("after join: %v", err)
+	}
+	// Expected migration is m/(n+1) ~ 32; arcs vary by a log factor, so
+	// accept up to ~8x the mean and at least 1.
+	if migrated < 1 || migrated > 8*m/(n+1) {
+		t.Fatalf("join migrated %d items; expected around %d", migrated, m/(n+1))
+	}
+	if stats.TotalLoad(nw.PhysicalLoads()) != m {
+		t.Fatal("items lost on join")
+	}
+}
+
+func TestJoinGrowsNetwork(t *testing.T) {
+	nw := mustNet(t, 4, 3, 3)
+	r := rng.New(4)
+	server, _ := nw.JoinServer(r)
+	if server != 4 {
+		t.Fatalf("new server index %d, want 4", server)
+	}
+	if nw.AliveServers() != 5 {
+		t.Fatalf("alive = %d, want 5", nw.AliveServers())
+	}
+	if nw.NumVirtualNodes() != 15 {
+		t.Fatalf("virtual nodes = %d, want 15", nw.NumVirtualNodes())
+	}
+	if !nw.Alive(server) {
+		t.Fatal("new server not alive")
+	}
+}
+
+func TestLeaveValidation(t *testing.T) {
+	nw := mustNet(t, 2, 1, 5)
+	if _, err := nw.LeaveServer(-1, false); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := nw.LeaveServer(5, false); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := nw.LeaveServer(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.LeaveServer(0, false); err == nil {
+		t.Error("double leave accepted")
+	}
+	if _, err := nw.LeaveServer(1, false); err == nil {
+		t.Error("removing the last server accepted")
+	}
+}
+
+func TestLeaveMovesOnlyDepartedItems(t *testing.T) {
+	const n, m = 64, 2048
+	nw := mustNet(t, n, 1, 6)
+	r := rng.New(7)
+	insertItems(t, nw, m, 1, r)
+	victim := 13
+	victimLoad := int(nw.PhysicalLoads()[victim])
+	migrated, err := nw.LeaveServer(victim, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated != victimLoad {
+		t.Fatalf("migrated %d items, server held %d", migrated, victimLoad)
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatalf("after leave: %v", err)
+	}
+	if stats.TotalLoad(nw.PhysicalLoads()) != m {
+		t.Fatal("items lost on leave")
+	}
+	if nw.Alive(victim) {
+		t.Fatal("victim still alive")
+	}
+}
+
+func TestLeaveRebalanceBeatsNaive(t *testing.T) {
+	// With d=2 items, rebalance-on-leave sends displaced items to their
+	// less-loaded surviving candidate; the naive policy dumps them all
+	// on successors. After removing several servers, rebalance must not
+	// be worse on max load, and the load must be conserved either way.
+	const n, m, removals = 128, 2048, 24
+	run := func(rebalance bool) int {
+		nw := mustNet(t, n, 1, 8)
+		r := rng.New(9)
+		insertItems(t, nw, m, 2, r)
+		for k := 0; k < removals; k++ {
+			if _, err := nw.LeaveServer(k*3, rebalance); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := nw.CheckInvariants(); err != nil {
+			t.Fatalf("rebalance=%v: %v", rebalance, err)
+		}
+		if stats.TotalLoad(nw.PhysicalLoads()) != m {
+			t.Fatalf("rebalance=%v: items lost", rebalance)
+		}
+		return nw.MaxLoad()
+	}
+	naive, rebal := run(false), run(true)
+	if rebal > naive {
+		t.Fatalf("rebalance max load %d worse than naive %d", rebal, naive)
+	}
+}
+
+func TestChurnStormKeepsInvariants(t *testing.T) {
+	// Random interleaving of joins, leaves, and inserts; invariants must
+	// hold throughout and lookups must still find every key.
+	nw := mustNet(t, 16, 2, 10)
+	r := rng.New(11)
+	inserted := 0
+	for step := 0; step < 60; step++ {
+		switch r.Intn(3) {
+		case 0:
+			nw.JoinServer(r)
+		case 1:
+			if nw.AliveServers() > 2 {
+				// Pick a random alive server.
+				for {
+					p := r.Intn(nw.physCount)
+					if nw.Alive(p) {
+						if _, err := nw.LeaveServer(p, r.Intn(2) == 0); err != nil {
+							t.Fatal(err)
+						}
+						break
+					}
+				}
+			}
+		case 2:
+			for k := 0; k < 20; k++ {
+				if _, err := nw.Insert(fmt.Sprintf("storm-%d", inserted), 1+r.Intn(3), r); err != nil {
+					t.Fatal(err)
+				}
+				inserted++
+			}
+		}
+		if err := nw.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	if stats.TotalLoad(nw.PhysicalLoads()) != inserted {
+		t.Fatalf("total load %d != inserted %d", stats.TotalLoad(nw.PhysicalLoads()), inserted)
+	}
+	for i := 0; i < inserted; i++ {
+		if _, err := nw.Lookup(fmt.Sprintf("storm-%d", i), r); err != nil {
+			t.Fatalf("lost key storm-%d after churn: %v", i, err)
+		}
+	}
+}
+
+func TestLookupAfterChurnRoutesCorrectly(t *testing.T) {
+	// After churn, lookups must reach the item's server within the stub
+	// design's hop budget: routed hops + at most 1 redirect.
+	nw := mustNet(t, 64, 1, 12)
+	r := rng.New(13)
+	insertItems(t, nw, 512, 2, r)
+	for k := 0; k < 8; k++ {
+		nw.JoinServer(r)
+	}
+	for k := 0; k < 8; k++ {
+		if _, err := nw.LeaveServer(k*5, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		st, err := nw.Lookup(fmt.Sprintf("item-%d", i), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Hops > 20 {
+			t.Fatalf("lookup took %d hops after churn", st.Hops)
+		}
+	}
+}
+
+func TestRemapDeterministic(t *testing.T) {
+	// Two identical networks subjected to the same churn end identical,
+	// regardless of map iteration order (keys are processed sorted).
+	build := func() *Network {
+		nw := mustNet(t, 32, 1, 14)
+		r := rng.New(15)
+		insertItems(t, nw, 500, 2, r)
+		if _, err := nw.LeaveServer(7, true); err != nil {
+			t.Fatal(err)
+		}
+		return nw
+	}
+	a, b := build(), build()
+	for p := 0; p < a.physCount; p++ {
+		if a.PhysicalLoads()[p] != b.PhysicalLoads()[p] {
+			t.Fatalf("server %d: loads differ %d vs %d", p, a.PhysicalLoads()[p], b.PhysicalLoads()[p])
+		}
+	}
+}
+
+func BenchmarkJoinServer(b *testing.B) {
+	nw := mustNet(b, 256, 1, 1)
+	r := rng.New(2)
+	for i := 0; i < 2048; i++ {
+		if _, err := nw.Insert(fmt.Sprintf("item-%d", i), 2, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.JoinServer(r)
+	}
+}

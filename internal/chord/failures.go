@@ -1,0 +1,197 @@
+// Node failures and successor-list repair.
+//
+// Chord tolerates node failures with successor lists: each node tracks
+// its r nearest successors, and when its immediate successor stops
+// responding it promotes the first live entry, after which the normal
+// stabilize/notify rounds re-knit predecessors and the list contents
+// (Stoica et al., SIGCOMM 2001, Section 6.3 — with r = O(log n) the
+// ring survives half the nodes failing simultaneously w.h.p.). This
+// file adds failure marking, list maintenance, and the repair path to
+// Protocol, so tests can kill batches of nodes and verify the overlay
+// heals — completing the churn story (joins in stabilize.go, departures
+// here) for the paper's DHT application.
+
+package chord
+
+import "fmt"
+
+// EnableSuccessorLists equips every node with a successor list of
+// length r (>= 1), initialized from the current ring.
+func (p *Protocol) EnableSuccessorLists(r int) error {
+	if r < 1 {
+		return fmt.Errorf("chord: successor list length %d < 1", r)
+	}
+	p.succListLen = r
+	p.succList = make([][]int32, len(p.ids))
+	if p.alive == nil {
+		p.alive = make([]bool, len(p.ids))
+		for i := range p.alive {
+			p.alive[i] = true
+		}
+	}
+	order := p.sortedOrder()
+	pos := make(map[int]int, len(order))
+	for k, idx := range order {
+		pos[idx] = k
+	}
+	n := len(order)
+	for _, idx := range order {
+		list := make([]int32, 0, r)
+		for j := 1; j <= r && j < n; j++ {
+			list = append(list, int32(order[(pos[idx]+j)%n]))
+		}
+		p.succList[idx] = list
+	}
+	return nil
+}
+
+// Fail marks node n as failed: it stops participating in stabilization
+// and stops responding to routing. Failing the last live node is an
+// error, as is failing a node twice.
+func (p *Protocol) Fail(n int) error {
+	if n < 0 || n >= len(p.ids) {
+		return fmt.Errorf("chord: no node %d", n)
+	}
+	if p.alive == nil {
+		p.alive = make([]bool, len(p.ids))
+		for i := range p.alive {
+			p.alive[i] = true
+		}
+	}
+	if !p.alive[n] {
+		return fmt.Errorf("chord: node %d already failed", n)
+	}
+	live := 0
+	for _, a := range p.alive {
+		if a {
+			live++
+		}
+	}
+	if live == 1 {
+		return fmt.Errorf("chord: cannot fail the last live node")
+	}
+	p.alive[n] = false
+	return nil
+}
+
+// AliveNode reports whether node n is live (true for all nodes until
+// Fail is first used).
+func (p *Protocol) AliveNode(n int) bool {
+	return p.alive == nil || p.alive[n]
+}
+
+// repairSuccessor promotes the first live successor-list entry when a
+// node's immediate successor has failed. Returns true if a repair
+// happened.
+func (p *Protocol) repairSuccessor(n int) bool {
+	if p.AliveNode(int(p.succ[n])) {
+		return false
+	}
+	if p.succList != nil {
+		for _, s := range p.succList[n] {
+			if p.AliveNode(int(s)) && int(s) != n {
+				p.succ[n] = s
+				return true
+			}
+		}
+	}
+	// List exhausted (all entries dead): fall back to the true live
+	// successor, modelling a rejoin through an out-of-band contact.
+	p.succ[n] = int32(p.trueLiveSuccessorOf(p.ids[n]))
+	return true
+}
+
+// trueLiveSuccessorOf returns the live node whose ID most closely
+// follows id clockwise (excluding the node with exactly that id).
+func (p *Protocol) trueLiveSuccessorOf(id ID) int {
+	best := -1
+	var bestDist uint64
+	for i, nid := range p.ids {
+		if nid == id || !p.AliveNode(i) {
+			continue
+		}
+		d := uint64(nid - id)
+		if best == -1 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// StabilizeRoundWithFailures is StabilizeRound extended with failure
+// handling: dead successors are repaired from the successor list, dead
+// predecessors are forgotten, and successor lists are refreshed from
+// the successor's list (the standard pull rule). Returns the number of
+// state changes.
+func (p *Protocol) StabilizeRoundWithFailures() int {
+	changes := 0
+	for n := range p.ids {
+		if !p.AliveNode(n) {
+			continue
+		}
+		if p.repairSuccessor(n) {
+			changes++
+		}
+		s := p.succ[n]
+		// Forget a dead predecessor so a live notifier can replace it.
+		if q := p.pred[s]; q >= 0 && !p.AliveNode(int(q)) {
+			p.pred[s] = -1
+			changes++
+		}
+		if x := p.pred[s]; x >= 0 && x != int32(n) && p.AliveNode(int(x)) {
+			if inOpen(p.ids[x], p.ids[n], p.ids[s]) {
+				p.succ[n] = x
+				s = x
+				changes++
+			}
+		}
+		if q := p.pred[s]; q < 0 || (q != int32(n) && inOpen(p.ids[n], p.ids[q], p.ids[s])) {
+			if q != int32(n) {
+				p.pred[s] = int32(n)
+				changes++
+			}
+		}
+		// Refresh the successor list by pulling the successor's list.
+		if p.succList != nil {
+			fresh := make([]int32, 0, p.succListLen)
+			fresh = append(fresh, s)
+			for _, e := range p.succList[s] {
+				if len(fresh) >= p.succListLen {
+					break
+				}
+				if int(e) != n {
+					fresh = append(fresh, e)
+				}
+			}
+			p.succList[n] = fresh
+		}
+	}
+	return changes
+}
+
+// StableLive reports whether every live node's successor pointer is its
+// true live successor.
+func (p *Protocol) StableLive() bool {
+	for n := range p.ids {
+		if !p.AliveNode(n) {
+			continue
+		}
+		want := p.trueLiveSuccessorOf(p.ids[n])
+		if int(p.succ[n]) != want {
+			return false
+		}
+	}
+	return true
+}
+
+// RoundsToHeal runs failure-aware stabilization rounds until the live
+// ring is correct or maxRounds is hit.
+func (p *Protocol) RoundsToHeal(maxRounds int) (rounds int, ok bool) {
+	for r := 0; r < maxRounds; r++ {
+		p.StabilizeRoundWithFailures()
+		if p.StableLive() {
+			return r + 1, true
+		}
+	}
+	return maxRounds, p.StableLive()
+}

@@ -1,0 +1,188 @@
+package chord
+
+import (
+	"testing"
+
+	"geobalance/internal/rng"
+)
+
+func TestEnableSuccessorListsValidation(t *testing.T) {
+	p, err := NewProtocol(randomIDs(16, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableSuccessorLists(0); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if err := p.EnableSuccessorLists(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailValidation(t *testing.T) {
+	p, err := NewProtocol(randomIDs(2, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fail(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := p.Fail(5); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if err := p.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fail(0); err == nil {
+		t.Error("double fail accepted")
+	}
+	if err := p.Fail(1); err == nil {
+		t.Error("failing last live node accepted")
+	}
+	if p.AliveNode(0) || !p.AliveNode(1) {
+		t.Error("alive bookkeeping wrong")
+	}
+}
+
+func TestSingleFailureHeals(t *testing.T) {
+	p, err := NewProtocol(randomIDs(64, 62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableSuccessorLists(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fail(13); err != nil {
+		t.Fatal(err)
+	}
+	if p.StableLive() {
+		t.Fatal("ring reported stable with a dead successor present")
+	}
+	rounds, ok := p.RoundsToHeal(50)
+	if !ok {
+		t.Fatal("single failure did not heal in 50 rounds")
+	}
+	if rounds > 6 {
+		t.Fatalf("single failure took %d rounds to heal", rounds)
+	}
+}
+
+func TestBatchFailuresHeal(t *testing.T) {
+	// Kill a quarter of the nodes at once; with successor lists of
+	// length 2 log n the ring must still heal.
+	const n = 128
+	p, err := NewProtocol(randomIDs(n, 63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableSuccessorLists(14); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(64)
+	killed := 0
+	for killed < n/4 {
+		v := r.Intn(n)
+		if p.AliveNode(v) {
+			if err := p.Fail(v); err != nil {
+				t.Fatal(err)
+			}
+			killed++
+		}
+	}
+	rounds, ok := p.RoundsToHeal(200)
+	if !ok {
+		t.Fatalf("ring did not heal after %d failures", killed)
+	}
+	if rounds > 50 {
+		t.Fatalf("healing took %d rounds", rounds)
+	}
+	// Predecessors of live nodes must also be live after healing plus a
+	// few extra rounds.
+	for i := 0; i < 5; i++ {
+		p.StabilizeRoundWithFailures()
+	}
+	for v := range make([]struct{}, n) {
+		if !p.AliveNode(v) {
+			continue
+		}
+		if q := p.Predecessor(v); q >= 0 && !p.AliveNode(q) {
+			t.Fatalf("live node %d still points at dead predecessor %d", v, q)
+		}
+	}
+}
+
+func TestConsecutiveFailuresExhaustList(t *testing.T) {
+	// Kill a contiguous run longer than the successor list; the repair
+	// falls back to the rejoin path and must still heal.
+	p, err := NewProtocol(randomIDs(32, 65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableSuccessorLists(2); err != nil {
+		t.Fatal(err)
+	}
+	// Fail 6 consecutive nodes in ID order.
+	order := p.sortedOrder()
+	for k := 3; k < 9; k++ {
+		if err := p.Fail(order[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := p.RoundsToHeal(100); !ok {
+		t.Fatal("ring did not heal after exhausting successor lists")
+	}
+}
+
+func TestFailuresThenJoinsInterleaved(t *testing.T) {
+	p, err := NewProtocol(randomIDs(48, 66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableSuccessorLists(8); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(67)
+	for step := 0; step < 20; step++ {
+		switch step % 3 {
+		case 0:
+			if _, err := p.Join(ID(r.Uint64())); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			for {
+				v := r.Intn(p.NumNodes())
+				if p.AliveNode(v) {
+					if err := p.Fail(v); err == nil {
+						break
+					}
+					break
+				}
+			}
+		}
+		p.StabilizeRoundWithFailures()
+	}
+	if _, ok := p.RoundsToHeal(300); !ok {
+		t.Fatal("interleaved churn did not converge")
+	}
+}
+
+func BenchmarkStabilizeWithFailures(b *testing.B) {
+	p, err := NewProtocol(randomIDs(1024, 68))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.EnableSuccessorLists(10); err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(69)
+	for k := 0; k < 128; k++ {
+		v := r.Intn(1024)
+		if p.AliveNode(v) {
+			_ = p.Fail(v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.StabilizeRoundWithFailures()
+	}
+}

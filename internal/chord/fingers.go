@@ -1,0 +1,148 @@
+// Protocol-level finger tables: routing during and after churn.
+//
+// Stabilization (stabilize.go) repairs the ring's successor chain;
+// lookups remain *correct* with successors alone but degrade to O(n)
+// hops. Chord restores O(log n) routing by lazily repairing fingers:
+// each node periodically re-resolves finger k = successor(id + 2^k)
+// using the current (possibly imperfect) routing state. This file adds
+// fingers to Protocol, greedy routing over them, and the fix-fingers
+// maintenance round, so tests can measure hop-count degradation during
+// churn and its recovery afterward — the property that makes the
+// paper's two-choice insertions (d routed lookups each) affordable in
+// a live system.
+
+package chord
+
+import "geobalance/internal/rng"
+
+// protocolFingerBits is the number of finger entries maintained per
+// node in the protocol simulation (full 64 as in chord.Network).
+const protocolFingerBits = 64
+
+// EnableFingers equips every node with a finger table derived from the
+// current ring state. Nodes added by later Join calls start with all
+// fingers pointing at their successor (pessimistic but correct) until
+// FixFingersRound repairs them.
+func (p *Protocol) EnableFingers() {
+	p.fingers = make([][]int32, len(p.ids))
+	for n := range p.ids {
+		p.fingers[n] = make([]int32, protocolFingerBits)
+		p.rebuildFingersOf(n)
+	}
+}
+
+// rebuildFingersOf recomputes all fingers of node n against the true
+// membership (used for initial state; maintenance uses routed repair).
+func (p *Protocol) rebuildFingersOf(n int) {
+	for k := 0; k < protocolFingerBits; k++ {
+		target := p.ids[n] + 1<<uint(k)
+		p.fingers[n][k] = int32(p.trueSuccessorOfInclusive(target))
+	}
+}
+
+// trueSuccessorOfInclusive returns the node whose ID most closely
+// follows target clockwise, allowing an exact ID match to own it.
+func (p *Protocol) trueSuccessorOfInclusive(target ID) int {
+	best := -1
+	var bestDist uint64
+	for i, nid := range p.ids {
+		d := uint64(nid - target) // 0 when nid == target
+		if best == -1 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// RouteP routes a lookup for target from node `from` using the current
+// protocol state (fingers if enabled, successor otherwise), returning
+// the owning node and hop count. Unlike Network.Route, the state may be
+// mid-repair: fingers can be stale (they are only followed when they
+// strictly precede the target, preserving correctness) and the
+// successor chain is the fallback, so lookups always terminate in at
+// most NumNodes hops.
+func (p *Protocol) RouteP(from int, target ID) (owner, hops int) {
+	cur := from
+	for hops <= len(p.ids) {
+		succ := int(p.succ[cur])
+		if inOpenClosed(target, p.ids[cur], p.ids[succ]) {
+			return succ, hops + 1
+		}
+		next := succ
+		if p.fingers != nil && p.fingers[cur] != nil {
+			for k := protocolFingerBits - 1; k >= 0; k-- {
+				f := int(p.fingers[cur][k])
+				// Dead fingers do not respond and are skipped, exactly as
+				// a real node would time out and fall through.
+				if f != cur && f < len(p.ids) && p.AliveNode(f) && inOpen(p.ids[f], p.ids[cur], target) {
+					next = f
+					break
+				}
+			}
+		}
+		if next == cur {
+			next = succ
+		}
+		cur = next
+		hops++
+	}
+	// Ring inconsistent mid-churn beyond the hop budget; report the
+	// best-known owner via the successor chain's final position.
+	return cur, hops
+}
+
+// FixFingersRound has every node repair `perNode` finger entries
+// (chosen randomly) by routing to their targets through the current
+// state, as Chord's fix_fingers does. Returns the number of entries
+// changed.
+func (p *Protocol) FixFingersRound(perNode int, r *rng.Rand) int {
+	if p.fingers == nil {
+		p.EnableFingers()
+	}
+	changed := 0
+	for n := range p.ids {
+		// Late joiners may not have fingers yet (joined after Enable).
+		if p.fingers[n] == nil {
+			p.fingers[n] = make([]int32, protocolFingerBits)
+			for k := range p.fingers[n] {
+				p.fingers[n][k] = p.succ[n]
+			}
+		}
+		for j := 0; j < perNode; j++ {
+			k := r.Intn(protocolFingerBits)
+			target := p.ids[n] + 1<<uint(k)
+			owner, _ := p.RouteP(n, target)
+			if p.fingers[n][k] != int32(owner) {
+				p.fingers[n][k] = int32(owner)
+				changed++
+			}
+		}
+	}
+	return changed
+}
+
+// FingersAccurate returns the fraction of finger entries that point at
+// the true successor of their target.
+func (p *Protocol) FingersAccurate() float64 {
+	if p.fingers == nil {
+		return 0
+	}
+	correct, total := 0, 0
+	for n := range p.ids {
+		if p.fingers[n] == nil {
+			total += protocolFingerBits
+			continue
+		}
+		for k := 0; k < protocolFingerBits; k++ {
+			total++
+			target := p.ids[n] + 1<<uint(k)
+			if int(p.fingers[n][k]) == p.trueSuccessorOfInclusive(target) {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

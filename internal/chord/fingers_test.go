@@ -1,0 +1,147 @@
+package chord
+
+import (
+	"math"
+	"testing"
+
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+)
+
+func TestEnableFingersAccurate(t *testing.T) {
+	p, err := NewProtocol(randomIDs(256, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnableFingers()
+	if acc := p.FingersAccurate(); acc != 1 {
+		t.Fatalf("fresh fingers %v accurate, want 1.0", acc)
+	}
+}
+
+func TestRoutePMatchesTruth(t *testing.T) {
+	p, err := NewProtocol(randomIDs(128, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnableFingers()
+	r := rng.New(42)
+	for i := 0; i < 1000; i++ {
+		target := ID(r.Uint64())
+		from := r.Intn(p.NumNodes())
+		owner, hops := p.RouteP(from, target)
+		if owner != p.trueSuccessorOfInclusive(target) {
+			t.Fatalf("RouteP owner %d != truth %d", owner, p.trueSuccessorOfInclusive(target))
+		}
+		if hops > 2*7+5 {
+			t.Fatalf("lookup took %d hops on a stable 128-node ring", hops)
+		}
+	}
+}
+
+func TestRoutePWithoutFingersLinear(t *testing.T) {
+	// Successor-only routing is correct but slow: hops are O(n).
+	p, err := NewProtocol(randomIDs(64, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(44)
+	var sum float64
+	const lookups = 300
+	for i := 0; i < lookups; i++ {
+		target := ID(r.Uint64())
+		owner, hops := p.RouteP(r.Intn(64), target)
+		if owner != p.trueSuccessorOfInclusive(target) {
+			t.Fatal("successor-only routing reached the wrong owner")
+		}
+		sum += float64(hops)
+	}
+	if mean := sum / lookups; mean < 10 {
+		t.Fatalf("successor-only mean hops %v suspiciously low for n=64 (expect ~n/2)", mean)
+	}
+}
+
+// TestLookupsDuringChurnStayCorrect: with stale fingers mid-churn,
+// routing falls back to the successor chain and still reaches the true
+// owner once stabilization has fixed successors.
+func TestLookupsDuringChurnStayCorrect(t *testing.T) {
+	p, err := NewProtocol(randomIDs(128, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnableFingers()
+	r := rng.New(46)
+	for j := 0; j < 64; j++ {
+		if _, err := p.Join(ID(r.Uint64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := p.RoundsToStabilize(1000); !ok {
+		t.Fatal("did not stabilize")
+	}
+	// Fingers are still largely stale; correctness must hold regardless.
+	var staleHops stats.Summary
+	for i := 0; i < 500; i++ {
+		target := ID(r.Uint64())
+		owner, hops := p.RouteP(r.Intn(p.NumNodes()), target)
+		if owner != p.trueSuccessorOfInclusive(target) {
+			t.Fatalf("stale-finger lookup reached wrong owner")
+		}
+		staleHops.Add(float64(hops))
+	}
+	// Now repair fingers and verify hops drop.
+	for round := 0; round < 40; round++ {
+		p.FixFingersRound(16, r)
+	}
+	if acc := p.FingersAccurate(); acc < 0.98 {
+		t.Fatalf("fingers only %v accurate after repair", acc)
+	}
+	var freshHops stats.Summary
+	for i := 0; i < 500; i++ {
+		target := ID(r.Uint64())
+		owner, hops := p.RouteP(r.Intn(p.NumNodes()), target)
+		if owner != p.trueSuccessorOfInclusive(target) {
+			t.Fatal("post-repair lookup reached wrong owner")
+		}
+		freshHops.Add(float64(hops))
+	}
+	if freshHops.Mean() >= staleHops.Mean() {
+		t.Fatalf("finger repair did not reduce hops: %v -> %v", staleHops.Mean(), freshHops.Mean())
+	}
+	logN := math.Log2(float64(p.NumNodes()))
+	if freshHops.Mean() > 2*logN {
+		t.Fatalf("post-repair mean hops %v above 2 log2 n = %v", freshHops.Mean(), 2*logN)
+	}
+}
+
+func TestFingersAccurateUninitialized(t *testing.T) {
+	p, err := NewProtocol(randomIDs(8, 47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FingersAccurate() != 0 {
+		t.Error("accuracy nonzero without fingers")
+	}
+	// FixFingersRound must self-initialize.
+	r := rng.New(48)
+	p.FixFingersRound(4, r)
+	if p.FingersAccurate() == 0 {
+		t.Error("FixFingersRound did not initialize fingers")
+	}
+}
+
+func BenchmarkRouteP(b *testing.B) {
+	p, err := NewProtocol(randomIDs(1<<12, 49))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.EnableFingers()
+	r := rng.New(50)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		_, hops := p.RouteP(r.Intn(p.NumNodes()), ID(r.Uint64()))
+		sink += hops
+	}
+	_ = sink
+}

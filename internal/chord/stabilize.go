@@ -1,0 +1,200 @@
+// Chord's stabilization protocol, simulated at message level.
+//
+// The Network type elsewhere in this package rebuilds routing state
+// globally — fine for measuring load balance, but real Chord repairs
+// its ring *incrementally*: every node periodically runs
+//
+//	stabilize():  x := successor.predecessor
+//	              if x in (self, successor): successor := x
+//	              successor.notify(self)
+//	notify(p):    if predecessor is nil or p in (predecessor, self):
+//	              predecessor := p
+//
+// (Stoica et al., SIGCOMM 2001, Figure 7). Protocol simulates exactly
+// this: nodes hold only successor and predecessor pointers, new nodes
+// join with a possibly stale successor obtained from a lookup, and
+// repair happens over synchronous rounds. The E-CHN tests drive batches
+// of concurrent joins and measure rounds to convergence, verifying that
+// the overlay the load-balancing results ride on actually self-heals.
+
+package chord
+
+// Protocol is the incremental-repair state: one successor and one
+// predecessor pointer per node, evolved by StabilizeRound.
+type Protocol struct {
+	ids  []ID // node identities; index is the node handle
+	succ []int32
+	pred []int32 // -1 when unknown
+	// fingers is non-nil once EnableFingers has run; entry [n][k] points
+	// at node n's current belief of successor(id_n + 2^k).
+	fingers [][]int32
+	// alive is nil until Fail is first used; nil means all nodes live.
+	alive []bool
+	// succList holds each node's r nearest successors once
+	// EnableSuccessorLists has run.
+	succList    [][]int32
+	succListLen int
+}
+
+// NewProtocol builds a stable ring over the given distinct IDs: every
+// node's successor and predecessor are correct.
+func NewProtocol(ids []ID) (*Protocol, error) {
+	if len(ids) == 0 {
+		return nil, errEmptyProtocol
+	}
+	seen := make(map[ID]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return nil, errDuplicateID
+		}
+		seen[id] = true
+	}
+	p := &Protocol{ids: append([]ID(nil), ids...)}
+	order := p.sortedOrder()
+	n := len(order)
+	p.succ = make([]int32, n)
+	p.pred = make([]int32, n)
+	for k, idx := range order {
+		p.succ[idx] = int32(order[(k+1)%n])
+		p.pred[idx] = int32(order[(k+n-1)%n])
+	}
+	return p, nil
+}
+
+var (
+	errEmptyProtocol = protocolError("no nodes")
+	errDuplicateID   = protocolError("duplicate node id")
+)
+
+type protocolError string
+
+func (e protocolError) Error() string { return "chord: " + string(e) }
+
+// sortedOrder returns node indices sorted by ID.
+func (p *Protocol) sortedOrder() []int {
+	order := make([]int, len(p.ids))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort is fine at protocol-simulation scale, and keeps the
+	// file dependency-free; switch to sort.Slice if profiles ever care.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && p.ids[order[j]] < p.ids[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// Join adds a node with the given ID. Its successor pointer is
+// initialized correctly (as a real join would via find_successor
+// through a gateway), but its predecessor is unknown and *no other node
+// knows about it* — stabilization must weave it into the ring.
+func (p *Protocol) Join(id ID) (int, error) {
+	for _, existing := range p.ids {
+		if existing == id {
+			return 0, errDuplicateID
+		}
+	}
+	idx := len(p.ids)
+	p.ids = append(p.ids, id)
+	p.succ = append(p.succ, int32(p.trueSuccessorOf(id)))
+	p.pred = append(p.pred, -1)
+	if p.fingers != nil {
+		// The joiner starts with no finger knowledge; FixFingersRound
+		// fills the table in (nil is handled lazily there).
+		p.fingers = append(p.fingers, nil)
+	}
+	if p.alive != nil {
+		p.alive = append(p.alive, true)
+	}
+	if p.succList != nil {
+		// Seed the list with the known successor; stabilization rounds
+		// pull the rest from it.
+		p.succList = append(p.succList, []int32{p.succ[idx]})
+	}
+	return idx, nil
+}
+
+// trueSuccessorOf returns the index of the live node whose ID most
+// closely follows id clockwise (excluding an exact match's own slot
+// when id belongs to a node already present — callers prevent that).
+func (p *Protocol) trueSuccessorOf(id ID) int {
+	best := -1
+	var bestDist uint64
+	for i, nid := range p.ids {
+		if nid == id {
+			continue
+		}
+		d := uint64(nid - id) // clockwise distance, wraps
+		if best == -1 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// StabilizeRound runs one synchronous round: every node (in index
+// order) executes stabilize + notify against the current shared state.
+// Returns the number of pointer changes made; 0 means a fixed point.
+func (p *Protocol) StabilizeRound() int {
+	changes := 0
+	for n := range p.ids {
+		s := p.succ[n]
+		// stabilize: inspect successor's predecessor.
+		if x := p.pred[s]; x >= 0 && x != int32(n) {
+			if inOpen(p.ids[x], p.ids[n], p.ids[s]) {
+				p.succ[n] = x
+				s = x
+				changes++
+			}
+		}
+		// notify successor of our existence.
+		if q := p.pred[s]; q < 0 || inOpen(p.ids[n], p.ids[q], p.ids[s]) {
+			if q != int32(n) {
+				p.pred[s] = int32(n)
+				changes++
+			}
+		}
+	}
+	return changes
+}
+
+// Stable reports whether every node's successor pointer is the true
+// clockwise successor and every predecessor is the true predecessor.
+func (p *Protocol) Stable() bool {
+	order := p.sortedOrder()
+	n := len(order)
+	for k, idx := range order {
+		if p.succ[idx] != int32(order[(k+1)%n]) {
+			return false
+		}
+		if p.pred[idx] != int32(order[(k+n-1)%n]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RoundsToStabilize runs stabilization rounds until the ring is stable
+// or maxRounds is hit, returning the rounds used and whether it
+// converged.
+func (p *Protocol) RoundsToStabilize(maxRounds int) (rounds int, ok bool) {
+	for r := 0; r < maxRounds; r++ {
+		changed := p.StabilizeRound()
+		if changed == 0 && p.Stable() {
+			return r, true
+		}
+	}
+	return maxRounds, p.Stable()
+}
+
+// Successor returns node n's current successor pointer.
+func (p *Protocol) Successor(n int) int { return int(p.succ[n]) }
+
+// Predecessor returns node n's current predecessor pointer (-1 if
+// unknown).
+func (p *Protocol) Predecessor(n int) int { return int(p.pred[n]) }
+
+// NumNodes returns the number of nodes in the protocol state.
+func (p *Protocol) NumNodes() int { return len(p.ids) }

@@ -1,0 +1,173 @@
+package chord
+
+import (
+	"math"
+	"testing"
+
+	"geobalance/internal/rng"
+)
+
+func randomIDs(n int, seed uint64) []ID {
+	r := rng.New(seed)
+	ids := make([]ID, n)
+	seen := make(map[ID]bool, n)
+	for i := range ids {
+		for {
+			id := ID(r.Uint64())
+			if !seen[id] {
+				seen[id] = true
+				ids[i] = id
+				break
+			}
+		}
+	}
+	return ids
+}
+
+func TestNewProtocolValidation(t *testing.T) {
+	if _, err := NewProtocol(nil); err == nil {
+		t.Error("empty protocol accepted")
+	}
+	if _, err := NewProtocol([]ID{1, 2, 1}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+}
+
+func TestNewProtocolIsStable(t *testing.T) {
+	p, err := NewProtocol(randomIDs(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Stable() {
+		t.Fatal("fresh ring not stable")
+	}
+	if got := p.StabilizeRound(); got != 0 {
+		t.Fatalf("stable ring made %d changes", got)
+	}
+}
+
+func TestSingleJoinStabilizes(t *testing.T) {
+	p, err := NewProtocol(randomIDs(64, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := p.Join(ID(0x8000000000000001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stable() {
+		t.Fatal("ring stable immediately after join (nothing to repair?)")
+	}
+	rounds, ok := p.RoundsToStabilize(50)
+	if !ok {
+		t.Fatal("single join did not stabilize in 50 rounds")
+	}
+	if rounds > 5 {
+		t.Fatalf("single join took %d rounds; expected a handful", rounds)
+	}
+	if p.Predecessor(idx) < 0 {
+		t.Fatal("joined node never learned its predecessor")
+	}
+}
+
+func TestJoinDuplicateID(t *testing.T) {
+	p, err := NewProtocol([]ID{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Join(10); err == nil {
+		t.Error("duplicate join accepted")
+	}
+}
+
+func TestConcurrentJoinsStabilize(t *testing.T) {
+	// A batch of simultaneous joins — including adjacent new nodes that
+	// must discover each other — converges in O(batch) rounds.
+	p, err := NewProtocol(randomIDs(128, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	const joins = 64
+	for j := 0; j < joins; j++ {
+		if _, err := p.Join(ID(r.Uint64())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rounds, ok := p.RoundsToStabilize(10 * joins)
+	if !ok {
+		t.Fatal("concurrent joins did not stabilize")
+	}
+	if rounds > 2*joins {
+		t.Fatalf("stabilization took %d rounds for %d joins", rounds, joins)
+	}
+	if p.NumNodes() != 128+joins {
+		t.Fatalf("node count %d", p.NumNodes())
+	}
+}
+
+func TestAdjacentJoinsChain(t *testing.T) {
+	// Worst case: k new nodes landing consecutively between two old
+	// nodes form a chain that stabilization must thread one link per
+	// O(1) rounds.
+	p, err := NewProtocol([]ID{0, 1 << 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 16
+	for i := 1; i <= k; i++ {
+		if _, err := p.Join(ID(i * 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rounds, ok := p.RoundsToStabilize(20 * k)
+	if !ok {
+		t.Fatal("chain of adjacent joins did not stabilize")
+	}
+	if rounds > 4*k {
+		t.Fatalf("chain took %d rounds for %d adjacent joins", rounds, k)
+	}
+}
+
+func TestStabilizationScaling(t *testing.T) {
+	// Rounds to absorb a fixed-fraction batch should grow slowly
+	// (roughly linearly in batch size, not quadratically).
+	rounds := func(n int) int {
+		p, err := NewProtocol(randomIDs(n, uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(n) + 9)
+		for j := 0; j < n/4; j++ {
+			if _, err := p.Join(ID(r.Uint64())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, ok := p.RoundsToStabilize(100 * n)
+		if !ok {
+			t.Fatalf("n=%d did not stabilize", n)
+		}
+		return got
+	}
+	r64, r512 := rounds(64), rounds(512)
+	if r512 > 8*int(math.Max(float64(r64), 4)) {
+		t.Fatalf("stabilization rounds scaled badly: %d at n=64 vs %d at n=512", r64, r512)
+	}
+}
+
+func BenchmarkStabilizeRound(b *testing.B) {
+	p, err := NewProtocol(randomIDs(1024, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	for j := 0; j < 256; j++ {
+		if _, err := p.Join(ID(r.Uint64())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.StabilizeRound()
+	}
+}

@@ -1,0 +1,201 @@
+// Batched placement with stale load information.
+//
+// In a deployed system (the paper's Chord application), inserts are
+// concurrent: a ball choosing its bin cannot see the placements of the
+// other balls in flight. The standard model is batched arrivals — all
+// balls in a batch compare candidate loads as they were at the start of
+// the batch, and the loads are only published when the batch commits.
+// Sequential placement is the special case of batch size 1; larger
+// batches degrade the balance smoothly (for batches of size O(n) the
+// max load stays O(log log n) with a larger constant), which the
+// ablation benchmark measures.
+package core
+
+import (
+	"fmt"
+
+	"geobalance/internal/rng"
+)
+
+// PlaceBatch inserts k balls whose d choices are all evaluated against
+// the loads as of the call (stale within the batch), then commits. It
+// returns the bins chosen, in placement order. Tie-breaking uses the
+// allocator's configured rule on the stale loads. It returns an error
+// for k < 0; k = 0 is a no-op.
+func (a *Allocator) PlaceBatch(k int, r *rng.Rand) ([]int, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("core: PlaceBatch with negative k %d", k)
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	// Snapshot the loads; within the batch every ball sees this view.
+	stale := make([]int32, len(a.loads))
+	copy(stale, a.loads)
+	relStale := func(bin int) float64 {
+		if a.capInv == nil {
+			return float64(stale[bin])
+		}
+		return float64(stale[bin]) * a.capInv[bin]
+	}
+	bins := make([]int, k)
+	d := a.cfg.D
+	for b := 0; b < k; b++ {
+		var best int
+		if a.strat != nil {
+			best = a.strat.ChooseBinIn(r, 0, d)
+		} else {
+			best = a.space.ChooseBin(r)
+		}
+		bestRel := relStale(best)
+		ties := 1
+		for j := 1; j < d; j++ {
+			var c int
+			if a.strat != nil {
+				c = a.strat.ChooseBinIn(r, j, d)
+			} else {
+				c = a.space.ChooseBin(r)
+			}
+			if c == best {
+				continue
+			}
+			rel := relStale(c)
+			switch {
+			case rel < bestRel:
+				best, bestRel, ties = c, rel, 1
+			case rel == bestRel:
+				switch a.cfg.Tie {
+				case TieRandom:
+					ties++
+					if r.Intn(ties) == 0 {
+						best = c
+					}
+				case TieSmaller:
+					if a.space.Weight(c) < a.space.Weight(best) {
+						best = c
+					}
+				case TieLarger:
+					if a.space.Weight(c) > a.space.Weight(best) {
+						best = c
+					}
+				case TieLeft:
+					// Keep the earlier stratum.
+				}
+			}
+		}
+		bins[b] = best
+	}
+	// Commit the batch.
+	for _, bin := range bins {
+		a.loads[bin]++
+		switch {
+		case a.loads[bin] > a.max:
+			a.max = a.loads[bin]
+			a.atMax = 1
+		case a.loads[bin] == a.max:
+			a.atMax++
+		}
+		a.placed++
+		if a.cfg.TrackBalls {
+			a.balls = append(a.balls, int32(bin))
+		}
+	}
+	return bins, nil
+}
+
+// PlaceNBatched inserts m balls in batches of the given size, modelling
+// m concurrent clients with a staleness window of batchSize inserts.
+func (a *Allocator) PlaceNBatched(m, batchSize int, r *rng.Rand) error {
+	if batchSize < 1 {
+		return fmt.Errorf("core: batch size %d < 1", batchSize)
+	}
+	for placed := 0; placed < m; {
+		k := batchSize
+		if placed+k > m {
+			k = m - placed
+		}
+		if _, err := a.PlaceBatch(k, r); err != nil {
+			return err
+		}
+		placed += k
+	}
+	return nil
+}
+
+// PlaceSized inserts one item of integer size (weighted-balls model:
+// the whole item goes to the least-loaded candidate and contributes its
+// size to that bin's load). Size must be positive. Sized items are
+// incompatible with TrackBalls (DeleteRandom removes unit balls).
+func (a *Allocator) PlaceSized(size int32, r *rng.Rand) (int, error) {
+	if size < 1 {
+		return 0, fmt.Errorf("core: item size %d < 1", size)
+	}
+	if a.cfg.TrackBalls && size != 1 {
+		return 0, fmt.Errorf("core: sized items are incompatible with TrackBalls")
+	}
+	// Choose exactly as Place does (size 1 delegates to it outright).
+	if size == 1 {
+		return a.Place(r), nil
+	}
+	bin := a.chooseForPlacement(r)
+	a.loads[bin] += size
+	switch {
+	case a.loads[bin] > a.max:
+		a.max = a.loads[bin]
+		a.atMax = 1
+	case a.loads[bin] == a.max:
+		a.atMax++
+	}
+	a.placed++
+	return bin, nil
+}
+
+// chooseForPlacement runs the d-choice candidate selection and
+// tie-breaking against the current loads without committing a
+// placement.
+func (a *Allocator) chooseForPlacement(r *rng.Rand) int {
+	d := a.cfg.D
+	var best int
+	if a.strat != nil {
+		best = a.strat.ChooseBinIn(r, 0, d)
+	} else {
+		best = a.space.ChooseBin(r)
+	}
+	bestRel := a.relLoad(best)
+	ties := 1
+	for k := 1; k < d; k++ {
+		var c int
+		if a.strat != nil {
+			c = a.strat.ChooseBinIn(r, k, d)
+		} else {
+			c = a.space.ChooseBin(r)
+		}
+		if c == best {
+			continue
+		}
+		rel := a.relLoad(c)
+		switch {
+		case rel < bestRel:
+			best, bestRel, ties = c, rel, 1
+		case rel == bestRel:
+			switch a.cfg.Tie {
+			case TieRandom:
+				ties++
+				if r.Intn(ties) == 0 {
+					best = c
+				}
+			case TieSmaller:
+				if a.space.Weight(c) < a.space.Weight(best) {
+					best = c
+				}
+			case TieLarger:
+				if a.space.Weight(c) > a.space.Weight(best) {
+					best = c
+				}
+			case TieLeft:
+				// Keep the earlier stratum.
+			}
+		}
+	}
+	return best
+}

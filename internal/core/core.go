@@ -1,0 +1,295 @@
+// Package core implements the paper's primary contribution: the
+// power-of-d-choices allocation process over a geometric space in which
+// bins are selected non-uniformly, in proportion to the measure of the
+// nearest-neighbor region owned by each server.
+//
+// The process (Theorem 1 and Section 3 of the paper): servers are placed
+// in a geometric space and each owns the region of space nearest to it.
+// Items (balls) arrive sequentially; each draws d locations uniformly at
+// random from the space, resolves each location to the server owning it,
+// and is stored at the least-loaded of the d candidate servers, breaking
+// ties per a configurable rule. With n items on n servers the maximum
+// load is log log n / log d + O(1) w.h.p. for both the ring and the
+// torus.
+//
+// The package is deliberately decoupled from the concrete geometries:
+// any type satisfying Space plugs in (internal/ring, internal/torus, or
+// the built-in UniformSpace reproducing the classical Azar et al.
+// setting). Tie-breaking strategies cover the four columns of the
+// paper's Table 3: random, larger-region, go-left (Vöcking-style with
+// stratified choices), and smaller-region.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"geobalance/internal/rng"
+)
+
+// Space is a geometric space partitioned into bins, one per server.
+// Implementations: ring.Space (1-D ring arcs), torus.Space (k-D torus
+// Voronoi cells), UniformSpace (classical uniform bins).
+type Space interface {
+	// NumBins returns the number of servers.
+	NumBins() int
+	// ChooseBin draws a location uniformly at random from the space and
+	// returns the bin (server) owning it. Bins are therefore selected
+	// with probability proportional to their region's measure.
+	ChooseBin(r *rng.Rand) int
+	// Weight returns the measure of the bin's region (arc length on the
+	// ring, cell area on the torus). Implementations for which the
+	// measure is unknown return NaN; weight-based tie-breaking then
+	// fails fast at allocator construction.
+	Weight(bin int) float64
+}
+
+// StratifiedSpace is a Space that can draw the kth of d choices from the
+// kth equal-measure stratum of the space, as in the go-left variant
+// discussed after Theorem 1 (each ball picks one point uniformly from
+// each of the d intervals [k/d, (k+1)/d)).
+type StratifiedSpace interface {
+	Space
+	ChooseBinIn(r *rng.Rand, k, d int) int
+}
+
+// TieBreak selects among candidates that share the minimum load.
+type TieBreak int
+
+const (
+	// TieRandom breaks ties uniformly at random (Table 3 "arc-random",
+	// and the rule used for Tables 1 and 2).
+	TieRandom TieBreak = iota
+	// TieSmaller prefers the candidate whose region has the smallest
+	// measure (Table 3 "arc-smaller" — the best-performing rule).
+	TieSmaller
+	// TieLarger prefers the candidate whose region has the largest
+	// measure (Table 3 "arc-larger" — the worst-performing rule).
+	TieLarger
+	// TieLeft prefers the candidate drawn from the lowest-numbered
+	// stratum (Table 3 "arc-left", Vöcking's asymmetric rule). It
+	// requires stratified choices and therefore a StratifiedSpace.
+	TieLeft
+)
+
+// String returns the paper's name for the rule.
+func (t TieBreak) String() string {
+	switch t {
+	case TieRandom:
+		return "random"
+	case TieSmaller:
+		return "smaller"
+	case TieLarger:
+		return "larger"
+	case TieLeft:
+		return "left"
+	default:
+		return fmt.Sprintf("TieBreak(%d)", int(t))
+	}
+}
+
+// Config parameterizes an Allocator.
+type Config struct {
+	// D is the number of choices per ball (d >= 1).
+	D int
+	// Tie is the tie-breaking rule; the zero value is TieRandom.
+	Tie TieBreak
+	// Stratified draws choice k from stratum k of d instead of from the
+	// whole space. Required (and implied) by TieLeft; optional for other
+	// rules, allowing the stratified-choices ablation.
+	Stratified bool
+	// TrackBalls records each ball's bin so balls can be deleted later
+	// (DeleteRandom), enabling the infinite insert/delete process that
+	// Azar et al. analyze alongside the finite one. Costs one int32 per
+	// live ball.
+	TrackBalls bool
+}
+
+// Allocator runs the sequential geometric d-choice process. It is not
+// safe for concurrent use; run one Allocator per goroutine (the
+// simulation harness parallelizes across trials, not within one).
+type Allocator struct {
+	space  Space
+	strat  StratifiedSpace // non-nil iff stratified choices are enabled
+	cfg    Config
+	loads  []int32
+	placed int
+	max    int32
+	atMax  int32     // number of bins whose load equals max (valid when max > 0)
+	balls  []int32   // bin of each live ball, when TrackBalls is set
+	capInv []float64 // inverse capacities, when SetCapacities was called
+}
+
+// New validates the configuration against the space and returns a fresh
+// allocator with all loads zero.
+func New(space Space, cfg Config) (*Allocator, error) {
+	if space == nil {
+		return nil, errors.New("core: nil space")
+	}
+	if space.NumBins() < 1 {
+		return nil, errors.New("core: space has no bins")
+	}
+	if cfg.D < 1 {
+		return nil, fmt.Errorf("core: need d >= 1, got %d", cfg.D)
+	}
+	if cfg.Tie < TieRandom || cfg.Tie > TieLeft {
+		return nil, fmt.Errorf("core: unknown tie-break rule %d", int(cfg.Tie))
+	}
+	if cfg.Tie == TieLeft {
+		cfg.Stratified = true
+	}
+	a := &Allocator{space: space, cfg: cfg, loads: make([]int32, space.NumBins())}
+	if cfg.Stratified {
+		ss, ok := space.(StratifiedSpace)
+		if !ok {
+			return nil, fmt.Errorf("core: %s requires a StratifiedSpace", describeStrat(cfg))
+		}
+		a.strat = ss
+	}
+	if cfg.Tie == TieSmaller || cfg.Tie == TieLarger {
+		if math.IsNaN(space.Weight(0)) {
+			return nil, fmt.Errorf("core: tie-break %q requires bin weights, but the space reports none", cfg.Tie)
+		}
+	}
+	return a, nil
+}
+
+func describeStrat(cfg Config) string {
+	if cfg.Tie == TieLeft {
+		return "tie-break \"left\""
+	}
+	return "stratified choice generation"
+}
+
+// Place inserts one ball and returns the bin it was placed in.
+func (a *Allocator) Place(r *rng.Rand) int {
+	best := a.chooseForPlacement(r)
+	a.loads[best]++
+	switch {
+	case a.loads[best] > a.max:
+		a.max = a.loads[best]
+		a.atMax = 1
+	case a.loads[best] == a.max:
+		a.atMax++
+	}
+	a.placed++
+	if a.cfg.TrackBalls {
+		a.balls = append(a.balls, int32(best))
+	}
+	return best
+}
+
+// DeleteRandom removes one uniformly random live ball, as in the
+// infinite insert/delete process of Azar et al., and returns the bin it
+// was removed from. It panics unless the allocator was configured with
+// TrackBalls and has at least one live ball.
+func (a *Allocator) DeleteRandom(r *rng.Rand) int {
+	if !a.cfg.TrackBalls {
+		panic("core: DeleteRandom requires Config.TrackBalls")
+	}
+	if len(a.balls) == 0 {
+		panic("core: DeleteRandom with no live balls")
+	}
+	idx := r.Intn(len(a.balls))
+	bin := int(a.balls[idx])
+	last := len(a.balls) - 1
+	a.balls[idx] = a.balls[last]
+	a.balls = a.balls[:last]
+	old := a.loads[bin]
+	a.loads[bin]--
+	a.placed--
+	if old == a.max {
+		a.atMax--
+		if a.atMax == 0 {
+			a.max--
+			if a.max > 0 {
+				for _, l := range a.loads {
+					if l == a.max {
+						a.atMax++
+					}
+				}
+			}
+		}
+	}
+	return bin
+}
+
+// PlaceN inserts m balls sequentially.
+func (a *Allocator) PlaceN(m int, r *rng.Rand) {
+	for i := 0; i < m; i++ {
+		a.Place(r)
+	}
+}
+
+// Loads returns the per-bin loads. The returned slice is shared; callers
+// must not modify it.
+func (a *Allocator) Loads() []int32 { return a.loads }
+
+// MaxLoad returns the current maximum load over all bins.
+func (a *Allocator) MaxLoad() int { return int(a.max) }
+
+// Placed returns the number of balls placed so far.
+func (a *Allocator) Placed() int { return a.placed }
+
+// Space returns the underlying space.
+func (a *Allocator) Space() Space { return a.space }
+
+// Config returns the allocator's configuration.
+func (a *Allocator) Config() Config { return a.cfg }
+
+// Reset zeroes all loads so the allocator can run another trial over the
+// same space.
+func (a *Allocator) Reset() {
+	for i := range a.loads {
+		a.loads[i] = 0
+	}
+	a.placed = 0
+	a.max = 0
+	a.atMax = 0
+	a.balls = a.balls[:0]
+}
+
+// Live returns the number of live balls (placed minus deleted).
+func (a *Allocator) Live() int { return a.placed }
+
+// UniformSpace is the classical setting of Azar et al.: n bins, each
+// selected with probability exactly 1/n. It implements StratifiedSpace
+// (stratum k of d is the contiguous block of bins [k*n/d, (k+1)*n/d)),
+// making Vöcking's go-left scheme available for baseline comparisons.
+type UniformSpace struct {
+	n int
+}
+
+// NewUniform returns a uniform space with n bins; n must be >= 1.
+func NewUniform(n int) (*UniformSpace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: uniform space needs n >= 1, got %d", n)
+	}
+	return &UniformSpace{n: n}, nil
+}
+
+// NumBins returns the number of bins.
+func (u *UniformSpace) NumBins() int { return u.n }
+
+// ChooseBin returns a uniformly random bin.
+func (u *UniformSpace) ChooseBin(r *rng.Rand) int { return r.Intn(u.n) }
+
+// Weight returns 1/n for every bin.
+func (u *UniformSpace) Weight(int) float64 { return 1 / float64(u.n) }
+
+// ChooseBinIn returns a uniform bin from the kth of d contiguous blocks.
+func (u *UniformSpace) ChooseBinIn(r *rng.Rand, k, d int) int {
+	if d < 1 || k < 0 || k >= d {
+		panic(fmt.Sprintf("core: ChooseBinIn stratum %d of %d", k, d))
+	}
+	lo := k * u.n / d
+	hi := (k + 1) * u.n / d
+	if hi == lo {
+		hi = lo + 1 // degenerate stratum when d > n; stay in range
+		if hi > u.n {
+			lo, hi = u.n-1, u.n
+		}
+	}
+	return lo + r.Intn(hi-lo)
+}

@@ -1,0 +1,552 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geobalance/internal/ring"
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+	"geobalance/internal/torus"
+)
+
+func mustRing(t testing.TB, n int, seed uint64) *ring.Space {
+	t.Helper()
+	s, err := ring.NewRandom(n, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustTorus(t testing.TB, n int, seed uint64) *torus.Space {
+	t.Helper()
+	s, err := torus.NewRandom(n, 2, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	sp := mustRing(t, 8, 1)
+	cases := []struct {
+		name string
+		sp   Space
+		cfg  Config
+	}{
+		{"nil space", nil, Config{D: 2}},
+		{"d=0", sp, Config{D: 0}},
+		{"bad tie", sp, Config{D: 2, Tie: TieBreak(99)}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.sp, c.cfg); err == nil {
+			t.Errorf("%s: New succeeded", c.name)
+		}
+	}
+}
+
+func TestNewRejectsWeightTieWithoutWeights(t *testing.T) {
+	sp := mustTorus(t, 16, 2) // no weights installed
+	for _, tie := range []TieBreak{TieSmaller, TieLarger} {
+		if _, err := New(sp, Config{D: 2, Tie: tie}); err == nil {
+			t.Errorf("tie %v accepted without weights", tie)
+		}
+	}
+	// Ring always has weights (arc lengths).
+	if _, err := New(mustRing(t, 16, 3), Config{D: 2, Tie: TieSmaller}); err != nil {
+		t.Errorf("ring with TieSmaller rejected: %v", err)
+	}
+}
+
+func TestTieLeftImpliesStratified(t *testing.T) {
+	sp := mustRing(t, 16, 4)
+	a, err := New(sp, Config{D: 2, Tie: TieLeft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Config().Stratified {
+		t.Fatal("TieLeft did not enable stratified choices")
+	}
+}
+
+type noStratSpace struct{ *UniformSpace }
+
+// Hide ChooseBinIn so the embedded value no longer satisfies StratifiedSpace.
+func (noStratSpace) ChooseBinIn() {}
+
+func TestTieLeftRequiresStratifiedSpace(t *testing.T) {
+	u, err := NewUniform(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(noStratSpace{u}, Config{D: 2, Tie: TieLeft}); err == nil {
+		t.Fatal("TieLeft accepted a non-stratified space")
+	}
+}
+
+func TestConservationAndReset(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(300)
+		m := r.Intn(1500)
+		d := 1 + r.Intn(4)
+		sp, err := ring.NewRandom(n, r)
+		if err != nil {
+			return false
+		}
+		a, err := New(sp, Config{D: d})
+		if err != nil {
+			return false
+		}
+		a.PlaceN(m, r)
+		if a.Placed() != m || stats.TotalLoad(a.Loads()) != m {
+			return false
+		}
+		if a.MaxLoad() != stats.MaxLoad(a.Loads()) {
+			return false
+		}
+		a.Reset()
+		return a.Placed() == 0 && a.MaxLoad() == 0 && stats.TotalLoad(a.Loads()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceReturnsBin(t *testing.T) {
+	sp := mustRing(t, 64, 5)
+	a, err := New(sp, Config{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	for i := 0; i < 200; i++ {
+		before := make([]int32, len(a.Loads()))
+		copy(before, a.Loads())
+		bin := a.Place(r)
+		if bin < 0 || bin >= sp.NumBins() {
+			t.Fatalf("Place returned bin %d out of range", bin)
+		}
+		if a.Loads()[bin] != before[bin]+1 {
+			t.Fatalf("Place did not increment the returned bin")
+		}
+	}
+}
+
+// TestD1MatchesWeightDistribution: with d=1 each bin's expected load is
+// m * weight; check empirically on a fixed ring.
+func TestD1MatchesWeightDistribution(t *testing.T) {
+	sp, err := ring.FromSites([]float64{0, 0.5, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(sp, Config{D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	const m = 300000
+	a.PlaceN(m, r)
+	for j := 0; j < sp.NumBins(); j++ {
+		want := float64(m) * sp.Weight(j)
+		got := float64(a.Loads()[j])
+		if math.Abs(got-want) > 6*math.Sqrt(want) {
+			t.Errorf("bin %d: load %v vs expected %v", j, got, want)
+		}
+	}
+}
+
+// TestRingTwoChoicesMaxLoad reproduces the shape of Table 1 at n=2^12:
+// d=2 gives max load 4 or 5 in essentially all trials.
+func TestRingTwoChoicesMaxLoad(t *testing.T) {
+	r := rng.New(8)
+	const n = 1 << 12
+	h := stats.NewIntHist()
+	for trial := 0; trial < 60; trial++ {
+		sp, err := ring.NewRandom(n, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := New(sp, Config{D: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.PlaceN(n, r)
+		h.Add(a.MaxLoad())
+	}
+	if h.Min() < 3 || h.Max() > 7 {
+		t.Fatalf("ring d=2 max load range [%d, %d], Table 1 says 4-6", h.Min(), h.Max())
+	}
+}
+
+// TestTorusTwoChoicesMaxLoad reproduces the shape of Table 2 at n=2^12:
+// d=2 gives max load 3 or 4.
+func TestTorusTwoChoicesMaxLoad(t *testing.T) {
+	r := rng.New(9)
+	const n = 1 << 12
+	h := stats.NewIntHist()
+	for trial := 0; trial < 25; trial++ {
+		sp, err := torus.NewRandom(n, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := New(sp, Config{D: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.PlaceN(n, r)
+		h.Add(a.MaxLoad())
+	}
+	if h.Min() < 3 || h.Max() > 6 {
+		t.Fatalf("torus d=2 max load range [%d, %d], Table 2 says 3-4", h.Min(), h.Max())
+	}
+}
+
+// TestGeometricD1WorseThanUniformD1: non-uniform region sizes make d=1
+// strictly worse on the ring than with uniform bins (Table 1 d=1 vs the
+// classical setting): the ring max load should exceed the uniform one on
+// average.
+func TestGeometricD1WorseThanUniformD1(t *testing.T) {
+	r := rng.New(10)
+	const n, trials = 1 << 12, 40
+	var ringSum, uniSum float64
+	for trial := 0; trial < trials; trial++ {
+		sp, err := ring.NewRandom(n, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := New(sp, Config{D: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.PlaceN(n, r)
+		ringSum += float64(a.MaxLoad())
+
+		u, err := NewUniform(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		au, err := New(u, Config{D: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		au.PlaceN(n, r)
+		uniSum += float64(au.MaxLoad())
+	}
+	if ringSum <= uniSum {
+		t.Fatalf("ring d=1 mean max load %v not worse than uniform %v",
+			ringSum/trials, uniSum/trials)
+	}
+}
+
+// TestTieStrategiesOrdering reproduces the qualitative finding of
+// Table 3: averaged over trials, smaller <= random <= larger.
+func TestTieStrategiesOrdering(t *testing.T) {
+	r := rng.New(11)
+	const n, trials = 1 << 12, 60
+	mean := func(tie TieBreak) float64 {
+		var sum float64
+		for trial := 0; trial < trials; trial++ {
+			sp, err := ring.NewRandom(n, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := New(sp, Config{D: 2, Tie: tie})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.PlaceN(n, r)
+			sum += float64(a.MaxLoad())
+		}
+		return sum / trials
+	}
+	smaller, random, larger := mean(TieSmaller), mean(TieRandom), mean(TieLarger)
+	if smaller > random+0.15 {
+		t.Errorf("smaller (%v) worse than random (%v)", smaller, random)
+	}
+	if random > larger+0.15 {
+		t.Errorf("random (%v) worse than larger (%v)", random, larger)
+	}
+	if smaller >= larger {
+		t.Errorf("smaller (%v) not better than larger (%v)", smaller, larger)
+	}
+}
+
+// TestUniformSpaceMatchesBallsPackage: core over UniformSpace must agree
+// in distribution with the standalone balls implementation. Compare mean
+// max loads across trials.
+func TestUniformSpaceStatisticallySane(t *testing.T) {
+	r := rng.New(12)
+	const n, trials = 1 << 12, 50
+	h := stats.NewIntHist()
+	for trial := 0; trial < trials; trial++ {
+		u, err := NewUniform(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := New(u, Config{D: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.PlaceN(n, r)
+		h.Add(a.MaxLoad())
+	}
+	// Classical d=2 at n=2^12: max load 3 (89.6%) or 4 (Table 1 of the
+	// original Azar et al. experiments; paper Table 1 ring column is
+	// close). Accept 3-5.
+	if h.Min() < 3 || h.Max() > 5 {
+		t.Fatalf("uniform d=2 max load range [%d, %d]", h.Min(), h.Max())
+	}
+}
+
+func TestUniformChooseBinInCoversStratum(t *testing.T) {
+	u, err := NewUniform(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(13)
+	for k := 0; k < 4; k++ {
+		for i := 0; i < 1000; i++ {
+			bin := u.ChooseBinIn(r, k, 4)
+			if bin < k*25 || bin >= (k+1)*25 {
+				t.Fatalf("stratum %d produced bin %d", k, bin)
+			}
+		}
+	}
+}
+
+func TestUniformChooseBinInDegenerate(t *testing.T) {
+	u, err := NewUniform(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(14)
+	// d=3 > n=2: strata degenerate but must stay in range.
+	for k := 0; k < 3; k++ {
+		for i := 0; i < 100; i++ {
+			bin := u.ChooseBinIn(r, k, 3)
+			if bin < 0 || bin >= 2 {
+				t.Fatalf("degenerate stratum %d produced bin %d", k, bin)
+			}
+		}
+	}
+}
+
+func TestDeleteRandomRequiresTracking(t *testing.T) {
+	sp := mustRing(t, 8, 20)
+	a, err := New(sp, Config{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PlaceN(4, rng.New(21))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DeleteRandom without TrackBalls did not panic")
+		}
+	}()
+	a.DeleteRandom(rng.New(22))
+}
+
+func TestDeleteRandomEmptyPanics(t *testing.T) {
+	sp := mustRing(t, 8, 23)
+	a, err := New(sp, Config{D: 2, TrackBalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DeleteRandom with no balls did not panic")
+		}
+	}()
+	a.DeleteRandom(rng.New(24))
+}
+
+func TestDeleteRandomConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(200)
+		sp, err := ring.NewRandom(n, r)
+		if err != nil {
+			return false
+		}
+		a, err := New(sp, Config{D: 2, TrackBalls: true})
+		if err != nil {
+			return false
+		}
+		inserts := 1 + r.Intn(500)
+		a.PlaceN(inserts, r)
+		deletes := r.Intn(inserts)
+		for i := 0; i < deletes; i++ {
+			bin := a.DeleteRandom(r)
+			if bin < 0 || bin >= n || a.Loads()[bin] < 0 {
+				return false
+			}
+		}
+		live := inserts - deletes
+		return a.Live() == live &&
+			stats.TotalLoad(a.Loads()) == live &&
+			a.MaxLoad() == stats.MaxLoad(a.Loads())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAllBallsThenReuse(t *testing.T) {
+	sp := mustRing(t, 32, 25)
+	a, err := New(sp, Config{D: 2, TrackBalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(26)
+	a.PlaceN(100, r)
+	for i := 0; i < 100; i++ {
+		a.DeleteRandom(r)
+	}
+	if a.Live() != 0 || a.MaxLoad() != 0 {
+		t.Fatalf("after deleting all: live=%d max=%d", a.Live(), a.MaxLoad())
+	}
+	a.PlaceN(50, r)
+	if a.Live() != 50 || a.MaxLoad() != stats.MaxLoad(a.Loads()) {
+		t.Fatal("allocator broken after full drain")
+	}
+}
+
+// TestInfiniteProcessStaysBalanced runs the insert/delete steady state:
+// after n initial insertions, 10n alternating delete+insert steps keep
+// the max load at the two-choice level rather than drifting up.
+func TestInfiniteProcessStaysBalanced(t *testing.T) {
+	const n = 1 << 12
+	r := rng.New(27)
+	sp := mustRing(t, n, 28)
+	a, err := New(sp, Config{D: 2, TrackBalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PlaceN(n, r)
+	peak := a.MaxLoad()
+	for step := 0; step < 10*n; step++ {
+		a.DeleteRandom(r)
+		a.Place(r)
+		if m := a.MaxLoad(); m > peak {
+			peak = m
+		}
+	}
+	if a.Live() != n {
+		t.Fatalf("live count drifted: %d", a.Live())
+	}
+	if peak > 8 {
+		t.Fatalf("infinite process peak max load %d; expected to stay O(log log n)", peak)
+	}
+	if a.MaxLoad() != stats.MaxLoad(a.Loads()) {
+		t.Fatal("incremental max tracking diverged from recount")
+	}
+}
+
+func TestResetClearsBalls(t *testing.T) {
+	sp := mustRing(t, 16, 29)
+	a, err := New(sp, Config{D: 2, TrackBalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(30)
+	a.PlaceN(20, r)
+	a.Reset()
+	if a.Live() != 0 {
+		t.Fatal("Reset did not clear live balls")
+	}
+	a.PlaceN(5, r)
+	for i := 0; i < 5; i++ {
+		a.DeleteRandom(r)
+	}
+	if a.Live() != 0 || stats.TotalLoad(a.Loads()) != 0 {
+		t.Fatal("delete after reset inconsistent")
+	}
+}
+
+func TestTieBreakString(t *testing.T) {
+	cases := map[TieBreak]string{
+		TieRandom: "random", TieSmaller: "smaller", TieLarger: "larger", TieLeft: "left",
+	}
+	for tie, want := range cases {
+		if got := tie.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(tie), got, want)
+		}
+	}
+	if got := TieBreak(42).String(); got != "TieBreak(42)" {
+		t.Errorf("unknown tie String() = %q", got)
+	}
+}
+
+// TestHeightsLayeredInduction sanity-checks the layered-induction
+// quantities on a real run: nu_i and mu_i must be non-increasing in i
+// and mu_{i+1} <= mu_i etc.
+func TestHeightsLayeredInduction(t *testing.T) {
+	r := rng.New(15)
+	sp := mustRing(t, 1<<12, 16)
+	a, err := New(sp, Config{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PlaceN(1<<12, r)
+	loads := a.Loads()
+	prevNu, prevMu := math.MaxInt, math.MaxInt
+	for i := 1; i <= a.MaxLoad()+1; i++ {
+		nu := stats.BinsWithLoadAtLeast(loads, i)
+		mu := stats.BallsWithHeightAtLeast(loads, i)
+		if nu > prevNu || mu > prevMu {
+			t.Fatalf("nu/mu not monotone at level %d", i)
+		}
+		if nu > mu {
+			t.Fatalf("nu_%d = %d exceeds mu_%d = %d", i, nu, i, mu)
+		}
+		prevNu, prevMu = nu, mu
+	}
+	if stats.BinsWithLoadAtLeast(loads, a.MaxLoad()+1) != 0 {
+		t.Fatal("bins above max load")
+	}
+}
+
+func BenchmarkPlaceRingD2(b *testing.B) {
+	r := rng.New(1)
+	sp := mustRing(b, 1<<16, 1)
+	a, err := New(sp, Config{D: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Place(r)
+	}
+}
+
+func BenchmarkPlaceTorusD2(b *testing.B) {
+	r := rng.New(1)
+	sp := mustTorus(b, 1<<16, 1)
+	a, err := New(sp, Config{D: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Place(r)
+	}
+}
+
+func BenchmarkPlaceUniformD2(b *testing.B) {
+	r := rng.New(1)
+	u, err := NewUniform(1 << 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := New(u, Config{D: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Place(r)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+)
+
+func TestSetCapacitiesValidation(t *testing.T) {
+	sp := mustRing(t, 8, 40)
+	a, err := New(sp, Config{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetCapacities(make([]float64, 5)); err == nil {
+		t.Error("wrong length accepted")
+	}
+	bad := [][]float64{
+		{1, 1, 1, 1, 1, 1, 1, 0},
+		{1, 1, 1, 1, 1, 1, 1, -2},
+		{1, 1, 1, 1, 1, 1, 1, math.NaN()},
+		{1, 1, 1, 1, 1, 1, 1, math.Inf(1)},
+	}
+	for _, caps := range bad {
+		if err := a.SetCapacities(caps); err == nil {
+			t.Errorf("capacities %v accepted", caps)
+		}
+	}
+	ok := []float64{1, 2, 1, 1, 0.5, 1, 1, 4}
+	if err := a.SetCapacities(ok); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Capacitated() {
+		t.Error("Capacitated false after SetCapacities")
+	}
+	if err := a.SetCapacities(nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacitated() {
+		t.Error("Capacitated true after reset")
+	}
+	// Non-empty allocator refuses capacity changes.
+	a.PlaceN(3, rng.New(41))
+	if err := a.SetCapacities(ok); err == nil {
+		t.Error("SetCapacities on non-empty allocator accepted")
+	}
+}
+
+func TestCapacityProportionalFill(t *testing.T) {
+	// Uniform space, capacities 1 and 3 alternating: with d=4 choices
+	// the relative-load rule should fill servers roughly proportionally
+	// to capacity.
+	const n, m = 256, 256 * 16
+	u, err := NewUniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(u, Config{D: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make([]float64, n)
+	for i := range caps {
+		if i%2 == 0 {
+			caps[i] = 1
+		} else {
+			caps[i] = 3
+		}
+	}
+	if err := a.SetCapacities(caps); err != nil {
+		t.Fatal(err)
+	}
+	a.PlaceN(m, rng.New(42))
+	var small, big float64
+	for i, l := range a.Loads() {
+		if i%2 == 0 {
+			small += float64(l)
+		} else {
+			big += float64(l)
+		}
+	}
+	ratio := big / small
+	if ratio < 2.4 || ratio > 3.6 {
+		t.Fatalf("capacity-3 servers got %.2fx the load of capacity-1; want ~3x", ratio)
+	}
+	if stats.TotalLoad(a.Loads()) != m {
+		t.Fatal("balls lost")
+	}
+}
+
+func TestCapacityAwareBeatsUnaware(t *testing.T) {
+	// With heterogeneous capacities, comparing relative load yields a
+	// lower max relative load than comparing raw load.
+	const n, m = 512, 512 * 8
+	run := func(aware bool) float64 {
+		sp := mustRing(t, n, 43)
+		a, err := New(sp, Config{D: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := make([]float64, n)
+		for i := range caps {
+			caps[i] = float64(1 + i%4) // capacities 1..4
+		}
+		if aware {
+			if err := a.SetCapacities(caps); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a.PlaceN(m, rng.New(44))
+		// Evaluate against true capacities either way.
+		var worst float64
+		for i, l := range a.Loads() {
+			if v := float64(l) / caps[i]; v > worst {
+				worst = v
+			}
+		}
+		return worst
+	}
+	unaware, aware := run(false), run(true)
+	if aware >= unaware {
+		t.Fatalf("capacity-aware max rel load %v not below unaware %v", aware, unaware)
+	}
+}
+
+func TestMaxRelativeLoadMatchesMaxLoadWithoutCaps(t *testing.T) {
+	sp := mustRing(t, 64, 45)
+	a, err := New(sp, Config{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PlaceN(300, rng.New(46))
+	if got, want := a.MaxRelativeLoad(), float64(a.MaxLoad()); got != want {
+		t.Fatalf("MaxRelativeLoad = %v, MaxLoad = %v", got, want)
+	}
+}
+
+func TestWeightedPlaceTracksBallsAndDeletes(t *testing.T) {
+	sp := mustRing(t, 32, 47)
+	a, err := New(sp, Config{D: 2, TrackBalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make([]float64, 32)
+	for i := range caps {
+		caps[i] = 1 + float64(i%2)
+	}
+	if err := a.SetCapacities(caps); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(48)
+	a.PlaceN(100, r)
+	for i := 0; i < 40; i++ {
+		a.DeleteRandom(r)
+	}
+	if a.Live() != 60 || stats.TotalLoad(a.Loads()) != 60 {
+		t.Fatal("weighted allocator lost track of balls")
+	}
+	if a.MaxLoad() != stats.MaxLoad(a.Loads()) {
+		t.Fatal("max tracking diverged under weighted placement")
+	}
+}
+
+func BenchmarkPlaceWeighted(b *testing.B) {
+	sp := mustRing(b, 1<<12, 1)
+	a, err := New(sp, Config{D: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	caps := make([]float64, 1<<12)
+	for i := range caps {
+		caps[i] = 1 + float64(i%4)
+	}
+	if err := a.SetCapacities(caps); err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Place(r)
+	}
+}

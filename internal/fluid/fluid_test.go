@@ -1,0 +1,274 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"geobalance/internal/balls"
+	"geobalance/internal/core"
+	"geobalance/internal/ring"
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+)
+
+func TestSolveValidation(t *testing.T) {
+	cases := []struct {
+		d      int
+		t      float64
+		levels int
+		steps  int
+	}{
+		{0, 1, 10, 100},
+		{2, -1, 10, 100},
+		{2, math.NaN(), 10, 100},
+		{2, 1, 0, 100},
+		{2, 1, 10, 0},
+	}
+	for _, c := range cases {
+		if _, err := Solve(c.d, c.t, c.levels, c.steps); err == nil {
+			t.Errorf("Solve(%d, %v, %d, %d) accepted", c.d, c.t, c.levels, c.steps)
+		}
+	}
+}
+
+func TestSolveZeroTime(t *testing.T) {
+	tail, err := Solve(2, 0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.TailFrac(0) != 1 {
+		t.Error("s_0 != 1")
+	}
+	for i := 1; i <= 10; i++ {
+		if tail.TailFrac(i) != 0 {
+			t.Errorf("s_%d = %v at t=0", i, tail.TailFrac(i))
+		}
+	}
+}
+
+func TestMonotoneTail(t *testing.T) {
+	tail, err := Solve(2, 1, 20, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= tail.Levels(); i++ {
+		if tail.TailFrac(i) > tail.TailFrac(i-1)+1e-12 {
+			t.Fatalf("s_%d = %v > s_%d = %v", i, tail.TailFrac(i), i-1, tail.TailFrac(i-1))
+		}
+		if tail.TailFrac(i) < 0 {
+			t.Fatalf("s_%d negative", i)
+		}
+	}
+}
+
+func TestBallConservation(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		for _, tt := range []float64{0.5, 1, 2} {
+			tail, err := Solve(d, tt, 40, 4000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tail.MeanLoad(); math.Abs(got-tt) > 1e-6 {
+				t.Errorf("d=%d t=%v: mean load %v, want %v", d, tt, got, tt)
+			}
+		}
+	}
+}
+
+func TestD1MatchesPoisson(t *testing.T) {
+	// The d=1 fluid limit is exactly the Poisson(t) tail.
+	const tt = 1.0
+	tail, err := Solve(1, tt, 20, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 12; i++ {
+		want := PoissonTail(tt, i)
+		got := tail.TailFrac(i)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("s_%d = %v, Poisson tail = %v", i, got, want)
+		}
+	}
+}
+
+func TestPoissonTailBasics(t *testing.T) {
+	if got := PoissonTail(1, 0); got != 1 {
+		t.Errorf("PoissonTail(1, 0) = %v", got)
+	}
+	if got := PoissonTail(1, 1); math.Abs(got-(1-math.Exp(-1))) > 1e-12 {
+		t.Errorf("PoissonTail(1, 1) = %v", got)
+	}
+	// Monotone in i.
+	prev := 1.0
+	for i := 0; i < 20; i++ {
+		p := PoissonTail(2, i)
+		if p > prev+1e-15 {
+			t.Fatalf("Poisson tail increased at %d", i)
+		}
+		prev = p
+	}
+}
+
+func TestLoadFracSumsToOne(t *testing.T) {
+	tail, err := Solve(2, 1, 30, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 0; i <= 30; i++ {
+		f := tail.LoadFrac(i)
+		if f < -1e-12 {
+			t.Fatalf("LoadFrac(%d) = %v negative", i, f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("load fractions sum to %v", sum)
+	}
+}
+
+// TestFluidMatchesSimulationD2 is the E-FLU experiment in miniature:
+// fluid-limit tail fractions match the empirical ones from the uniform
+// d=2 simulation at n = 2^16 within a few sigma.
+func TestFluidMatchesSimulationD2(t *testing.T) {
+	const n = 1 << 16
+	tail, err := Solve(2, 1, 20, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(42)
+	loads, err := balls.DChoices(n, n, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 32)
+	for _, l := range loads {
+		if int(l) < len(counts) {
+			counts[l]++
+		}
+	}
+	// Compare tail fractions down to levels with decent mass.
+	emp := func(i int) float64 {
+		c := 0
+		for j := i; j < len(counts); j++ {
+			c += counts[j]
+		}
+		return float64(c) / n
+	}
+	for i := 1; i <= 3; i++ {
+		want := tail.TailFrac(i)
+		got := emp(i)
+		tol := 6*math.Sqrt(want*(1-want)/n) + 0.01 // mean-field error is O(1/n) + sampling
+		if math.Abs(got-want) > tol {
+			t.Errorf("level %d: empirical %v vs fluid %v (tol %v)", i, got, want, tol)
+		}
+	}
+}
+
+func TestPredictMaxLoad(t *testing.T) {
+	tail, err := Solve(2, 1, 30, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At n=2^12 the uniform d=2 max load concentrates on 3-4 (paper
+	// Table 1 context); the fluid heuristic should land there.
+	got := tail.PredictMaxLoad(1<<12, 1)
+	if got < 3 || got > 5 {
+		t.Errorf("PredictMaxLoad(2^12) = %d, want 3..5", got)
+	}
+	// Larger n predicts (weakly) larger max load.
+	if tail.PredictMaxLoad(1<<20, 1) < got {
+		t.Error("prediction not monotone in n")
+	}
+}
+
+func TestDoubleExponentialDecay(t *testing.T) {
+	tail, err := Solve(2, 1, 20, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := tail.DoubleExponentialDecay()
+	if len(dec) < 5 {
+		t.Fatalf("decay sequence too short: %v", dec)
+	}
+	// log(1/s_i) should roughly double (ratio d=2) deep in the tail.
+	for i := 4; i+1 < len(dec); i++ {
+		ratio := dec[i+1] / dec[i]
+		if ratio < 1.5 || ratio > 2.5 {
+			t.Errorf("decay ratio at level %d = %v, want ~2", i, ratio)
+		}
+	}
+}
+
+func TestRingOneChoiceTailClosedForm(t *testing.T) {
+	// t=1: s_i = 2^-i.
+	for i := 0; i <= 10; i++ {
+		want := math.Pow(0.5, float64(i))
+		if got := RingOneChoiceTail(1, i); math.Abs(got-want) > 1e-12 {
+			t.Errorf("s_%d = %v, want %v", i, got, want)
+		}
+	}
+	if RingOneChoiceTail(1, -3) != 1 {
+		t.Error("negative level != 1")
+	}
+}
+
+func TestRingOneChoiceTailMatchesSimulation(t *testing.T) {
+	// The mixed-Poisson derivation against a real ring run.
+	const n = 1 << 16
+	r := rng.New(77)
+	sp, err := ring.NewRandom(n, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(sp, core.Config{D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PlaceN(n, r)
+	loads := a.Loads()
+	for i := 1; i <= 8; i++ {
+		emp := float64(stats.BinsWithLoadAtLeast(loads, i)) / n
+		want := RingOneChoiceTail(1, i)
+		tol := 6*math.Sqrt(want*(1-want)/n) + 0.01
+		if math.Abs(emp-want) > tol {
+			t.Errorf("level %d: empirical %v vs closed form %v", i, emp, want)
+		}
+	}
+}
+
+func TestRingOneChoicePredictMaxLoad(t *testing.T) {
+	// The prediction is ~log2 n at t=1, matching Table 1's d=1 modes.
+	cases := map[int]int{1 << 8: 8, 1 << 12: 12, 1 << 16: 16, 1 << 20: 20}
+	for n, want := range cases {
+		got := RingOneChoicePredictMaxLoad(n, 1, 1)
+		if got < want-1 || got > want+1 {
+			t.Errorf("predict(n=%d) = %d, want ~%d", n, got, want)
+		}
+	}
+	// Monotone in t.
+	if RingOneChoicePredictMaxLoad(1<<12, 4, 1) <= RingOneChoicePredictMaxLoad(1<<12, 1, 1) {
+		t.Error("prediction not increasing in t")
+	}
+}
+
+func TestTailFracOutOfRange(t *testing.T) {
+	tail, err := Solve(2, 1, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.TailFrac(-1) != 1 {
+		t.Error("TailFrac(-1) != 1")
+	}
+	if tail.TailFrac(100) != 0 {
+		t.Error("TailFrac beyond levels != 0")
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(2, 1, 30, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

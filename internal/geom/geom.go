@@ -1,0 +1,241 @@
+// Package geom provides the geometric primitives shared by the ring,
+// torus, and Voronoi substrates: wraparound metrics on the unit ring and
+// the unit k-dimensional torus, and 2-D polygon operations (half-plane
+// clipping, areas) used to construct Voronoi cells exactly.
+//
+// All spaces are unit-measure: the ring has circumference 1 and the torus
+// is [0,1)^k with wraparound along every axis, exactly as in the paper.
+package geom
+
+import "math"
+
+// Frac returns x reduced to [0, 1), handling negative inputs.
+func Frac(x float64) float64 {
+	f := x - math.Floor(x)
+	if f >= 1 { // possible when x is a tiny negative number
+		f = 0
+	}
+	return f
+}
+
+// RingDist returns the clockwise-agnostic (shortest) distance between two
+// points on the unit ring.
+func RingDist(a, b float64) float64 {
+	d := math.Abs(a - b)
+	d = d - math.Floor(d)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// CCWDist returns the counterclockwise distance from a to b on the unit
+// ring, i.e. how far one travels from a in the direction of increasing
+// coordinate (mod 1) to reach b. This is the arc orientation used by the
+// paper ("the counterclockwise arc from the jth point").
+func CCWDist(a, b float64) float64 {
+	d := b - a
+	d -= math.Floor(d)
+	return d
+}
+
+// AxisDist returns the wraparound distance between coordinates a and b on
+// a unit circle axis; the result is in [0, 1/2].
+func AxisDist(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// Vec is a point in k-dimensional space. On the unit torus every
+// coordinate lies in [0, 1).
+type Vec []float64
+
+// TorusDist2 returns the squared wraparound Euclidean distance between a
+// and b on the unit k-torus. It panics if the dimensions differ.
+func TorusDist2(a, b Vec) float64 {
+	if len(a) != len(b) {
+		panic("geom: dimension mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := AxisDist(a[i], b[i])
+		s += d * d
+	}
+	return s
+}
+
+// TorusDist returns the wraparound Euclidean distance between a and b.
+func TorusDist(a, b Vec) float64 { return math.Sqrt(TorusDist2(a, b)) }
+
+// Point2 is a point in the plane. The Voronoi construction unwraps the
+// torus locally around each site, so cells are ordinary planar polygons.
+type Point2 struct{ X, Y float64 }
+
+// Sub returns p - q.
+func (p Point2) Sub(q Point2) Point2 { return Point2{p.X - q.X, p.Y - q.Y} }
+
+// Add returns p + q.
+func (p Point2) Add(q Point2) Point2 { return Point2{p.X + q.X, p.Y + q.Y} }
+
+// Scale returns s*p.
+func (p Point2) Scale(s float64) Point2 { return Point2{s * p.X, s * p.Y} }
+
+// Dot returns the dot product of p and q.
+func (p Point2) Dot(q Point2) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Norm2 returns the squared Euclidean norm of p.
+func (p Point2) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point2) Dist2(q Point2) float64 { return p.Sub(q).Norm2() }
+
+// Polygon is a convex polygon with vertices in counterclockwise order.
+type Polygon []Point2
+
+// Square returns the axis-aligned square centered at c with half-side h,
+// vertices in counterclockwise order.
+func Square(c Point2, h float64) Polygon {
+	return Polygon{
+		{c.X - h, c.Y - h},
+		{c.X + h, c.Y - h},
+		{c.X + h, c.Y + h},
+		{c.X - h, c.Y + h},
+	}
+}
+
+// Area returns the polygon's area via the shoelace formula. The result is
+// non-negative for counterclockwise vertex order.
+func (poly Polygon) Area() float64 {
+	n := len(poly)
+	if n < 3 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		s += poly[i].X*poly[j].Y - poly[j].X*poly[i].Y
+	}
+	return s / 2
+}
+
+// Centroid returns the polygon's centroid. For degenerate polygons with
+// near-zero area it falls back to the vertex average.
+func (poly Polygon) Centroid() Point2 {
+	n := len(poly)
+	if n == 0 {
+		return Point2{}
+	}
+	a := poly.Area()
+	if math.Abs(a) < 1e-300 {
+		var c Point2
+		for _, p := range poly {
+			c = c.Add(p)
+		}
+		return c.Scale(1 / float64(n))
+	}
+	var cx, cy float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		cross := poly[i].X*poly[j].Y - poly[j].X*poly[i].Y
+		cx += (poly[i].X + poly[j].X) * cross
+		cy += (poly[i].Y + poly[j].Y) * cross
+	}
+	f := 1 / (6 * a)
+	return Point2{cx * f, cy * f}
+}
+
+// MaxDist2From returns the maximum squared distance from q to any vertex.
+func (poly Polygon) MaxDist2From(q Point2) float64 {
+	var m float64
+	for _, p := range poly {
+		if d := p.Dist2(q); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// HalfPlane represents the set of points p with N·p <= C.
+type HalfPlane struct {
+	N Point2  // outward normal
+	C float64 // offset
+}
+
+// Bisector returns the half-plane of points at least as close to a as to
+// b, i.e. {p : |p-a|^2 <= |p-b|^2}.
+func Bisector(a, b Point2) HalfPlane {
+	n := b.Sub(a)
+	mid := a.Add(b).Scale(0.5)
+	return HalfPlane{N: n, C: n.Dot(mid)}
+}
+
+// Contains reports whether p satisfies the half-plane constraint, with a
+// tolerance eps relative to the constraint scale.
+func (h HalfPlane) Contains(p Point2, eps float64) bool {
+	return h.N.Dot(p) <= h.C+eps
+}
+
+// ClipEps is the absolute tolerance used by Clip for on-boundary tests.
+// Coordinates in this codebase are O(1) (the unit torus), so a fixed
+// absolute epsilon is appropriate.
+const ClipEps = 1e-12
+
+// Clip intersects the convex polygon with the half-plane using the
+// Sutherland–Hodgman algorithm, returning the (possibly empty) result.
+// The input polygon must be convex with counterclockwise orientation;
+// convexity and orientation are preserved.
+func (poly Polygon) Clip(h HalfPlane) Polygon {
+	n := len(poly)
+	if n == 0 {
+		return nil
+	}
+	out := make(Polygon, 0, n+1)
+	prev := poly[n-1]
+	prevIn := h.Contains(prev, ClipEps)
+	for _, cur := range poly {
+		curIn := h.Contains(cur, ClipEps)
+		if curIn != prevIn {
+			// Edge crosses the boundary; compute intersection point.
+			d := cur.Sub(prev)
+			denom := h.N.Dot(d)
+			if denom != 0 {
+				t := (h.C - h.N.Dot(prev)) / denom
+				if t < 0 {
+					t = 0
+				} else if t > 1 {
+					t = 1
+				}
+				out = append(out, prev.Add(d.Scale(t)))
+			}
+		}
+		if curIn {
+			out = append(out, cur)
+		}
+		prev, prevIn = cur, curIn
+	}
+	if len(out) < 3 {
+		return nil
+	}
+	return out
+}
+
+// ContainsPoint reports whether q lies inside the convex CCW polygon
+// (boundary counts as inside, up to ClipEps).
+func (poly Polygon) ContainsPoint(q Point2) bool {
+	n := len(poly)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		e := poly[j].Sub(poly[i])
+		v := q.Sub(poly[i])
+		if e.X*v.Y-e.Y*v.X < -ClipEps {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,342 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geobalance/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFrac(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {0.25, 0.25}, {1, 0}, {1.75, 0.75}, {-0.25, 0.75}, {-2, 0}, {3.5, 0.5},
+	}
+	for _, c := range cases {
+		if got := Frac(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Frac(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFracRange(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		v := Frac(x)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingDist(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0}, {0, 0.5, 0.5}, {0.1, 0.9, 0.2}, {0.9, 0.1, 0.2}, {0.25, 0.75, 0.5},
+	}
+	for _, c := range cases {
+		if got := RingDist(c.a, c.b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("RingDist(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRingDistSymmetricBounded(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		a, b := r.Float64(), r.Float64()
+		d1, d2 := RingDist(a, b), RingDist(b, a)
+		if !almostEq(d1, d2, 1e-12) {
+			t.Fatalf("RingDist not symmetric: %v vs %v", d1, d2)
+		}
+		if d1 < 0 || d1 > 0.5 {
+			t.Fatalf("RingDist out of [0,1/2]: %v", d1)
+		}
+	}
+}
+
+func TestCCWDist(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0.25, 0.25}, {0.75, 0.25, 0.5}, {0.9, 0.1, 0.2}, {0.5, 0.5, 0},
+	}
+	for _, c := range cases {
+		if got := CCWDist(c.a, c.b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("CCWDist(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCCWDistComplement(t *testing.T) {
+	r := rng.New(2)
+	for i := 0; i < 10000; i++ {
+		a, b := r.Float64(), r.Float64()
+		if a == b {
+			continue
+		}
+		fwd, back := CCWDist(a, b), CCWDist(b, a)
+		if !almostEq(fwd+back, 1, 1e-9) {
+			t.Fatalf("CCWDist(%v,%v)+CCWDist(%v,%v) = %v, want 1", a, b, b, a, fwd+back)
+		}
+	}
+}
+
+func TestTorusDist(t *testing.T) {
+	cases := []struct {
+		a, b Vec
+		want float64
+	}{
+		{Vec{0, 0}, Vec{0, 0}, 0},
+		{Vec{0, 0}, Vec{0.5, 0}, 0.5},
+		{Vec{0.1, 0.1}, Vec{0.9, 0.9}, math.Sqrt(0.08)},
+		{Vec{0, 0}, Vec{0.5, 0.5}, math.Sqrt(0.5)},
+		{Vec{0.25}, Vec{0.5}, 0.25},
+	}
+	for _, c := range cases {
+		if got := TorusDist(c.a, c.b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("TorusDist(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTorusDistMetricProperties(t *testing.T) {
+	r := rng.New(3)
+	rand2 := func() Vec { return Vec{r.Float64(), r.Float64()} }
+	for i := 0; i < 5000; i++ {
+		a, b, c := rand2(), rand2(), rand2()
+		dab, dba := TorusDist(a, b), TorusDist(b, a)
+		if !almostEq(dab, dba, 1e-12) {
+			t.Fatal("not symmetric")
+		}
+		if dab > TorusDist(a, c)+TorusDist(c, b)+1e-9 {
+			t.Fatalf("triangle inequality violated: d(a,b)=%v > d(a,c)+d(c,b)=%v",
+				dab, TorusDist(a, c)+TorusDist(c, b))
+		}
+		if dab > math.Sqrt(0.5)+1e-12 {
+			t.Fatalf("distance %v exceeds torus diameter", dab)
+		}
+	}
+}
+
+func TestTorusDistDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	TorusDist(Vec{0}, Vec{0, 0})
+}
+
+func TestSquareAreaCentroid(t *testing.T) {
+	sq := Square(Point2{0.5, 0.5}, 0.25)
+	if got := sq.Area(); !almostEq(got, 0.25, 1e-12) {
+		t.Errorf("square area = %v, want 0.25", got)
+	}
+	c := sq.Centroid()
+	if !almostEq(c.X, 0.5, 1e-12) || !almostEq(c.Y, 0.5, 1e-12) {
+		t.Errorf("square centroid = %v, want (0.5, 0.5)", c)
+	}
+}
+
+func TestPolygonAreaTriangle(t *testing.T) {
+	tri := Polygon{{0, 0}, {1, 0}, {0, 1}}
+	if got := tri.Area(); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("triangle area = %v, want 0.5", got)
+	}
+}
+
+func TestPolygonAreaDegenerate(t *testing.T) {
+	if got := (Polygon{}).Area(); got != 0 {
+		t.Errorf("empty polygon area = %v", got)
+	}
+	if got := (Polygon{{0, 0}, {1, 1}}).Area(); got != 0 {
+		t.Errorf("2-vertex polygon area = %v", got)
+	}
+}
+
+func TestClipKeepsAll(t *testing.T) {
+	sq := Square(Point2{0, 0}, 1)
+	// Half-plane x <= 5 contains the whole square.
+	h := HalfPlane{N: Point2{1, 0}, C: 5}
+	got := sq.Clip(h)
+	if !almostEq(got.Area(), 4, 1e-12) {
+		t.Errorf("clip by non-binding half-plane changed area: %v", got.Area())
+	}
+}
+
+func TestClipRemovesAll(t *testing.T) {
+	sq := Square(Point2{0, 0}, 1)
+	h := HalfPlane{N: Point2{1, 0}, C: -5} // x <= -5: empty intersection
+	if got := sq.Clip(h); got != nil {
+		t.Errorf("clip to empty returned %v", got)
+	}
+}
+
+func TestClipHalf(t *testing.T) {
+	sq := Square(Point2{0, 0}, 1)
+	h := HalfPlane{N: Point2{1, 0}, C: 0} // x <= 0
+	got := sq.Clip(h)
+	if !almostEq(got.Area(), 2, 1e-9) {
+		t.Errorf("half clip area = %v, want 2", got.Area())
+	}
+	for _, p := range got {
+		if p.X > ClipEps {
+			t.Errorf("vertex %v violates clip constraint", p)
+		}
+	}
+}
+
+func TestClipByBisector(t *testing.T) {
+	a, b := Point2{0.25, 0.5}, Point2{0.75, 0.5}
+	sq := Square(Point2{0.5, 0.5}, 0.5)
+	cell := sq.Clip(Bisector(a, b))
+	if !almostEq(cell.Area(), 0.5, 1e-9) {
+		t.Errorf("bisector clip area = %v, want 0.5", cell.Area())
+	}
+	// Every vertex of the clipped cell is at least as close to a as to b.
+	for _, p := range cell {
+		if p.Dist2(a) > p.Dist2(b)+1e-9 {
+			t.Errorf("vertex %v closer to b than to a", p)
+		}
+	}
+}
+
+func TestClipSequenceConvex(t *testing.T) {
+	// Clipping by many random bisectors must keep area non-increasing and
+	// the site inside.
+	r := rng.New(4)
+	site := Point2{0.5, 0.5}
+	poly := Square(site, 0.5)
+	prev := poly.Area()
+	for i := 0; i < 50 && poly != nil; i++ {
+		other := Point2{r.Float64(), r.Float64()}
+		if other.Dist2(site) < 1e-9 {
+			continue
+		}
+		poly = poly.Clip(Bisector(site, other))
+		if poly == nil {
+			t.Fatal("cell containing its own site became empty")
+		}
+		a := poly.Area()
+		if a > prev+1e-9 {
+			t.Fatalf("area increased after clip: %v -> %v", prev, a)
+		}
+		if !poly.ContainsPoint(site) {
+			t.Fatal("site left its own cell")
+		}
+		prev = a
+	}
+}
+
+func TestBisectorContains(t *testing.T) {
+	a, b := Point2{0, 0}, Point2{1, 0}
+	h := Bisector(a, b)
+	if !h.Contains(a, ClipEps) {
+		t.Error("bisector half-plane must contain a")
+	}
+	if h.Contains(b, ClipEps) {
+		t.Error("bisector half-plane must not contain b")
+	}
+	if !h.Contains(Point2{0.5, 7}, 1e-9) {
+		t.Error("boundary point must be contained (within eps)")
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	sq := Square(Point2{0, 0}, 1)
+	if !sq.ContainsPoint(Point2{0, 0}) {
+		t.Error("center not contained")
+	}
+	if !sq.ContainsPoint(Point2{1, 1}) {
+		t.Error("corner not contained")
+	}
+	if sq.ContainsPoint(Point2{1.1, 0}) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestMaxDist2From(t *testing.T) {
+	sq := Square(Point2{0, 0}, 1)
+	if got := sq.MaxDist2From(Point2{0, 0}); !almostEq(got, 2, 1e-12) {
+		t.Errorf("MaxDist2From center = %v, want 2", got)
+	}
+}
+
+func TestClipQuickRandomHalfPlanes(t *testing.T) {
+	// Property: for any sequence of half-planes through random point
+	// pairs, clipping keeps area non-increasing, preserves convexity
+	// (every vertex satisfies all applied constraints), and never
+	// produces NaN coordinates.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		poly := Square(Point2{0.5, 0.5}, 0.5)
+		var applied []HalfPlane
+		prev := poly.Area()
+		for i := 0; i < 30; i++ {
+			a := Point2{r.Float64(), r.Float64()}
+			b := Point2{r.Float64(), r.Float64()}
+			if a.Dist2(b) < 1e-12 {
+				continue
+			}
+			h := Bisector(a, b)
+			poly = poly.Clip(h)
+			if poly == nil {
+				return true // clipped to empty: valid outcome
+			}
+			applied = append(applied, h)
+			area := poly.Area()
+			if area > prev+1e-9 || area < -1e-12 {
+				return false
+			}
+			prev = area
+			for _, p := range poly {
+				if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+					return false
+				}
+				for _, hh := range applied {
+					if !hh.Contains(p, 1e-7) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolygonCentroidInside(t *testing.T) {
+	// The centroid of a convex polygon lies inside it.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		poly := Square(Point2{0.5, 0.5}, 0.5)
+		for i := 0; i < 10 && poly != nil; i++ {
+			a := Point2{r.Float64(), r.Float64()}
+			b := Point2{r.Float64(), r.Float64()}
+			if a.Dist2(b) < 1e-12 {
+				continue
+			}
+			poly = poly.Clip(Bisector(a, b))
+		}
+		if poly == nil || poly.Area() < 1e-9 {
+			return true
+		}
+		return poly.ContainsPoint(poly.Centroid())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCentroidDegenerateFallback(t *testing.T) {
+	line := Polygon{{0, 0}, {1, 0}, {2, 0}}
+	c := line.Centroid()
+	if !almostEq(c.X, 1, 1e-9) || !almostEq(c.Y, 0, 1e-9) {
+		t.Errorf("degenerate centroid = %v, want (1,0)", c)
+	}
+}

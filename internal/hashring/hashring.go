@@ -1,0 +1,349 @@
+// Package hashring is the adoption-ready facade over the paper's
+// result: a consistent-hashing ring with power-of-d-choices placement,
+// in the style of production consistent-hash libraries but with the
+// paper's load balancing built in.
+//
+// Servers are identified by strings and hashed to ring positions (so
+// placement is a pure function of the membership set — no coordination
+// needed); keys are hashed with d salts and stored at the least-loaded
+// candidate successor. The ring tracks per-server load and exposes the
+// same Add/Remove/Place/Locate surface a cache or shard router needs.
+//
+// Relationship to the other packages: internal/ring + internal/core
+// study the process on *random real-valued* positions (the paper's
+// model); internal/chord adds overlay routing; this package is the
+// deployable library distillation — deterministic hashing, string IDs,
+// incremental membership, and d-choice placement with redirect-free
+// lookup (Locate re-derives the candidate set and picks the recorded
+// one).
+package hashring
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"geobalance/internal/rng"
+)
+
+// point is one position on the 64-bit hash ring.
+type point struct {
+	pos    uint64
+	server int32 // index into servers
+}
+
+// Ring is a consistent-hashing ring with d-choice placement. It is not
+// safe for concurrent use; wrap with a mutex for shared access.
+type Ring struct {
+	d        int
+	replicas int // ring positions per server ("virtual nodes"); 1 = paper's model
+	servers  []string
+	index    map[string]int32 // server name -> index
+	loads    []int64          // keys currently placed per server
+	caps     []float64        // per-server capacity (1 unless set)
+	dead     []bool           // removed servers keep their slot
+	points   []point          // sorted by pos
+	keys     map[string]keyRec
+}
+
+type keyRec struct {
+	salt   int8
+	server int32
+}
+
+// Option configures New.
+type Option func(*Ring) error
+
+// WithChoices sets the number of hash choices per key (default 2).
+func WithChoices(d int) Option {
+	return func(r *Ring) error {
+		if d < 1 {
+			return fmt.Errorf("hashring: need d >= 1, got %d", d)
+		}
+		r.d = d
+		return nil
+	}
+}
+
+// WithReplicas sets ring positions per server (default 1, the paper's
+// single-point model; production consistent hashing often uses more —
+// the Chord "virtual servers" remedy this library's d-choices makes
+// unnecessary, kept for comparison).
+func WithReplicas(k int) Option {
+	return func(r *Ring) error {
+		if k < 1 {
+			return fmt.Errorf("hashring: need replicas >= 1, got %d", k)
+		}
+		r.replicas = k
+		return nil
+	}
+}
+
+// New builds a ring over the given servers. Server names must be
+// non-empty and distinct.
+func New(servers []string, opts ...Option) (*Ring, error) {
+	r := &Ring{
+		d:        2,
+		replicas: 1,
+		index:    make(map[string]int32),
+		keys:     make(map[string]keyRec),
+	}
+	for _, opt := range opts {
+		if err := opt(r); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range servers {
+		if err := r.AddServer(s); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// hashString hashes a labeled string to a ring position with full
+// 64-bit diffusion (FNV-1a + SplitMix64 finalizer; see internal/chord
+// for why the finalizer matters).
+func hashString(label byte, salt int, s string) uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	buf[0] = label
+	binary.LittleEndian.PutUint64(buf[1:], uint64(salt)*0x9e3779b97f4a7c15)
+	h.Write(buf[:])
+	h.Write([]byte(s))
+	return rng.Mix64(h.Sum64())
+}
+
+// AddServer hashes a new server onto the ring. Keys whose candidate
+// successors change are NOT moved automatically; call Rebalance to
+// restore placement invariants (split so callers control when migration
+// cost is paid). Re-adding a removed server reuses its slot.
+func (r *Ring) AddServer(name string) error {
+	if name == "" {
+		return fmt.Errorf("hashring: empty server name")
+	}
+	if i, ok := r.index[name]; ok {
+		if !r.dead[i] {
+			return fmt.Errorf("hashring: duplicate server %q", name)
+		}
+		r.dead[i] = false
+		r.insertPoints(i, name)
+		return nil
+	}
+	i := int32(len(r.servers))
+	r.servers = append(r.servers, name)
+	r.loads = append(r.loads, 0)
+	r.caps = append(r.caps, 1)
+	r.dead = append(r.dead, false)
+	r.index[name] = i
+	r.insertPoints(i, name)
+	return nil
+}
+
+// SetCapacity declares a server's relative capacity (default 1); the
+// d-choice comparison then uses load/capacity, so a capacity-2 server
+// accepts twice the keys of a capacity-1 server before losing ties.
+func (r *Ring) SetCapacity(name string, capacity float64) error {
+	i, ok := r.index[name]
+	if !ok || r.dead[i] {
+		return fmt.Errorf("hashring: unknown server %q", name)
+	}
+	if !(capacity > 0) {
+		return fmt.Errorf("hashring: capacity %v must be positive", capacity)
+	}
+	r.caps[i] = capacity
+	return nil
+}
+
+// relLoad is the placement comparison key for server i.
+func (r *Ring) relLoad(i int32) float64 { return float64(r.loads[i]) / r.caps[i] }
+
+func (r *Ring) insertPoints(i int32, name string) {
+	for k := 0; k < r.replicas; k++ {
+		r.points = append(r.points, point{pos: hashString('s', k, name), server: i})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].pos < r.points[b].pos })
+}
+
+// RemoveServer takes a server off the ring. Its keys remain recorded
+// but orphaned until Rebalance reassigns them. Removing the last server
+// is an error.
+func (r *Ring) RemoveServer(name string) error {
+	i, ok := r.index[name]
+	if !ok || r.dead[i] {
+		return fmt.Errorf("hashring: unknown server %q", name)
+	}
+	if r.NumServers() == 1 {
+		return fmt.Errorf("hashring: cannot remove the last server")
+	}
+	r.dead[i] = true
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.server != i {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return nil
+}
+
+// NumServers returns the number of live servers.
+func (r *Ring) NumServers() int {
+	n := 0
+	for _, d := range r.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// successor returns the server owning ring position pos.
+func (r *Ring) successor(pos uint64) int32 {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].server
+}
+
+// candidates returns the d candidate servers of a key.
+func (r *Ring) candidates(key string) []int32 {
+	out := make([]int32, r.d)
+	for j := 0; j < r.d; j++ {
+		out[j] = r.successor(hashString('k', j, key))
+	}
+	return out
+}
+
+// Place assigns a key to the least-loaded of its d candidate servers
+// and returns the server name. Placing an already-placed key is an
+// error (keys are sticky; see Locate).
+func (r *Ring) Place(key string) (string, error) {
+	if len(r.points) == 0 {
+		return "", fmt.Errorf("hashring: no servers")
+	}
+	if _, dup := r.keys[key]; dup {
+		return "", fmt.Errorf("hashring: key %q already placed", key)
+	}
+	cands := r.candidates(key)
+	best := 0
+	for j := 1; j < len(cands); j++ {
+		if r.relLoad(cands[j]) < r.relLoad(cands[best]) {
+			best = j
+		}
+	}
+	s := cands[best]
+	r.loads[s]++
+	r.keys[key] = keyRec{salt: int8(best), server: s}
+	return r.servers[s], nil
+}
+
+// Locate returns the server currently holding a placed key.
+func (r *Ring) Locate(key string) (string, error) {
+	rec, ok := r.keys[key]
+	if !ok {
+		return "", fmt.Errorf("hashring: key %q not placed", key)
+	}
+	return r.servers[rec.server], nil
+}
+
+// Remove deletes a placed key.
+func (r *Ring) Remove(key string) error {
+	rec, ok := r.keys[key]
+	if !ok {
+		return fmt.Errorf("hashring: key %q not placed", key)
+	}
+	r.loads[rec.server]--
+	delete(r.keys, key)
+	return nil
+}
+
+// Rebalance restores the placement invariant after membership changes:
+// every key must live at the successor of its recorded hash choice; keys
+// on dead servers or captured arcs are re-placed at their least-loaded
+// current candidate. Returns the number of keys moved. Keys are
+// processed in sorted order for determinism.
+func (r *Ring) Rebalance() int {
+	names := make([]string, 0, len(r.keys))
+	for k := range r.keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	moved := 0
+	for _, key := range names {
+		rec := r.keys[key]
+		cur := r.successor(hashString('k', int(rec.salt), key))
+		if cur == rec.server && !r.dead[rec.server] {
+			continue
+		}
+		// The recorded candidate no longer resolves to the recorded
+		// server (join captured the arc, or the server left): re-run the
+		// choice among current candidates.
+		cands := r.candidates(key)
+		best := 0
+		for j := 1; j < len(cands); j++ {
+			if r.relLoad(cands[j]) < r.relLoad(cands[best]) {
+				best = j
+			}
+		}
+		r.loads[rec.server]--
+		rec.server = cands[best]
+		rec.salt = int8(best)
+		r.loads[rec.server]++
+		r.keys[key] = rec
+		moved++
+	}
+	return moved
+}
+
+// Loads returns a map of live server name to current key count.
+func (r *Ring) Loads() map[string]int64 {
+	out := make(map[string]int64, len(r.servers))
+	for i, name := range r.servers {
+		if !r.dead[i] {
+			out[name] = r.loads[i]
+		}
+	}
+	return out
+}
+
+// MaxLoad returns the largest key count over live servers.
+func (r *Ring) MaxLoad() int64 {
+	var m int64
+	for i, l := range r.loads {
+		if !r.dead[i] && l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// NumKeys returns the number of placed keys.
+func (r *Ring) NumKeys() int { return len(r.keys) }
+
+// CheckInvariants verifies internal consistency; exported for tests.
+func (r *Ring) CheckInvariants() error {
+	loads := make([]int64, len(r.servers))
+	for key, rec := range r.keys {
+		if r.dead[rec.server] {
+			return fmt.Errorf("key %q on dead server %q", key, r.servers[rec.server])
+		}
+		if got := r.successor(hashString('k', int(rec.salt), key)); got != rec.server {
+			return fmt.Errorf("key %q recorded on %q but hashes to %q",
+				key, r.servers[rec.server], r.servers[got])
+		}
+		loads[rec.server]++
+	}
+	for i := range loads {
+		if loads[i] != r.loads[i] {
+			return fmt.Errorf("server %q: recorded load %d, actual %d",
+				r.servers[i], r.loads[i], loads[i])
+		}
+	}
+	if !sort.SliceIsSorted(r.points, func(a, b int) bool { return r.points[a].pos < r.points[b].pos }) {
+		return fmt.Errorf("ring points unsorted")
+	}
+	return nil
+}

@@ -1,0 +1,390 @@
+package hashring
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"geobalance/internal/rng"
+)
+
+func serverNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("server-%03d", i)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]string{""}); err == nil {
+		t.Error("empty server name accepted")
+	}
+	if _, err := New([]string{"a", "a"}); err == nil {
+		t.Error("duplicate server accepted")
+	}
+	if _, err := New(nil, WithChoices(0)); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := New(nil, WithReplicas(0)); err == nil {
+		t.Error("replicas=0 accepted")
+	}
+}
+
+func TestPlaceOnEmptyRing(t *testing.T) {
+	r, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Place("k"); err == nil {
+		t.Error("placement on empty ring accepted")
+	}
+}
+
+func TestPlaceLocateRemove(t *testing.T) {
+	r, err := New(serverNames(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.Place("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Locate("hello")
+	if err != nil || got != s {
+		t.Fatalf("Locate = %q, %v; placed on %q", got, err, s)
+	}
+	if _, err := r.Place("hello"); err == nil {
+		t.Error("duplicate placement accepted")
+	}
+	if err := r.Remove("hello"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Locate("hello"); err == nil {
+		t.Error("Locate found a removed key")
+	}
+	if err := r.Remove("hello"); err == nil {
+		t.Error("double remove accepted")
+	}
+	if r.NumKeys() != 0 || r.MaxLoad() != 0 {
+		t.Fatal("ring not empty after removal")
+	}
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	// Placement is a pure function of membership + key history.
+	build := func() *Ring {
+		r, err := New(serverNames(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			if _, err := r.Place(fmt.Sprintf("key-%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r
+	}
+	a, b := build(), build()
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		la, _ := a.Locate(key)
+		lb, _ := b.Locate(key)
+		if la != lb {
+			t.Fatalf("placement not deterministic for %q: %q vs %q", key, la, lb)
+		}
+	}
+}
+
+func TestTwoChoicesBeatOneChoice(t *testing.T) {
+	maxLoad := func(d int) int64 {
+		r, err := New(serverNames(256), WithChoices(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4096; i++ {
+			if _, err := r.Place(fmt.Sprintf("key-%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r.MaxLoad()
+	}
+	one, two := maxLoad(1), maxLoad(2)
+	if two >= one {
+		t.Fatalf("d=2 max load %d not below d=1 %d", two, one)
+	}
+}
+
+func TestLoadsSumToKeys(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		n := 1 + rr.Intn(50)
+		m := rr.Intn(500)
+		r, err := New(serverNames(n), WithChoices(1+rr.Intn(3)))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			if _, err := r.Place(fmt.Sprintf("key-%d", i)); err != nil {
+				return false
+			}
+		}
+		var total int64
+		for _, l := range r.Loads() {
+			total += l
+		}
+		return total == int64(m) && r.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddServerThenRebalance(t *testing.T) {
+	r, err := New(serverNames(32), WithChoices(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 2048
+	for i := 0; i < m; i++ {
+		if _, err := r.Place(fmt.Sprintf("key-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.AddServer("newcomer"); err != nil {
+		t.Fatal(err)
+	}
+	moved := r.Rebalance()
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatalf("after join+rebalance: %v", err)
+	}
+	// With d=2 a join captures arcs for both hash functions: expected
+	// moved ~ d*m/(n+1) = 124; allow wide slack but insist on locality.
+	if moved < 1 || moved > 8*2*m/33 {
+		t.Fatalf("join moved %d keys; expected around %d", moved, 2*m/33)
+	}
+	if r.NumKeys() != m {
+		t.Fatal("keys lost")
+	}
+}
+
+func TestRemoveServerThenRebalance(t *testing.T) {
+	r, err := New(serverNames(32), WithChoices(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 2048
+	for i := 0; i < m; i++ {
+		if _, err := r.Place(fmt.Sprintf("key-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victimLoad := r.Loads()["server-007"]
+	if err := r.RemoveServer("server-007"); err != nil {
+		t.Fatal(err)
+	}
+	moved := r.Rebalance()
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatalf("after leave+rebalance: %v", err)
+	}
+	if int64(moved) < victimLoad {
+		t.Fatalf("moved %d < victim's %d keys", moved, victimLoad)
+	}
+	if r.NumKeys() != m {
+		t.Fatal("keys lost")
+	}
+	if _, ok := r.Loads()["server-007"]; ok {
+		t.Fatal("dead server still reported in Loads")
+	}
+}
+
+func TestRemoveValidation(t *testing.T) {
+	r, err := New(serverNames(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveServer("nope"); err == nil {
+		t.Error("unknown server removal accepted")
+	}
+	if err := r.RemoveServer("server-000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveServer("server-000"); err == nil {
+		t.Error("double removal accepted")
+	}
+	if err := r.RemoveServer("server-001"); err == nil {
+		t.Error("removing last server accepted")
+	}
+}
+
+func TestReAddServer(t *testing.T) {
+	r, err := New(serverNames(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveServer("server-002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddServer("server-002"); err != nil {
+		t.Fatalf("re-adding removed server: %v", err)
+	}
+	if r.NumServers() != 4 {
+		t.Fatalf("NumServers = %d", r.NumServers())
+	}
+	if err := r.AddServer("server-002"); err == nil {
+		t.Error("duplicate add accepted")
+	}
+}
+
+func TestReplicasSmoothD1(t *testing.T) {
+	// Classic result: more replicas smooth d=1 imbalance.
+	maxLoad := func(replicas int) int64 {
+		r, err := New(serverNames(128), WithChoices(1), WithReplicas(replicas))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4096; i++ {
+			if _, err := r.Place(fmt.Sprintf("key-%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r.MaxLoad()
+	}
+	if maxLoad(16) >= maxLoad(1) {
+		t.Fatalf("16 replicas (%d) did not beat 1 replica (%d)", maxLoad(16), maxLoad(1))
+	}
+}
+
+func TestChurnStorm(t *testing.T) {
+	r, err := New(serverNames(8), WithChoices(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := rng.New(42)
+	inserted, serverSeq := 0, 8
+	for step := 0; step < 50; step++ {
+		switch rr.Intn(3) {
+		case 0:
+			if err := r.AddServer(fmt.Sprintf("extra-%d", serverSeq)); err != nil {
+				t.Fatal(err)
+			}
+			serverSeq++
+			r.Rebalance()
+		case 1:
+			if r.NumServers() > 2 {
+				// Remove an arbitrary live server.
+				for name := range r.Loads() {
+					if err := r.RemoveServer(name); err != nil {
+						t.Fatal(err)
+					}
+					break
+				}
+				r.Rebalance()
+			}
+		case 2:
+			for k := 0; k < 25; k++ {
+				if _, err := r.Place(fmt.Sprintf("storm-%d", inserted)); err != nil {
+					t.Fatal(err)
+				}
+				inserted++
+			}
+		}
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	if r.NumKeys() != inserted {
+		t.Fatalf("keys = %d, inserted %d", r.NumKeys(), inserted)
+	}
+	for i := 0; i < inserted; i++ {
+		if _, err := r.Locate(fmt.Sprintf("storm-%d", i)); err != nil {
+			t.Fatalf("lost key storm-%d: %v", i, err)
+		}
+	}
+}
+
+func TestSetCapacityValidation(t *testing.T) {
+	r, err := New(serverNames(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetCapacity("nope", 2); err == nil {
+		t.Error("unknown server accepted")
+	}
+	if err := r.SetCapacity("server-000", 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if err := r.SetCapacity("server-000", -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if err := r.SetCapacity("server-000", 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityProportionalPlacement(t *testing.T) {
+	// Half the servers get capacity 3; with d=4 choices they should end
+	// up with roughly 3x the keys of the capacity-1 servers.
+	names := serverNames(64)
+	r, err := New(names, WithChoices(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		if i%2 == 1 {
+			if err := r.SetCapacity(name, 3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 64*40; i++ {
+		if _, err := r.Place(fmt.Sprintf("key-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var small, big int64
+	for i, name := range names {
+		l := r.Loads()[name]
+		if i%2 == 0 {
+			small += l
+		} else {
+			big += l
+		}
+	}
+	ratio := float64(big) / float64(small)
+	if ratio < 2.2 || ratio > 3.8 {
+		t.Fatalf("capacity-3 servers got %.2fx the keys; want ~3x", ratio)
+	}
+}
+
+func BenchmarkPlace(b *testing.B) {
+	r, err := New(serverNames(1024), WithChoices(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Place(fmt.Sprintf("bench-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRebalanceAfterJoin(b *testing.B) {
+	r, err := New(serverNames(256), WithChoices(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8192; i++ {
+		if _, err := r.Place(fmt.Sprintf("key-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.AddServer(fmt.Sprintf("join-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+		r.Rebalance()
+	}
+}

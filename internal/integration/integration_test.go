@@ -1,0 +1,257 @@
+// Package integration holds cross-module tests: each test wires several
+// subsystems together the way the experiments do and checks that the
+// composite behaves consistently (e.g. the Chord ring's arc statistics
+// match the continuous ring model, exact Voronoi weights plug into the
+// allocator's tie-breaking, and all three uniform-baseline
+// implementations agree).
+package integration
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"geobalance/internal/balls"
+	"geobalance/internal/chord"
+	"geobalance/internal/core"
+	"geobalance/internal/fluid"
+	"geobalance/internal/hashring"
+	"geobalance/internal/queueing"
+	"geobalance/internal/ring"
+	"geobalance/internal/rng"
+	"geobalance/internal/sim"
+	"geobalance/internal/stats"
+	"geobalance/internal/tailbound"
+	"geobalance/internal/torus"
+	"geobalance/internal/voronoi"
+)
+
+// TestTorusAreaTieBreaking runs the 2-D analogue of Table 3: exact
+// Voronoi areas feed the allocator's weight-based tie rules, and the
+// smaller-region rule must beat the larger-region rule on average.
+func TestTorusAreaTieBreaking(t *testing.T) {
+	const n, trials = 1 << 10, 25
+	mean := func(tie core.TieBreak) float64 {
+		var sum float64
+		for trial := 0; trial < trials; trial++ {
+			r := rng.NewStream(1, uint64(trial))
+			sp, err := torus.NewRandom(n, 2, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := voronoi.Compute(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sp.SetWeights(d.Areas()); err != nil {
+				t.Fatal(err)
+			}
+			a, err := core.New(sp, core.Config{D: 2, Tie: tie})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.PlaceN(n, r)
+			sum += float64(a.MaxLoad())
+		}
+		return sum / trials
+	}
+	smaller, larger := mean(core.TieSmaller), mean(core.TieLarger)
+	if smaller > larger {
+		t.Fatalf("torus smaller-tie mean %v worse than larger-tie %v", smaller, larger)
+	}
+}
+
+// TestChordArcsMatchRingModel: the Chord ring with v=1 is the paper's
+// ring model in 64-bit integer coordinates; the number of servers
+// owning arcs >= c/n must match the continuous model's E[N_c] = ne^-c.
+func TestChordArcsMatchRingModel(t *testing.T) {
+	const n, trials = 2048, 40
+	var chordCount, ringCount float64
+	const c = 3.0
+	for trial := 0; trial < trials; trial++ {
+		r := rng.NewStream(2, uint64(trial))
+		nw, err := chord.NewNetwork(chord.Config{PhysicalServers: n, VirtualFactor: 1}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range nw.ArcFraction() {
+			if f >= c/n {
+				chordCount++
+			}
+		}
+		sp, err := ring.NewRandom(n, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ringCount += float64(sp.CountArcsAtLeast(c / n))
+	}
+	chordMean := chordCount / trials
+	ringMean := ringCount / trials
+	want := n * math.Exp(-c)
+	for name, got := range map[string]float64{"chord": chordMean, "ring": ringMean} {
+		if math.Abs(got-want) > 0.1*want {
+			t.Errorf("%s mean arc count %v deviates from ne^-c = %v", name, got, want)
+		}
+	}
+}
+
+// TestUniformBaselinesAgree: three independent implementations of the
+// uniform d-choice process (balls.DChoices, core over UniformSpace, and
+// the fluid limit) must produce consistent load tails.
+func TestUniformBaselinesAgree(t *testing.T) {
+	const n = 1 << 15
+	r := rng.New(3)
+	loadsA, err := balls.DChoices(n, n, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := core.NewUniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(u, core.Config{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PlaceN(n, r)
+	loadsB := a.Loads()
+
+	tail, err := fluid.Solve(2, 1, 16, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		fa := float64(stats.BinsWithLoadAtLeast(loadsA, i)) / n
+		fb := float64(stats.BinsWithLoadAtLeast(loadsB, i)) / n
+		fl := tail.TailFrac(i)
+		tol := 6*math.Sqrt(fl*(1-fl)/n) + 0.01
+		if math.Abs(fa-fl) > tol {
+			t.Errorf("level %d: balls %v vs fluid %v", i, fa, fl)
+		}
+		if math.Abs(fb-fl) > tol {
+			t.Errorf("level %d: core-uniform %v vs fluid %v", i, fb, fl)
+		}
+	}
+}
+
+// TestHashRingMatchesCoreRing: the production facade and the research
+// model must land in the same max-load band for d=2, m=n.
+func TestHashRingMatchesCoreRing(t *testing.T) {
+	const n, trials = 1 << 10, 15
+	facade := stats.NewIntHist()
+	for trial := 0; trial < trials; trial++ {
+		servers := make([]string, n)
+		for i := range servers {
+			servers[i] = fmt.Sprintf("srv-%d-%d", trial, i)
+		}
+		hr, err := hashring.New(servers, hashring.WithChoices(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := hr.Place(fmt.Sprintf("key-%d-%d", trial, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		facade.Add(int(hr.MaxLoad()))
+	}
+	model, err := sim.Run(trials, 4, 0, sim.RingTrial(n, n, 2, core.TieRandom, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(facade.Mean() - model.Mean()); d > 1.0 {
+		t.Fatalf("facade mean max load %v vs model %v (diff %v)", facade.Mean(), model.Mean(), d)
+	}
+}
+
+// TestQueueStaticConsistency: the supermarket model at very low load
+// approaches the static one-shot placement — max queue stays at the
+// static two-choice level.
+func TestQueueStaticConsistency(t *testing.T) {
+	const n = 1 << 10
+	sp, err := ring.NewRandom(n, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := queueing.Run(sp, queueing.Config{Lambda: 0.3, D: 2, Warmup: 20, Horizon: 100}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxQueue > 6 {
+		t.Fatalf("low-load d=2 max queue %d; static level is ~4", res.MaxQueue)
+	}
+}
+
+// TestNuProfileRespectsArcBound ties the layered induction together end
+// to end on a live run: for the observed nu_i, the total arc length of
+// the nu_i fullest bins must respect Lemma 6's bound (which is exactly
+// how Theorem 1 uses it).
+func TestNuProfileRespectsArcBound(t *testing.T) {
+	const n = 1 << 14
+	r := rng.New(7)
+	sp, err := ring.NewRandom(n, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(sp, core.Config{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PlaceN(n, r)
+	loads := a.Loads()
+	lnn2 := int(math.Pow(math.Log(n), 2))
+	for i := 2; i <= a.MaxLoad(); i++ {
+		nu := stats.BinsWithLoadAtLeast(loads, i)
+		if nu < lnn2 || nu > n/64 {
+			continue // outside Lemma 6's validity range
+		}
+		// Total arc length of the bins with load >= i is at most the
+		// total length of the nu longest arcs, which Lemma 6 bounds.
+		var lengthOfLoaded float64
+		for j, l := range loads {
+			if int(l) >= i {
+				lengthOfLoaded += sp.Weight(j)
+			}
+		}
+		bound := tailbound.Lemma6SumBound(n, nu)
+		if lengthOfLoaded > bound {
+			t.Errorf("level %d: loaded-bin arc length %v exceeds Lemma 6 bound %v (nu=%d)",
+				i, lengthOfLoaded, bound, nu)
+		}
+	}
+}
+
+// TestEndToEndDeterminism: an entire multi-module experiment repeated
+// from the same seed is bit-identical.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() (int, float64, int) {
+		r := rng.New(99)
+		sp, err := torus.NewRandom(512, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := voronoi.Compute(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.SetWeights(d.Areas()); err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.New(sp, core.Config{D: 2, Tie: core.TieSmaller})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.PlaceN(512, r)
+		res, err := queueing.Run(sp, queueing.Config{Lambda: 0.5, D: 2, Warmup: 5, Horizon: 20}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.MaxLoad(), d.TotalArea(), res.Arrivals
+	}
+	m1, a1, q1 := run()
+	m2, a2, q2 := run()
+	if m1 != m2 || a1 != a2 || q1 != q2 {
+		t.Fatalf("end-to-end run not deterministic: (%d,%v,%d) vs (%d,%v,%d)",
+			m1, a1, q1, m2, a2, q2)
+	}
+}

@@ -1,0 +1,348 @@
+// Package queueing implements the dynamic counterpart of the paper's
+// allocation process: the "supermarket model" of Mitzenmacher's thesis
+// (the paper's reference [9]), generalized to geometric choice of
+// queues.
+//
+// Jobs arrive as a Poisson process of rate lambda*n; each job draws d
+// locations from the geometric space, resolves them to servers, joins
+// the shortest of the d queues (ties uniform), and receives Exp(1)
+// service, FCFS, one server per queue. In the classical uniform setting
+// the stationary tail is known exactly:
+//
+//	d = 1: s_i = lambda^i                    (n independent M/M/1 queues)
+//	d >= 2: s_i = lambda^{(d^i - 1)/(d - 1)}  (doubly exponential decay)
+//
+// where s_i is the fraction of servers with at least i jobs. The
+// simulator is event-driven (binary heap of departures + the next
+// arrival), tracks the time-averaged queue-length distribution after a
+// warmup period, and accepts any core.Space — so the package both
+// validates against the uniform fixed point and measures how the
+// geometric (arc/cell-proportional) choice distribution shifts the tail,
+// the dynamic analogue of the paper's Tables 1 and 2.
+package queueing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"geobalance/internal/core"
+	"geobalance/internal/rng"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Lambda is the arrival rate per server; stability requires
+	// 0 < Lambda < 1.
+	Lambda float64
+	// D is the number of queue choices per job (>= 1).
+	D int
+	// Warmup is the simulated time discarded before measuring
+	// (default 10 time units if zero).
+	Warmup float64
+	// Horizon is the simulated time of the measurement window
+	// (default 100 time units if zero).
+	Horizon float64
+	// MaxLevel caps the tracked queue-length histogram (default 64).
+	MaxLevel int
+}
+
+// Result holds the time-averaged statistics of the measurement window.
+type Result struct {
+	Lambda float64
+	D      int
+	// Tail[i] is the time-averaged fraction of servers with at least i
+	// jobs in queue (Tail[0] == 1).
+	Tail []float64
+	// MaxQueue is the largest queue length observed during measurement.
+	MaxQueue int
+	// Arrivals and Departures count events inside the full run.
+	Arrivals, Departures int
+	// MeanJobs is the time-averaged total number of jobs in the system
+	// divided by n (by Little's law, equals lambda times the mean
+	// sojourn time).
+	MeanJobs float64
+	// MeanSojourn is the mean time from arrival to departure over jobs
+	// that completed inside the measurement window. Little's law ties it
+	// to MeanJobs: MeanJobs = Lambda * MeanSojourn at stationarity.
+	MeanSojourn float64
+	// CompletedInWindow counts the jobs behind MeanSojourn.
+	CompletedInWindow int
+}
+
+// event is a scheduled departure.
+type event struct {
+	t      float64
+	server int32
+	seq    int32 // tie-break for deterministic ordering
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates the supermarket process over the given space and
+// returns the time-averaged statistics.
+func Run(space core.Space, cfg Config, r *rng.Rand) (*Result, error) {
+	if space == nil {
+		return nil, fmt.Errorf("queueing: nil space")
+	}
+	if cfg.Lambda <= 0 || cfg.Lambda >= 1 || math.IsNaN(cfg.Lambda) {
+		return nil, fmt.Errorf("queueing: lambda = %v outside (0, 1)", cfg.Lambda)
+	}
+	if cfg.D < 1 {
+		return nil, fmt.Errorf("queueing: need d >= 1, got %d", cfg.D)
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 10
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 100
+	}
+	if cfg.Warmup < 0 || cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("queueing: bad warmup %v / horizon %v", cfg.Warmup, cfg.Horizon)
+	}
+	if cfg.MaxLevel == 0 {
+		cfg.MaxLevel = 64
+	}
+	if cfg.MaxLevel < 1 {
+		return nil, fmt.Errorf("queueing: bad MaxLevel %d", cfg.MaxLevel)
+	}
+
+	n := space.NumBins()
+	qlen := make([]int32, n)
+	// Per-server FCFS queues of arrival times, for sojourn tracking.
+	arrivalQ := make([]fifo, n)
+	// levelCount[l] = number of servers with queue length exactly l
+	// (l capped at MaxLevel).
+	levelCount := make([]int64, cfg.MaxLevel+1)
+	levelCount[0] = int64(n)
+	// tailTime[i] accumulates time-weighted counts of servers with
+	// queue length >= i during the measurement window.
+	tailTime := make([]float64, cfg.MaxLevel+1)
+
+	res := &Result{Lambda: cfg.Lambda, D: cfg.D}
+	var (
+		depHeap    eventHeap
+		seq        int32
+		now        float64
+		lastT      float64
+		measured   bool
+		jobsArea   float64
+		jobs       int64
+		sojournSum float64
+	)
+	arrivalRate := cfg.Lambda * float64(n)
+	nextArrival := r.Exp() / arrivalRate
+	end := cfg.Warmup + cfg.Horizon
+
+	cap64 := func(l int32) int {
+		if int(l) > cfg.MaxLevel {
+			return cfg.MaxLevel
+		}
+		return int(l)
+	}
+	// advance moves simulated time to t, accumulating time-weighted
+	// level statistics while measuring.
+	advance := func(t float64) {
+		if measured {
+			dt := t - lastT
+			if dt > 0 {
+				cum := int64(0)
+				for l := cfg.MaxLevel; l >= 1; l-- {
+					cum += levelCount[l]
+					tailTime[l] += dt * float64(cum)
+				}
+				tailTime[0] += dt * float64(n)
+				jobsArea += dt * float64(jobs)
+			}
+		}
+		lastT = t
+		now = t
+	}
+
+	for {
+		var nextDep float64 = math.Inf(1)
+		if len(depHeap) > 0 {
+			nextDep = depHeap[0].t
+		}
+		nextT := math.Min(nextArrival, nextDep)
+		if nextT >= end {
+			advance(end)
+			break
+		}
+		if !measured && nextT >= cfg.Warmup {
+			// Start measuring exactly at the warmup boundary.
+			lastT = cfg.Warmup
+			measured = true
+		}
+		advance(nextT)
+
+		if nextArrival <= nextDep {
+			// Arrival: join the shortest of d geometric choices.
+			res.Arrivals++
+			best := space.ChooseBin(r)
+			ties := 1
+			for k := 1; k < cfg.D; k++ {
+				c := space.ChooseBin(r)
+				if c == best {
+					continue
+				}
+				switch {
+				case qlen[c] < qlen[best]:
+					best, ties = c, 1
+				case qlen[c] == qlen[best]:
+					ties++
+					if r.Intn(ties) == 0 {
+						best = c
+					}
+				}
+			}
+			levelCount[cap64(qlen[best])]--
+			qlen[best]++
+			levelCount[cap64(qlen[best])]++
+			arrivalQ[best].push(now)
+			jobs++
+			if measured && int(qlen[best]) > res.MaxQueue {
+				res.MaxQueue = int(qlen[best])
+			}
+			if qlen[best] == 1 {
+				seq++
+				heap.Push(&depHeap, event{t: now + r.Exp(), server: int32(best), seq: seq})
+			}
+			nextArrival = now + r.Exp()/arrivalRate
+		} else {
+			// Departure.
+			ev := heap.Pop(&depHeap).(event)
+			s := ev.server
+			res.Departures++
+			levelCount[cap64(qlen[s])]--
+			qlen[s]--
+			levelCount[cap64(qlen[s])]++
+			t0 := arrivalQ[s].pop()
+			if measured {
+				sojournSum += now - t0
+				res.CompletedInWindow++
+			}
+			jobs--
+			if qlen[s] > 0 {
+				seq++
+				heap.Push(&depHeap, event{t: now + r.Exp(), server: s, seq: seq})
+			}
+		}
+	}
+
+	res.Tail = make([]float64, cfg.MaxLevel+1)
+	for i := range res.Tail {
+		res.Tail[i] = tailTime[i] / (cfg.Horizon * float64(n))
+	}
+	res.MeanJobs = jobsArea / (cfg.Horizon * float64(n))
+	if res.CompletedInWindow > 0 {
+		res.MeanSojourn = sojournSum / float64(res.CompletedInWindow)
+	}
+	return res, nil
+}
+
+// fifo is a slice-backed FIFO of float64 with amortized O(1) push/pop.
+type fifo struct {
+	items []float64
+	head  int
+}
+
+func (f *fifo) push(x float64) { f.items = append(f.items, x) }
+
+func (f *fifo) pop() float64 {
+	x := f.items[f.head]
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.items) {
+		f.items = append(f.items[:0], f.items[f.head:]...)
+		f.head = 0
+	}
+	return x
+}
+
+// RingOneChoiceTail returns the large-n stationary tail of the
+// *geometric* d=1 supermarket on the ring: a server whose arc has
+// normalized length w (distributed Exp(1) in the limit) is an M/M/1
+// queue with utilization rho = lambda*w, so
+//
+//	s_i = E_w[ (lambda w)^i ] over the stable servers (lambda w < 1),
+//	      plus the unstable mass P(w >= 1/lambda), whose queues grow
+//	      without bound and contribute 1 to every level.
+//
+// The stable integral is lambda^i * gammaLower(i+1, 1/lambda). The
+// unstable mass e^{-1/lambda} (5.1% of servers at lambda = 0.9!) is the
+// analytic form of the local instability the E-QUE experiment measures:
+// no finite-time simulation converges for d=1 on the ring, which is
+// exactly why the paper's d >= 2 result matters for systems.
+func RingOneChoiceTail(lambda float64, i int) float64 {
+	if lambda <= 0 || lambda >= 1 {
+		panic("queueing: lambda outside (0,1)")
+	}
+	if i <= 0 {
+		return 1
+	}
+	unstable := math.Exp(-1 / lambda)
+	stable := math.Pow(lambda, float64(i)) * gammaLower(i+1, 1/lambda)
+	return stable + unstable
+}
+
+// gammaLower returns the (non-regularized) lower incomplete gamma
+// function gamma(k, x) = integral_0^x t^{k-1} e^{-t} dt for integer
+// k >= 1, via the everywhere-convergent series
+//
+//	gamma(k, x) = x^k e^{-x} sum_{m>=0} x^m / (k (k+1) ... (k+m)),
+//
+// which is numerically stable (all terms positive); the textbook
+// forward recurrence gamma(k+1,x) = k gamma(k,x) - x^k e^{-x} cancels
+// catastrophically for k beyond ~x.
+func gammaLower(k int, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// x^k e^{-x} in log space to avoid overflow for large k.
+	logPre := float64(k)*math.Log(x) - x
+	term := 1 / float64(k)
+	sum := term
+	for m := 1; m < 10000; m++ {
+		term *= x / float64(k+m)
+		sum += term
+		if term < sum*1e-17 {
+			break
+		}
+	}
+	return math.Exp(logPre + math.Log(sum))
+}
+
+// UniformTail returns the exact stationary tail of the uniform
+// supermarket model: s_i = lambda^{(d^i - 1)/(d - 1)} for d >= 2 and
+// s_i = lambda^i for d = 1.
+func UniformTail(lambda float64, d, levels int) []float64 {
+	out := make([]float64, levels+1)
+	out[0] = 1
+	for i := 1; i <= levels; i++ {
+		var exp float64
+		if d == 1 {
+			exp = float64(i)
+		} else {
+			exp = (math.Pow(float64(d), float64(i)) - 1) / float64(d-1)
+		}
+		out[i] = math.Pow(lambda, exp)
+	}
+	return out
+}

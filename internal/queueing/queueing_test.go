@@ -1,0 +1,423 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"geobalance/internal/core"
+	"geobalance/internal/ring"
+	"geobalance/internal/rng"
+)
+
+func uniformSpace(t testing.TB, n int) *core.UniformSpace {
+	t.Helper()
+	u, err := core.NewUniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestRunValidation(t *testing.T) {
+	u := uniformSpace(t, 8)
+	r := rng.New(1)
+	cases := []Config{
+		{Lambda: 0, D: 1},
+		{Lambda: 1, D: 1},
+		{Lambda: 1.5, D: 2},
+		{Lambda: math.NaN(), D: 2},
+		{Lambda: 0.5, D: 0},
+		{Lambda: 0.5, D: 2, Warmup: -1},
+		{Lambda: 0.5, D: 2, MaxLevel: -3},
+	}
+	for _, cfg := range cases {
+		if _, err := Run(u, cfg, r); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := Run(nil, Config{Lambda: 0.5, D: 1}, r); err == nil {
+		t.Error("nil space accepted")
+	}
+}
+
+func TestConservation(t *testing.T) {
+	u := uniformSpace(t, 64)
+	res, err := Run(u, Config{Lambda: 0.6, D: 2, Warmup: 5, Horizon: 50}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrivals <= 0 || res.Departures <= 0 {
+		t.Fatal("no traffic simulated")
+	}
+	// In-flight jobs at the end = arrivals - departures >= 0.
+	if res.Departures > res.Arrivals {
+		t.Fatalf("departures %d exceed arrivals %d", res.Departures, res.Arrivals)
+	}
+	// Arrival count near lambda * n * (warmup + horizon).
+	want := 0.6 * 64 * 55
+	if math.Abs(float64(res.Arrivals)-want) > 6*math.Sqrt(want) {
+		t.Fatalf("arrivals %d far from expected %v", res.Arrivals, want)
+	}
+}
+
+func TestTailMonotoneAndNormalized(t *testing.T) {
+	u := uniformSpace(t, 128)
+	res, err := Run(u, Config{Lambda: 0.7, D: 2, Warmup: 10, Horizon: 100}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Tail[0]-1) > 1e-9 {
+		t.Fatalf("Tail[0] = %v", res.Tail[0])
+	}
+	for i := 1; i < len(res.Tail); i++ {
+		if res.Tail[i] > res.Tail[i-1]+1e-12 {
+			t.Fatalf("tail not monotone at %d: %v > %v", i, res.Tail[i], res.Tail[i-1])
+		}
+		if res.Tail[i] < 0 {
+			t.Fatalf("negative tail at %d", i)
+		}
+	}
+	// Little's law-ish: mean jobs per server = sum of tail fractions.
+	var sum float64
+	for i := 1; i < len(res.Tail); i++ {
+		sum += res.Tail[i]
+	}
+	if math.Abs(sum-res.MeanJobs) > 1e-6 {
+		t.Fatalf("sum of tails %v != mean jobs %v", sum, res.MeanJobs)
+	}
+}
+
+// TestMM1Tail: with d=1 uniform each server is an independent M/M/1
+// queue; the stationary tail is lambda^i.
+func TestMM1Tail(t *testing.T) {
+	const lambda = 0.7
+	u := uniformSpace(t, 512)
+	res, err := Run(u, Config{Lambda: lambda, D: 1, Warmup: 50, Horizon: 400}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := UniformTail(lambda, 1, 6)
+	for i := 1; i <= 6; i++ {
+		// Time-average over 512 queues x 400 units; allow 10% relative
+		// plus small absolute slack.
+		if math.Abs(res.Tail[i]-want[i]) > 0.10*want[i]+0.005 {
+			t.Errorf("M/M/1 tail s_%d = %v, want %v", i, res.Tail[i], want[i])
+		}
+	}
+}
+
+// TestSupermarketFixedPoint: d=2 uniform matches the doubly exponential
+// fixed point lambda^{2^i - 1}.
+func TestSupermarketFixedPoint(t *testing.T) {
+	const lambda = 0.9
+	u := uniformSpace(t, 512)
+	res, err := Run(u, Config{Lambda: lambda, D: 2, Warmup: 80, Horizon: 400}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := UniformTail(lambda, 2, 4)
+	for i := 1; i <= 4; i++ {
+		if math.Abs(res.Tail[i]-want[i]) > 0.15*want[i]+0.01 {
+			t.Errorf("supermarket tail s_%d = %v, fixed point %v", i, res.Tail[i], want[i])
+		}
+	}
+}
+
+// TestTwoChoicesShortenQueues: the dynamic headline. In the uniform
+// model d=2 crushes the whole tail. In the geometric model the mid-tail
+// actually RISES with d=2 (queues equalize near rho = lambda instead of
+// being bimodal: idle small-arc servers plus exploding large-arc ones),
+// so the correct d=2 wins there are mean jobs and max queue — the
+// d=1 instability at large arcs is exactly the imbalance the paper's
+// static Table 1 shows.
+func TestTwoChoicesShortenQueues(t *testing.T) {
+	const lambda = 0.9
+	uni := uniformSpace(t, 256)
+	u1, err := Run(uni, Config{Lambda: lambda, D: 1, Warmup: 40, Horizon: 200}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Run(uni, Config{Lambda: lambda, D: 2, Warmup: 40, Horizon: 200}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.Tail[4] >= u1.Tail[4] {
+		t.Errorf("uniform: d=2 tail s_4 = %v not below d=1 %v", u2.Tail[4], u1.Tail[4])
+	}
+	if u2.MeanJobs >= u1.MeanJobs {
+		t.Errorf("uniform: d=2 mean jobs %v not below d=1 %v", u2.MeanJobs, u1.MeanJobs)
+	}
+
+	rs, err := ring.NewRandom(256, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := Run(rs, Config{Lambda: lambda, D: 1, Warmup: 40, Horizon: 200}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Run(rs, Config{Lambda: lambda, D: 2, Warmup: 40, Horizon: 200}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.MeanJobs >= g1.MeanJobs {
+		t.Errorf("ring: d=2 mean jobs %v not below d=1 %v", g2.MeanJobs, g1.MeanJobs)
+	}
+	if g2.MaxQueue >= g1.MaxQueue {
+		t.Errorf("ring: d=2 max queue %d not below d=1 %d", g2.MaxQueue, g1.MaxQueue)
+	}
+}
+
+// TestGeometricD1HeavierThanUniformD1: the non-uniform arc distribution
+// overloads large-arc servers, lengthening queues relative to uniform
+// M/M/1 — the dynamic analogue of the Table 1 d=1 column.
+func TestGeometricD1HeavierThanUniformD1(t *testing.T) {
+	const lambda = 0.7
+	rs, err := ring.NewRandom(512, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := Run(rs, Config{Lambda: lambda, D: 1, Warmup: 50, Horizon: 300}, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := Run(uniformSpace(t, 512), Config{Lambda: lambda, D: 1, Warmup: 50, Horizon: 300}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.MeanJobs <= uni.MeanJobs {
+		t.Fatalf("geometric d=1 mean jobs %v not above uniform %v", geo.MeanJobs, uni.MeanJobs)
+	}
+	if geo.MaxQueue <= uni.MaxQueue-2 {
+		t.Fatalf("geometric max queue %d implausibly below uniform %d", geo.MaxQueue, uni.MaxQueue)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	u := uniformSpace(t, 64)
+	a, err := Run(u, Config{Lambda: 0.8, D: 2, Warmup: 5, Horizon: 20}, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(u, Config{Lambda: 0.8, D: 2, Warmup: 5, Horizon: 20}, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Arrivals != b.Arrivals || a.Departures != b.Departures || a.MeanJobs != b.MeanJobs {
+		t.Fatal("simulation not deterministic for a fixed seed")
+	}
+}
+
+// TestLittlesLaw: MeanJobs = Lambda * MeanSojourn at stationarity, for
+// both d=1 (where the M/M/1 sojourn 1/(1-lambda) is known exactly) and
+// d=2.
+func TestLittlesLaw(t *testing.T) {
+	const lambda = 0.7
+	u := uniformSpace(t, 256)
+	for _, d := range []int{1, 2} {
+		res, err := Run(u, Config{Lambda: lambda, D: d, Warmup: 50, Horizon: 400}, rng.New(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CompletedInWindow == 0 {
+			t.Fatal("no completions measured")
+		}
+		little := lambda * res.MeanSojourn
+		if math.Abs(little-res.MeanJobs) > 0.05*res.MeanJobs+0.02 {
+			t.Errorf("d=%d: Little's law violated: lambda*W = %v vs L = %v", d, little, res.MeanJobs)
+		}
+		if d == 1 {
+			// M/M/1: W = 1/(1-lambda) = 3.333.
+			want := 1 / (1 - lambda)
+			if math.Abs(res.MeanSojourn-want) > 0.15*want {
+				t.Errorf("M/M/1 sojourn %v, want ~%v", res.MeanSojourn, want)
+			}
+		}
+	}
+}
+
+// TestSojournImprovesWithD: two choices shorten waiting time, not just
+// queue lengths.
+func TestSojournImprovesWithD(t *testing.T) {
+	const lambda = 0.9
+	u := uniformSpace(t, 256)
+	r1, err := Run(u, Config{Lambda: lambda, D: 1, Warmup: 50, Horizon: 300}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(u, Config{Lambda: lambda, D: 2, Warmup: 50, Horizon: 300}, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.MeanSojourn >= r1.MeanSojourn {
+		t.Fatalf("d=2 sojourn %v not below d=1 %v", r2.MeanSojourn, r1.MeanSojourn)
+	}
+}
+
+func TestUniformTailShape(t *testing.T) {
+	tail := UniformTail(0.5, 2, 5)
+	if tail[0] != 1 {
+		t.Fatal("s_0 != 1")
+	}
+	// d=2: exponents 1, 3, 7, 15, 31.
+	want := []float64{1, 0.5, 0.125, math.Pow(0.5, 7), math.Pow(0.5, 15), math.Pow(0.5, 31)}
+	for i, w := range want {
+		if math.Abs(tail[i]-w) > 1e-12 {
+			t.Fatalf("s_%d = %v, want %v", i, tail[i], w)
+		}
+	}
+	// d=1 is plain geometric.
+	t1 := UniformTail(0.5, 1, 3)
+	if t1[3] != 0.125 {
+		t.Fatalf("d=1 s_3 = %v", t1[3])
+	}
+}
+
+func TestGammaLower(t *testing.T) {
+	// gamma(1, x) = 1 - e^-x; gamma(2, x) = 1 - (1+x)e^-x.
+	for _, x := range []float64{0.5, 1, 2, 5} {
+		if got, want := gammaLower(1, x), 1-math.Exp(-x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("gamma(1,%v) = %v, want %v", x, got, want)
+		}
+		if got, want := gammaLower(2, x), 1-(1+x)*math.Exp(-x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("gamma(2,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// gamma(k, inf) -> (k-1)!.
+	if got := gammaLower(5, 100); math.Abs(got-24) > 1e-6 {
+		t.Errorf("gamma(5, 100) = %v, want 24", got)
+	}
+}
+
+func TestRingOneChoiceTailProperties(t *testing.T) {
+	const lambda = 0.7
+	if RingOneChoiceTail(lambda, 0) != 1 {
+		t.Error("s_0 != 1")
+	}
+	prev := 1.0
+	for i := 1; i <= 20; i++ {
+		s := RingOneChoiceTail(lambda, i)
+		if s > prev+1e-12 || s < 0 {
+			t.Fatalf("tail not monotone at %d: %v", i, s)
+		}
+		prev = s
+	}
+	// Deep tail converges (slowly, like 1/i — the near-critical servers
+	// with lambda*w just under 1) to the unstable mass e^{-1/lambda}.
+	mass := math.Exp(-1 / lambda)
+	deep := RingOneChoiceTail(lambda, 400)
+	if deep < mass || deep > mass+2.0/400 {
+		t.Errorf("deep tail %v, want in [%v, %v]", deep, mass, mass+2.0/400)
+	}
+	// Versus the uniform M/M/1 tail lambda^i: at level 1 the geometric
+	// tail is LIGHTER (the integrand is linear and truncation loses
+	// mass), but convexity takes over quickly and from level 3 on the
+	// geometric tail is strictly heavier — the dynamic footprint of the
+	// arc-length skew.
+	if RingOneChoiceTail(lambda, 1) >= lambda {
+		t.Error("level 1: geometric tail should be below uniform M/M/1")
+	}
+	for i := 3; i <= 12; i++ {
+		if RingOneChoiceTail(lambda, i) <= UniformTail(lambda, 1, i)[i] {
+			t.Errorf("level %d: geometric tail not above uniform M/M/1", i)
+		}
+	}
+}
+
+func TestRingOneChoiceTailVsSimulation(t *testing.T) {
+	// The early tail (dominated by stable servers) should match the
+	// finite-horizon simulation; deep levels are transient-dominated and
+	// excluded.
+	const lambda = 0.5 // low load: unstable mass e^{-2} but queues drain fast
+	rs, err := ring.NewRandom(1024, rng.New(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(rs, Config{Lambda: lambda, D: 1, Warmup: 60, Horizon: 300}, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		want := RingOneChoiceTail(lambda, i)
+		if math.Abs(res.Tail[i]-want) > 0.25*want {
+			t.Errorf("level %d: simulated %v vs analytic %v", i, res.Tail[i], want)
+		}
+	}
+}
+
+func TestRingOneChoiceTailPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lambda=1 did not panic")
+		}
+	}()
+	RingOneChoiceTail(1, 3)
+}
+
+func TestMaxLevelCapRespected(t *testing.T) {
+	u := uniformSpace(t, 4)
+	res, err := Run(u, Config{Lambda: 0.95, D: 1, Warmup: 2, Horizon: 30, MaxLevel: 5}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tail) != 6 {
+		t.Fatalf("tail length %d, want 6", len(res.Tail))
+	}
+}
+
+func TestFifoOrderAndCompaction(t *testing.T) {
+	var f fifo
+	// Interleave pushes and pops across the compaction threshold and
+	// check strict FIFO order throughout.
+	next, expect := 0.0, 0.0
+	r := rng.New(40)
+	live := 0
+	for step := 0; step < 10000; step++ {
+		if live == 0 || r.Intn(2) == 0 {
+			f.push(next)
+			next++
+			live++
+		} else {
+			if got := f.pop(); got != expect {
+				t.Fatalf("pop = %v, want %v (step %d)", got, expect, step)
+			}
+			expect++
+			live--
+		}
+	}
+	for live > 0 {
+		if got := f.pop(); got != expect {
+			t.Fatalf("drain pop = %v, want %v", got, expect)
+		}
+		expect++
+		live--
+	}
+}
+
+func BenchmarkSupermarketUniform(b *testing.B) {
+	u, err := core.NewUniform(1 << 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(u, Config{Lambda: 0.9, D: 2, Warmup: 1, Horizon: 10}, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSupermarketRing(b *testing.B) {
+	rs, err := ring.NewRandom(1<<10, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(rs, Config{Lambda: 0.9, D: 2, Warmup: 1, Horizon: 10}, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

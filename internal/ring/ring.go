@@ -1,0 +1,176 @@
+// Package ring implements the one-dimensional geometric space of the
+// paper's Theorem 1: n server sites placed independently and uniformly at
+// random on the boundary of a circle of circumference 1. Each site owns
+// the counterclockwise arc from itself to the next site; a location drawn
+// uniformly from the circle is assigned to the site whose arc contains it.
+//
+// This is exactly the consistent-hashing assignment rule used by Chord
+// (with "counterclockwise from the site" corresponding to "the key's
+// clockwise successor"), so the Space doubles as the load-balance model
+// for DHTs discussed in Section 1.1 of the paper.
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"geobalance/internal/rng"
+)
+
+// Space is a fixed set of server sites on the unit ring. It implements
+// the core.Space contract for point type float64.
+//
+// Bin j is the arc [site_j, site_{j+1 mod n}) in counterclockwise order,
+// so bin j's weight is the counterclockwise arc length from site j.
+type Space struct {
+	sites []float64 // sorted ascending, all in [0, 1)
+	arcs  []float64 // arcs[j] = CCW arc length owned by site j
+}
+
+// NewRandom places n sites independently and uniformly at random on the
+// ring, as in the paper's model. It returns an error if n < 1.
+func NewRandom(n int, r *rng.Rand) (*Space, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ring: need at least 1 site, got %d", n)
+	}
+	sites := make([]float64, n)
+	for i := range sites {
+		sites[i] = r.Float64()
+	}
+	return FromSites(sites)
+}
+
+// FromSites builds a Space from explicit site positions. Positions are
+// copied, reduced mod 1, and sorted. Duplicate positions are allowed
+// (the duplicate owns an empty arc), matching the continuous model where
+// ties occur with probability zero but must not crash.
+func FromSites(positions []float64) (*Space, error) {
+	if len(positions) == 0 {
+		return nil, errors.New("ring: no sites")
+	}
+	sites := make([]float64, len(positions))
+	for i, p := range positions {
+		sites[i] = frac(p)
+	}
+	sort.Float64s(sites)
+	n := len(sites)
+	arcs := make([]float64, n)
+	for j := 0; j < n-1; j++ {
+		arcs[j] = sites[j+1] - sites[j]
+	}
+	arcs[n-1] = 1 - sites[n-1] + sites[0]
+	if n == 1 {
+		arcs[0] = 1
+	}
+	return &Space{sites: sites, arcs: arcs}, nil
+}
+
+func frac(x float64) float64 {
+	f := x - float64(int(x))
+	if f < 0 {
+		f++
+	}
+	if f >= 1 {
+		f = 0
+	}
+	return f
+}
+
+// NumBins returns the number of sites (bins).
+func (s *Space) NumBins() int { return len(s.sites) }
+
+// Sample draws a location uniformly at random on the ring.
+func (s *Space) Sample(r *rng.Rand) float64 { return r.Float64() }
+
+// Locate returns the bin owning location u: the greatest site <= u,
+// wrapping to the last site when u precedes all sites.
+func (s *Space) Locate(u float64) int {
+	u = frac(u)
+	// sort.SearchFloat64s returns the first index with sites[i] >= u; the
+	// owner is the previous site (arc is [site_j, site_{j+1})).
+	i := sort.SearchFloat64s(s.sites, u)
+	if i < len(s.sites) && s.sites[i] == u {
+		return i // location coincides with a site: the site owns it
+	}
+	if i == 0 {
+		return len(s.sites) - 1 // wraps around past the last site
+	}
+	return i - 1
+}
+
+// Weight returns the arc length owned by bin j. Weights sum to 1.
+func (s *Space) Weight(j int) float64 { return s.arcs[j] }
+
+// Site returns the position of site j.
+func (s *Space) Site(j int) float64 { return s.sites[j] }
+
+// Sites returns the sorted site positions. The returned slice is shared;
+// callers must not modify it.
+func (s *Space) Sites() []float64 { return s.sites }
+
+// ArcLengths returns the per-bin arc lengths. The returned slice is
+// shared; callers must not modify it.
+func (s *Space) ArcLengths() []float64 { return s.arcs }
+
+// SortedArcsDesc returns a fresh copy of the arc lengths sorted in
+// decreasing order, for the Lemma 6 experiments on the longest arcs.
+func (s *Space) SortedArcsDesc() []float64 {
+	out := make([]float64, len(s.arcs))
+	copy(out, s.arcs)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// CountArcsAtLeast returns the number of arcs with length >= x
+// (the quantity N_c of Lemmas 4 and 5 with x = c/n).
+func (s *Space) CountArcsAtLeast(x float64) int {
+	count := 0
+	for _, a := range s.arcs {
+		if a >= x {
+			count++
+		}
+	}
+	return count
+}
+
+// TopArcSum returns the total length of the a longest arcs
+// (the quantity bounded by Lemma 6). It panics if a is out of range.
+func (s *Space) TopArcSum(a int) float64 {
+	if a < 0 || a > len(s.arcs) {
+		panic(fmt.Sprintf("ring: TopArcSum(%d) with %d arcs", a, len(s.arcs)))
+	}
+	sorted := s.SortedArcsDesc()
+	var sum float64
+	for _, v := range sorted[:a] {
+		sum += v
+	}
+	return sum
+}
+
+// ChooseBin draws a uniform location on the ring and returns its bin.
+// It implements core.Space.
+func (s *Space) ChooseBin(r *rng.Rand) int { return s.Locate(r.Float64()) }
+
+// ChooseBinIn draws a location uniformly from the kth of d equal strata
+// [k/d, (k+1)/d) of the ring and returns its bin. This is the stratified
+// choice generation of Vöcking's go-left variant as described in the
+// paper's remark after Theorem 1. It implements core.StratifiedSpace.
+func (s *Space) ChooseBinIn(r *rng.Rand, k, d int) int {
+	if d < 1 || k < 0 || k >= d {
+		panic(fmt.Sprintf("ring: ChooseBinIn stratum %d of %d", k, d))
+	}
+	u := (float64(k) + r.Float64()) / float64(d)
+	return s.Locate(u)
+}
+
+// MaxArc returns the length of the longest arc.
+func (s *Space) MaxArc() float64 {
+	var m float64
+	for _, a := range s.arcs {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}

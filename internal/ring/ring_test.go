@@ -1,0 +1,419 @@
+package ring
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"geobalance/internal/rng"
+)
+
+func TestNewRandomErrors(t *testing.T) {
+	if _, err := NewRandom(0, rng.New(1)); err == nil {
+		t.Error("NewRandom(0) succeeded")
+	}
+	if _, err := NewRandom(-5, rng.New(1)); err == nil {
+		t.Error("NewRandom(-5) succeeded")
+	}
+	if _, err := FromSites(nil); err == nil {
+		t.Error("FromSites(nil) succeeded")
+	}
+}
+
+func TestSingleSiteOwnsEverything(t *testing.T) {
+	s, err := FromSites([]float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumBins() != 1 {
+		t.Fatalf("NumBins = %d", s.NumBins())
+	}
+	if w := s.Weight(0); w != 1 {
+		t.Fatalf("Weight(0) = %v, want 1", w)
+	}
+	for _, u := range []float64{0, 0.1, 0.3, 0.7, 0.999} {
+		if got := s.Locate(u); got != 0 {
+			t.Errorf("Locate(%v) = %d, want 0", u, got)
+		}
+	}
+}
+
+func TestLocateKnownSites(t *testing.T) {
+	s, err := FromSites([]float64{0.2, 0.5, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		u    float64
+		want int
+	}{
+		{0.2, 0}, {0.3, 0}, {0.49999, 0},
+		{0.5, 1}, {0.6, 1}, {0.79, 1},
+		{0.8, 2}, {0.9, 2}, {0.0, 2}, {0.1, 2}, {0.19, 2},
+	}
+	for _, c := range cases {
+		if got := s.Locate(c.u); got != c.want {
+			t.Errorf("Locate(%v) = %d, want %d", c.u, got, c.want)
+		}
+	}
+}
+
+func TestArcLengthsKnown(t *testing.T) {
+	s, err := FromSites([]float64{0.2, 0.5, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.3, 0.3, 0.4}
+	for j, w := range want {
+		if got := s.Weight(j); math.Abs(got-w) > 1e-12 {
+			t.Errorf("Weight(%d) = %v, want %v", j, got, w)
+		}
+	}
+}
+
+func TestArcsSumToOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(1000)
+		s, err := NewRandom(n, r)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for j := 0; j < s.NumBins(); j++ {
+			sum += s.Weight(j)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocateMatchesBruteForce(t *testing.T) {
+	// Property: Locate(u) is the site with the largest position <= u
+	// (cyclically), equivalently u lies in [site_j, site_{j+1}).
+	r := rng.New(7)
+	s, err := NewRandom(257, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := s.Sites()
+	for i := 0; i < 20000; i++ {
+		u := r.Float64()
+		j := s.Locate(u)
+		// brute force
+		best, bestDist := -1, math.Inf(1)
+		for k, p := range sites {
+			d := u - p
+			if d < 0 {
+				d++
+			}
+			if d < bestDist {
+				best, bestDist = k, d
+			}
+		}
+		if j != best {
+			t.Fatalf("Locate(%v) = %d, brute force says %d", u, j, best)
+		}
+	}
+}
+
+func TestLocateWeightConsistent(t *testing.T) {
+	// Drawing many uniform locations, the empirical hit frequency of each
+	// bin must converge to its weight.
+	r := rng.New(8)
+	s, err := NewRandom(64, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 2_000_000
+	hits := make([]int, s.NumBins())
+	for i := 0; i < trials; i++ {
+		hits[s.Locate(r.Float64())]++
+	}
+	for j := range hits {
+		got := float64(hits[j]) / trials
+		want := s.Weight(j)
+		sigma := math.Sqrt(want * (1 - want) / trials)
+		if math.Abs(got-want) > 6*sigma+1e-9 {
+			t.Errorf("bin %d: empirical freq %v vs weight %v (6 sigma = %v)", j, got, want, 6*sigma)
+		}
+	}
+}
+
+func TestDuplicateSites(t *testing.T) {
+	s, err := FromSites([]float64{0.5, 0.5, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for j := 0; j < s.NumBins(); j++ {
+		sum += s.Weight(j)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("duplicate-site weights sum to %v", sum)
+	}
+	// One of the duplicates owns an empty arc.
+	zero := 0
+	for j := 0; j < s.NumBins(); j++ {
+		if s.Weight(j) == 0 {
+			zero++
+		}
+	}
+	if zero != 1 {
+		t.Fatalf("expected exactly 1 empty arc, got %d", zero)
+	}
+}
+
+func TestFromSitesNormalizesMod1(t *testing.T) {
+	s, err := FromSites([]float64{1.2, -0.5, 2.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2, 0.5, 0.8}
+	got := s.Sites()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("site %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortedArcsDesc(t *testing.T) {
+	r := rng.New(9)
+	s, err := NewRandom(100, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcs := s.SortedArcsDesc()
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(arcs))) {
+		t.Fatal("SortedArcsDesc not sorted descending")
+	}
+	if len(arcs) != 100 {
+		t.Fatalf("len = %d", len(arcs))
+	}
+	// Must be a permutation of ArcLengths (same sum).
+	var a, b float64
+	for _, v := range arcs {
+		a += v
+	}
+	for _, v := range s.ArcLengths() {
+		b += v
+	}
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("sorted arcs sum %v != raw sum %v", a, b)
+	}
+}
+
+func TestCountArcsAtLeast(t *testing.T) {
+	s, err := FromSites([]float64{0, 0.1, 0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// arcs: 0.1, 0.2, 0.3, 0.4
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 4}, {0.1, 4}, {0.15, 3}, {0.25, 2}, {0.35, 1}, {0.5, 0},
+	}
+	for _, c := range cases {
+		if got := s.CountArcsAtLeast(c.x); got != c.want {
+			t.Errorf("CountArcsAtLeast(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestTopArcSum(t *testing.T) {
+	s, err := FromSites([]float64{0, 0.1, 0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TopArcSum(0); got != 0 {
+		t.Errorf("TopArcSum(0) = %v", got)
+	}
+	if got := s.TopArcSum(2); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("TopArcSum(2) = %v, want 0.7", got)
+	}
+	if got := s.TopArcSum(4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("TopArcSum(4) = %v, want 1", got)
+	}
+}
+
+func TestTopArcSumPanics(t *testing.T) {
+	s, _ := FromSites([]float64{0, 0.5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TopArcSum out of range did not panic")
+		}
+	}()
+	s.TopArcSum(3)
+}
+
+func TestMaxArc(t *testing.T) {
+	s, err := FromSites([]float64{0, 0.1, 0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxArc(); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("MaxArc = %v, want 0.4", got)
+	}
+}
+
+// TestMaxArcOrderLogN checks the classical fact (used in Theorem 1's
+// conditioning) that the longest arc is Θ(log n / n): with n = 4096 the
+// max arc should essentially always lie in [ln(n)/4n, 4 ln(n)/n].
+func TestMaxArcOrderLogN(t *testing.T) {
+	const n = 4096
+	r := rng.New(10)
+	lo := math.Log(n) / (4 * n)
+	hi := 4 * math.Log(n) / n
+	for trial := 0; trial < 50; trial++ {
+		s, err := NewRandom(n, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := s.MaxArc()
+		if m < lo || m > hi {
+			t.Fatalf("trial %d: max arc %v outside [%v, %v]", trial, m, lo, hi)
+		}
+	}
+}
+
+// TestExpectedArcCountLemma4 checks E[N_c] <= n e^{-c}: the empirical
+// mean count of arcs >= c/n stays below the Lemma 4 expectation bound
+// (with a small sampling allowance).
+func TestExpectedArcCountLemma4(t *testing.T) {
+	const n = 2048
+	r := rng.New(11)
+	for _, c := range []float64{2, 4, 6} {
+		var total float64
+		const trials = 200
+		for i := 0; i < trials; i++ {
+			s, err := NewRandom(n, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(s.CountArcsAtLeast(c / n))
+		}
+		mean := total / trials
+		bound := n * math.Exp(-c)
+		if mean > bound*1.05 {
+			t.Errorf("c=%v: mean N_c = %v exceeds bound ne^{-c} = %v", c, mean, bound)
+		}
+	}
+}
+
+func TestChooseBinMatchesLocate(t *testing.T) {
+	r1, r2 := rng.New(20), rng.New(20)
+	s, err := NewRandom(100, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if got, want := s.ChooseBin(r1), s.Locate(r2.Float64()); got != want {
+			t.Fatalf("ChooseBin = %d, Locate = %d", got, want)
+		}
+	}
+}
+
+func TestChooseBinInStaysInStratum(t *testing.T) {
+	s, err := NewRandom(256, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(23)
+	for d := 2; d <= 4; d++ {
+		for k := 0; k < d; k++ {
+			for i := 0; i < 200; i++ {
+				bin := s.ChooseBinIn(r, k, d)
+				// The bin's arc must intersect the stratum [k/d, (k+1)/d):
+				// its start is at most the stratum end, and its end (start
+				// + weight, cyclically) at least the stratum start.
+				start := s.Site(bin)
+				end := start + s.Weight(bin)
+				lo, hi := float64(k)/float64(d), float64(k+1)/float64(d)
+				intersects := (start < hi && end > lo) || end > 1 && end-1 > lo && k == 0 ||
+					(bin == s.NumBins()-1 && (start < hi || end-1 > lo))
+				if !intersects {
+					t.Fatalf("stratum %d/%d produced bin %d with arc [%v, %v)", k, d, bin, start, end)
+				}
+			}
+		}
+	}
+}
+
+func TestChooseBinInPanics(t *testing.T) {
+	s, err := NewRandom(8, rng.New(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]int{{-1, 2}, {2, 2}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ChooseBinIn(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			s.ChooseBinIn(rng.New(1), bad[0], bad[1])
+		}()
+	}
+}
+
+func TestSampleUniform(t *testing.T) {
+	s, err := NewRandom(4, rng.New(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(26)
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		u := s.Sample(r)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Sample out of range: %v", u)
+		}
+		sum += u
+	}
+	if mean := sum / 10000; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Sample mean %v", mean)
+	}
+}
+
+func TestSiteAccessor(t *testing.T) {
+	s, err := FromSites([]float64{0.5, 0.2, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2, 0.5, 0.8}
+	for i, w := range want {
+		if s.Site(i) != w {
+			t.Errorf("Site(%d) = %v, want %v", i, s.Site(i), w)
+		}
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	r := rng.New(1)
+	s, err := NewRandom(1<<16, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Locate(r.Float64())
+	}
+	_ = sink
+}
+
+func BenchmarkNewRandom(b *testing.B) {
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRandom(1<<12, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

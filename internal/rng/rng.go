@@ -1,0 +1,234 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators for simulation work.
+//
+// The package exists (rather than using math/rand) for three reasons that
+// matter to the reproduction harness:
+//
+//  1. Reproducibility across trials: every trial of every experiment is
+//     seeded by a SplitMix64 hash of (experiment seed, trial index), so a
+//     single integer seed pins down an entire parameter sweep regardless
+//     of how trials are scheduled across goroutines.
+//  2. Stream independence: SplitMix64 is a strong 64-bit mixer, so seeds
+//     derived from consecutive trial indices yield statistically
+//     independent xoshiro256++ streams.
+//  3. Speed: placement experiments draw billions of uniforms; xoshiro256++
+//     is several times faster than the default math/rand source and has
+//     no locking.
+//
+// Rand is NOT safe for concurrent use; give each goroutine its own Rand.
+package rng
+
+import "math"
+
+// SplitMix64 advances the state and returns the next output of the
+// SplitMix64 generator (Steele, Lea, Flood 2014). It is used both as a
+// seed expander and as a hash of trial indices.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 returns a well-mixed hash of x. It is SplitMix64's finalizer and
+// is suitable for deriving independent seeds from structured inputs such
+// as (seed, trial) pairs.
+func Mix64(x uint64) uint64 {
+	z := x + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256++ pseudo-random generator (Blackman, Vigna 2019).
+// The zero value is not usable; construct with New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64, following the
+// seeding procedure recommended by the xoshiro authors.
+func New(seed uint64) *Rand {
+	var r Rand
+	r.Seed(seed)
+	return &r
+}
+
+// NewStream returns a generator for the given (seed, stream) pair. Streams
+// derived from the same seed but different stream indices are independent
+// for simulation purposes.
+func NewStream(seed, stream uint64) *Rand {
+	return New(Mix64(seed) ^ Mix64(stream^0xd1b54a32d192ed03))
+}
+
+// Seed resets the generator state deterministically from seed.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// A state of all zeros is the one forbidden state; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Jump advances the generator by 2^128 steps — equivalent to calling
+// Uint64 2^128 times — giving a guaranteed-disjoint subsequence. Use it
+// to carve one seeded generator into provably non-overlapping streams
+// (NewStream achieves independence statistically; Jump achieves it
+// algebraically).
+func (r *Rand) Jump() {
+	jump := [4]uint64{
+		0x180ec6d33cfd0aba, 0xd5a61266f0c9392c,
+		0xa9582618e03fc9aa, 0x39abdc4529b1661c,
+	}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				s0 ^= r.s[0]
+				s1 ^= r.s[1]
+				s2 ^= r.s[2]
+				s3 ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// It uses Lemire's nearly-divisionless bounded generation.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Lemire 2019: multiply-shift with rejection to remove modulo bias.
+	hi, lo := mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Perm returns a uniformly random permutation of [0, n) (Fisher–Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, as in math/rand.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Exp returns an exponentially distributed float64 with rate 1,
+// via inversion. Used by workload generators (e.g. Poisson thinning).
+func (r *Rand) Exp() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate via the polar
+// Box–Muller method. Used by the clustered (non-uniform) workloads.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Poisson returns a Poisson(lambda) variate. For small lambda it uses
+// Knuth's product method; for large lambda, the PTRS transformed
+// rejection method would be overkill here, so it falls back to
+// splitting lambda into chunks of at most 30.
+func (r *Rand) Poisson(lambda float64) int {
+	if lambda < 0 {
+		panic("rng: Poisson called with negative lambda")
+	}
+	n := 0
+	for lambda > 30 {
+		// Split: Poisson(a+b) = Poisson(a) + Poisson(b).
+		n += r.poissonKnuth(30)
+		lambda -= 30
+	}
+	return n + r.poissonKnuth(lambda)
+}
+
+func (r *Rand) poissonKnuth(lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,218 @@
+// Package sim is the experiment harness: it fans independent simulation
+// trials out across CPUs with deterministic per-trial seeding and
+// aggregates the per-trial maximum loads into the histograms the paper's
+// tables report.
+//
+// Every trial t of an experiment with master seed s draws its randomness
+// from rng.NewStream(s, t), so results are bit-reproducible regardless
+// of scheduling, worker count, or which subset of an experiment is
+// re-run.
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"geobalance/internal/core"
+	"geobalance/internal/ring"
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+	"geobalance/internal/torus"
+	"geobalance/internal/voronoi"
+)
+
+// TrialFunc runs one independent trial with the given generator and
+// returns the trial's metric (for the paper's tables: the maximum load).
+type TrialFunc func(r *rng.Rand) (int, error)
+
+// Run executes trials in parallel and returns the metric histogram.
+// workers <= 0 selects GOMAXPROCS. The first trial error aborts the run.
+func Run(trials int, seed uint64, workers int, trial TrialFunc) (*stats.IntHist, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("sim: need trials >= 1, got %d", trials)
+	}
+	if trial == nil {
+		return nil, fmt.Errorf("sim: nil trial function")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	var (
+		mu      sync.Mutex
+		next    int
+		hist    = stats.NewIntHist()
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := stats.NewIntHist()
+			for {
+				mu.Lock()
+				if firstEr != nil || next >= trials {
+					mu.Unlock()
+					break
+				}
+				t := next
+				next++
+				mu.Unlock()
+
+				r := rng.NewStream(seed, uint64(t))
+				v, err := trial(r)
+				if err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = fmt.Errorf("sim: trial %d: %w", t, err)
+					}
+					mu.Unlock()
+					break
+				}
+				local.Add(v)
+			}
+			mu.Lock()
+			hist.Merge(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return hist, nil
+}
+
+// RingTrial returns a TrialFunc for the paper's ring process: n sites
+// placed uniformly at random on the circle, m balls placed with d
+// choices and the given tie-break rule (stratified choice generation if
+// requested or required by the rule). The metric is the maximum load.
+func RingTrial(n, m, d int, tie core.TieBreak, stratified bool) TrialFunc {
+	return func(r *rng.Rand) (int, error) {
+		sp, err := ring.NewRandom(n, r)
+		if err != nil {
+			return 0, err
+		}
+		a, err := core.New(sp, core.Config{D: d, Tie: tie, Stratified: stratified})
+		if err != nil {
+			return 0, err
+		}
+		a.PlaceN(m, r)
+		return a.MaxLoad(), nil
+	}
+}
+
+// TorusTrial returns a TrialFunc for the torus process of Section 3: n
+// sites on the dim-dimensional unit torus, m balls with d choices. For
+// the weight-based tie rules (smaller/larger) the exact Voronoi areas
+// are computed per trial, which requires dim == 2.
+func TorusTrial(n, m, d, dim int, tie core.TieBreak) TrialFunc {
+	return func(r *rng.Rand) (int, error) {
+		sp, err := torus.NewRandom(n, dim, r)
+		if err != nil {
+			return 0, err
+		}
+		if tie == core.TieSmaller || tie == core.TieLarger {
+			if dim != 2 {
+				return 0, fmt.Errorf("sim: weight tie-break needs dim=2, got %d", dim)
+			}
+			diag, err := voronoi.ComputeParallel(sp, 1) // trial-level parallelism already saturates CPUs
+			if err != nil {
+				return 0, err
+			}
+			if err := sp.SetWeights(diag.Areas()); err != nil {
+				return 0, err
+			}
+		}
+		a, err := core.New(sp, core.Config{D: d, Tie: tie})
+		if err != nil {
+			return 0, err
+		}
+		a.PlaceN(m, r)
+		return a.MaxLoad(), nil
+	}
+}
+
+// UniformTrial returns a TrialFunc for the classical uniform-bin process
+// of Azar et al. — the baseline the geometric results are compared to.
+func UniformTrial(n, m, d int, tie core.TieBreak, stratified bool) TrialFunc {
+	return func(r *rng.Rand) (int, error) {
+		sp, err := core.NewUniform(n)
+		if err != nil {
+			return 0, err
+		}
+		a, err := core.New(sp, core.Config{D: d, Tie: tie, Stratified: stratified})
+		if err != nil {
+			return 0, err
+		}
+		a.PlaceN(m, r)
+		return a.MaxLoad(), nil
+	}
+}
+
+// Cell identifies one table cell (an (n, d, rule) combination) together
+// with its result histogram.
+type Cell struct {
+	Label string // row/column label, e.g. "n=2^12 d=2" or "arc-smaller"
+	N     int    // sites
+	M     int    // balls
+	D     int    // choices
+	Tie   core.TieBreak
+	Hist  *stats.IntHist
+}
+
+// WriteCellsCSV emits one row per (cell, observed max load) pair in a
+// machine-readable format: label,n,m,d,tie,value,count,pct. Cells with
+// nil histograms are skipped.
+func WriteCellsCSV(w io.Writer, cells []Cell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"label", "n", "m", "d", "tie", "maxload", "count", "pct"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if c.Hist == nil {
+			continue
+		}
+		for _, v := range c.Hist.Values() {
+			rec := []string{
+				c.Label,
+				strconv.Itoa(c.N),
+				strconv.Itoa(c.M),
+				strconv.Itoa(c.D),
+				c.Tie.String(),
+				strconv.Itoa(v),
+				strconv.Itoa(c.Hist.Count(v)),
+				strconv.FormatFloat(c.Hist.Pct(v), 'f', 3, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table runs a list of cells with a shared trial budget. Each cell is an
+// independent experiment; cell c uses master seed seed+c so that cells
+// are decorrelated but individually reproducible.
+func Table(cells []Cell, mk func(c Cell) TrialFunc, trials int, seed uint64, workers int) ([]Cell, error) {
+	out := make([]Cell, len(cells))
+	for i, c := range cells {
+		h, err := Run(trials, seed+uint64(i)*0x9e37, workers, mk(c))
+		if err != nil {
+			return nil, fmt.Errorf("sim: cell %q: %w", c.Label, err)
+		}
+		c.Hist = h
+		out[i] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"geobalance/internal/core"
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(0, 1, 1, func(r *rng.Rand) (int, error) { return 0, nil }); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	if _, err := Run(10, 1, 1, nil); err == nil {
+		t.Error("nil trial accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	trial := RingTrial(1<<10, 1<<10, 2, core.TieRandom, false)
+	h1, err := Run(50, 7, 4, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Run(50, 7, 1, trial) // different worker count, same seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Total() != h2.Total() {
+		t.Fatalf("totals differ: %d vs %d", h1.Total(), h2.Total())
+	}
+	for _, v := range h1.Values() {
+		if h1.Count(v) != h2.Count(v) {
+			t.Fatalf("histograms differ at %d: %d vs %d", v, h1.Count(v), h2.Count(v))
+		}
+	}
+}
+
+func TestRunSeedsMatter(t *testing.T) {
+	trial := RingTrial(1<<10, 1<<10, 1, core.TieRandom, false)
+	h1, err := Run(100, 1, 0, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Run(100, 2, 0, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for _, v := range h1.Values() {
+		if h1.Count(v) != h2.Count(v) {
+			same = false
+			break
+		}
+	}
+	if same && len(h1.Values()) == len(h2.Values()) {
+		t.Error("different seeds produced identical histograms (suspicious)")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var calls atomic.Int64
+	trial := func(r *rng.Rand) (int, error) {
+		if calls.Add(1) == 3 {
+			return 0, sentinel
+		}
+		return 1, nil
+	}
+	if _, err := Run(1000, 1, 4, trial); err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestRunAllTrialsCounted(t *testing.T) {
+	trial := func(r *rng.Rand) (int, error) { return int(r.Uint64() % 5), nil }
+	h, err := Run(777, 3, 8, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 777 {
+		t.Fatalf("histogram total %d, want 777", h.Total())
+	}
+}
+
+func TestRingTrialShape(t *testing.T) {
+	h, err := Run(40, 11, 0, RingTrial(1<<12, 1<<12, 2, core.TieRandom, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Min() < 3 || h.Max() > 7 {
+		t.Fatalf("ring d=2 n=2^12 max load in [%d, %d]; Table 1 says 4-6", h.Min(), h.Max())
+	}
+}
+
+func TestTorusTrialShape(t *testing.T) {
+	h, err := Run(15, 12, 0, TorusTrial(1<<12, 1<<12, 2, 2, core.TieRandom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Min() < 3 || h.Max() > 5 {
+		t.Fatalf("torus d=2 n=2^12 max load in [%d, %d]; Table 2 says 3-4", h.Min(), h.Max())
+	}
+}
+
+func TestTorusTrialWeightTie(t *testing.T) {
+	// Smaller-area tie-breaking computes exact Voronoi areas per trial.
+	h, err := Run(5, 13, 0, TorusTrial(1<<10, 1<<10, 2, 2, core.TieSmaller))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Min() < 2 || h.Max() > 5 {
+		t.Fatalf("torus d=2 smaller-tie max load in [%d, %d]", h.Min(), h.Max())
+	}
+}
+
+func TestTorusTrialWeightTieRejects3D(t *testing.T) {
+	if _, err := Run(2, 14, 1, TorusTrial(256, 256, 2, 3, core.TieSmaller)); err == nil {
+		t.Fatal("weight tie on 3-D torus accepted")
+	}
+}
+
+func TestUniformTrialShape(t *testing.T) {
+	h, err := Run(40, 15, 0, UniformTrial(1<<12, 1<<12, 2, core.TieRandom, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Min() < 3 || h.Max() > 5 {
+		t.Fatalf("uniform d=2 max load in [%d, %d]", h.Min(), h.Max())
+	}
+}
+
+func TestUniformGoLeft(t *testing.T) {
+	h, err := Run(30, 16, 0, UniformTrial(1<<12, 1<<12, 2, core.TieLeft, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Min() < 2 || h.Max() > 5 {
+		t.Fatalf("uniform go-left max load in [%d, %d]", h.Min(), h.Max())
+	}
+}
+
+func TestTable(t *testing.T) {
+	cells := []Cell{
+		{Label: "d=1", N: 512, M: 512, D: 1, Tie: core.TieRandom},
+		{Label: "d=2", N: 512, M: 512, D: 2, Tie: core.TieRandom},
+	}
+	out, err := Table(cells, func(c Cell) TrialFunc {
+		return RingTrial(c.N, c.M, c.D, c.Tie, false)
+	}, 30, 99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d cells", len(out))
+	}
+	for _, c := range out {
+		if c.Hist == nil || c.Hist.Total() != 30 {
+			t.Fatalf("cell %q: bad histogram", c.Label)
+		}
+	}
+	// d=2 must dominate d=1.
+	if out[1].Hist.Mean() >= out[0].Hist.Mean() {
+		t.Fatalf("d=2 mean %v not below d=1 mean %v", out[1].Hist.Mean(), out[0].Hist.Mean())
+	}
+}
+
+func TestWriteCellsCSV(t *testing.T) {
+	cells := []Cell{
+		{Label: "a", N: 10, M: 10, D: 2, Tie: core.TieRandom},
+		{Label: "skip-nil"},
+	}
+	h := statsHist(map[int]int{3: 7, 4: 3})
+	cells[0].Hist = h
+	var buf bytes.Buffer
+	if err := WriteCellsCSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + two value rows
+		t.Fatalf("CSV lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "label,n,m,d,tie") {
+		t.Errorf("bad header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "a,10,10,2,random,3,7,70.000") {
+		t.Errorf("bad row %q", lines[1])
+	}
+	r := csv.NewReader(&buf)
+	buf.WriteString(out)
+	if _, err := r.ReadAll(); err != nil {
+		t.Fatalf("output not valid CSV: %v", err)
+	}
+}
+
+func statsHist(counts map[int]int) *stats.IntHist {
+	h := stats.NewIntHist()
+	for v, c := range counts {
+		h.AddN(v, c)
+	}
+	return h
+}
+
+func TestTablePropagatesCellError(t *testing.T) {
+	cells := []Cell{{Label: "bad", N: 256, M: 256, D: 2}}
+	_, err := Table(cells, func(c Cell) TrialFunc {
+		return TorusTrial(c.N, c.M, c.D, 3, core.TieSmaller)
+	}, 2, 1, 1)
+	if err == nil {
+		t.Fatal("cell error not propagated")
+	}
+}

@@ -1,0 +1,105 @@
+// Chi-square goodness-of-fit machinery for the statistical tests that
+// compare simulated distributions against analytic predictions (fluid
+// limits, closed forms) or against each other.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareStat returns the Pearson chi-square statistic and degrees of
+// freedom for observed counts against expected counts. Categories with
+// expected count below minExpected are pooled into their neighbor to
+// keep the chi-square approximation valid (the usual rule of thumb is
+// minExpected = 5). The two slices must have equal nonzero length, and
+// the expected counts must sum to (approximately) the observed total.
+func ChiSquareStat(observed []int, expected []float64, minExpected float64) (stat float64, df int, err error) {
+	if len(observed) == 0 || len(observed) != len(expected) {
+		return 0, 0, fmt.Errorf("stats: observed/expected length mismatch %d vs %d",
+			len(observed), len(expected))
+	}
+	var obsTotal int
+	var expTotal float64
+	for i := range observed {
+		if observed[i] < 0 || expected[i] < 0 || math.IsNaN(expected[i]) {
+			return 0, 0, fmt.Errorf("stats: negative or NaN entry at %d", i)
+		}
+		obsTotal += observed[i]
+		expTotal += expected[i]
+	}
+	if obsTotal == 0 {
+		return 0, 0, fmt.Errorf("stats: no observations")
+	}
+	if math.Abs(expTotal-float64(obsTotal)) > 0.01*float64(obsTotal)+1 {
+		return 0, 0, fmt.Errorf("stats: expected total %v far from observed total %d", expTotal, obsTotal)
+	}
+	// Pool low-expectation categories left to right.
+	var cells int
+	var pooledObs float64
+	var pooledExp float64
+	flush := func() {
+		if pooledExp > 0 {
+			d := pooledObs - pooledExp
+			stat += d * d / pooledExp
+			cells++
+		}
+		pooledObs, pooledExp = 0, 0
+	}
+	for i := range observed {
+		pooledObs += float64(observed[i])
+		pooledExp += expected[i]
+		if pooledExp >= minExpected {
+			flush()
+		}
+	}
+	// Remaining tail mass joins the last cell: redo by merging into stat
+	// only if it meets the threshold, otherwise it should have been
+	// pooled with the previous cell — approximate by flushing anyway
+	// when anything remains.
+	flush()
+	if cells < 2 {
+		return 0, 0, fmt.Errorf("stats: fewer than 2 usable categories after pooling")
+	}
+	return stat, cells - 1, nil
+}
+
+// ChiSquareCritical returns the approximate upper critical value of the
+// chi-square distribution with df degrees of freedom at the given
+// significance level alpha (supported: 0.05, 0.01, 0.001), using the
+// Wilson–Hilferty cube approximation.
+func ChiSquareCritical(df int, alpha float64) (float64, error) {
+	if df < 1 {
+		return 0, fmt.Errorf("stats: df %d < 1", df)
+	}
+	var z float64
+	switch alpha {
+	case 0.05:
+		z = 1.6448536269514722
+	case 0.01:
+		z = 2.3263478740408408
+	case 0.001:
+		z = 3.090232306167813
+	default:
+		return 0, fmt.Errorf("stats: unsupported alpha %v (want 0.05, 0.01 or 0.001)", alpha)
+	}
+	k := float64(df)
+	// Wilson–Hilferty: X ~ k (1 - 2/(9k) + z sqrt(2/(9k)))^3.
+	t := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * t * t * t, nil
+}
+
+// ChiSquareTest reports whether the observed counts are consistent with
+// the expected counts at the given significance level (true = fail to
+// reject, i.e. consistent).
+func ChiSquareTest(observed []int, expected []float64, alpha float64) (bool, error) {
+	stat, df, err := ChiSquareStat(observed, expected, 5)
+	if err != nil {
+		return false, err
+	}
+	crit, err := ChiSquareCritical(df, alpha)
+	if err != nil {
+		return false, err
+	}
+	return stat <= crit, nil
+}

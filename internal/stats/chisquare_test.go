@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"geobalance/internal/rng"
+)
+
+func TestChiSquareStatValidation(t *testing.T) {
+	if _, _, err := ChiSquareStat(nil, nil, 5); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := ChiSquareStat([]int{1}, []float64{1, 2}, 5); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := ChiSquareStat([]int{-1, 2}, []float64{1, 2}, 5); err == nil {
+		t.Error("negative observed accepted")
+	}
+	if _, _, err := ChiSquareStat([]int{0, 0}, []float64{0, 0}, 5); err == nil {
+		t.Error("zero totals accepted")
+	}
+	if _, _, err := ChiSquareStat([]int{100, 100}, []float64{10, 10}, 5); err == nil {
+		t.Error("mismatched totals accepted")
+	}
+}
+
+func TestChiSquareStatExact(t *testing.T) {
+	// Hand-computed: obs (60, 40) vs exp (50, 50): chi2 = 100/50 + 100/50 = 4.
+	stat, df, err := ChiSquareStat([]int{60, 40}, []float64{50, 50}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df != 1 {
+		t.Fatalf("df = %d, want 1", df)
+	}
+	if math.Abs(stat-4) > 1e-12 {
+		t.Fatalf("stat = %v, want 4", stat)
+	}
+}
+
+func TestChiSquarePooling(t *testing.T) {
+	// Tiny expected cells must be pooled, reducing df.
+	obs := []int{50, 50, 1, 0, 1}
+	exp := []float64{50, 50, 0.5, 0.5, 1}
+	_, df, err := ChiSquareStat(obs, exp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df >= 4 {
+		t.Fatalf("df = %d; pooling did not reduce categories", df)
+	}
+}
+
+func TestChiSquareCritical(t *testing.T) {
+	// Known critical values: chi2(df=1, 0.05) = 3.841; (10, 0.05) = 18.307;
+	// (5, 0.01) = 15.086. Wilson–Hilferty is good to ~1%.
+	cases := []struct {
+		df    int
+		alpha float64
+		want  float64
+	}{
+		{1, 0.05, 3.841}, {10, 0.05, 18.307}, {5, 0.01, 15.086}, {20, 0.001, 45.315},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareCritical(c.df, c.alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 0.05*c.want {
+			t.Errorf("critical(df=%d, a=%v) = %v, want ~%v", c.df, c.alpha, got, c.want)
+		}
+	}
+	if _, err := ChiSquareCritical(0, 0.05); err == nil {
+		t.Error("df=0 accepted")
+	}
+	if _, err := ChiSquareCritical(5, 0.2); err == nil {
+		t.Error("unsupported alpha accepted")
+	}
+}
+
+func TestChiSquareTestAcceptsTrueDistribution(t *testing.T) {
+	// Sample from a known discrete distribution; the test must accept at
+	// alpha=0.001 in virtually every run (fixed seed: deterministic).
+	r := rng.New(7)
+	probs := []float64{0.5, 0.25, 0.15, 0.1}
+	const n = 100000
+	obs := make([]int, 4)
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		switch {
+		case u < 0.5:
+			obs[0]++
+		case u < 0.75:
+			obs[1]++
+		case u < 0.9:
+			obs[2]++
+		default:
+			obs[3]++
+		}
+	}
+	exp := make([]float64, 4)
+	for i, p := range probs {
+		exp[i] = p * n
+	}
+	ok, err := ChiSquareTest(obs, exp, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("chi-square rejected the true distribution")
+	}
+}
+
+func TestChiSquareTestRejectsWrongDistribution(t *testing.T) {
+	r := rng.New(8)
+	const n = 100000
+	obs := make([]int, 2)
+	for i := 0; i < n; i++ {
+		if r.Float64() < 0.55 { // true p = 0.55
+			obs[0]++
+		} else {
+			obs[1]++
+		}
+	}
+	exp := []float64{0.5 * n, 0.5 * n} // hypothesis p = 0.5
+	ok, err := ChiSquareTest(obs, exp, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("chi-square failed to reject a 5-point-off distribution at n=100000")
+	}
+}

@@ -1,0 +1,268 @@
+// Package stats provides the statistical machinery shared by the
+// simulation harness: integer histograms (the paper's tables report the
+// distribution of the maximum load across trials as "value ... percent"
+// rows), running summaries, and quantiles.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// IntHist is a histogram over integer outcomes (e.g. maximum load per
+// trial). The zero value is ready to use.
+type IntHist struct {
+	counts map[int]int
+	total  int
+}
+
+// NewIntHist returns an empty histogram.
+func NewIntHist() *IntHist { return &IntHist{counts: make(map[int]int)} }
+
+// Add records one observation of value v.
+func (h *IntHist) Add(v int) { h.AddN(v, 1) }
+
+// AddN records n observations of value v.
+func (h *IntHist) AddN(v, n int) {
+	if h.counts == nil {
+		h.counts = make(map[int]int)
+	}
+	h.counts[v] += n
+	h.total += n
+}
+
+// Merge adds all observations from other into h.
+func (h *IntHist) Merge(other *IntHist) {
+	for v, n := range other.counts {
+		h.AddN(v, n)
+	}
+}
+
+// Total returns the number of observations.
+func (h *IntHist) Total() int { return h.total }
+
+// Count returns the number of observations equal to v.
+func (h *IntHist) Count(v int) int { return h.counts[v] }
+
+// Pct returns the percentage of observations equal to v.
+func (h *IntHist) Pct(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return 100 * float64(h.counts[v]) / float64(h.total)
+}
+
+// Values returns the observed values in increasing order.
+func (h *IntHist) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Min returns the smallest observed value; it panics on an empty histogram.
+func (h *IntHist) Min() int {
+	vs := h.Values()
+	if len(vs) == 0 {
+		panic("stats: Min of empty histogram")
+	}
+	return vs[0]
+}
+
+// Max returns the largest observed value; it panics on an empty histogram.
+func (h *IntHist) Max() int {
+	vs := h.Values()
+	if len(vs) == 0 {
+		panic("stats: Max of empty histogram")
+	}
+	return vs[len(vs)-1]
+}
+
+// Mean returns the average observed value (0 for an empty histogram).
+func (h *IntHist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var s float64
+	for v, n := range h.counts {
+		s += float64(v) * float64(n)
+	}
+	return s / float64(h.total)
+}
+
+// Mode returns the most frequent value (ties broken toward the smaller
+// value); it panics on an empty histogram.
+func (h *IntHist) Mode() int {
+	if h.total == 0 {
+		panic("stats: Mode of empty histogram")
+	}
+	best, bestN := 0, -1
+	for _, v := range h.Values() {
+		if n := h.counts[v]; n > bestN {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the observations,
+// using the "lower value" convention on discrete data. It panics on an
+// empty histogram or out-of-range q.
+func (h *IntHist) Quantile(q float64) int {
+	if h.total == 0 {
+		panic("stats: Quantile of empty histogram")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	target := int(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
+	vs := h.Values()
+	for _, v := range vs {
+		cum += h.counts[v]
+		if cum >= target {
+			return v
+		}
+	}
+	return vs[len(vs)-1]
+}
+
+// PaperRows formats the histogram as the paper's tables do: one
+// "value : percent%" row per observed value, in increasing value order.
+func (h *IntHist) PaperRows() []string {
+	rows := make([]string, 0, len(h.counts))
+	for _, v := range h.Values() {
+		rows = append(rows, fmt.Sprintf("%3d ...... %5.1f%%", v, h.Pct(v)))
+	}
+	return rows
+}
+
+// String renders the PaperRows joined by newlines.
+func (h *IntHist) String() string { return strings.Join(h.PaperRows(), "\n") }
+
+// Summary accumulates running moments and extremes of float64 samples.
+// The zero value is ready to use.
+type Summary struct {
+	n        int
+	mean, m2 float64 // Welford running mean and sum of squared deviations
+	min, max float64
+}
+
+// Add records one sample.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of samples.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest sample; it panics with no samples.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		panic("stats: Min of empty summary")
+	}
+	return s.min
+}
+
+// Max returns the largest sample; it panics with no samples.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		panic("stats: Max of empty summary")
+	}
+	return s.max
+}
+
+// LoadHistogram returns counts[i] = number of bins with load exactly i,
+// for i in [0, max load].
+func LoadHistogram(loads []int32) []int {
+	maxLoad := int32(0)
+	for _, l := range loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	counts := make([]int, maxLoad+1)
+	for _, l := range loads {
+		counts[l]++
+	}
+	return counts
+}
+
+// MaxLoad returns the largest entry of loads (0 for empty input).
+func MaxLoad(loads []int32) int {
+	var m int32
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return int(m)
+}
+
+// BinsWithLoadAtLeast returns nu_i, the number of bins with load >= i —
+// the quantity the layered-induction proof of Theorem 1 tracks.
+func BinsWithLoadAtLeast(loads []int32, i int) int {
+	count := 0
+	for _, l := range loads {
+		if int(l) >= i {
+			count++
+		}
+	}
+	return count
+}
+
+// BallsWithHeightAtLeast returns mu_i, the number of balls of height
+// >= i. In a bin of final load L the balls have heights 1..L, so the bin
+// contributes max(L-i+1, 0).
+func BallsWithHeightAtLeast(loads []int32, i int) int {
+	count := 0
+	for _, l := range loads {
+		if v := int(l) - i + 1; v > 0 {
+			count += v
+		}
+	}
+	return count
+}
+
+// TotalLoad returns the sum of loads (must equal the number of balls).
+func TotalLoad(loads []int32) int {
+	var s int
+	for _, l := range loads {
+		s += int(l)
+	}
+	return s
+}

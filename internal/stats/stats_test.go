@@ -1,0 +1,276 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"geobalance/internal/rng"
+)
+
+func TestIntHistBasics(t *testing.T) {
+	h := NewIntHist()
+	if h.Total() != 0 {
+		t.Fatal("fresh histogram not empty")
+	}
+	h.Add(3)
+	h.Add(3)
+	h.Add(5)
+	h.AddN(4, 2)
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", h.Total())
+	}
+	if h.Count(3) != 2 || h.Count(4) != 2 || h.Count(5) != 1 || h.Count(99) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if got := h.Pct(3); math.Abs(got-40) > 1e-12 {
+		t.Fatalf("Pct(3) = %v, want 40", got)
+	}
+	if h.Min() != 3 || h.Max() != 5 {
+		t.Fatalf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-(3+3+4+4+5)/5.0) > 1e-12 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := h.Mode(); got != 3 { // tie between 3 and 4 broken toward smaller
+		t.Fatalf("Mode = %d, want 3", got)
+	}
+	want := []int{3, 4, 5}
+	got := h.Values()
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIntHistZeroValue(t *testing.T) {
+	var h IntHist
+	h.Add(7)
+	if h.Total() != 1 || h.Count(7) != 1 {
+		t.Fatal("zero-value histogram unusable")
+	}
+}
+
+func TestIntHistMerge(t *testing.T) {
+	a, b := NewIntHist(), NewIntHist()
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(3)
+	a.Merge(b)
+	if a.Total() != 4 || a.Count(2) != 2 {
+		t.Fatalf("merge wrong: total=%d count(2)=%d", a.Total(), a.Count(2))
+	}
+}
+
+func TestIntHistQuantile(t *testing.T) {
+	h := NewIntHist()
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	cases := []struct {
+		q    float64
+		want int
+	}{{0, 1}, {0.01, 1}, {0.5, 50}, {0.99, 99}, {1, 100}}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestIntHistQuantilePanics(t *testing.T) {
+	h := NewIntHist()
+	h.Add(1)
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", q)
+				}
+			}()
+			h.Quantile(q)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Quantile on empty did not panic")
+			}
+		}()
+		NewIntHist().Quantile(0.5)
+	}()
+}
+
+func TestEmptyHistPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Min":  func() { NewIntHist().Min() },
+		"Max":  func() { NewIntHist().Max() },
+		"Mode": func() { NewIntHist().Mode() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty histogram did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPaperRows(t *testing.T) {
+	h := NewIntHist()
+	h.AddN(3, 268)
+	h.AddN(4, 700)
+	h.AddN(5, 32)
+	rows := h.PaperRows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if !strings.Contains(rows[0], "3") || !strings.Contains(rows[0], "26.8%") {
+		t.Errorf("row 0 = %q", rows[0])
+	}
+	if !strings.Contains(h.String(), "70.0%") {
+		t.Errorf("String() = %q", h.String())
+	}
+}
+
+func TestPctSumsTo100(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		h := NewIntHist()
+		n := 1 + r.Intn(1000)
+		for i := 0; i < n; i++ {
+			h.Add(r.Intn(20))
+		}
+		var sum float64
+		for _, v := range h.Values() {
+			sum += h.Pct(v)
+		}
+		return math.Abs(sum-100) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", s.Var(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyPanics(t *testing.T) {
+	var s Summary
+	if s.Var() != 0 || s.Mean() != 0 {
+		t.Fatal("empty summary moments nonzero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min on empty summary did not panic")
+		}
+	}()
+	s.Min()
+}
+
+func TestSummaryMatchesDirect(t *testing.T) {
+	r := rng.New(5)
+	var s Summary
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 7
+		s.Add(xs[i])
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	v /= float64(len(xs) - 1)
+	if math.Abs(s.Mean()-mean) > 1e-9 {
+		t.Fatalf("Welford mean %v != direct %v", s.Mean(), mean)
+	}
+	if math.Abs(s.Var()-v) > 1e-6 {
+		t.Fatalf("Welford var %v != direct %v", s.Var(), v)
+	}
+}
+
+func TestLoadHistogram(t *testing.T) {
+	loads := []int32{0, 1, 1, 3}
+	h := LoadHistogram(loads)
+	want := []int{1, 2, 0, 1}
+	if len(h) != len(want) {
+		t.Fatalf("histogram %v", h)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("histogram %v, want %v", h, want)
+		}
+	}
+}
+
+func TestMaxLoad(t *testing.T) {
+	if MaxLoad(nil) != 0 {
+		t.Error("MaxLoad(nil) != 0")
+	}
+	if MaxLoad([]int32{1, 5, 2}) != 5 {
+		t.Error("MaxLoad wrong")
+	}
+}
+
+func TestNuMuIdentities(t *testing.T) {
+	// nu and mu relate by: mu_i = sum_{j >= i} nu_j, and mu_1 = total.
+	loads := []int32{0, 1, 2, 2, 5}
+	if got := BinsWithLoadAtLeast(loads, 1); got != 4 {
+		t.Errorf("nu_1 = %d, want 4", got)
+	}
+	if got := BinsWithLoadAtLeast(loads, 3); got != 1 {
+		t.Errorf("nu_3 = %d, want 1", got)
+	}
+	if got := BallsWithHeightAtLeast(loads, 1); got != 10 {
+		t.Errorf("mu_1 = %d, want 10 (= total balls)", got)
+	}
+	if got := BallsWithHeightAtLeast(loads, 3); got != 3 {
+		t.Errorf("mu_3 = %d, want 3", got)
+	}
+	for i := 1; i <= 6; i++ {
+		var sum int
+		for j := i; j <= 6; j++ {
+			sum += BinsWithLoadAtLeast(loads, j)
+		}
+		if got := BallsWithHeightAtLeast(loads, i); got != sum {
+			t.Errorf("mu_%d = %d, want sum of nu = %d", i, got, sum)
+		}
+	}
+}
+
+func TestTotalLoad(t *testing.T) {
+	if got := TotalLoad([]int32{1, 2, 3}); got != 6 {
+		t.Errorf("TotalLoad = %d", got)
+	}
+}

@@ -1,0 +1,319 @@
+package tailbound
+
+import (
+	"math"
+	"testing"
+
+	"geobalance/internal/core"
+	"geobalance/internal/ring"
+	"geobalance/internal/rng"
+)
+
+func TestChernoffFailureProb(t *testing.T) {
+	// exp(-np/3) with n=300, p=0.01 -> exp(-1).
+	if got := ChernoffFailureProb(300, 0.01); math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("ChernoffFailureProb = %v", got)
+	}
+	// Monotone decreasing in n.
+	if ChernoffFailureProb(1000, 0.01) >= ChernoffFailureProb(100, 0.01) {
+		t.Fatal("Chernoff bound not decreasing in n")
+	}
+}
+
+func TestLemma4Bounds(t *testing.T) {
+	n := 1024
+	if got, want := Lemma4CountBound(n, 4), 2*1024*math.Exp(-4); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Lemma4CountBound = %v, want %v", got, want)
+	}
+	// Failure probability decreases as c decreases (bigger expected count).
+	if Lemma4FailureProb(n, 2) >= Lemma4FailureProb(n, 8) {
+		t.Fatal("Lemma4FailureProb ordering wrong")
+	}
+	// Lemma 5 (martingale) is weaker than Lemma 4 (negative dependence).
+	for _, c := range []float64{2, 3, 4} {
+		if Lemma5FailureProb(n, c) < Lemma4FailureProb(n, c) {
+			t.Fatalf("c=%v: Lemma 5 bound stronger than Lemma 4", c)
+		}
+	}
+}
+
+func TestLemma6SumBound(t *testing.T) {
+	if got, want := Lemma6SumBound(1000, 100), 2*0.1*math.Log(10.0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Lemma6SumBound = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lemma6SumBound(10, 0) did not panic")
+		}
+	}()
+	Lemma6SumBound(10, 0)
+}
+
+func TestLemma9Bounds(t *testing.T) {
+	if got, want := Lemma9CountBound(100, 6), 12*100*math.Exp(-1.0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Lemma9CountBound = %v, want %v", got, want)
+	}
+	// The exact expectation 6n(1-c/6n)^{n-1} is below the e^{-c/6}
+	// relaxation up to the e^{c/6n} factor lost by the missing power
+	// ((1-x)^{n-1} <= e^{-x(n-1)}, not e^{-xn}).
+	for _, c := range []float64{6, 9, 12} {
+		if Lemma9ExpectedSubregions(1024, c) > 6*1024*math.Exp(-c/6)*math.Exp(c/(6*1024)) {
+			t.Fatalf("c=%v: exact expectation exceeds its relaxation", c)
+		}
+	}
+}
+
+func TestBetaRecursionTerminates(t *testing.T) {
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 24} {
+		for _, d := range []int{2, 3, 4} {
+			betas, iStar := BetaRecursion(n, d)
+			if len(betas) == 0 {
+				t.Fatalf("n=%d d=%d: empty sequence", n, d)
+			}
+			if iStar < 256 {
+				t.Fatalf("n=%d d=%d: iStar = %d < 256", n, d, iStar)
+			}
+			// The sequence must be strictly decreasing after the start.
+			for i := 1; i < len(betas); i++ {
+				if betas[i] >= betas[i-1] {
+					t.Fatalf("n=%d d=%d: beta not decreasing at %d: %v -> %v",
+						n, d, i, betas[i-1], betas[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBetaRecursionGrowsSlowlyInN(t *testing.T) {
+	// i* - 256 should grow like log log n / log d, so squaring the
+	// exponent of n (2^12 -> 2^24) adds only a constant number of levels
+	// and a further doubling (2^24 -> 2^26) adds at most one.
+	_, i12 := BetaRecursion(1<<12, 2)
+	_, i24 := BetaRecursion(1<<24, 2)
+	_, i26 := BetaRecursion(1<<26, 2)
+	if i24 < i12 {
+		t.Fatalf("bound decreased with n: %d -> %d", i12, i24)
+	}
+	if i24-i12 > 10 {
+		t.Fatalf("bound grew too fast: %d -> %d", i12, i24)
+	}
+	if i26-i24 > 1 {
+		t.Fatalf("one doubling of log n added %d levels", i26-i24)
+	}
+	// Larger d gives a smaller (or equal) stop level.
+	_, d2 := BetaRecursion(1<<20, 2)
+	_, d4 := BetaRecursion(1<<20, 4)
+	if d4 > d2 {
+		t.Fatalf("d=4 bound (%d) above d=2 bound (%d)", d4, d2)
+	}
+}
+
+func TestBetaRecursionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BetaRecursion(10, 1) did not panic")
+		}
+	}()
+	BetaRecursion(10, 1)
+}
+
+func TestTheoremMaxLoadBound(t *testing.T) {
+	b := TheoremMaxLoadBound(1<<16, 2)
+	if b < 258 || b > 300 {
+		t.Fatalf("TheoremMaxLoadBound(2^16, 2) = %d, expected 258..300", b)
+	}
+}
+
+func TestEmpiricalArcTailHolds(t *testing.T) {
+	res, err := EmpiricalArcTail(2048, 4, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCount <= 0 {
+		t.Fatal("no large arcs observed at c=4; implausible")
+	}
+	// Mean must respect E[N_c] <= n e^{-c} with sampling slack.
+	if res.MeanCount > 2048*math.Exp(-4)*1.1 {
+		t.Fatalf("mean count %v exceeds expectation bound %v", res.MeanCount, 2048*math.Exp(-4))
+	}
+	if !res.Holds() {
+		t.Fatalf("Lemma 4 empirical exceedance %v above bound %v", res.ExceedFrac, res.ProbBound)
+	}
+}
+
+func TestEmpiricalArcTailErrors(t *testing.T) {
+	if _, err := EmpiricalArcTail(100, 4, 0, 1); err == nil {
+		t.Fatal("trials=0 accepted")
+	}
+}
+
+func TestEmpiricalTopArcSumHolds(t *testing.T) {
+	// a in the Lemma 6 range: (ln n)^2 <= a <= n/64 with n=2^13: ln(n)^2
+	// ~ 81, n/64 = 128. Use a = 100.
+	res, err := EmpiricalTopArcSum(1<<13, 100, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExceedFrac > 0.02 {
+		t.Fatalf("Lemma 6 bound exceeded in %v of trials", res.ExceedFrac)
+	}
+	if res.MeanSum >= res.SumBound {
+		t.Fatalf("mean sum %v at or above bound %v", res.MeanSum, res.SumBound)
+	}
+	if res.MeanSum <= float64(res.A)/float64(res.N) {
+		t.Fatalf("mean top-arc sum %v below the uniform value a/n", res.MeanSum)
+	}
+}
+
+func TestEmpiricalTopArcSumErrors(t *testing.T) {
+	if _, err := EmpiricalTopArcSum(100, 0, 10, 1); err == nil {
+		t.Fatal("a=0 accepted")
+	}
+	if _, err := EmpiricalTopArcSum(100, 101, 10, 1); err == nil {
+		t.Fatal("a>n accepted")
+	}
+	if _, err := EmpiricalTopArcSum(100, 10, 0, 1); err == nil {
+		t.Fatal("trials=0 accepted")
+	}
+}
+
+func TestEmpiricalVoronoiTailHolds(t *testing.T) {
+	res, err := EmpiricalVoronoiTail(1024, 9, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 9's count bound 12ne^{-c/6} is loose; the empirical count
+	// must sit well below it.
+	if res.MeanCount >= res.CountBound {
+		t.Fatalf("mean count %v at or above Lemma 9 bound %v", res.MeanCount, res.CountBound)
+	}
+	if res.ExceedFrac != 0 {
+		t.Fatalf("Lemma 9 count bound exceeded in %v of trials", res.ExceedFrac)
+	}
+}
+
+func TestEmpiricalVoronoiTailMCErrors(t *testing.T) {
+	if _, err := EmpiricalVoronoiTailMC(100, 3, 6, 1000, 0, 1); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	if _, err := EmpiricalVoronoiTailMC(100, 3, 6, 50, 5, 1); err == nil {
+		t.Error("samples < n accepted")
+	}
+}
+
+func TestEmpiricalVoronoiTailMC3D(t *testing.T) {
+	// 3-D torus: the cell-volume tail decays at least as fast as in 2-D
+	// (region sizes concentrate harder in higher dimension), so the 2-D
+	// reference bound must hold with room to spare.
+	res, err := EmpiricalVoronoiTailMC(256, 3, 6, 100_000, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCount >= res.CountBound {
+		t.Fatalf("3-D mean count %v at or above 2-D reference bound %v", res.MeanCount, res.CountBound)
+	}
+	if res.ExceedFrac != 0 {
+		t.Fatalf("3-D count bound exceeded in %v of trials", res.ExceedFrac)
+	}
+}
+
+func TestMCMatchesExactIn2D(t *testing.T) {
+	// The Monte-Carlo tail counter agrees with the exact one in 2-D.
+	const n, c = 512, 2.0
+	mc, err := EmpiricalVoronoiTailMC(n, 2, c, 400_000, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := EmpiricalVoronoiTail(n, c, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seeds, same instances; MC noise moves borderline cells only.
+	if math.Abs(mc.MeanCount-exact.MeanCount) > 0.15*exact.MeanCount+2 {
+		t.Fatalf("MC mean count %v vs exact %v", mc.MeanCount, exact.MeanCount)
+	}
+}
+
+func TestNegativeDependenceErrors(t *testing.T) {
+	if _, err := EmpiricalNegativeDependence(100, 4, 1, 1); err == nil {
+		t.Error("trials=1 accepted")
+	}
+	if _, err := EmpiricalNegativeDependence(100, 0, 10, 1); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := EmpiricalNegativeDependence(100, 200, 10, 1); err == nil {
+		t.Error("c>n accepted")
+	}
+}
+
+func TestNegativeDependenceHolds(t *testing.T) {
+	// Lemma 3 empirically: variance of N_c below the independent value
+	// and pairwise moment at most p^2 (up to sampling error).
+	for _, c := range []float64{2, 4} {
+		res, err := EmpiricalNegativeDependence(2048, c, 400, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.VarianceReduced() {
+			t.Errorf("c=%v: Var(N_c) = %v above independent value %v", c, res.VarCount, res.IndepVar)
+		}
+		// Pairwise moment: allow a few standard errors of slack.
+		se := res.P * 4 / math.Sqrt(float64(res.Trials))
+		if res.PairwiseE > res.PairwiseBound+se {
+			t.Errorf("c=%v: E[ZiZj] = %v above p^2 = %v", c, res.PairwiseE, res.PairwiseBound)
+		}
+		// Mean matches n*p closely.
+		if math.Abs(res.MeanCount-float64(res.N)*res.P) > 6*math.Sqrt(res.IndepVar/float64(res.Trials)) {
+			t.Errorf("c=%v: mean %v far from np = %v", c, res.MeanCount, float64(res.N)*res.P)
+		}
+	}
+}
+
+func TestNegativeDependenceStrict(t *testing.T) {
+	// For small c (many long arcs) the negative dependence is strong
+	// enough that the empirical variance falls clearly below the
+	// independent value, not just within slack.
+	res, err := EmpiricalNegativeDependence(4096, 1, 600, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VarCount >= res.IndepVar {
+		t.Errorf("Var(N_c) = %v not strictly below independent %v", res.VarCount, res.IndepVar)
+	}
+}
+
+func TestNuBetaCheckShape(t *testing.T) {
+	r := rng.New(4)
+	const n = 1 << 12
+	sp, err := ring.NewRandom(n, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(sp, core.Config{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PlaceN(n, r)
+	nus := NuBetaCheck(a.Loads())
+	if len(nus) != a.MaxLoad() {
+		t.Fatalf("NuBetaCheck length %d != max load %d", len(nus), a.MaxLoad())
+	}
+	if nus[0] > n {
+		t.Fatal("nu_1 exceeds bin count")
+	}
+	// Doubly-exponential decay: the drop from nu_3 to nu_4 must be much
+	// sharper than from nu_2 to nu_3 (for d=2 at this n, nu_4 is a few
+	// bins at most while nu_3 is in the hundreds).
+	if len(nus) >= 3 && nus[1] > 0 {
+		r32 := float64(nus[2]) / float64(nus[1])
+		if r32 > 0.45 {
+			t.Errorf("nu_3/nu_2 = %v, expected decay", r32)
+		}
+		if len(nus) >= 4 && nus[2] > 0 {
+			r43 := float64(nus[3]) / float64(nus[2])
+			if r43 > r32 {
+				t.Errorf("decay not accelerating: nu4/nu3 = %v >= nu3/nu2 = %v", r43, r32)
+			}
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package torus implements the k-dimensional unit torus of Section 3 of
+// the paper: server sites placed uniformly at random in [0,1)^k with
+// wraparound, where each site owns its Voronoi cell (the set of locations
+// nearer to it than to any other site under the wraparound Euclidean
+// metric).
+//
+// Nearest-neighbor resolution uses a uniform grid index with roughly one
+// site per cell; queries expand over cell shells outward from the query
+// point until the current best distance certifies that no unexamined cell
+// can contain a closer site. For uniformly placed sites this gives O(1)
+// expected query time, which is what makes the paper's n = 2^20 torus
+// simulations tractable.
+package torus
+
+import (
+	"fmt"
+	"math"
+
+	"geobalance/internal/geom"
+	"geobalance/internal/rng"
+)
+
+// Space is a fixed set of server sites on the unit k-torus together with
+// a grid index for nearest-neighbor queries. It implements the core.Space
+// contract for point type geom.Vec.
+//
+// Cell areas (bin weights) are not computed by default — the basic
+// d-choice process does not need them. Call SetWeights (e.g. with exact
+// areas from the voronoi package) to enable weight-based tie-breaking;
+// until then Weight returns NaN.
+type Space struct {
+	dim     int
+	sites   []geom.Vec
+	weights []float64 // nil until SetWeights
+
+	// Grid index in CSR layout.
+	g         int     // cells per axis
+	cellWidth float64 // 1/g
+	start     []int32 // len g^dim+1; bucket boundaries
+	items     []int32 // site indices grouped by cell
+}
+
+// NewRandom places n sites independently and uniformly at random on the
+// dim-dimensional unit torus. dim must be at least 1 and n at least 1.
+func NewRandom(n, dim int, r *rng.Rand) (*Space, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("torus: need at least 1 site, got %d", n)
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("torus: dimension must be >= 1, got %d", dim)
+	}
+	sites := make([]geom.Vec, n)
+	flat := make([]float64, n*dim) // single allocation backing all sites
+	for i := range sites {
+		v := flat[i*dim : (i+1)*dim : (i+1)*dim]
+		for j := range v {
+			v[j] = r.Float64()
+		}
+		sites[i] = v
+	}
+	return FromSites(sites, dim)
+}
+
+// FromSitesGrid is FromSites with an explicit grid resolution
+// (cellsPerAxis), exposed for the index-density ablation benchmarks;
+// cellsPerAxis <= 0 selects the default (about one site per cell).
+func FromSitesGrid(sites []geom.Vec, dim, cellsPerAxis int) (*Space, error) {
+	sp, err := FromSites(sites, dim)
+	if err != nil {
+		return nil, err
+	}
+	if cellsPerAxis > 0 && cellsPerAxis != sp.g {
+		sp.g = cellsPerAxis
+		sp.cellWidth = 1 / float64(cellsPerAxis)
+		sp.rebuildCells()
+	}
+	return sp, nil
+}
+
+// FromSites builds a Space from explicit site positions. Every site must
+// have the given dimension with coordinates in [0, 1).
+func FromSites(sites []geom.Vec, dim int) (*Space, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("torus: no sites")
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("torus: dimension must be >= 1, got %d", dim)
+	}
+	for i, s := range sites {
+		if len(s) != dim {
+			return nil, fmt.Errorf("torus: site %d has dimension %d, want %d", i, len(s), dim)
+		}
+		for j, c := range s {
+			if c < 0 || c >= 1 || math.IsNaN(c) {
+				return nil, fmt.Errorf("torus: site %d coordinate %d = %v outside [0,1)", i, j, c)
+			}
+		}
+	}
+	sp := &Space{dim: dim, sites: sites}
+	sp.buildGrid()
+	return sp, nil
+}
+
+// buildGrid constructs the CSR grid with about one site per cell.
+func (s *Space) buildGrid() {
+	n := len(s.sites)
+	g := int(math.Round(math.Pow(float64(n), 1/float64(s.dim))))
+	if g < 1 {
+		g = 1
+	}
+	// Cap total cells to avoid pathological memory for high dim.
+	for pow(g, s.dim) > 4*n && g > 1 {
+		g--
+	}
+	s.g = g
+	s.cellWidth = 1 / float64(g)
+	s.rebuildCells()
+}
+
+// rebuildCells refills the CSR buckets for the current grid resolution.
+func (s *Space) rebuildCells() {
+	n := len(s.sites)
+	nc := pow(s.g, s.dim)
+	counts := make([]int32, nc+1)
+	cellOf := make([]int32, n)
+	for i, site := range s.sites {
+		c := s.cellIndex(site)
+		cellOf[i] = int32(c)
+		counts[c+1]++
+	}
+	for c := 0; c < nc; c++ {
+		counts[c+1] += counts[c]
+	}
+	s.start = counts
+	s.items = make([]int32, n)
+	cursor := make([]int32, nc)
+	for i := 0; i < n; i++ {
+		c := cellOf[i]
+		s.items[s.start[c]+cursor[c]] = int32(i)
+		cursor[c]++
+	}
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// cellIndex returns the flat grid cell index of point p.
+func (s *Space) cellIndex(p geom.Vec) int {
+	idx := 0
+	for j := 0; j < s.dim; j++ {
+		c := int(p[j] * float64(s.g))
+		if c >= s.g { // guard against p[j] == 1-ulp rounding up
+			c = s.g - 1
+		}
+		idx = idx*s.g + c
+	}
+	return idx
+}
+
+// NumBins returns the number of sites.
+func (s *Space) NumBins() int { return len(s.sites) }
+
+// Dim returns the torus dimension.
+func (s *Space) Dim() int { return s.dim }
+
+// Site returns the position of site i. The returned slice is shared.
+func (s *Space) Site(i int) geom.Vec { return s.sites[i] }
+
+// Sites returns all site positions. The returned slice is shared.
+func (s *Space) Sites() []geom.Vec { return s.sites }
+
+// Sample draws a location uniformly at random on the torus. The returned
+// vector is freshly allocated; hot loops should use SampleInto.
+func (s *Space) Sample(r *rng.Rand) geom.Vec {
+	v := make(geom.Vec, s.dim)
+	s.SampleInto(v, r)
+	return v
+}
+
+// SampleInto fills v with a uniform location. len(v) must equal Dim().
+func (s *Space) SampleInto(v geom.Vec, r *rng.Rand) {
+	for j := range v {
+		v[j] = r.Float64()
+	}
+}
+
+// Weight returns the Voronoi cell measure of bin i if weights have been
+// set (see SetWeights), else NaN.
+func (s *Space) Weight(i int) float64 {
+	if s.weights == nil {
+		return math.NaN()
+	}
+	return s.weights[i]
+}
+
+// SetWeights installs per-bin region measures (e.g. exact Voronoi areas).
+// len(w) must equal NumBins.
+func (s *Space) SetWeights(w []float64) error {
+	if len(w) != len(s.sites) {
+		return fmt.Errorf("torus: got %d weights for %d sites", len(w), len(s.sites))
+	}
+	s.weights = w
+	return nil
+}
+
+// HasWeights reports whether bin weights have been installed.
+func (s *Space) HasWeights() bool { return s.weights != nil }
+
+// Locate returns the index of the site nearest to p under the wraparound
+// Euclidean metric (ties broken toward the lower site index, an event of
+// probability zero in the continuous model).
+func (s *Space) Locate(p geom.Vec) int {
+	best, _ := s.Nearest(p)
+	return best
+}
+
+// Nearest returns the nearest site index and its squared distance to p.
+func (s *Space) Nearest(p geom.Vec) (int, float64) {
+	if len(p) != s.dim {
+		panic(fmt.Sprintf("torus: query dimension %d, want %d", len(p), s.dim))
+	}
+	best := -1
+	bestD2 := math.Inf(1)
+	// Coordinates of the query's grid cell per axis.
+	var homeArr [8]int
+	home := homeArr[:0]
+	for j := 0; j < s.dim; j++ {
+		c := int(p[j] * float64(s.g))
+		if c >= s.g {
+			c = s.g - 1
+		}
+		home = append(home, c)
+	}
+	maxShell := s.g // after g shells every cell has been visited
+	for shell := 0; shell <= maxShell; shell++ {
+		// Certification: any site in an unvisited cell (Chebyshev shell
+		// distance > shell) is at Euclidean distance at least
+		// (shell)*cellWidth - 0 from p... more precisely at least
+		// (shell-0)*w only holds measured from the home cell boundary, so
+		// use (shell-1)*w as the safe lower bound before scanning, and
+		// shell*w - w = (shell-1)*w after. We check before scanning shell:
+		// if best <= ((shell-1)*w)^2 we are done.
+		if best >= 0 {
+			lower := float64(shell-1) * s.cellWidth
+			if lower > 0 && bestD2 <= lower*lower {
+				break
+			}
+		}
+		s.scanShell(home, shell, p, &best, &bestD2)
+		if s.g == 1 {
+			break // single cell: everything scanned at shell 0
+		}
+	}
+	return best, bestD2
+}
+
+// scanShell visits all grid cells at Chebyshev offset exactly shell from
+// home (with wraparound) and updates the best site.
+func (s *Space) scanShell(home []int, shell int, p geom.Vec, best *int, bestD2 *float64) {
+	// Enumerate offsets in [-shell, shell]^dim with Chebyshev norm ==
+	// shell. When 2*shell+1 >= g the offsets wrap onto each other; the
+	// modular reduction below keeps correctness (cells may be scanned
+	// more than once across shells in that regime, which only costs time,
+	// and only occurs for tiny grids).
+	var offs [8]int
+	s.enumShell(home, offs[:0], shell, p, best, bestD2)
+}
+
+func (s *Space) enumShell(home, offs []int, shell int, p geom.Vec, best *int, bestD2 *float64) {
+	axis := len(offs)
+	if axis == s.dim {
+		hasExtreme := false
+		for _, o := range offs {
+			if o == shell || o == -shell {
+				hasExtreme = true
+				break
+			}
+		}
+		if !hasExtreme && shell > 0 {
+			return
+		}
+		idx := 0
+		for j := 0; j < s.dim; j++ {
+			c := (home[j] + offs[j]) % s.g
+			if c < 0 {
+				c += s.g
+			}
+			idx = idx*s.g + c
+		}
+		for _, si := range s.items[s.start[idx]:s.start[idx+1]] {
+			d2 := geom.TorusDist2(p, s.sites[si])
+			if d2 < *bestD2 || (d2 == *bestD2 && int(si) < *best) {
+				*best, *bestD2 = int(si), d2
+			}
+		}
+		return
+	}
+	// Prune: at least one axis must reach +/-shell; if no axis so far has
+	// and this is the last axis, restrict to the extremes.
+	for o := -shell; o <= shell; o++ {
+		s.enumShell(home, append(offs, o), shell, p, best, bestD2)
+	}
+}
+
+// ChooseBin draws a uniform location on the torus and returns its bin
+// (nearest site). It implements core.Space without heap allocation.
+func (s *Space) ChooseBin(r *rng.Rand) int {
+	var buf [8]float64
+	v := geom.Vec(buf[:s.dim])
+	for j := range v {
+		v[j] = r.Float64()
+	}
+	best, _ := s.Nearest(v)
+	return best
+}
+
+// ChooseBinIn draws a location uniformly from the kth of d equal-measure
+// strata of the torus (slabs along the first axis: x0 in [k/d, (k+1)/d))
+// and returns its bin. It implements core.StratifiedSpace, extending the
+// paper's go-left variant to the torus.
+func (s *Space) ChooseBinIn(r *rng.Rand, k, d int) int {
+	if d < 1 || k < 0 || k >= d {
+		panic(fmt.Sprintf("torus: ChooseBinIn stratum %d of %d", k, d))
+	}
+	var buf [8]float64
+	v := geom.Vec(buf[:s.dim])
+	v[0] = (float64(k) + r.Float64()) / float64(d)
+	for j := 1; j < s.dim; j++ {
+		v[j] = r.Float64()
+	}
+	best, _ := s.Nearest(v)
+	return best
+}
+
+// NearestBrute returns the nearest site by exhaustive scan. It exists for
+// property tests and tiny inputs.
+func (s *Space) NearestBrute(p geom.Vec) (int, float64) {
+	best := -1
+	bestD2 := math.Inf(1)
+	for i, site := range s.sites {
+		d2 := geom.TorusDist2(p, site)
+		if d2 < bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	return best, bestD2
+}
+
+// WithinRadius appends to dst the indices of all sites within Euclidean
+// distance r of p (wraparound metric) and returns the extended slice.
+// The order of results is unspecified.
+func (s *Space) WithinRadius(p geom.Vec, r float64, dst []int) []int {
+	if len(p) != s.dim {
+		panic(fmt.Sprintf("torus: query dimension %d, want %d", len(p), s.dim))
+	}
+	if r < 0 {
+		return dst
+	}
+	r2 := r * r
+	// Number of cells to extend in each direction so that every cell
+	// intersecting the r-ball is covered.
+	reach := int(math.Ceil(r/s.cellWidth)) + 1
+	if 2*reach+1 >= s.g {
+		// Ball covers (essentially) the whole grid: scan everything once.
+		for i, site := range s.sites {
+			if geom.TorusDist2(p, site) <= r2 {
+				dst = append(dst, i)
+			}
+		}
+		return dst
+	}
+	var homeArr [8]int
+	home := homeArr[:0]
+	for j := 0; j < s.dim; j++ {
+		c := int(p[j] * float64(s.g))
+		if c >= s.g {
+			c = s.g - 1
+		}
+		home = append(home, c)
+	}
+	var offs [8]int
+	return s.enumBall(home, offs[:0], reach, p, r2, dst)
+}
+
+func (s *Space) enumBall(home, offs []int, reach int, p geom.Vec, r2 float64, dst []int) []int {
+	axis := len(offs)
+	if axis == s.dim {
+		idx := 0
+		for j := 0; j < s.dim; j++ {
+			c := (home[j] + offs[j]) % s.g
+			if c < 0 {
+				c += s.g
+			}
+			idx = idx*s.g + c
+		}
+		for _, si := range s.items[s.start[idx]:s.start[idx+1]] {
+			if geom.TorusDist2(p, s.sites[si]) <= r2 {
+				dst = append(dst, int(si))
+			}
+		}
+		return dst
+	}
+	for o := -reach; o <= reach; o++ {
+		dst = s.enumBall(home, append(offs, o), reach, p, r2, dst)
+	}
+	return dst
+}
+
+// GridCellsPerAxis returns the grid resolution, exposed for the ablation
+// benchmarks on index density.
+func (s *Space) GridCellsPerAxis() int { return s.g }

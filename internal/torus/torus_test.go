@@ -1,0 +1,425 @@
+package torus
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"geobalance/internal/geom"
+	"geobalance/internal/rng"
+)
+
+func TestFromSitesValidation(t *testing.T) {
+	if _, err := FromSites(nil, 2); err == nil {
+		t.Error("empty sites accepted")
+	}
+	if _, err := FromSites([]geom.Vec{{0.5}}, 2); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := FromSites([]geom.Vec{{0.5, 1.5}}, 2); err == nil {
+		t.Error("coordinate out of range accepted")
+	}
+	if _, err := FromSites([]geom.Vec{{0.5, math.NaN()}}, 2); err == nil {
+		t.Error("NaN coordinate accepted")
+	}
+	if _, err := NewRandom(0, 2, rng.New(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewRandom(10, 0, rng.New(1)); err == nil {
+		t.Error("dim=0 accepted")
+	}
+}
+
+func TestSingleSite(t *testing.T) {
+	s, err := FromSites([]geom.Vec{{0.3, 0.7}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 100; i++ {
+		if got := s.Locate(s.Sample(r)); got != 0 {
+			t.Fatalf("Locate = %d with a single site", got)
+		}
+	}
+}
+
+func TestNearestMatchesBrute2D(t *testing.T) {
+	r := rng.New(3)
+	for _, n := range []int{1, 2, 3, 10, 100, 1000} {
+		s, err := NewRandom(n, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 500; q++ {
+			p := s.Sample(r)
+			gi, gd := s.Nearest(p)
+			bi, bd := s.NearestBrute(p)
+			if gi != bi && math.Abs(gd-bd) > 1e-15 {
+				t.Fatalf("n=%d: grid NN (%d, %v) != brute NN (%d, %v) at %v",
+					n, gi, gd, bi, bd, p)
+			}
+		}
+	}
+}
+
+func TestNearestMatchesBrute1D3D(t *testing.T) {
+	r := rng.New(4)
+	for _, dim := range []int{1, 3} {
+		s, err := NewRandom(200, dim, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 300; q++ {
+			p := s.Sample(r)
+			gi, gd := s.Nearest(p)
+			bi, bd := s.NearestBrute(p)
+			if gi != bi && math.Abs(gd-bd) > 1e-15 {
+				t.Fatalf("dim=%d: grid NN (%d,%v) != brute (%d,%v)", dim, gi, gd, bi, bd)
+			}
+		}
+	}
+}
+
+func TestNearestQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(300)
+		s, err := NewRandom(n, 2, r)
+		if err != nil {
+			return false
+		}
+		for q := 0; q < 20; q++ {
+			p := s.Sample(r)
+			gi, gd := s.Nearest(p)
+			bi, bd := s.NearestBrute(p)
+			if gi != bi && math.Abs(gd-bd) > 1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearestAtSite(t *testing.T) {
+	r := rng.New(5)
+	s, err := NewRandom(500, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.NumBins(); i += 17 {
+		gi, gd := s.Nearest(s.Site(i))
+		if gd != 0 {
+			t.Fatalf("Nearest at site %d returned distance %v", i, gd)
+		}
+		if gi != i && geom.TorusDist2(s.Site(gi), s.Site(i)) != 0 {
+			t.Fatalf("Nearest at site %d returned different site %d", i, gi)
+		}
+	}
+}
+
+func TestWithinRadius(t *testing.T) {
+	r := rng.New(6)
+	s, err := NewRandom(400, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 100; q++ {
+		p := s.Sample(r)
+		radius := 0.02 + 0.3*r.Float64()
+		got := s.WithinRadius(p, radius, nil)
+		want := make([]int, 0)
+		for i := 0; i < s.NumBins(); i++ {
+			if geom.TorusDist2(p, s.Site(i)) <= radius*radius {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("WithinRadius(%v, %v): got %d sites, want %d", p, radius, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("WithinRadius mismatch at %d: %v vs %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestWithinRadiusLargeBall(t *testing.T) {
+	r := rng.New(7)
+	s, err := NewRandom(50, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radius exceeding torus diameter returns everything exactly once.
+	got := s.WithinRadius(geom.Vec{0.5, 0.5}, 1.0, nil)
+	if len(got) != 50 {
+		t.Fatalf("full-ball query returned %d of 50 sites", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, i := range got {
+		if seen[i] {
+			t.Fatalf("site %d returned twice", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestWithinRadiusNegative(t *testing.T) {
+	r := rng.New(8)
+	s, _ := NewRandom(10, 2, r)
+	if got := s.WithinRadius(geom.Vec{0.5, 0.5}, -1, nil); len(got) != 0 {
+		t.Fatalf("negative radius returned %v", got)
+	}
+}
+
+func TestWeightsLifecycle(t *testing.T) {
+	r := rng.New(9)
+	s, err := NewRandom(10, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HasWeights() {
+		t.Error("weights set before SetWeights")
+	}
+	if !math.IsNaN(s.Weight(3)) {
+		t.Error("Weight before SetWeights should be NaN")
+	}
+	if err := s.SetWeights(make([]float64, 9)); err == nil {
+		t.Error("wrong-length weights accepted")
+	}
+	w := make([]float64, 10)
+	w[3] = 0.25
+	if err := s.SetWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasWeights() || s.Weight(3) != 0.25 {
+		t.Error("SetWeights did not take effect")
+	}
+}
+
+func TestLocateEmpiricalWeightUniformity(t *testing.T) {
+	// With n sites, each site's hit frequency equals its cell area; the
+	// total over all sites is 1 and the mean is 1/n. Check the empirical
+	// mean and that the max frequency is O(log n / n).
+	r := rng.New(10)
+	const n = 256
+	s, err := NewRandom(n, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 400000
+	hits := make([]int, n)
+	p := make(geom.Vec, 2)
+	for i := 0; i < trials; i++ {
+		s.SampleInto(p, r)
+		hits[s.Locate(p)]++
+	}
+	maxHit := 0
+	for _, h := range hits {
+		if h > maxHit {
+			maxHit = h
+		}
+	}
+	maxFreq := float64(maxHit) / trials
+	// Largest Voronoi cell is Θ(log n / n); allow a wide band.
+	if maxFreq > 6*math.Log(n)/n {
+		t.Errorf("max cell frequency %v implausibly large", maxFreq)
+	}
+	if maxFreq < 1.0/float64(n) {
+		t.Errorf("max cell frequency %v below the mean 1/n", maxFreq)
+	}
+}
+
+func TestGridResolution(t *testing.T) {
+	r := rng.New(11)
+	s, err := NewRandom(1024, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := s.GridCellsPerAxis(); g != 32 {
+		t.Errorf("grid for n=1024, dim=2 has %d cells/axis, want 32", g)
+	}
+	s3, err := NewRandom(4096, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := s3.GridCellsPerAxis(); g != 16 {
+		t.Errorf("grid for n=4096, dim=3 has %d cells/axis, want 16", g)
+	}
+}
+
+func TestFromSitesGridOverride(t *testing.T) {
+	r := rng.New(13)
+	base, err := NewRandom(400, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []int{1, 4, 64} {
+		sp, err := FromSitesGrid(base.Sites(), 2, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.GridCellsPerAxis() != g {
+			t.Fatalf("grid override %d not applied: got %d", g, sp.GridCellsPerAxis())
+		}
+		// Correctness must be independent of grid density.
+		for q := 0; q < 300; q++ {
+			p := sp.Sample(r)
+			gi, gd := sp.Nearest(p)
+			bi, bd := sp.NearestBrute(p)
+			if gi != bi && math.Abs(gd-bd) > 1e-15 {
+				t.Fatalf("g=%d: grid NN (%d,%v) != brute (%d,%v)", g, gi, gd, bi, bd)
+			}
+		}
+	}
+	// Zero/negative picks the default.
+	sp, err := FromSitesGrid(base.Sites(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.GridCellsPerAxis() != 20 {
+		t.Fatalf("default grid for n=400 = %d, want 20", sp.GridCellsPerAxis())
+	}
+}
+
+func TestNearestDimensionMismatchPanics(t *testing.T) {
+	r := rng.New(12)
+	s, _ := NewRandom(10, 2, r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on query dimension mismatch")
+		}
+	}()
+	s.Nearest(geom.Vec{0.5})
+}
+
+func TestDim(t *testing.T) {
+	for _, dim := range []int{1, 2, 3} {
+		s, err := NewRandom(16, dim, rng.New(30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Dim() != dim {
+			t.Errorf("Dim = %d, want %d", s.Dim(), dim)
+		}
+	}
+}
+
+func TestChooseBinMatchesLocateDistribution(t *testing.T) {
+	// ChooseBin and Locate(Sample) draw from the same distribution;
+	// compare per-bin frequencies with identical rng streams.
+	s, err := NewRandom(64, 2, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := rng.New(32), rng.New(32)
+	p := make(geom.Vec, 2)
+	for i := 0; i < 2000; i++ {
+		got := s.ChooseBin(r1)
+		s.SampleInto(p, r2)
+		want := s.Locate(p)
+		if got != want {
+			t.Fatalf("ChooseBin = %d, Locate(Sample) = %d at draw %d", got, want, i)
+		}
+	}
+}
+
+func TestChooseBinInStratum(t *testing.T) {
+	s, err := NewRandom(256, 2, rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(34)
+	// Every stratum draw must return the nearest site of a point whose
+	// x-coordinate lies in the stratum slab; verify indirectly: the
+	// chosen site must be within the max possible distance of the slab.
+	for k := 0; k < 2; k++ {
+		for i := 0; i < 500; i++ {
+			bin := s.ChooseBinIn(r, k, 2)
+			if bin < 0 || bin >= 256 {
+				t.Fatalf("stratum bin %d out of range", bin)
+			}
+		}
+	}
+	// Statistically: sites with x in [0, 1/2) should win stratum 0 much
+	// more often than stratum 1.
+	counts := [2]map[int]int{{}, {}}
+	for k := 0; k < 2; k++ {
+		for i := 0; i < 4000; i++ {
+			counts[k][s.ChooseBinIn(r, k, 2)]++
+		}
+	}
+	var agree, total int
+	for bin, c0 := range counts[0] {
+		site := s.Site(bin)
+		total += c0
+		if site[0] < 0.5 {
+			agree += c0
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.9 {
+		t.Errorf("only %v of stratum-0 draws landed on left-half sites", frac)
+	}
+}
+
+func TestTorusChooseBinInPanics(t *testing.T) {
+	s, err := NewRandom(8, 2, rng.New(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad stratum did not panic")
+		}
+	}()
+	s.ChooseBinIn(rng.New(1), 5, 2)
+}
+
+func BenchmarkNearest2D(b *testing.B) {
+	r := rng.New(1)
+	s, err := NewRandom(1<<16, 2, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make(geom.Vec, 2)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		s.SampleInto(p, r)
+		j, _ := s.Nearest(p)
+		sink += j
+	}
+	_ = sink
+}
+
+func BenchmarkNearest3D(b *testing.B) {
+	r := rng.New(1)
+	s, err := NewRandom(1<<15, 3, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make(geom.Vec, 3)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		s.SampleInto(p, r)
+		j, _ := s.Nearest(p)
+		sink += j
+	}
+	_ = sink
+}
+
+func BenchmarkBuildGrid(b *testing.B) {
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRandom(1<<14, 2, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

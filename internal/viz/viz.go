@@ -1,0 +1,296 @@
+// Package viz renders the paper's two geometries as standalone SVG
+// images: Voronoi diagrams on the unit torus with cells shaded by load
+// (or area), and ring occupancy with arcs shaded by load. The renderer
+// uses only the standard library and writes deterministic output, so
+// images can be golden-tested.
+//
+// Visual inspection is how imbalance is usually noticed in practice;
+// cmd/voronoi -svg and the examples use this package to make the
+// difference between d = 1 and d = 2 visible at a glance.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"geobalance/internal/geom"
+	"geobalance/internal/ring"
+	"geobalance/internal/stats"
+	"geobalance/internal/torus"
+	"geobalance/internal/voronoi"
+)
+
+// color is an RGB triple.
+type color struct{ r, g, b uint8 }
+
+// ramp linearly interpolates between the cold and hot colors.
+func ramp(t float64) color {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	cold := color{0xf7, 0xfb, 0xff} // near-white blue
+	hot := color{0xcb, 0x18, 0x1d}  // deep red
+	lerp := func(a, b uint8) uint8 { return uint8(float64(a) + t*(float64(b)-float64(a))) }
+	return color{lerp(cold.r, hot.r), lerp(cold.g, hot.g), lerp(cold.b, hot.b)}
+}
+
+func (c color) String() string { return fmt.Sprintf("#%02x%02x%02x", c.r, c.g, c.b) }
+
+// VoronoiOptions configures WriteVoronoiSVG.
+type VoronoiOptions struct {
+	// Size is the image width and height in pixels (default 800).
+	Size int
+	// Loads shades cells by load when non-nil (length must be NumCells);
+	// otherwise cells are shaded by area.
+	Loads []int32
+	// DrawSites draws a dot at each site (default true when nil options).
+	DrawSites bool
+}
+
+// WriteVoronoiSVG renders the exact Voronoi diagram as an SVG image.
+func WriteVoronoiSVG(w io.Writer, sp *torus.Space, d *voronoi.Diagram, opts VoronoiOptions) error {
+	if sp.Dim() != 2 {
+		return fmt.Errorf("viz: need a 2-D torus, got dimension %d", sp.Dim())
+	}
+	if d.NumCells() != sp.NumBins() {
+		return fmt.Errorf("viz: diagram has %d cells for %d sites", d.NumCells(), sp.NumBins())
+	}
+	if opts.Loads != nil && len(opts.Loads) != d.NumCells() {
+		return fmt.Errorf("viz: got %d loads for %d cells", len(opts.Loads), d.NumCells())
+	}
+	size := opts.Size
+	if size <= 0 {
+		size = 800
+	}
+	s := float64(size)
+
+	// Intensity source: loads if given, else area relative to the max.
+	var maxV float64
+	value := func(i int) float64 {
+		if opts.Loads != nil {
+			return float64(opts.Loads[i])
+		}
+		return d.Area(i)
+	}
+	for i := 0; i < d.NumCells(); i++ {
+		if v := value(i); v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		size, size, size, size); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", size, size)
+
+	for i := 0; i < d.NumCells(); i++ {
+		poly := d.Cell(i)
+		if len(poly) < 3 {
+			continue
+		}
+		fill := ramp(value(i) / maxV)
+		// Cells are unwrapped around their sites and may cross the torus
+		// boundary; draw each at every offset whose copy intersects the
+		// unit square.
+		for _, off := range wrapOffsets(poly) {
+			fmt.Fprintf(w, `<polygon points="`)
+			for _, p := range poly {
+				fmt.Fprintf(w, "%.2f,%.2f ", (p.X+off.X)*s, (1-(p.Y+off.Y))*s)
+			}
+			fmt.Fprintf(w, `" fill="%s" stroke="#555" stroke-width="0.5"/>`+"\n", fill)
+		}
+	}
+	if opts.DrawSites {
+		for i := 0; i < sp.NumBins(); i++ {
+			site := sp.Site(i)
+			fmt.Fprintf(w, `<circle cx="%.2f" cy="%.2f" r="1.5" fill="black"/>`+"\n",
+				site[0]*s, (1-site[1])*s)
+		}
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+// wrapOffsets returns the set of unit translations under which the
+// polygon intersects the unit square.
+func wrapOffsets(poly geom.Polygon) []geom.Point2 {
+	minX, minY := poly[0].X, poly[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range poly[1:] {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	var offs []geom.Point2
+	for dx := -1.0; dx <= 1; dx++ {
+		for dy := -1.0; dy <= 1; dy++ {
+			if maxX+dx < 0 || minX+dx > 1 || maxY+dy < 0 || minY+dy > 1 {
+				continue
+			}
+			offs = append(offs, geom.Point2{X: dx, Y: dy})
+		}
+	}
+	return offs
+}
+
+// RingOptions configures WriteRingSVG.
+type RingOptions struct {
+	// Size is the image width and height in pixels (default 800).
+	Size int
+	// Loads shades arcs by load; length must equal NumBins. Required.
+	Loads []int32
+}
+
+// WriteRingSVG renders ring occupancy: each server's arc is an annulus
+// segment shaded by its load, with a tick at each site.
+func WriteRingSVG(w io.Writer, sp *ring.Space, opts RingOptions) error {
+	if opts.Loads == nil || len(opts.Loads) != sp.NumBins() {
+		return fmt.Errorf("viz: got %d loads for %d bins", len(opts.Loads), sp.NumBins())
+	}
+	size := opts.Size
+	if size <= 0 {
+		size = 800
+	}
+	s := float64(size)
+	cx, cy := s/2, s/2
+	rOuter := 0.45 * s
+	rInner := 0.33 * s
+
+	var maxV float64
+	for _, l := range opts.Loads {
+		if float64(l) > maxV {
+			maxV = float64(l)
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		size, size, size, size); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", size, size)
+
+	n := sp.NumBins()
+	for j := 0; j < n; j++ {
+		a0 := sp.Site(j)
+		a1 := a0 + sp.Weight(j)
+		if sp.Weight(j) <= 0 {
+			continue
+		}
+		fmt.Fprintf(w, `<path d="%s" fill="%s" stroke="#555" stroke-width="0.4"/>`+"\n",
+			annulusPath(cx, cy, rInner, rOuter, a0, a1),
+			ramp(float64(opts.Loads[j])/maxV))
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+// annulusPath builds the SVG path for an annulus segment spanning ring
+// positions [a0, a1] (fractions of a turn, measured counterclockwise
+// from the positive x-axis).
+func annulusPath(cx, cy, rIn, rOut, a0, a1 float64) string {
+	p := func(r, a float64) (x, y float64) {
+		x = cx + r*cosTurn(a)
+		y = cy - r*sinTurn(a)
+		return
+	}
+	x0o, y0o := p(rOut, a0)
+	x1o, y1o := p(rOut, a1)
+	x1i, y1i := p(rIn, a1)
+	x0i, y0i := p(rIn, a0)
+	large := 0
+	if a1-a0 > 0.5 {
+		large = 1
+	}
+	return fmt.Sprintf("M %.2f %.2f A %.2f %.2f 0 %d 0 %.2f %.2f L %.2f %.2f A %.2f %.2f 0 %d 1 %.2f %.2f Z",
+		x0o, y0o, rOut, rOut, large, x1o, y1o,
+		x1i, y1i, rIn, rIn, large, x0i, y0i)
+}
+
+// HistogramOptions configures WriteHistogramSVG.
+type HistogramOptions struct {
+	// Size is the image width in pixels (default 640; height is 3/4).
+	Size int
+	// Title is drawn above the chart.
+	Title string
+}
+
+// WriteHistogramSVG renders an integer histogram (e.g. a max-load
+// distribution from the paper's tables) as a bar chart.
+func WriteHistogramSVG(w io.Writer, h *stats.IntHist, opts HistogramOptions) error {
+	if h == nil || h.Total() == 0 {
+		return fmt.Errorf("viz: empty histogram")
+	}
+	width := opts.Size
+	if width <= 0 {
+		width = 640
+	}
+	height := width * 3 / 4
+	values := h.Values()
+	lo, hi := values[0], values[len(values)-1]
+	bins := hi - lo + 1
+	maxPct := 0.0
+	for _, v := range values {
+		if p := h.Pct(v); p > maxPct {
+			maxPct = p
+		}
+	}
+	const marginL, marginB, marginT = 48, 36, 28
+	plotW := float64(width - marginL - 12)
+	plotH := float64(height - marginB - marginT)
+	barW := plotW / float64(bins)
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if opts.Title != "" {
+		fmt.Fprintf(w, `<text x="%d" y="18" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+			marginL, opts.Title)
+	}
+	for v := lo; v <= hi; v++ {
+		pct := h.Pct(v)
+		barH := plotH * pct / maxPct
+		x := float64(marginL) + float64(v-lo)*barW
+		y := float64(marginT) + plotH - barH
+		fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#4a90d9" stroke="#333" stroke-width="0.5"/>`+"\n",
+			x+1, y, barW-2, barH)
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%d</text>`+"\n",
+			x+barW/2, height-marginB+14, v)
+		if pct > 0 {
+			fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%.1f%%</text>`+"\n",
+				x+barW/2, y-3, pct)
+		}
+	}
+	fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333"/>`+"\n",
+		marginL, float64(marginT)+plotH, width-12, float64(marginT)+plotH)
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+// cosTurn and sinTurn take angles in turns (1 turn = 2*pi radians).
+func cosTurn(a float64) float64 { return math.Cos(2 * math.Pi * a) }
+func sinTurn(a float64) float64 { return math.Sin(2 * math.Pi * a) }

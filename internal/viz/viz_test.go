@@ -1,0 +1,216 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"geobalance/internal/ring"
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+	"geobalance/internal/torus"
+	"geobalance/internal/voronoi"
+)
+
+// parseSVG checks the output is well-formed XML and counts elements.
+func parseSVG(t *testing.T, data []byte) map[string]int {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	counts := map[string]int{}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed SVG: %v", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			counts[se.Name.Local]++
+		}
+	}
+	return counts
+}
+
+func TestWriteVoronoiSVG(t *testing.T) {
+	r := rng.New(1)
+	sp, err := torus.NewRandom(64, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := voronoi.Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVoronoiSVG(&buf, sp, d, VoronoiOptions{DrawSites: true}); err != nil {
+		t.Fatal(err)
+	}
+	counts := parseSVG(t, buf.Bytes())
+	if counts["svg"] != 1 {
+		t.Fatalf("svg elements: %d", counts["svg"])
+	}
+	// Every cell produces at least one polygon (possibly more for
+	// boundary-crossing cells).
+	if counts["polygon"] < 64 {
+		t.Fatalf("polygons: %d, want >= 64", counts["polygon"])
+	}
+	if counts["circle"] != 64 {
+		t.Fatalf("site dots: %d, want 64", counts["circle"])
+	}
+}
+
+func TestWriteVoronoiSVGWithLoads(t *testing.T) {
+	r := rng.New(2)
+	sp, err := torus.NewRandom(16, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := voronoi.Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]int32, 16)
+	loads[3] = 7
+	var buf bytes.Buffer
+	if err := WriteVoronoiSVG(&buf, sp, d, VoronoiOptions{Loads: loads}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#cb181d") {
+		t.Error("max-load cell not drawn with the hot color")
+	}
+	if !strings.Contains(out, "#f7fbff") {
+		t.Error("zero-load cells not drawn with the cold color")
+	}
+}
+
+func TestWriteVoronoiSVGErrors(t *testing.T) {
+	r := rng.New(3)
+	sp3, err := torus.NewRandom(8, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVoronoiSVG(&buf, sp3, &voronoi.Diagram{}, VoronoiOptions{}); err == nil {
+		t.Error("3-D space accepted")
+	}
+	sp2, err := torus.NewRandom(8, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := voronoi.Compute(sp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVoronoiSVG(&buf, sp2, d, VoronoiOptions{Loads: make([]int32, 3)}); err == nil {
+		t.Error("mismatched loads accepted")
+	}
+}
+
+func TestWriteRingSVG(t *testing.T) {
+	r := rng.New(4)
+	sp, err := ring.NewRandom(128, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]int32, 128)
+	for i := range loads {
+		loads[i] = int32(i % 5)
+	}
+	var buf bytes.Buffer
+	if err := WriteRingSVG(&buf, sp, RingOptions{Loads: loads}); err != nil {
+		t.Fatal(err)
+	}
+	counts := parseSVG(t, buf.Bytes())
+	if counts["path"] != 128 {
+		t.Fatalf("arc paths: %d, want 128", counts["path"])
+	}
+}
+
+func TestWriteRingSVGErrors(t *testing.T) {
+	r := rng.New(5)
+	sp, err := ring.NewRandom(8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRingSVG(&buf, sp, RingOptions{}); err == nil {
+		t.Error("nil loads accepted")
+	}
+	if err := WriteRingSVG(&buf, sp, RingOptions{Loads: make([]int32, 3)}); err == nil {
+		t.Error("short loads accepted")
+	}
+}
+
+func TestRampEndpoints(t *testing.T) {
+	if got := ramp(0).String(); got != "#f7fbff" {
+		t.Errorf("ramp(0) = %s", got)
+	}
+	if got := ramp(1).String(); got != "#cb181d" {
+		t.Errorf("ramp(1) = %s", got)
+	}
+	// Clamping.
+	if ramp(-5) != ramp(0) || ramp(7) != ramp(1) {
+		t.Error("ramp does not clamp")
+	}
+}
+
+func TestWriteHistogramSVG(t *testing.T) {
+	h := statsNewHist(map[int]int{4: 88, 5: 12})
+	var buf bytes.Buffer
+	if err := WriteHistogramSVG(&buf, h, HistogramOptions{Title: "n=2^12 d=2"}); err != nil {
+		t.Fatal(err)
+	}
+	counts := parseSVG(t, buf.Bytes())
+	if counts["rect"] < 3 { // background + 2 bars
+		t.Fatalf("rects = %d", counts["rect"])
+	}
+	if counts["text"] < 3 { // title + axis labels
+		t.Fatalf("texts = %d", counts["text"])
+	}
+	if !strings.Contains(buf.String(), "88.0%") {
+		t.Error("percentage labels missing")
+	}
+}
+
+func TestWriteHistogramSVGEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHistogramSVG(&buf, statsNewHist(nil), HistogramOptions{}); err == nil {
+		t.Error("empty histogram accepted")
+	}
+	if err := WriteHistogramSVG(&buf, nil, HistogramOptions{}); err == nil {
+		t.Error("nil histogram accepted")
+	}
+}
+
+func statsNewHist(counts map[int]int) *stats.IntHist {
+	h := stats.NewIntHist()
+	for v, c := range counts {
+		h.AddN(v, c)
+	}
+	return h
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	r := rng.New(6)
+	sp, err := torus.NewRandom(32, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := voronoi.Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteVoronoiSVG(&a, sp, d, VoronoiOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVoronoiSVG(&b, sp, d, VoronoiOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("SVG output not deterministic")
+	}
+}

@@ -1,0 +1,162 @@
+package voronoi
+
+import (
+	"math"
+	"testing"
+
+	"geobalance/internal/geom"
+	"geobalance/internal/rng"
+	"geobalance/internal/torus"
+)
+
+// TestRegularGrid: a k x k lattice of sites is maximally degenerate —
+// every Voronoi vertex has four cocircular sites. The construction must
+// still return exact unit cells of area 1/k^2.
+func TestRegularGrid(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 8, 16} {
+		sites := make([]geom.Vec, 0, k*k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				sites = append(sites, geom.Vec{
+					(float64(i) + 0.5) / float64(k),
+					(float64(j) + 0.5) / float64(k),
+				})
+			}
+		}
+		sp, err := torus.FromSites(sites, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Compute(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / float64(k*k)
+		for i := 0; i < d.NumCells(); i++ {
+			if math.Abs(d.Area(i)-want) > 1e-9 {
+				t.Fatalf("k=%d: cell %d area %v, want %v", k, i, d.Area(i), want)
+			}
+		}
+		if math.Abs(d.TotalArea()-1) > 1e-9 {
+			t.Fatalf("k=%d: total area %v", k, d.TotalArea())
+		}
+	}
+}
+
+// TestCollinearSites: sites on a horizontal line partition the torus
+// into vertical strips.
+func TestCollinearSites(t *testing.T) {
+	sites := []geom.Vec{{0.1, 0.5}, {0.3, 0.5}, {0.6, 0.5}, {0.9, 0.5}}
+	sp, err := torus.FromSites(sites, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip widths: midpoints at 0.2, 0.45, 0.75, 1.0 (wrap): site 0 owns
+	// [1.0(=0.0), 0.2] width 0.2; site 1 owns [0.2,0.45] width 0.25;
+	// site 2 owns [0.45, 0.75] width 0.3; site 3 owns [0.75, 1.0] 0.25.
+	want := []float64{0.2, 0.25, 0.3, 0.25}
+	for i, w := range want {
+		if math.Abs(d.Area(i)-w) > 1e-9 {
+			t.Errorf("strip %d area %v, want %v", i, d.Area(i), w)
+		}
+	}
+}
+
+// TestTightCluster: nearly coincident sites (spacing 1e-7) plus one far
+// site; areas must still be exact and sum to 1.
+func TestTightCluster(t *testing.T) {
+	sites := []geom.Vec{
+		{0.5, 0.5},
+		{0.5 + 1e-7, 0.5},
+		{0.5, 0.5 + 1e-7},
+		{0.1, 0.1},
+	}
+	sp, err := torus.FromSites(sites, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.TotalArea()-1) > 1e-6 {
+		t.Fatalf("total area %v", d.TotalArea())
+	}
+	// The clustered sites split their half roughly three ways; each must
+	// get a nontrivial cell.
+	for i := 0; i < 3; i++ {
+		if d.Area(i) < 0.05 {
+			t.Errorf("clustered cell %d area %v implausibly small", i, d.Area(i))
+		}
+	}
+}
+
+// TestTwoSitesNearlyAntipodal: the bisector pair wraps around the torus.
+func TestTwoSitesNearlyAntipodal(t *testing.T) {
+	sp, err := torus.FromSites([]geom.Vec{{0.0, 0.0}, {0.5 + 1e-9, 0.5}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if math.Abs(d.Area(i)-0.5) > 1e-6 {
+			t.Errorf("cell %d area %v, want ~0.5", i, d.Area(i))
+		}
+	}
+}
+
+// TestSitesOnGridLines: sites exactly on grid-cell boundaries of the NN
+// index must not break candidate gathering.
+func TestSitesOnGridLines(t *testing.T) {
+	var sites []geom.Vec
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			sites = append(sites, geom.Vec{float64(i) / 4, float64(j) / 4})
+		}
+	}
+	sp, err := torus.FromSites(sites, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sites {
+		if math.Abs(d.Area(i)-1.0/16) > 1e-9 {
+			t.Fatalf("grid-aligned cell %d area %v, want 1/16", i, d.Area(i))
+		}
+	}
+}
+
+// TestMonteCarloAgreesOnDegenerate cross-checks the exact construction
+// against sampling on a degenerate instance.
+func TestMonteCarloAgreesOnDegenerate(t *testing.T) {
+	var sites []geom.Vec
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			sites = append(sites, geom.Vec{float64(i) / 3, float64(j) / 3})
+		}
+	}
+	sp, err := torus.FromSites(sites, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := MonteCarloAreas(sp, 200000, rng.New(9))
+	for i := range sites {
+		if math.Abs(mc[i]-d.Area(i)) > 0.01 {
+			t.Errorf("cell %d: exact %v vs MC %v", i, d.Area(i), mc[i])
+		}
+	}
+}

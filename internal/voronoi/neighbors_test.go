@@ -1,0 +1,128 @@
+package voronoi
+
+import (
+	"testing"
+
+	"geobalance/internal/geom"
+	"geobalance/internal/rng"
+	"geobalance/internal/torus"
+)
+
+func TestNeighborsSymmetric(t *testing.T) {
+	sp := mustSpace(t, 500, 20)
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := make([]map[int32]bool, 500)
+	for i := 0; i < 500; i++ {
+		adj[i] = make(map[int32]bool)
+		for _, j := range d.Neighbors(i) {
+			if int(j) == i {
+				t.Fatalf("cell %d lists itself as neighbor", i)
+			}
+			adj[i][j] = true
+		}
+	}
+	for i := 0; i < 500; i++ {
+		for j := range adj[i] {
+			if !adj[j][int32(i)] {
+				t.Fatalf("adjacency not symmetric: %d -> %d", i, j)
+			}
+		}
+	}
+}
+
+func TestNeighborsAverageDegreeSix(t *testing.T) {
+	// Planar (toroidal) Delaunay triangulations have average degree
+	// exactly 6 - o(1); random configurations hit it closely.
+	sp := mustSpace(t, 2000, 21)
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var degree int
+	for i := 0; i < 2000; i++ {
+		degree += len(d.Neighbors(i))
+	}
+	avg := float64(degree) / 2000
+	if avg < 5.8 || avg > 6.05 {
+		t.Fatalf("average Delaunay degree %v, want ~6", avg)
+	}
+}
+
+func TestNeighborsGrid(t *testing.T) {
+	// On a regular 4x4 lattice each cell has exactly 4 edge-neighbors
+	// (diagonal contacts are corner-only and have zero-length edges).
+	var sites []geom.Vec
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			sites = append(sites, geom.Vec{(float64(i) + 0.5) / 4, (float64(j) + 0.5) / 4})
+		}
+	}
+	sp, err := torus.FromSites(sites, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sites {
+		if got := len(d.Neighbors(i)); got != 4 {
+			t.Fatalf("lattice cell %d has %d neighbors, want 4", i, got)
+		}
+	}
+}
+
+func TestNeighborsTwoSites(t *testing.T) {
+	sp, err := torus.FromSites([]geom.Vec{{0.25, 0.5}, {0.75, 0.5}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		nb := d.Neighbors(i)
+		if len(nb) != 1 || int(nb[0]) != 1-i {
+			t.Fatalf("cell %d neighbors = %v, want [%d]", i, nb, 1-i)
+		}
+	}
+}
+
+func TestNeighborsAreNearby(t *testing.T) {
+	// Every Delaunay neighbor must be among the sites geometrically
+	// close to the cell (within twice the cell circumradius).
+	sp := mustSpace(t, 300, 22)
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(23)
+	_ = r
+	for i := 0; i < 300; i++ {
+		site := sp.Site(i)
+		u := geom.Point2{X: site[0], Y: site[1]}
+		r2 := d.Cell(i).MaxDist2From(u)
+		for _, j := range d.Neighbors(i) {
+			dd := geom.TorusDist2(site, sp.Site(int(j)))
+			if dd > 4*r2+1e-12 {
+				t.Fatalf("neighbor %d of %d at squared distance %v > 4*circumradius^2 %v",
+					j, i, dd, 4*r2)
+			}
+		}
+	}
+}
+
+func BenchmarkNeighbors(b *testing.B) {
+	sp := mustSpace(b, 4096, 24)
+	for i := 0; i < b.N; i++ {
+		d, err := Compute(sp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Neighbors(0) // triggers the full build
+	}
+}

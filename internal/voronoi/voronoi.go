@@ -1,0 +1,430 @@
+// Package voronoi constructs the exact Voronoi diagram of sites on the
+// 2-D unit torus, as required by Section 3 of the paper: every server
+// (site) owns its Voronoi cell, the d-choice process selects cells with
+// probability proportional to area, and the paper's Lemmas 8–9 bound the
+// upper tail of the cell-area distribution.
+//
+// Cells are computed independently per site by half-plane clipping: the
+// cell of site u, unwrapped to the plane around u, is contained in the
+// axis-aligned square of half-side 1/2 centered at u (that square is
+// precisely the constraint imposed by u's own periodic copies). The
+// square is clipped by the perpendicular bisector of u and every nearby
+// periodic copy of every other site, in increasing order of distance,
+// until no remaining candidate can intersect the current polygon — a
+// copy at distance greater than twice the polygon's circumradius around
+// u cannot cut it. This yields exact cell polygons and areas with a
+// per-cell certificate, and parallelizes trivially.
+package voronoi
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"geobalance/internal/geom"
+	"geobalance/internal/rng"
+	"geobalance/internal/torus"
+)
+
+// Diagram is the Voronoi diagram of a 2-D torus space: one convex polygon
+// (in coordinates unwrapped around the owning site) and one exact area
+// per site.
+type Diagram struct {
+	space *torus.Space
+	cells []geom.Polygon
+	areas []float64
+
+	neighborsOnce sync.Once
+	neighbors     [][]int32
+}
+
+// Compute builds the exact Voronoi diagram of the space. The space must
+// be 2-dimensional. Cells are computed in parallel across all CPUs.
+func Compute(sp *torus.Space) (*Diagram, error) {
+	return ComputeParallel(sp, runtime.GOMAXPROCS(0))
+}
+
+// ComputeParallel is Compute with an explicit worker count (>= 1).
+func ComputeParallel(sp *torus.Space, workers int) (*Diagram, error) {
+	if sp.Dim() != 2 {
+		return nil, fmt.Errorf("voronoi: need a 2-D torus, got dimension %d", sp.Dim())
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := sp.NumBins()
+	d := &Diagram{
+		space: sp,
+		cells: make([]geom.Polygon, n),
+		areas: make([]float64, n),
+	}
+	var wg sync.WaitGroup
+	var next int64
+	var mu sync.Mutex
+	const chunk = 64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := newCellBuilder(sp)
+			for {
+				mu.Lock()
+				lo := next
+				next += chunk
+				mu.Unlock()
+				if lo >= int64(n) {
+					return
+				}
+				hi := lo + chunk
+				if hi > int64(n) {
+					hi = int64(n)
+				}
+				for i := lo; i < hi; i++ {
+					poly := scratch.cell(int(i))
+					d.cells[i] = poly
+					d.areas[i] = poly.Area()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return d, nil
+}
+
+// cellBuilder holds per-worker scratch space for cell construction.
+type cellBuilder struct {
+	sp    *torus.Space
+	near  []int
+	cands []candidate
+}
+
+type candidate struct {
+	pos geom.Point2 // unwrapped position of the periodic copy
+	d2  float64     // squared Euclidean distance to the site
+}
+
+func newCellBuilder(sp *torus.Space) *cellBuilder {
+	return &cellBuilder{sp: sp}
+}
+
+// cell computes the exact Voronoi cell polygon of site i, in plane
+// coordinates unwrapped around the site (the site's own coordinates are
+// used verbatim; neighbors may be shifted by +-1 per axis).
+func (b *cellBuilder) cell(i int) geom.Polygon {
+	sp := b.sp
+	site := sp.Site(i)
+	u := geom.Point2{X: site[0], Y: site[1]}
+
+	n := sp.NumBins()
+	// Initial candidate radius: a few expected nearest-neighbor spacings.
+	radius := 4 / math.Sqrt(float64(n))
+	if radius > 0.5 {
+		radius = 0.5
+	}
+	var poly geom.Polygon
+	for {
+		b.gatherCandidates(i, u, radius)
+		sort.Slice(b.cands, func(x, y int) bool { return b.cands[x].d2 < b.cands[y].d2 })
+		poly = geom.Square(u, 0.5)
+		rmax2 := poly.MaxDist2From(u)
+		for _, c := range b.cands {
+			if c.d2 > 4*rmax2 {
+				break // this and all farther copies cannot cut the polygon
+			}
+			clipped := poly.Clip(geom.Bisector(u, c.pos))
+			if clipped == nil {
+				// Numerically possible only if the site is duplicated;
+				// the duplicate owns a zero-area cell.
+				return nil
+			}
+			poly = clipped
+			rmax2 = poly.MaxDist2From(u)
+		}
+		// Certified if no candidate outside the gather radius can matter.
+		if 4*rmax2 <= radius*radius || radius >= 1.5 {
+			return poly
+		}
+		radius *= 2
+	}
+}
+
+// gatherCandidates fills b.cands with every periodic copy of every other
+// site whose Euclidean distance to u is at most radius.
+func (b *cellBuilder) gatherCandidates(i int, u geom.Point2, radius float64) {
+	sp := b.sp
+	b.cands = b.cands[:0]
+	if radius < 0.5 {
+		// The nearest periodic copy is the only copy within radius < 1/2,
+		// and WithinRadius (torus metric) finds exactly those sites.
+		b.near = sp.WithinRadius(geom.Vec{u.X, u.Y}, radius, b.near[:0])
+		for _, j := range b.near {
+			if j == i {
+				continue
+			}
+			v := sp.Site(j)
+			p := unwrapNear(u, geom.Point2{X: v[0], Y: v[1]})
+			d2 := p.Dist2(u)
+			if d2 <= radius*radius && d2 > 0 {
+				b.cands = append(b.cands, candidate{pos: p, d2: d2})
+			}
+		}
+		return
+	}
+	// Large radius (tiny n): enumerate all 9 copies of every site.
+	r2 := radius * radius
+	for j := 0; j < sp.NumBins(); j++ {
+		v := sp.Site(j)
+		for dx := -1.0; dx <= 1; dx++ {
+			for dy := -1.0; dy <= 1; dy++ {
+				if j == i && dx == 0 && dy == 0 {
+					continue
+				}
+				p := geom.Point2{X: v[0] + dx, Y: v[1] + dy}
+				if d2 := p.Dist2(u); d2 <= r2 && d2 > 0 {
+					b.cands = append(b.cands, candidate{pos: p, d2: d2})
+				}
+			}
+		}
+	}
+}
+
+// unwrapNear returns the periodic copy of v nearest to u.
+func unwrapNear(u, v geom.Point2) geom.Point2 {
+	dx := v.X - u.X
+	if dx > 0.5 {
+		dx--
+	} else if dx < -0.5 {
+		dx++
+	}
+	dy := v.Y - u.Y
+	if dy > 0.5 {
+		dy--
+	} else if dy < -0.5 {
+		dy++
+	}
+	return geom.Point2{X: u.X + dx, Y: u.Y + dy}
+}
+
+// NumCells returns the number of cells.
+func (d *Diagram) NumCells() int { return len(d.cells) }
+
+// Cell returns the polygon of cell i, unwrapped around its site.
+func (d *Diagram) Cell(i int) geom.Polygon { return d.cells[i] }
+
+// Area returns the exact area of cell i.
+func (d *Diagram) Area(i int) float64 { return d.areas[i] }
+
+// Areas returns all cell areas. The returned slice is shared; callers
+// must not modify it.
+func (d *Diagram) Areas() []float64 { return d.areas }
+
+// TotalArea returns the sum of all cell areas (1 up to floating error).
+func (d *Diagram) TotalArea() float64 {
+	var s float64
+	for _, a := range d.areas {
+		s += a
+	}
+	return s
+}
+
+// CountAreasAtLeast returns the number of cells with area >= x (the
+// quantity bounded by Lemma 9 with x = c/n).
+func (d *Diagram) CountAreasAtLeast(x float64) int {
+	count := 0
+	for _, a := range d.areas {
+		if a >= x {
+			count++
+		}
+	}
+	return count
+}
+
+// MaxArea returns the largest cell area.
+func (d *Diagram) MaxArea() float64 {
+	var m float64
+	for _, a := range d.areas {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// TopAreaSum returns the total area of the a largest cells (the 2-D
+// analogue of Lemma 6's arc-sum bound). It panics if a is out of range.
+func (d *Diagram) TopAreaSum(a int) float64 {
+	if a < 0 || a > len(d.areas) {
+		panic(fmt.Sprintf("voronoi: TopAreaSum(%d) with %d cells", a, len(d.areas)))
+	}
+	sorted := make([]float64, len(d.areas))
+	copy(sorted, d.areas)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var sum float64
+	for _, v := range sorted[:a] {
+		sum += v
+	}
+	return sum
+}
+
+// Neighbors returns the indices of the cells adjacent to cell i (the
+// Delaunay neighbors of site i on the torus). Adjacency is derived
+// geometrically: j is a neighbor of i when the perpendicular bisector
+// of the two sites supports an edge of cell i. The graph is computed
+// lazily on first call and cached; it is symmetric, and by Euler's
+// formula its average degree is exactly 6 - 12/n on the torus for
+// non-degenerate configurations (degeneracies can only lower it).
+//
+// The returned slice is shared; callers must not modify it.
+func (d *Diagram) Neighbors(i int) []int32 {
+	d.neighborsOnce.Do(d.buildNeighbors)
+	return d.neighbors[i]
+}
+
+// buildNeighbors recovers adjacency by matching each cell edge to the
+// site whose bisector supports it: the reflection of site i across an
+// edge's supporting line is (numerically) another site's periodic copy.
+func (d *Diagram) buildNeighbors() {
+	n := d.space.NumBins()
+	d.neighbors = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		site := d.space.Site(i)
+		u := geom.Point2{X: site[0], Y: site[1]}
+		poly := d.cells[i]
+		m := len(poly)
+		seen := make(map[int32]bool, m)
+		for e := 0; e < m; e++ {
+			p, q := poly[e], poly[(e+1)%m]
+			// Mirror u across the supporting line of edge (p, q): the
+			// result is the neighboring site's unwrapped position.
+			dir := q.Sub(p)
+			len2 := dir.Norm2()
+			if len2 == 0 {
+				continue
+			}
+			t := u.Sub(p).Dot(dir) / len2
+			foot := p.Add(dir.Scale(t))
+			mirror := foot.Scale(2).Sub(u)
+			// Wrap back into the torus and find the site there.
+			w := geom.Vec{frac(mirror.X), frac(mirror.Y)}
+			j, dist2 := d.space.Nearest(w)
+			if int(j) == i {
+				continue // numerically tiny edge; skip
+			}
+			if dist2 > 1e-16 {
+				// The mirror point must be a site; tolerate tiny noise.
+				if dist2 > 1e-12 {
+					continue
+				}
+			}
+			if !seen[int32(j)] {
+				seen[int32(j)] = true
+				d.neighbors[i] = append(d.neighbors[i], int32(j))
+			}
+		}
+	}
+}
+
+func frac(x float64) float64 {
+	f := x - math.Floor(x)
+	if f >= 1 {
+		f = 0
+	}
+	return f
+}
+
+// MonteCarloAreas estimates cell areas by locating `samples` uniform
+// points and normalizing hit counts. It cross-checks the exact
+// construction in tests and provides approximate weights at scales where
+// exact construction is not worth the time.
+func MonteCarloAreas(sp *torus.Space, samples int, r *rng.Rand) []float64 {
+	hits := make([]int, sp.NumBins())
+	p := make(geom.Vec, sp.Dim())
+	for i := 0; i < samples; i++ {
+		sp.SampleInto(p, r)
+		hits[sp.Locate(p)]++
+	}
+	areas := make([]float64, len(hits))
+	for i, h := range hits {
+		areas[i] = float64(h) / float64(samples)
+	}
+	return areas
+}
+
+// EmptySectors returns how many of the six 60-degree sectors of the disk
+// of area c/n around site i contain none of the other sites (under the
+// torus metric), the quantity central to Lemma 8 / Figure 1. The sectors
+// are oriented as in the paper: sector 0 spans angles [0, 60) degrees
+// measured from the positive x-axis.
+func EmptySectors(sp *torus.Space, i int, c float64) int {
+	if sp.Dim() != 2 {
+		panic("voronoi: EmptySectors requires a 2-D torus")
+	}
+	n := float64(sp.NumBins())
+	radius := math.Sqrt(c / (n * math.Pi))
+	site := sp.Site(i)
+	u := geom.Point2{X: site[0], Y: site[1]}
+	occupied := [6]bool{}
+	near := sp.WithinRadius(site, radius, nil)
+	for _, j := range near {
+		if j == i {
+			continue
+		}
+		v := sp.Site(j)
+		p := unwrapNear(u, geom.Point2{X: v[0], Y: v[1]})
+		dv := p.Sub(u)
+		if dv.Norm2() > radius*radius {
+			continue
+		}
+		ang := math.Atan2(dv.Y, dv.X)
+		if ang < 0 {
+			ang += 2 * math.Pi
+		}
+		sector := int(ang / (math.Pi / 3))
+		if sector > 5 {
+			sector = 5
+		}
+		occupied[sector] = true
+	}
+	empty := 0
+	for _, occ := range occupied {
+		if !occ {
+			empty++
+		}
+	}
+	return empty
+}
+
+// CheckLemma8 verifies the paper's Lemma 8 against the exact diagram:
+// every cell with area at least c/n must have at least one empty sector
+// in the disk of area c/n around its site. It returns the number of
+// cells with area >= c/n and the number of violations (always 0 if the
+// lemma — and this implementation — is correct).
+func CheckLemma8(sp *torus.Space, d *Diagram, c float64) (large, violations int) {
+	n := float64(sp.NumBins())
+	threshold := c / n
+	for i := 0; i < d.NumCells(); i++ {
+		if d.Area(i) < threshold {
+			continue
+		}
+		large++
+		if EmptySectors(sp, i, c) == 0 {
+			violations++
+		}
+	}
+	return large, violations
+}
+
+// SubregionUpperBound returns Z, the paper's upper bound on the number
+// of cells with area >= c/n: the number of (site, sector) pairs whose
+// sector of area c/(6n) is empty, summed over sites with at least one
+// empty sector counted as in Lemma 9 (Z counts empty subregions, and
+// Z >= number of large cells).
+func SubregionUpperBound(sp *torus.Space, c float64) int {
+	z := 0
+	for i := 0; i < sp.NumBins(); i++ {
+		z += EmptySectors(sp, i, c)
+	}
+	return z
+}

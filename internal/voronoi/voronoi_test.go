@@ -1,0 +1,335 @@
+package voronoi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geobalance/internal/geom"
+	"geobalance/internal/rng"
+	"geobalance/internal/torus"
+)
+
+func mustSpace(t testing.TB, n int, seed uint64) *torus.Space {
+	t.Helper()
+	sp, err := torus.NewRandom(n, 2, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestComputeRejectsNon2D(t *testing.T) {
+	sp, err := torus.NewRandom(10, 3, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compute(sp); err == nil {
+		t.Fatal("Compute accepted a 3-D space")
+	}
+}
+
+func TestSingleSiteCellIsWholeTorus(t *testing.T) {
+	sp, err := torus.FromSites([]geom.Vec{{0.3, 0.7}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := d.Area(0); math.Abs(a-1) > 1e-9 {
+		t.Fatalf("single-site cell area = %v, want 1", a)
+	}
+}
+
+func TestTwoSitesSplitEvenly(t *testing.T) {
+	sp, err := torus.FromSites([]geom.Vec{{0.25, 0.5}, {0.75, 0.5}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if a := d.Area(i); math.Abs(a-0.5) > 1e-9 {
+			t.Errorf("cell %d area = %v, want 0.5", i, a)
+		}
+	}
+}
+
+func TestFourSiteGrid(t *testing.T) {
+	sp, err := torus.FromSites([]geom.Vec{
+		{0.25, 0.25}, {0.75, 0.25}, {0.25, 0.75}, {0.75, 0.75},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if a := d.Area(i); math.Abs(a-0.25) > 1e-9 {
+			t.Errorf("cell %d area = %v, want 0.25", i, a)
+		}
+	}
+}
+
+func TestAreasSumToOne(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 10, 100, 1000, 5000} {
+		sp := mustSpace(t, n, uint64(n))
+		d, err := Compute(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := d.TotalArea(); math.Abs(s-1) > 1e-7 {
+			t.Errorf("n=%d: total area = %v, want 1", n, s)
+		}
+	}
+}
+
+func TestAreasSumToOneQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(500)
+		sp, err := torus.NewRandom(n, 2, r)
+		if err != nil {
+			return false
+		}
+		d, err := Compute(sp)
+		if err != nil {
+			return false
+		}
+		return math.Abs(d.TotalArea()-1) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellsContainOwnSite(t *testing.T) {
+	sp := mustSpace(t, 500, 42)
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.NumCells(); i++ {
+		site := sp.Site(i)
+		if !d.Cell(i).ContainsPoint(geom.Point2{X: site[0], Y: site[1]}) {
+			t.Fatalf("cell %d does not contain its site", i)
+		}
+	}
+}
+
+func TestCellMembershipMatchesNearest(t *testing.T) {
+	// Random points: the cell polygon containing the point (after
+	// unwrapping around the owner site) must belong to the nearest site.
+	sp := mustSpace(t, 300, 7)
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	for q := 0; q < 2000; q++ {
+		p := sp.Sample(r)
+		owner := sp.Locate(p)
+		site := sp.Site(owner)
+		u := geom.Point2{X: site[0], Y: site[1]}
+		// Unwrap the query point around the owner.
+		pp := geom.Point2{X: p[0], Y: p[1]}
+		pp = unwrapNear(u, pp)
+		if !d.Cell(owner).ContainsPoint(pp) {
+			t.Fatalf("point %v not inside the polygon of its nearest site %d", p, owner)
+		}
+	}
+}
+
+func TestExactVsMonteCarlo(t *testing.T) {
+	sp := mustSpace(t, 64, 8)
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 1_000_000
+	mc := MonteCarloAreas(sp, samples, rng.New(9))
+	for i := range mc {
+		exact := d.Area(i)
+		sigma := math.Sqrt(exact * (1 - exact) / samples)
+		if math.Abs(mc[i]-exact) > 6*sigma+1e-6 {
+			t.Errorf("cell %d: exact %v vs MC %v (6 sigma = %v)", i, exact, mc[i], 6*sigma)
+		}
+	}
+}
+
+func TestMaxAreaOrderLogN(t *testing.T) {
+	// The largest Voronoi cell is Theta(log n / n) w.h.p. (Section 3).
+	const n = 4096
+	sp := mustSpace(t, n, 10)
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.MaxArea()
+	if m < 1.0/n {
+		t.Fatalf("max area %v below mean 1/n", m)
+	}
+	if m > 6*math.Log(n)/n {
+		t.Fatalf("max area %v implausibly large", m)
+	}
+}
+
+func TestCountAreasAtLeast(t *testing.T) {
+	sp := mustSpace(t, 1000, 11)
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.CountAreasAtLeast(0); got != 1000 {
+		t.Errorf("CountAreasAtLeast(0) = %d", got)
+	}
+	if got := d.CountAreasAtLeast(1); got != 0 {
+		t.Errorf("CountAreasAtLeast(1) = %d", got)
+	}
+	mid := d.CountAreasAtLeast(1.0 / 1000)
+	if mid <= 0 || mid >= 1000 {
+		t.Errorf("CountAreasAtLeast(1/n) = %d, expected interior value", mid)
+	}
+}
+
+func TestTopAreaSum(t *testing.T) {
+	sp := mustSpace(t, 100, 12)
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.TopAreaSum(0); got != 0 {
+		t.Errorf("TopAreaSum(0) = %v", got)
+	}
+	all := d.TopAreaSum(100)
+	if math.Abs(all-1) > 1e-9 {
+		t.Errorf("TopAreaSum(n) = %v, want 1", all)
+	}
+	half := d.TopAreaSum(50)
+	if half <= 0.5 || half > 1 {
+		t.Errorf("TopAreaSum(n/2) = %v, want in (0.5, 1]", half)
+	}
+}
+
+func TestTopAreaSumPanics(t *testing.T) {
+	sp := mustSpace(t, 10, 13)
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TopAreaSum out of range did not panic")
+		}
+	}()
+	d.TopAreaSum(11)
+}
+
+func TestLemma8NoViolations(t *testing.T) {
+	// Lemma 8 is a theorem; the exact diagram must never violate it.
+	for _, n := range []int{256, 1024, 4096} {
+		sp := mustSpace(t, n, uint64(100+n))
+		d, err := Compute(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range []float64{4, 8, 12} {
+			large, viol := CheckLemma8(sp, d, c)
+			if viol != 0 {
+				t.Errorf("n=%d c=%v: %d violations of Lemma 8 among %d large cells", n, c, viol, large)
+			}
+		}
+	}
+}
+
+func TestSubregionUpperBoundDominates(t *testing.T) {
+	// Z (empty-sector count) >= number of cells with area >= c/n, the
+	// inequality at the heart of Lemma 9.
+	sp := mustSpace(t, 2048, 14)
+	d, err := Compute(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{6, 9, 12} {
+		z := SubregionUpperBound(sp, c)
+		large := d.CountAreasAtLeast(c / 2048)
+		if z < large {
+			t.Errorf("c=%v: Z = %d < large cells = %d", c, z, large)
+		}
+	}
+}
+
+func TestEmptySectorsSingleSite(t *testing.T) {
+	sp, err := torus.FromSites([]geom.Vec{{0.5, 0.5}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EmptySectors(sp, 0, 6); got != 6 {
+		t.Fatalf("EmptySectors with one site = %d, want 6", got)
+	}
+}
+
+func TestEmptySectorsCrowded(t *testing.T) {
+	// Surround a site with one neighbor per sector; no sector is empty.
+	center := geom.Vec{0.5, 0.5}
+	sites := []geom.Vec{center}
+	c := 6.0
+	n := 7.0
+	radius := math.Sqrt(c / (n * math.Pi))
+	for k := 0; k < 6; k++ {
+		ang := (float64(k) + 0.5) * math.Pi / 3
+		sites = append(sites, geom.Vec{
+			0.5 + 0.5*radius*math.Cos(ang),
+			0.5 + 0.5*radius*math.Sin(ang),
+		})
+	}
+	sp, err := torus.FromSites(sites, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EmptySectors(sp, 0, c); got != 0 {
+		t.Fatalf("EmptySectors fully surrounded = %d, want 0", got)
+	}
+}
+
+func TestComputeParallelMatchesSerial(t *testing.T) {
+	sp := mustSpace(t, 777, 15)
+	d1, err := ComputeParallel(sp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := ComputeParallel(sp, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sp.NumBins(); i++ {
+		if math.Abs(d1.Area(i)-d8.Area(i)) > 1e-12 {
+			t.Fatalf("cell %d: serial area %v != parallel area %v", i, d1.Area(i), d8.Area(i))
+		}
+	}
+}
+
+func BenchmarkComputeN4096(b *testing.B) {
+	sp := mustSpace(b, 4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCellBuild(b *testing.B) {
+	sp := mustSpace(b, 1<<14, 2)
+	cb := newCellBuilder(sp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cb.cell(i % sp.NumBins())
+	}
+}

@@ -1,0 +1,117 @@
+// Package workload generates the skewed workloads the paper's
+// applications face in practice: Zipf-distributed key popularity (the
+// hot-spot scenario that motivated consistent hashing) and heavy-tailed
+// item sizes (weighted balls). The samplers are deterministic given an
+// rng.Rand and implemented from scratch on top of internal/rng.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"geobalance/internal/rng"
+)
+
+// Zipf samples ranks 0..n-1 with P(k) proportional to 1/(k+1)^s using
+// rejection-inversion (W. Hörmann, G. Derflinger, "Rejection-inversion
+// to generate variates from monotone discrete distributions", 1996 —
+// the same method as the standard library's rand.Zipf with v = 1,
+// reimplemented over the repository's deterministic generator).
+type Zipf struct {
+	imax         float64
+	v            float64
+	q            float64
+	s            float64
+	oneMinusQ    float64
+	oneMinusQInv float64
+	hxm          float64
+	hx0MinusHxm  float64
+}
+
+// NewZipf returns a Zipf sampler over {0, ..., n-1} with exponent s > 1.
+func NewZipf(s float64, n uint64) (*Zipf, error) {
+	if s <= 1 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("workload: Zipf exponent %v must be > 1", s)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("workload: Zipf needs n >= 1")
+	}
+	z := &Zipf{imax: float64(n - 1), v: 1, q: s}
+	z.oneMinusQ = 1 - z.q
+	z.oneMinusQInv = 1 / z.oneMinusQ
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0MinusHxm = z.h(0.5) - math.Exp(math.Log(z.v)*(-z.q)) - z.hxm
+	z.s = 1 - z.hinv(z.h(1.5)-math.Exp(-z.q*math.Log(z.v+1)))
+	return z, nil
+}
+
+// h is the integral of the hat function, H(x) = (v+x)^{1-q} / (1-q).
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(z.oneMinusQ*math.Log(z.v+x)) * z.oneMinusQInv
+}
+
+// hinv is the inverse of h.
+func (z *Zipf) hinv(x float64) float64 {
+	return math.Exp(z.oneMinusQInv*math.Log(z.oneMinusQ*x)) - z.v
+}
+
+// Next draws the next rank in [0, n).
+func (z *Zipf) Next(r *rng.Rand) uint64 {
+	for {
+		ur := z.hxm + r.Float64()*z.hx0MinusHxm
+		x := z.hinv(ur)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.s {
+			return uint64(k)
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.q) {
+			return uint64(k)
+		}
+	}
+}
+
+// BoundedPareto samples integer item sizes from a bounded Pareto
+// distribution on [lo, hi] with shape alpha — the standard heavy-tailed
+// size model for storage objects.
+type BoundedPareto struct {
+	alpha    float64
+	lo, hi   float64
+	loA, hiA float64 // lo^-alpha, hi^-alpha
+}
+
+// NewBoundedPareto validates the parameters (alpha > 0, 1 <= lo < hi).
+func NewBoundedPareto(alpha, lo, hi float64) (*BoundedPareto, error) {
+	if alpha <= 0 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("workload: Pareto shape %v must be > 0", alpha)
+	}
+	if lo < 1 || hi <= lo {
+		return nil, fmt.Errorf("workload: Pareto bounds [%v, %v] need 1 <= lo < hi", lo, hi)
+	}
+	return &BoundedPareto{
+		alpha: alpha, lo: lo, hi: hi,
+		loA: math.Pow(lo, -alpha), hiA: math.Pow(hi, -alpha),
+	}, nil
+}
+
+// Next draws an integer size in [lo, hi] by inversion.
+func (p *BoundedPareto) Next(r *rng.Rand) int32 {
+	u := r.Float64()
+	x := math.Pow(p.loA-u*(p.loA-p.hiA), -1/p.alpha)
+	if x < p.lo {
+		x = p.lo
+	}
+	if x > p.hi {
+		x = p.hi
+	}
+	return int32(x)
+}
+
+// Mean returns the distribution's exact mean.
+func (p *BoundedPareto) Mean() float64 {
+	a := p.alpha
+	if a == 1 {
+		return math.Log(p.hi/p.lo) * p.lo * p.hi / (p.hi - p.lo)
+	}
+	num := math.Pow(p.lo, a) / (1 - math.Pow(p.lo/p.hi, a))
+	return num * a / (a - 1) * (1/math.Pow(p.lo, a-1) - 1/math.Pow(p.hi, a-1))
+}

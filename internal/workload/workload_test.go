@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geobalance/internal/rng"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	for _, s := range []float64{1, 0.5, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewZipf(s, 100); err == nil {
+			t.Errorf("exponent %v accepted", s)
+		}
+	}
+	if _, err := NewZipf(2, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	z, err := NewZipf(1.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for i := 0; i < 100000; i++ {
+		k := z.Next(r)
+		if k >= 100 {
+			t.Fatalf("Zipf produced %d >= 100", k)
+		}
+	}
+}
+
+func TestZipfMatchesStdlib(t *testing.T) {
+	// Cross-check against math/rand's reference implementation: the
+	// empirical rank frequencies of both must agree.
+	const n, samples = 50, 500000
+	z, err := NewZipf(1.8, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	ours := make([]int, n)
+	for i := 0; i < samples; i++ {
+		ours[z.Next(r)]++
+	}
+	std := rand.NewZipf(rand.New(rand.NewSource(3)), 1.8, 1, n-1)
+	theirs := make([]int, n)
+	for i := 0; i < samples; i++ {
+		theirs[std.Uint64()]++
+	}
+	for k := 0; k < 10; k++ { // the head carries nearly all mass
+		a := float64(ours[k]) / samples
+		b := float64(theirs[k]) / samples
+		tol := 6*math.Sqrt(b*(1-b)/samples) + 0.002
+		if math.Abs(a-b) > tol {
+			t.Errorf("rank %d: ours %v vs stdlib %v", k, a, b)
+		}
+	}
+}
+
+func TestZipfHeadHeaviness(t *testing.T) {
+	z, err := NewZipf(2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	const samples = 200000
+	counts := make([]int, 1000)
+	for i := 0; i < samples; i++ {
+		counts[z.Next(r)]++
+	}
+	// P(0)/P(1) should be ~2^2 = 4.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 3.4 || ratio > 4.6 {
+		t.Errorf("P(0)/P(1) = %v, want ~4", ratio)
+	}
+	// Monotone non-increasing head.
+	for k := 0; k < 5; k++ {
+		if counts[k] < counts[k+1] {
+			t.Errorf("counts not monotone at %d: %d < %d", k, counts[k], counts[k+1])
+		}
+	}
+}
+
+func TestBoundedParetoValidation(t *testing.T) {
+	cases := []struct{ a, lo, hi float64 }{
+		{0, 1, 10}, {-1, 1, 10}, {math.NaN(), 1, 10},
+		{1.5, 0.5, 10}, {1.5, 10, 10}, {1.5, 10, 5},
+	}
+	for _, c := range cases {
+		if _, err := NewBoundedPareto(c.a, c.lo, c.hi); err == nil {
+			t.Errorf("params %+v accepted", c)
+		}
+	}
+}
+
+func TestBoundedParetoRangeAndMean(t *testing.T) {
+	p, err := NewBoundedPareto(1.5, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	const samples = 500000
+	var sum float64
+	for i := 0; i < samples; i++ {
+		v := p.Next(r)
+		if v < 1 || v > 1000 {
+			t.Fatalf("sample %d out of [1, 1000]", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / samples
+	want := p.Mean()
+	// Integer truncation shifts the mean down by up to 0.5.
+	if mean > want || mean < want-1 {
+		t.Errorf("empirical mean %v vs analytic %v", mean, want)
+	}
+}
+
+func TestBoundedParetoAlphaOneMean(t *testing.T) {
+	p, err := NewBoundedPareto(1, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean of bounded Pareto with alpha=1: ln(hi/lo) * lo*hi/(hi-lo).
+	want := math.Log(100.0) * 100.0 / 99.0
+	if math.Abs(p.Mean()-want) > 1e-9 {
+		t.Errorf("alpha=1 mean %v, want %v", p.Mean(), want)
+	}
+}
+
+func TestBoundedParetoHeavyTail(t *testing.T) {
+	p, err := NewBoundedPareto(1.1, 1, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	const samples = 200000
+	big := 0
+	for i := 0; i < samples; i++ {
+		if p.Next(r) >= 100 {
+			big++
+		}
+	}
+	// P(X >= 100) ~ (1 - 100^-1.1/const) ... roughly lo^a * 100^-a ~ 0.0063.
+	frac := float64(big) / samples
+	if frac < 0.002 || frac > 0.02 {
+		t.Errorf("tail fraction beyond 100 = %v, expected ~0.006", frac)
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	z, err := NewZipf(1.5, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += z.Next(r)
+	}
+	_ = sink
+}
+
+func BenchmarkParetoNext(b *testing.B) {
+	p, err := NewBoundedPareto(1.5, 1, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink += p.Next(r)
+	}
+	_ = sink
+}
