@@ -19,6 +19,7 @@ import (
 	"geobalance/internal/queueing"
 	"geobalance/internal/ring"
 	"geobalance/internal/rng"
+	"geobalance/internal/sim"
 	"geobalance/internal/stats"
 	"geobalance/internal/tailbound"
 	"geobalance/internal/torus"
@@ -26,10 +27,10 @@ import (
 )
 
 // benchNs are the site counts exercised by default. The paper sweeps to
-// 2^24 (ring) and 2^20 (torus); the harness stops at 2^16 to keep a full
-// -bench . run in minutes. Cells are named so larger runs can be
-// selected with -bench filters once the defaults look right.
-var benchNs = []int{1 << 8, 1 << 12, 1 << 16}
+// 2^24 (ring) and 2^20 (torus); with the allocation-free placement path
+// the default sweep now reaches 2^20 in-harness. Cells are named so
+// even larger runs can be selected with -bench filters.
+var benchNs = []int{1 << 8, 1 << 12, 1 << 16, 1 << 20}
 
 // --- Table 1: maximum load with random arcs (m = n) ---
 
@@ -37,24 +38,29 @@ func BenchmarkTable1Ring(b *testing.B) {
 	for _, n := range benchNs {
 		for _, d := range []int{1, 2, 3, 4} {
 			b.Run(fmt.Sprintf("n=%d/d=%d", n, d), func(b *testing.B) {
-				var sum float64
-				for i := 0; i < b.N; i++ {
-					r := rng.NewStream(1, uint64(i))
-					sp, err := ring.NewRandom(n, r)
-					if err != nil {
-						b.Fatal(err)
-					}
-					a, err := core.New(sp, core.Config{D: d})
-					if err != nil {
-						b.Fatal(err)
-					}
-					a.PlaceN(n, r)
-					sum += float64(a.MaxLoad())
-				}
-				b.ReportMetric(sum/float64(b.N), "maxload")
+				benchPooledTrial(b, n, sim.RingTrialPooled(n, n, d, core.TieRandom, false), 1)
 			})
 		}
 	}
+}
+
+// benchPooledTrial runs one worker's pooled trial per iteration — the
+// exact per-worker code path sim.RunFactory executes in production —
+// and reports the mean max load plus per-ball cost.
+func benchPooledTrial(b *testing.B, n int, mk sim.TrialFactory, seed uint64) {
+	b.ReportAllocs()
+	trial := mk()
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		r := rng.NewStream(seed, uint64(i))
+		v, err := trial(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum += float64(v)
+	}
+	b.ReportMetric(sum/float64(b.N), "maxload")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/ball")
 }
 
 // --- Table 2: maximum load with random torus polygons (m = n) ---
@@ -63,21 +69,7 @@ func BenchmarkTable2Torus(b *testing.B) {
 	for _, n := range benchNs {
 		for _, d := range []int{1, 2, 3, 4} {
 			b.Run(fmt.Sprintf("n=%d/d=%d", n, d), func(b *testing.B) {
-				var sum float64
-				for i := 0; i < b.N; i++ {
-					r := rng.NewStream(2, uint64(i))
-					sp, err := torus.NewRandom(n, 2, r)
-					if err != nil {
-						b.Fatal(err)
-					}
-					a, err := core.New(sp, core.Config{D: d})
-					if err != nil {
-						b.Fatal(err)
-					}
-					a.PlaceN(n, r)
-					sum += float64(a.MaxLoad())
-				}
-				b.ReportMetric(sum/float64(b.N), "maxload")
+				benchPooledTrial(b, n, sim.TorusTrialPooled(n, n, d, 2, core.TieRandom), 2)
 			})
 		}
 	}
@@ -98,21 +90,7 @@ func BenchmarkTable3TieBreaks(b *testing.B) {
 	for _, n := range benchNs {
 		for _, s := range strategies {
 			b.Run(fmt.Sprintf("n=%d/%s", n, s.name), func(b *testing.B) {
-				var sum float64
-				for i := 0; i < b.N; i++ {
-					r := rng.NewStream(3, uint64(i))
-					sp, err := ring.NewRandom(n, r)
-					if err != nil {
-						b.Fatal(err)
-					}
-					a, err := core.New(sp, core.Config{D: 2, Tie: s.tie})
-					if err != nil {
-						b.Fatal(err)
-					}
-					a.PlaceN(n, r)
-					sum += float64(a.MaxLoad())
-				}
-				b.ReportMetric(sum/float64(b.N), "maxload")
+				benchPooledTrial(b, n, sim.RingTrialPooled(n, n, 2, s.tie, false), 3)
 			})
 		}
 	}

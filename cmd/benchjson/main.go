@@ -1,0 +1,146 @@
+// Command benchjson runs a small fixed set of hot-path micro-benchmarks
+// and prints the results as JSON, one stable record per operation. The
+// committed BENCH_baseline.json snapshot at the repository root is
+// produced by
+//
+//	go run ./cmd/benchjson > BENCH_baseline.json
+//
+// so future changes can diff their perf against the recorded baseline
+// (machine-dependent — regenerate the baseline when the hardware
+// changes; compare like with like).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"geobalance/internal/core"
+	"geobalance/internal/ring"
+	"geobalance/internal/rng"
+	"geobalance/internal/sim"
+	"geobalance/internal/torus"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// PerBall divides ns_per_op by the number of balls an op places
+	// (zero when the op is not a placement).
+	NsPerBall float64 `json:"ns_per_ball,omitempty"`
+}
+
+func run(name string, balls int, fn func(b *testing.B)) result {
+	r := testing.Benchmark(fn)
+	out := result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if balls > 0 {
+		out.NsPerBall = out.NsPerOp / float64(balls)
+	}
+	return out
+}
+
+func main() {
+	const n = 1 << 16
+	results := []result{
+		run("ring_locate/n=65536", 0, func(b *testing.B) {
+			r := rng.New(1)
+			sp, err := ring.NewRandom(n, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += sp.Locate(r.Float64())
+			}
+			_ = sink
+		}),
+		run("ring_reseed/n=65536", 0, func(b *testing.B) {
+			r := rng.New(2)
+			sp, err := ring.NewRandom(n, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp.Reseed(r)
+			}
+		}),
+		run("ring_trial_reused/n=65536/d=2", n, func(b *testing.B) {
+			trial := sim.RingTrialPooled(n, n, 2, core.TieRandom, false)()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trial(rng.NewStream(3, uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		run("ring_place_batch/n=65536/d=2", n, func(b *testing.B) {
+			r := rng.New(4)
+			sp, err := ring.NewRandom(n, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := core.New(sp, core.Config{D: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Reset()
+				a.PlaceBatch(n, r)
+			}
+		}),
+		run("torus_nearest/n=65536/dim=2", 0, func(b *testing.B) {
+			r := rng.New(5)
+			sp, err := torus.NewRandom(n, 2, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := sp.Sample(r)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp.SampleInto(q, r)
+				sp.Nearest(q)
+			}
+		}),
+		run("uniform_place_batch/n=65536/d=2", n, func(b *testing.B) {
+			sp, err := core.NewUniform(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := core.New(sp, core.Config{D: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(6)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Reset()
+				a.PlaceBatch(n, r)
+			}
+		}),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Schema  int      `json:"schema"`
+		Results []result `json:"results"`
+	}{Schema: 1, Results: results}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -70,8 +70,8 @@ func cmdTable1(args []string) error {
 			})
 		}
 	}
-	out, err := sim.Table(cells, func(cell sim.Cell) sim.TrialFunc {
-		return sim.RingTrial(cell.N, cell.M, cell.D, cell.Tie, false)
+	out, err := sim.TableFactory(cells, func(cell sim.Cell) sim.TrialFactory {
+		return sim.RingTrialPooled(cell.N, cell.M, cell.D, cell.Tie, false)
 	}, c.trials, c.seed, c.workers)
 	if err != nil {
 		return err
@@ -145,8 +145,8 @@ func cmdTable2(args []string) error {
 			})
 		}
 	}
-	out, err := sim.Table(cells, func(cell sim.Cell) sim.TrialFunc {
-		return sim.TorusTrial(cell.N, cell.M, cell.D, 2, cell.Tie)
+	out, err := sim.TableFactory(cells, func(cell sim.Cell) sim.TrialFactory {
+		return sim.TorusTrialPooled(cell.N, cell.M, cell.D, 2, cell.Tie)
 	}, c.trials, c.seed, c.workers)
 	if err != nil {
 		return err
@@ -204,8 +204,8 @@ func cmdTable3(args []string) error {
 				N:     n, M: n, D: *d, Tie: s.tie,
 			})
 		}
-		out, err := sim.Table(cells, func(cell sim.Cell) sim.TrialFunc {
-			return sim.RingTrial(cell.N, cell.M, cell.D, cell.Tie, cell.Tie == core.TieLeft)
+		out, err := sim.TableFactory(cells, func(cell sim.Cell) sim.TrialFactory {
+			return sim.RingTrialPooled(cell.N, cell.M, cell.D, cell.Tie, cell.Tie == core.TieLeft)
 		}, c.trials, c.seed, c.workers)
 		if err != nil {
 			return err
@@ -236,7 +236,7 @@ func cmdMN(args []string) error {
 	fmt.Fprintf(stdout, "(Theorem 1 remark: max load = O(m/n) + O(log log n / log d))\n\n")
 	for _, ratio := range rs {
 		m := *n * ratio
-		h, err := sim.Run(c.trials, c.seed+uint64(ratio), c.workers, sim.RingTrial(*n, m, *d, core.TieRandom, false))
+		h, err := sim.RunFactory(c.trials, c.seed+uint64(ratio), c.workers, sim.RingTrialPooled(*n, m, *d, core.TieRandom, false))
 		if err != nil {
 			return err
 		}
@@ -312,7 +312,7 @@ func cmdDim3(args []string) error {
 	fmt.Fprintf(stdout, "Higher-dimension extension: %d-D torus (m = n), %d trials, seed %d\n\n", *dim, c.trials, c.seed)
 	for _, n := range ns {
 		for _, d := range ds {
-			h, err := sim.Run(c.trials, c.seed+uint64(n*10+d), c.workers, sim.TorusTrial(n, n, d, *dim, core.TieRandom))
+			h, err := sim.RunFactory(c.trials, c.seed+uint64(n*10+d), c.workers, sim.TorusTrialPooled(n, n, d, *dim, core.TieRandom))
 			if err != nil {
 				return err
 			}
@@ -350,8 +350,8 @@ func cmdUniform(args []string) error {
 			if tie == core.TieLeft && d < 2 {
 				continue
 			}
-			h, err := sim.Run(c.trials, c.seed+uint64(n*10+d), c.workers,
-				sim.UniformTrial(n, n, d, tie, *goLeft))
+			h, err := sim.RunFactory(c.trials, c.seed+uint64(n*10+d), c.workers,
+				sim.UniformTrialPooled(n, n, d, tie, *goLeft))
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,3 @@
+module geobalance
+
+go 1.24

@@ -9,6 +9,9 @@
 // batches degrade the balance smoothly (for batches of size O(n) the
 // max load stays O(log log n) with a larger constant), which the
 // ablation benchmark measures.
+//
+// Not to be confused with PlaceBatch (placement.go), which is the
+// fresh-load sequential process in bulk form.
 package core
 
 import (
@@ -17,14 +20,14 @@ import (
 	"geobalance/internal/rng"
 )
 
-// PlaceBatch inserts k balls whose d choices are all evaluated against
-// the loads as of the call (stale within the batch), then commits. It
-// returns the bins chosen, in placement order. Tie-breaking uses the
-// allocator's configured rule on the stale loads. It returns an error
-// for k < 0; k = 0 is a no-op.
-func (a *Allocator) PlaceBatch(k int, r *rng.Rand) ([]int, error) {
+// PlaceBatchStale inserts k balls whose d choices are all evaluated
+// against the loads as of the call (stale within the batch), then
+// commits. It returns the bins chosen, in placement order. Tie-breaking
+// uses the allocator's configured rule on the stale loads. It returns
+// an error for k < 0; k = 0 is a no-op.
+func (a *Allocator) PlaceBatchStale(k int, r *rng.Rand) ([]int, error) {
 	if k < 0 {
-		return nil, fmt.Errorf("core: PlaceBatch with negative k %d", k)
+		return nil, fmt.Errorf("core: PlaceBatchStale with negative k %d", k)
 	}
 	if k == 0 {
 		return nil, nil
@@ -87,18 +90,7 @@ func (a *Allocator) PlaceBatch(k int, r *rng.Rand) ([]int, error) {
 	}
 	// Commit the batch.
 	for _, bin := range bins {
-		a.loads[bin]++
-		switch {
-		case a.loads[bin] > a.max:
-			a.max = a.loads[bin]
-			a.atMax = 1
-		case a.loads[bin] == a.max:
-			a.atMax++
-		}
-		a.placed++
-		if a.cfg.TrackBalls {
-			a.balls = append(a.balls, int32(bin))
-		}
+		a.commit(bin)
 	}
 	return bins, nil
 }
@@ -114,7 +106,7 @@ func (a *Allocator) PlaceNBatched(m, batchSize int, r *rng.Rand) error {
 		if placed+k > m {
 			k = m - placed
 		}
-		if _, err := a.PlaceBatch(k, r); err != nil {
+		if _, err := a.PlaceBatchStale(k, r); err != nil {
 			return err
 		}
 		placed += k

@@ -13,16 +13,16 @@ import (
 // helpers that return errors instead of failing the test directly.
 func ringNewRandom(n int, r *rng.Rand) (Space, error) { return ring.NewRandom(n, r) }
 
-func TestPlaceBatchValidation(t *testing.T) {
+func TestPlaceBatchStaleValidation(t *testing.T) {
 	sp := mustRing(t, 16, 60)
 	a, err := New(sp, Config{D: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.PlaceBatch(-1, rng.New(61)); err == nil {
+	if _, err := a.PlaceBatchStale(-1, rng.New(61)); err == nil {
 		t.Error("negative batch accepted")
 	}
-	bins, err := a.PlaceBatch(0, rng.New(61))
+	bins, err := a.PlaceBatchStale(0, rng.New(61))
 	if err != nil || bins != nil {
 		t.Error("empty batch misbehaved")
 	}
@@ -31,14 +31,14 @@ func TestPlaceBatchValidation(t *testing.T) {
 	}
 }
 
-func TestPlaceBatchConservation(t *testing.T) {
+func TestPlaceBatchStaleConservation(t *testing.T) {
 	sp := mustRing(t, 64, 62)
 	a, err := New(sp, Config{D: 2, TrackBalls: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	r := rng.New(63)
-	bins, err := a.PlaceBatch(100, r)
+	bins, err := a.PlaceBatchStale(100, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +247,7 @@ func TestSizedTwoChoicesBeatOneChoice(t *testing.T) {
 	}
 }
 
-func BenchmarkPlaceBatch(b *testing.B) {
+func BenchmarkPlaceBatchStale(b *testing.B) {
 	sp := mustRing(b, 1<<12, 1)
 	a, err := New(sp, Config{D: 2})
 	if err != nil {
@@ -256,7 +256,7 @@ func BenchmarkPlaceBatch(b *testing.B) {
 	r := rng.New(2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := a.PlaceBatch(64, r); err != nil {
+		if _, err := a.PlaceBatchStale(64, r); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,6 +18,32 @@
 // setting). Tie-breaking strategies cover the four columns of the
 // paper's Table 3: random, larger-region, go-left (Vöcking-style with
 // stratified choices), and smaller-region.
+//
+// # Fast-path architecture
+//
+// Place is exact but pays an interface dispatch per choice and
+// re-enters the tie-break switch per ball. PlaceBatch is the bulk hot
+// path: it hoists the configuration branches out of the per-ball loop
+// and devirtualizes the space — structurally (a space exposing a
+// sorted-site array plus bucket index, like ring.Space, is resolved
+// inline with zero calls per choice), concretely (UniformSpace), or via
+// the optional BatchChooser/StratifiedBatchChooser interfaces (one call
+// per ball instead of d). Candidate buffers live on the Allocator, so
+// steady-state placement performs zero heap allocations per ball.
+// PlaceBatch consumes random variates in exactly the per-ball order
+// Place does — and is therefore bit-identical to the sequential loop —
+// for every configuration except the blocked d=2 random-tie bucket
+// path, which reorders location variates within a block and preserves
+// the distribution but not per-seed values (see the placement.go
+// package comment and placement_test.go). Measured effect:
+// BenchmarkTable1Ring/n=65536/d=2 drops from ~430 ns/ball (seed,
+// binary-search Locate, per-trial rebuild) to ~35 ns/ball with a
+// reused ring.Space.
+//
+// When Config.TrackBalls is set the allocator also maintains a
+// load-count histogram (loadCount[l] = number of bins with load l), so
+// DeleteRandom updates the maximum incrementally instead of rescanning
+// all n bins when the last maximally-loaded bin loses a ball.
 package core
 
 import (
@@ -52,6 +78,43 @@ type Space interface {
 type StratifiedSpace interface {
 	Space
 	ChooseBinIn(r *rng.Rand, k, d int) int
+}
+
+// BatchChooser is a Space that can resolve one ball's d independent
+// uniform choices in a single call, drawing exactly the variates d
+// ChooseBin calls would. PlaceBatch uses it to amortize interface
+// dispatch to one call per ball. Implementations: ring.Space,
+// torus.Space, UniformSpace.
+type BatchChooser interface {
+	Space
+	// ChooseD fills dst with the bins of len(dst) independent uniform
+	// locations.
+	ChooseD(dst []int, r *rng.Rand)
+}
+
+// StratifiedBatchChooser is the stratified analogue of BatchChooser:
+// ChooseDIn fills dst[k] with a bin drawn from the kth of len(dst)
+// equal-measure strata, consuming exactly the variates len(dst)
+// ChooseBinIn calls would.
+type StratifiedBatchChooser interface {
+	StratifiedSpace
+	ChooseDIn(dst []int, r *rng.Rand)
+}
+
+// bucketSpace is the structural contract of a space whose ChooseBin is
+// "draw one uniform float64 and resolve it against sorted sites with a
+// jump index" in internal/jump's storage form — ring.Space, or any
+// space with the same shape. PlaceBatch matches it by structure (no
+// dependency on the concrete package) and runs the lookup inline,
+// eliminating even the one-call-per-ball cost of BatchChooser. Its
+// ChooseBinIn, if used, must be "locate (k+F)/d", the unit-interval
+// stratification.
+type bucketSpace interface {
+	Space
+	SiteBits() []uint64
+	BucketDeltas() []int16
+	Buckets() []int32
+	ArcLengths() []float64
 }
 
 // TieBreak selects among candidates that share the minimum load.
@@ -119,6 +182,11 @@ type Allocator struct {
 	atMax  int32     // number of bins whose load equals max (valid when max > 0)
 	balls  []int32   // bin of each live ball, when TrackBalls is set
 	capInv []float64 // inverse capacities, when SetCapacities was called
+
+	cand      []int     // scratch candidate buffer for the batch fast paths
+	ubuf      []float64 // scratch location block for the blocked pipeline
+	jbuf      []int32   // scratch bin block for the blocked pipeline
+	loadCount []int32   // loadCount[l] = bins with load l, when TrackBalls is set
 }
 
 // New validates the configuration against the space and returns a fresh
@@ -139,7 +207,15 @@ func New(space Space, cfg Config) (*Allocator, error) {
 	if cfg.Tie == TieLeft {
 		cfg.Stratified = true
 	}
-	a := &Allocator{space: space, cfg: cfg, loads: make([]int32, space.NumBins())}
+	a := &Allocator{
+		space: space,
+		cfg:   cfg,
+		loads: make([]int32, space.NumBins()),
+		cand:  make([]int, cfg.D),
+	}
+	if cfg.TrackBalls {
+		a.loadCount = []int32{int32(space.NumBins())} // every bin starts at load 0
+	}
 	if cfg.Stratified {
 		ss, ok := space.(StratifiedSpace)
 		if !ok {
@@ -165,19 +241,36 @@ func describeStrat(cfg Config) string {
 // Place inserts one ball and returns the bin it was placed in.
 func (a *Allocator) Place(r *rng.Rand) int {
 	best := a.chooseForPlacement(r)
-	a.loads[best]++
+	a.commit(best)
+	return best
+}
+
+// commit records one placed ball in bin, maintaining the maximum-load
+// tracker and, under TrackBalls, the ball list and load histogram.
+func (a *Allocator) commit(bin int) {
+	nl := a.loads[bin] + 1
+	a.loads[bin] = nl
 	switch {
-	case a.loads[best] > a.max:
-		a.max = a.loads[best]
+	case nl > a.max:
+		a.max = nl
 		a.atMax = 1
-	case a.loads[best] == a.max:
+	case nl == a.max:
 		a.atMax++
 	}
 	a.placed++
 	if a.cfg.TrackBalls {
-		a.balls = append(a.balls, int32(best))
+		a.balls = append(a.balls, int32(bin))
+		a.histUp(nl)
 	}
-	return best
+}
+
+// histUp moves one bin from load nl-1 to load nl in the histogram.
+func (a *Allocator) histUp(nl int32) {
+	a.loadCount[nl-1]--
+	for int(nl) >= len(a.loadCount) {
+		a.loadCount = append(a.loadCount, 0)
+	}
+	a.loadCount[nl]++
 }
 
 // DeleteRandom removes one uniformly random live ball, as in the
@@ -199,27 +292,29 @@ func (a *Allocator) DeleteRandom(r *rng.Rand) int {
 	old := a.loads[bin]
 	a.loads[bin]--
 	a.placed--
+	a.loadCount[old]--
+	a.loadCount[old-1]++
 	if old == a.max {
 		a.atMax--
 		if a.atMax == 0 {
+			// The bin we just decremented now sits at max-1, so the
+			// histogram gives the new count directly — no O(n) rescan.
 			a.max--
 			if a.max > 0 {
-				for _, l := range a.loads {
-					if l == a.max {
-						a.atMax++
-					}
-				}
+				a.atMax = a.loadCount[a.max]
 			}
 		}
 	}
 	return bin
 }
 
-// PlaceN inserts m balls sequentially.
+// PlaceN inserts m balls sequentially. It delegates to PlaceBatch:
+// bit-identical to m Place calls at a fraction of the cost for every
+// configuration except the blocked d=2 random-tie bucket fast path,
+// which preserves the distribution but not per-seed values (see the
+// placement.go package comment).
 func (a *Allocator) PlaceN(m int, r *rng.Rand) {
-	for i := 0; i < m; i++ {
-		a.Place(r)
-	}
+	a.PlaceBatch(m, r)
 }
 
 // Loads returns the per-bin loads. The returned slice is shared; callers
@@ -248,6 +343,9 @@ func (a *Allocator) Reset() {
 	a.max = 0
 	a.atMax = 0
 	a.balls = a.balls[:0]
+	if a.cfg.TrackBalls {
+		a.loadCount = append(a.loadCount[:0], int32(len(a.loads)))
+	}
 }
 
 // Live returns the number of live balls (placed minus deleted).
@@ -275,10 +373,24 @@ func (u *UniformSpace) NumBins() int { return u.n }
 // ChooseBin returns a uniformly random bin.
 func (u *UniformSpace) ChooseBin(r *rng.Rand) int { return r.Intn(u.n) }
 
+// ChooseD fills dst with len(dst) independent uniform bins. It
+// implements BatchChooser.
+func (u *UniformSpace) ChooseD(dst []int, r *rng.Rand) {
+	for i := range dst {
+		dst[i] = r.Intn(u.n)
+	}
+}
+
 // Weight returns 1/n for every bin.
 func (u *UniformSpace) Weight(int) float64 { return 1 / float64(u.n) }
 
-// ChooseBinIn returns a uniform bin from the kth of d contiguous blocks.
+// ChooseBinIn returns a uniform bin from the kth of d contiguous blocks
+// [k·n/d, (k+1)·n/d). When d > n some strata are degenerate (the block
+// boundaries coincide, hi == lo); such a stratum collapses to the single
+// bin at its start, which is always in range: lo = ⌊k·n/d⌋ ≤
+// ⌊(d-1)·n/d⌋ ≤ n-1 for every valid k. The degenerate case still draws
+// one variate so that choice-sequence reproducibility does not depend on
+// which strata are degenerate.
 func (u *UniformSpace) ChooseBinIn(r *rng.Rand, k, d int) int {
 	if d < 1 || k < 0 || k >= d {
 		panic(fmt.Sprintf("core: ChooseBinIn stratum %d of %d", k, d))
@@ -286,10 +398,16 @@ func (u *UniformSpace) ChooseBinIn(r *rng.Rand, k, d int) int {
 	lo := k * u.n / d
 	hi := (k + 1) * u.n / d
 	if hi == lo {
-		hi = lo + 1 // degenerate stratum when d > n; stay in range
-		if hi > u.n {
-			lo, hi = u.n-1, u.n
-		}
+		hi = lo + 1
 	}
 	return lo + r.Intn(hi-lo)
+}
+
+// ChooseDIn fills dst with one stratified ball's candidates, dst[k]
+// drawn from the kth of len(dst) blocks. It implements
+// StratifiedBatchChooser.
+func (u *UniformSpace) ChooseDIn(dst []int, r *rng.Rand) {
+	for k := range dst {
+		dst[k] = u.ChooseBinIn(r, k, len(dst))
+	}
 }

@@ -1,0 +1,333 @@
+// The bulk placement fast path. PlaceBatch is semantically m sequential
+// Place calls, but it hoists the configuration dispatch (stratified or
+// not, tie-break rule, capacities, space kind) out of the per-ball loop
+// and devirtualizes the space:
+//
+//   - a bucketSpace (ring.Space, matched structurally) is resolved
+//     inline through internal/jump: zero calls and O(1) branch-free
+//     expected work per choice;
+//   - *UniformSpace is handled concretely;
+//   - a BatchChooser/StratifiedBatchChooser collapses d interface calls
+//     per ball into one;
+//   - anything else falls back to the exact per-ball loop.
+//
+// # Random-variate order
+//
+// PlaceBatch consumes random variates in exactly the per-ball order
+// Place does — and therefore places every ball in exactly the same bin
+// for a given generator state — for every configuration EXCEPT one,
+// called out here explicitly: the bucket-space d >= 2 TieRandom fast
+// path pipelines lookups by drawing a block of location variates ahead
+// of the block's tie-break variates. Load comparisons remain strictly
+// sequential (each ball sees all previous placements), so the process
+// distribution is unchanged — TestPlaceBatchBlockedDistribution checks
+// the maximum-load distribution against Place — but per-seed values
+// differ from Place. Every other configuration (d = 1, the
+// weight/left tie rules which draw no tie variates, stratified
+// generation, uniform and chooser spaces, capacities, TrackBalls) is
+// bit-identical to Place, which TestPlaceBatchMatchesPlace verifies
+// config by config.
+//
+// All scratch lives on the Allocator, so steady-state placement does
+// zero heap allocations per ball (guarded by TestPlaceBatchZeroAllocs).
+package core
+
+import (
+	"geobalance/internal/jump"
+	"geobalance/internal/rng"
+)
+
+// blockBalls is the pipeline depth of the blocked d-choice loop: enough
+// lookups in flight to hide table latency, small enough that the
+// scratch stays in L1.
+const blockBalls = 32
+
+// PlaceBatch inserts m balls sequentially, equivalent to calling Place
+// m times (bit-identically so except for the blocked TieRandom path —
+// see the package comment). m <= 0 is a no-op.
+func (a *Allocator) PlaceBatch(m int, r *rng.Rand) {
+	if m <= 0 {
+		return
+	}
+	if a.capInv == nil {
+		if bs, ok := a.space.(bucketSpace); ok {
+			a.placeBatchBucket(bs, m, r)
+			return
+		}
+		if us, ok := a.space.(*UniformSpace); ok {
+			a.placeBatchUniform(us, m, r)
+			return
+		}
+		// The chooser paths draw one ball's d location variates before
+		// its tie-break variates. Place interleaves them, so the orders
+		// agree only when at most one tie-break draw can occur after the
+		// last location draw (d <= 2) or when the tie rule draws nothing.
+		if a.cfg.D <= 2 || a.cfg.Tie != TieRandom {
+			if a.strat != nil {
+				if sbc, ok := a.space.(StratifiedBatchChooser); ok {
+					a.placeBatchStratChooser(sbc, m, r)
+					return
+				}
+			} else if bc, ok := a.space.(BatchChooser); ok {
+				a.placeBatchChooser(bc, m, r)
+				return
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		a.Place(r)
+	}
+}
+
+// placeBatchBucket dispatches between the blocked pipeline and the
+// exact per-ball loop for bucket-indexed spaces.
+func (a *Allocator) placeBatchBucket(bs bucketSpace, m int, r *rng.Rand) {
+	bits, delta := bs.SiteBits(), bs.BucketDeltas()
+	// The blocked pipeline reorders variates (see package comment), so
+	// it is reserved for the configuration whose order is perturbed
+	// anyway only by tie draws it controls: d=2 TieRandom. Its O(n)
+	// max-recovery pass also wants a batch comparable to the bin count.
+	if delta != nil && a.cfg.D == 2 && a.cfg.Tie == TieRandom &&
+		!a.cfg.Stratified && !a.cfg.TrackBalls && 4*m >= len(a.loads) {
+		a.placeBatchBlocked(bits, delta, m, r)
+		return
+	}
+	a.placeBatchBucketExact(bs, m, r)
+}
+
+// placeBatchBlocked is the throughput loop for Tables 1 and 2's
+// configuration (d = 2, random ties). Each block draws 2*blockBalls
+// location variates, resolves all lookups back to back (independent,
+// branch-free — the memory accesses overlap), then commits the block's
+// balls strictly sequentially against live loads.
+func (a *Allocator) placeBatchBlocked(bits []uint64, delta []int16, m int, r *rng.Rand) {
+	if a.ubuf == nil {
+		a.ubuf = make([]float64, 2*blockBalls)
+		a.jbuf = make([]int32, 2*blockBalls)
+	}
+	loads := a.loads
+	for placed := 0; placed < m; {
+		b := blockBalls
+		if placed+b > m {
+			b = m - placed
+		}
+		ubuf := a.ubuf[0 : 2*b : 2*blockBalls]
+		jbuf := a.jbuf[0 : 2*b : 2*blockBalls]
+		for i := range ubuf {
+			ubuf[i] = r.Float64()
+		}
+		jump.LocateBlock(bits, delta, ubuf, jbuf)
+		for k := 0; k < b; k++ {
+			j1, j2 := int(jbuf[2*k]), int(jbuf[2*k+1])
+			if j1 != j2 {
+				lb, lc := loads[j1], loads[j2]
+				if lc == lb {
+					// Arithmetic select keeps the 50/50 outcome off the
+					// branch predictor.
+					j1 += (j2 - j1) * (1 - r.Intn(2))
+				} else {
+					j1 += (j2 - j1) & int(int32(lc-lb)>>31)
+				}
+			}
+			loads[j1]++
+		}
+		placed += b
+	}
+	// Recover the maximum tracker in one sequential pass.
+	max, atMax := int32(0), int32(0)
+	for _, l := range loads {
+		if l > max {
+			max, atMax = l, 1
+		} else if l == max && l > 0 {
+			atMax++
+		}
+	}
+	a.max, a.atMax = max, atMax
+	a.placed += m
+}
+
+// placeBatchBucketExact is the per-ball loop: exact Place variate order
+// for every configuration, with the space devirtualized through
+// internal/jump.
+func (a *Allocator) placeBatchBucketExact(bs bucketSpace, m int, r *rng.Rand) {
+	bits, delta, idx := bs.SiteBits(), bs.BucketDeltas(), bs.Buckets()
+	nbf := float64(len(bits) - 1)
+	loads := a.loads
+	d := a.cfg.D
+	tie := a.cfg.Tie
+	strat := a.cfg.Stratified
+	track := a.cfg.TrackBalls
+	compact := delta != nil
+	max, atMax := a.max, a.atMax
+
+	var weights []float64
+	if tie == TieSmaller || tie == TieLarger {
+		weights = bs.ArcLengths()
+	}
+	df := float64(d)
+	for b := 0; b < m; b++ {
+		best := -1
+		bestLoad := int32(0)
+		ties := 1
+		for k := 0; k < d; k++ {
+			u := r.Float64()
+			if strat {
+				u = (float64(k) + u) / df
+				if u >= 1 { // (k+F)/d can round up to 1; wrap like Locate's frac
+					u = 0
+				}
+			}
+			var c int
+			if compact {
+				c = jump.Locate(bits, delta, nbf, u)
+			} else {
+				c = jump.LocateIdx(bits, idx, nbf, u)
+			}
+			if k == 0 {
+				best, bestLoad = c, loads[c]
+				continue
+			}
+			if c == best {
+				continue
+			}
+			l := loads[c]
+			switch {
+			case l < bestLoad:
+				best, bestLoad, ties = c, l, 1
+			case l == bestLoad:
+				switch tie {
+				case TieRandom:
+					ties++
+					if r.Intn(ties) == 0 {
+						best = c
+					}
+				case TieSmaller:
+					if weights[c] < weights[best] {
+						best = c
+					}
+				case TieLarger:
+					if weights[c] > weights[best] {
+						best = c
+					}
+				case TieLeft:
+					// Keep the earlier stratum.
+				}
+			}
+		}
+		nl := loads[best] + 1
+		loads[best] = nl
+		if nl > max {
+			max, atMax = nl, 1
+		} else if nl == max {
+			atMax++
+		}
+		if track {
+			a.balls = append(a.balls, int32(best))
+			a.histUp(nl)
+		}
+	}
+	a.max, a.atMax = max, atMax
+	a.placed += m
+}
+
+// placeBatchUniform is the concrete loop for the classical uniform
+// space. Weight ties are no-ops (every bin weighs 1/n, so Place never
+// switches on them), which lets the loop skip weight lookups entirely
+// while preserving Place's variate order exactly.
+func (a *Allocator) placeBatchUniform(us *UniformSpace, m int, r *rng.Rand) {
+	n := us.n
+	loads := a.loads
+	d := a.cfg.D
+	tie := a.cfg.Tie
+	strat := a.cfg.Stratified
+	for b := 0; b < m; b++ {
+		var best int
+		if strat {
+			best = us.ChooseBinIn(r, 0, d)
+		} else {
+			best = r.Intn(n)
+		}
+		bestLoad := loads[best]
+		ties := 1
+		for k := 1; k < d; k++ {
+			var c int
+			if strat {
+				c = us.ChooseBinIn(r, k, d)
+			} else {
+				c = r.Intn(n)
+			}
+			if c == best {
+				continue
+			}
+			l := loads[c]
+			switch {
+			case l < bestLoad:
+				best, bestLoad, ties = c, l, 1
+			case l == bestLoad && tie == TieRandom:
+				ties++
+				if r.Intn(ties) == 0 {
+					best = c
+				}
+			}
+		}
+		a.commit(best)
+	}
+}
+
+// placeBatchChooser runs the one-interface-call-per-ball loop. Only
+// entered when the variate order still matches Place (see PlaceBatch).
+func (a *Allocator) placeBatchChooser(bc BatchChooser, m int, r *rng.Rand) {
+	cand := a.cand[:a.cfg.D]
+	for b := 0; b < m; b++ {
+		bc.ChooseD(cand, r)
+		a.commit(a.selectCandidate(cand, r))
+	}
+}
+
+// placeBatchStratChooser is placeBatchChooser for stratified choices.
+func (a *Allocator) placeBatchStratChooser(sbc StratifiedBatchChooser, m int, r *rng.Rand) {
+	cand := a.cand[:a.cfg.D]
+	for b := 0; b < m; b++ {
+		sbc.ChooseDIn(cand, r)
+		a.commit(a.selectCandidate(cand, r))
+	}
+}
+
+// selectCandidate applies the least-loaded rule with the configured
+// tie-break to a pre-drawn candidate list, mirroring chooseForPlacement.
+func (a *Allocator) selectCandidate(cand []int, r *rng.Rand) int {
+	loads := a.loads
+	best := cand[0]
+	bestLoad := loads[best]
+	ties := 1
+	for k := 1; k < len(cand); k++ {
+		c := cand[k]
+		if c == best {
+			continue
+		}
+		l := loads[c]
+		switch {
+		case l < bestLoad:
+			best, bestLoad, ties = c, l, 1
+		case l == bestLoad:
+			switch a.cfg.Tie {
+			case TieRandom:
+				ties++
+				if r.Intn(ties) == 0 {
+					best = c
+				}
+			case TieSmaller:
+				if a.space.Weight(c) < a.space.Weight(best) {
+					best = c
+				}
+			case TieLarger:
+				if a.space.Weight(c) > a.space.Weight(best) {
+					best = c
+				}
+			case TieLeft:
+				// Keep the earlier stratum.
+			}
+		}
+	}
+	return best
+}

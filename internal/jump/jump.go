@@ -1,0 +1,162 @@
+// Package jump implements the constant-time ordered lookup shared by
+// the ring geometry and core's devirtualized placement loops: a bucket
+// ("jump") index over a sorted array of values in [0, 1).
+//
+// The array is stored as raw IEEE-754 bit patterns (uint64). For
+// non-negative floats the bit patterns order exactly like the values,
+// so every comparison in the hot path is an integer compare — unlike
+// float compares, these let the lookup be written as pure mask
+// arithmetic with no data-dependent branches, which is what makes the
+// per-lookup cost a handful of overlappable ALU ops plus two cache
+// lines instead of a chain of branch mispredictions.
+//
+// The index is one bucket per element: bucket b covers [b/n, (b+1)/n).
+// Its compact form stores, per bucket, the int16 difference between the
+// first element at or past the bucket start and the bucket number
+// itself. For n uniform values the difference is a binomial bridge with
+// O(sqrt(n)) deviation, so int16 deltas hold for every practical n
+// (overflow is detected at build time; callers then fall back to the
+// int32 index). The compact tables for n elements total 10n bytes —
+// small enough to stay cache-resident where separate index, boundary,
+// and value arrays would not.
+//
+// Lookup semantics: Locate returns the greatest index whose value is
+// <= u, wrapping to n-1 when u precedes every value (the ring's "owner
+// of location u" rule). A duplicated value owns with its highest index.
+package jump
+
+import "math"
+
+// Inf64 is the sentinel bit pattern (+Inf) terminating a bits array.
+var Inf64 = math.Float64bits(math.Inf(1))
+
+// BuildIdx fills idx (length n+1) with the bucket index over bits
+// (length n+1 including the sentinel): idx[b] is the first element
+// index at or past bucket b of n uniform buckets, and idx[n] = n.
+func BuildIdx(bits []uint64, idx []int32) {
+	n := len(bits) - 1
+	nbf := float64(n)
+	b := 0
+	for i := 0; i < n; i++ {
+		c := int(math.Float64frombits(bits[i]) * nbf)
+		if c >= n {
+			c = n - 1
+		}
+		for b <= c {
+			idx[b] = int32(i)
+			b++
+		}
+	}
+	for ; b <= n; b++ {
+		idx[b] = int32(n)
+	}
+}
+
+// BuildDelta fills delta (length n) with the compact form of idx and
+// reports whether every entry fits in an int16.
+func BuildDelta(idx []int32, delta []int16) bool {
+	for c := range delta {
+		d := int(idx[c]) - c
+		if d < math.MinInt16 || d > math.MaxInt16 {
+			return false
+		}
+		delta[c] = int16(d)
+	}
+	return true
+}
+
+// Locate returns the owner of u in [0, 1): the greatest index i with
+// bits[i] <= Float64bits(u), wrapping to n-1 when there is none. bits
+// must hold n sorted patterns of values in [0, 1) plus the Inf64
+// sentinel at index n; delta is the compact index from BuildDelta.
+//
+// The body is straight-line mask arithmetic: the first-element probe
+// and two fix-up probes advance the candidate with arithmetic selects
+// (no branches to mispredict), and only the ~1% of lookups whose bucket
+// holds three or more elements below u fall into the scan tail. The
+// fix-up probes re-read the same element when no advance happened, so
+// they are self-neutralizing; the sentinel makes every probe in-bounds
+// without clamping.
+func Locate(bits []uint64, delta []int16, nbf float64, u float64) int {
+	n := len(delta)
+	ub := math.Float64bits(u)
+	c := int(u * nbf)
+	if c >= n { // u within an ulp of 1 can round the product up to n
+		c = n - 1
+	}
+	i := c + int(delta[c])
+	// j = i-1, +1 if bits[i] <= ub (values < 2^63, so the subtraction's
+	// sign bit is the comparison).
+	j := i - 1 + int((bits[i]-ub-1)>>63)
+	j += int((bits[j+1] - ub - 1) >> 63)
+	j += int((bits[j+1] - ub - 1) >> 63)
+	if bits[j+1] <= ub {
+		j = locateTail(bits, ub, j, n)
+	}
+	if j < 0 {
+		j = n - 1
+	}
+	return j
+}
+
+// LocateBlock resolves a block of independent locations: dst[i] =
+// Locate(bits, delta, len(delta), us[i]). One call resolves the whole
+// block, and the branch-free bodies of consecutive lookups overlap
+// their table accesses — this is the bulk form core's pipelined
+// placement loop uses. The body must mirror Locate (pinned by
+// TestLocateBlockMatchesLocate).
+func LocateBlock(bits []uint64, delta []int16, us []float64, dst []int32) {
+	n := len(delta)
+	nbf := float64(n)
+	for k, u := range us {
+		ub := math.Float64bits(u)
+		c := int(u * nbf)
+		if c >= n {
+			c = n - 1
+		}
+		i := c + int(delta[c])
+		j := i - 1 + int((bits[i]-ub-1)>>63)
+		j += int((bits[j+1] - ub - 1) >> 63)
+		j += int((bits[j+1] - ub - 1) >> 63)
+		if bits[j+1] <= ub {
+			j = locateTail(bits, ub, j, n)
+		}
+		if j < 0 {
+			j = n - 1
+		}
+		dst[k] = int32(j)
+	}
+}
+
+// locateTail finishes the rare long scan. Kept out of line so Locate
+// stays inlinable.
+//
+//go:noinline
+func locateTail(bits []uint64, ub uint64, j, n int) int {
+	for j+1 < n && bits[j+1] <= ub {
+		j++
+	}
+	return j
+}
+
+// LocateIdx is Locate against the full int32 index, for element counts
+// whose delta overflows int16.
+func LocateIdx(bits []uint64, idx []int32, nbf float64, u float64) int {
+	n := len(idx) - 1
+	ub := math.Float64bits(u)
+	c := int(u * nbf)
+	if c >= n {
+		c = n - 1
+	}
+	i := int(idx[c])
+	j := i - 1 + int((bits[i]-ub-1)>>63)
+	j += int((bits[j+1] - ub - 1) >> 63)
+	j += int((bits[j+1] - ub - 1) >> 63)
+	if bits[j+1] <= ub {
+		j = locateTail(bits, ub, j, n)
+	}
+	if j < 0 {
+		j = n - 1
+	}
+	return j
+}

@@ -1,0 +1,198 @@
+package jump
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"geobalance/internal/rng"
+)
+
+// reference is the binary-search implementation of the documented
+// semantics: greatest index with value <= u, wrapping to n-1 when u
+// precedes every value.
+func reference(vals []float64, u float64) int {
+	i := sort.SearchFloat64s(vals, u) // first index with vals[i] >= u
+	// Walk forward over an exact-equality run to its last element.
+	j := i - 1
+	for i < len(vals) && vals[i] == u {
+		j = i
+		i++
+	}
+	if j < 0 {
+		return len(vals) - 1
+	}
+	return j
+}
+
+func buildTables(vals []float64) (bits []uint64, idx []int32, delta []int16, ok bool) {
+	n := len(vals)
+	bits = make([]uint64, n+1)
+	for i, v := range vals {
+		bits[i] = math.Float64bits(v)
+	}
+	bits[n] = Inf64
+	idx = make([]int32, n+1)
+	BuildIdx(bits, idx)
+	delta = make([]int16, n)
+	ok = BuildDelta(idx, delta)
+	return
+}
+
+// adversarialLocations returns query points designed to stress bucket
+// boundaries, exact hits, duplicates, and the extremes of [0, 1).
+func adversarialLocations(vals []float64) []float64 {
+	n := len(vals)
+	locs := []float64{0, math.Nextafter(1, 0), 0.5}
+	for b := 0; b <= n && b < 64; b++ {
+		x := float64(b) / float64(n)
+		locs = append(locs, x, math.Nextafter(x, 0), math.Nextafter(x, 1))
+	}
+	for i := 0; i < n && i < 64; i++ {
+		locs = append(locs, vals[i], math.Nextafter(vals[i], 0))
+		if next := math.Nextafter(vals[i], 1); next < 1 {
+			locs = append(locs, next)
+		}
+	}
+	return locs
+}
+
+func checkAll(t *testing.T, vals []float64, locs []float64) {
+	t.Helper()
+	bits, idx, delta, ok := buildTables(vals)
+	if !ok {
+		t.Fatal("unexpected delta overflow")
+	}
+	nbf := float64(len(vals))
+	for _, u := range locs {
+		want := reference(vals, u)
+		if got := Locate(bits, delta, nbf, u); got != want {
+			t.Fatalf("Locate(%v) over %d vals = %d, want %d", u, len(vals), got, want)
+		}
+		if got := LocateIdx(bits, idx, nbf, u); got != want {
+			t.Fatalf("LocateIdx(%v) over %d vals = %d, want %d", u, len(vals), got, want)
+		}
+	}
+}
+
+// TestLocateVsBinarySearch cross-checks the jump lookup against the
+// binary-search reference on 10k random locations per size plus
+// adversarial (boundary and exact-hit) ones.
+func TestLocateVsBinarySearch(t *testing.T) {
+	r := rng.New(99)
+	for _, n := range []int{1, 2, 3, 7, 64, 257, 4096} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()
+		}
+		sort.Float64s(vals)
+		locs := adversarialLocations(vals)
+		for i := 0; i < 10000; i++ {
+			locs = append(locs, r.Float64())
+		}
+		checkAll(t, vals, locs)
+	}
+}
+
+// TestLocateDuplicates pins the duplicate rule: an exact hit on a
+// duplicated value belongs to its highest index (the element whose
+// "arc" starts there).
+func TestLocateDuplicates(t *testing.T) {
+	vals := []float64{0.125, 0.25, 0.25, 0.25, 0.5, 0.5, 0.875}
+	checkAll(t, vals, adversarialLocations(vals))
+	// Explicit expectations, independent of the reference helper.
+	bits, _, delta, _ := buildTables(vals)
+	nbf := float64(len(vals))
+	if got := Locate(bits, delta, nbf, 0.25); got != 3 {
+		t.Fatalf("Locate(dup 0.25) = %d, want 3", got)
+	}
+	if got := Locate(bits, delta, nbf, 0.5); got != 5 {
+		t.Fatalf("Locate(dup 0.5) = %d, want 5", got)
+	}
+	if got := Locate(bits, delta, nbf, 0.1); got != 6 {
+		t.Fatalf("Locate(wrap) = %d, want 6", got)
+	}
+}
+
+// TestLocateClusteredValues exercises long scan tails: many values
+// crowded into few buckets.
+func TestLocateClusteredValues(t *testing.T) {
+	r := rng.New(7)
+	vals := make([]float64, 512)
+	for i := range vals {
+		vals[i] = 0.40625 + r.Float64()/1024 // all in a couple of buckets
+	}
+	sort.Float64s(vals)
+	locs := adversarialLocations(vals)
+	for i := 0; i < 10000; i++ {
+		locs = append(locs, r.Float64())
+	}
+	checkAll(t, vals, locs)
+}
+
+// TestBuildDeltaOverflow: an index whose deltas exceed int16 is
+// reported so callers fall back to LocateIdx.
+func TestBuildDeltaOverflow(t *testing.T) {
+	n := 40000
+	idx := make([]int32, n+1)
+	for b := range idx {
+		idx[b] = int32(n) // every value past every bucket start: delta[0] = 40000
+	}
+	if BuildDelta(idx, make([]int16, n)) {
+		t.Fatal("BuildDelta accepted a 40000 delta")
+	}
+	n = 1 << 17 // bucket 2^16's delta is -2^16, past int16 range
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 0.5 + float64(i)/float64(4*n) // all clustered above 0.5
+	}
+	bits := make([]uint64, n+1)
+	for i, v := range vals {
+		bits[i] = math.Float64bits(v)
+	}
+	bits[n] = Inf64
+	fullIdx := make([]int32, n+1)
+	BuildIdx(bits, fullIdx)
+	if BuildDelta(fullIdx, make([]int16, n)) {
+		t.Fatal("BuildDelta accepted an overflowing clustered index")
+	}
+	// The int32 fallback must still answer correctly.
+	r := rng.New(3)
+	nbf := float64(n)
+	for i := 0; i < 2000; i++ {
+		u := r.Float64()
+		if got, want := LocateIdx(bits, fullIdx, nbf, u), reference(vals, u); got != want {
+			t.Fatalf("LocateIdx(%v) = %d, want %d", u, got, want)
+		}
+	}
+}
+
+// TestLocateBlockMatchesLocate pins the bulk form to the scalar one.
+func TestLocateBlockMatchesLocate(t *testing.T) {
+	r := rng.New(123)
+	for _, n := range []int{1, 2, 17, 300, 4096} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()
+		}
+		sort.Float64s(vals)
+		bits, _, delta, ok := buildTables(vals)
+		if !ok {
+			t.Fatal("delta overflow")
+		}
+		us := make([]float64, 257)
+		dst := make([]int32, len(us))
+		for round := 0; round < 20; round++ {
+			for i := range us {
+				us[i] = r.Float64()
+			}
+			LocateBlock(bits, delta, us, dst)
+			nbf := float64(n)
+			for i, u := range us {
+				if want := Locate(bits, delta, nbf, u); int(dst[i]) != want {
+					t.Fatalf("n=%d: LocateBlock[%d]=%d, Locate=%d", n, i, dst[i], want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"geobalance/internal/core"
+)
+
+// TestPooledMatchesAllocating: the pooled trial families must report
+// exactly the histograms of their allocating counterparts — Reseed and
+// Reset reproduce fresh construction bit for bit — independent of the
+// worker count (per-trial seeding makes scheduling irrelevant).
+func TestPooledMatchesAllocating(t *testing.T) {
+	const trials, seed = 60, 443
+	cases := []struct {
+		name   string
+		plain  TrialFunc
+		pooled TrialFactory
+	}{
+		{"ring-d2", RingTrial(1<<10, 1<<10, 2, core.TieRandom, false),
+			RingTrialPooled(1<<10, 1<<10, 2, core.TieRandom, false)},
+		{"ring-d3-left", RingTrial(1<<10, 1<<10, 3, core.TieLeft, true),
+			RingTrialPooled(1<<10, 1<<10, 3, core.TieLeft, true)},
+		{"torus-d2", TorusTrial(256, 256, 2, 2, core.TieRandom),
+			TorusTrialPooled(256, 256, 2, 2, core.TieRandom)},
+		{"uniform-d2", UniformTrial(1<<10, 1<<10, 2, core.TieRandom, false),
+			UniformTrialPooled(1<<10, 1<<10, 2, core.TieRandom, false)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := Run(trials, seed, 4, tc.plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				got, err := RunFactory(trials, seed, workers, tc.pooled)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Values()) != len(want.Values()) {
+					t.Fatalf("workers=%d: %d distinct values, want %d", workers, len(got.Values()), len(want.Values()))
+				}
+				for _, v := range want.Values() {
+					if got.Count(v) != want.Count(v) {
+						t.Fatalf("workers=%d: count(%d) = %d, want %d", workers, v, got.Count(v), want.Count(v))
+					}
+				}
+			}
+		})
+	}
+}

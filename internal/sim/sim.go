@@ -7,6 +7,14 @@
 // from rng.NewStream(s, t), so results are bit-reproducible regardless
 // of scheduling, worker count, or which subset of an experiment is
 // re-run.
+//
+// For the fixed-shape trial families (one (n, m, d, tie) combination
+// run for thousands of trials) the *Pooled factories give each worker
+// one long-lived space and allocator, Reseed/Reset between trials
+// instead of reconstructing: per-trial allocations drop to zero and the
+// per-trial O(n log n) construction sort becomes an O(n) counting pass.
+// Reseeding consumes exactly the variates fresh construction would, so
+// pooled and allocating runs report identical per-seed metrics.
 package sim
 
 import (
@@ -29,14 +37,32 @@ import (
 // returns the trial's metric (for the paper's tables: the maximum load).
 type TrialFunc func(r *rng.Rand) (int, error)
 
+// TrialFactory builds a per-worker TrialFunc. Each worker goroutine
+// calls the factory once and then runs every trial it claims through
+// the returned closure, so the closure can own reusable state — a
+// geometric space Reseed-ed between trials, an allocator Reset between
+// trials — without any synchronization. Because reseeding consumes
+// exactly the variates fresh construction would, pooled trials produce
+// the same per-seed metrics as their allocating counterparts.
+type TrialFactory func() TrialFunc
+
 // Run executes trials in parallel and returns the metric histogram.
 // workers <= 0 selects GOMAXPROCS. The first trial error aborts the run.
 func Run(trials int, seed uint64, workers int, trial TrialFunc) (*stats.IntHist, error) {
+	if trial == nil {
+		return nil, fmt.Errorf("sim: nil trial function")
+	}
+	return RunFactory(trials, seed, workers, func() TrialFunc { return trial })
+}
+
+// RunFactory is Run with a per-worker TrialFunc factory, the reuse hook
+// the pooled trial families plug into.
+func RunFactory(trials int, seed uint64, workers int, mk TrialFactory) (*stats.IntHist, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("sim: need trials >= 1, got %d", trials)
 	}
-	if trial == nil {
-		return nil, fmt.Errorf("sim: nil trial function")
+	if mk == nil {
+		return nil, fmt.Errorf("sim: nil trial factory")
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -57,6 +83,15 @@ func Run(trials int, seed uint64, workers int, trial TrialFunc) (*stats.IntHist,
 		go func() {
 			defer wg.Done()
 			local := stats.NewIntHist()
+			trial := mk()
+			if trial == nil {
+				mu.Lock()
+				if firstEr == nil {
+					firstEr = fmt.Errorf("sim: trial factory returned nil")
+				}
+				mu.Unlock()
+				return
+			}
 			for {
 				mu.Lock()
 				if firstEr != nil || next >= trials {
@@ -95,6 +130,8 @@ func Run(trials int, seed uint64, workers int, trial TrialFunc) (*stats.IntHist,
 // placed uniformly at random on the circle, m balls placed with d
 // choices and the given tie-break rule (stratified choice generation if
 // requested or required by the rule). The metric is the maximum load.
+// The returned TrialFunc is stateless and may be shared across workers;
+// use RingTrialPooled with RunFactory for the reusing form.
 func RingTrial(n, m, d int, tie core.TieBreak, stratified bool) TrialFunc {
 	return func(r *rng.Rand) (int, error) {
 		sp, err := ring.NewRandom(n, r)
@@ -110,10 +147,40 @@ func RingTrial(n, m, d int, tie core.TieBreak, stratified bool) TrialFunc {
 	}
 }
 
+// RingTrialPooled is the reusing form of RingTrial: each worker's
+// closure builds its space and allocator once, then Reseeds and Resets
+// them per trial — no per-trial allocation and no re-sorting beyond the
+// O(n) counting pass. Per-seed metrics match RingTrial exactly.
+func RingTrialPooled(n, m, d int, tie core.TieBreak, stratified bool) TrialFactory {
+	return func() TrialFunc {
+		var sp *ring.Space
+		var a *core.Allocator
+		return func(r *rng.Rand) (int, error) {
+			if sp == nil {
+				var err error
+				if sp, err = ring.NewRandom(n, r); err != nil {
+					return 0, err
+				}
+				if a, err = core.New(sp, core.Config{D: d, Tie: tie, Stratified: stratified}); err != nil {
+					sp = nil
+					return 0, err
+				}
+			} else {
+				sp.Reseed(r)
+				a.Reset()
+			}
+			a.PlaceN(m, r)
+			return a.MaxLoad(), nil
+		}
+	}
+}
+
 // TorusTrial returns a TrialFunc for the torus process of Section 3: n
 // sites on the dim-dimensional unit torus, m balls with d choices. For
 // the weight-based tie rules (smaller/larger) the exact Voronoi areas
 // are computed per trial, which requires dim == 2.
+// The returned TrialFunc is stateless and may be shared across workers;
+// use TorusTrialPooled with RunFactory for the reusing form.
 func TorusTrial(n, m, d, dim int, tie core.TieBreak) TrialFunc {
 	return func(r *rng.Rand) (int, error) {
 		sp, err := torus.NewRandom(n, dim, r)
@@ -141,8 +208,54 @@ func TorusTrial(n, m, d, dim int, tie core.TieBreak) TrialFunc {
 	}
 }
 
+// TorusTrialPooled is the reusing form of TorusTrial: the torus (sites,
+// grid index, query scratch) and allocator are built once per worker
+// and Reseed/Reset between trials. Weight-based tie rules still compute
+// exact Voronoi areas per trial (the cells change with the sites).
+// Per-seed metrics match TorusTrial exactly.
+func TorusTrialPooled(n, m, d, dim int, tie core.TieBreak) TrialFactory {
+	return func() TrialFunc {
+		var sp *torus.Space
+		var a *core.Allocator
+		return func(r *rng.Rand) (int, error) {
+			if sp == nil {
+				var err error
+				if sp, err = torus.NewRandom(n, dim, r); err != nil {
+					return 0, err
+				}
+			} else {
+				sp.Reseed(r)
+			}
+			if tie == core.TieSmaller || tie == core.TieLarger {
+				if dim != 2 {
+					return 0, fmt.Errorf("sim: weight tie-break needs dim=2, got %d", dim)
+				}
+				diag, err := voronoi.ComputeParallel(sp, 1) // trial-level parallelism already saturates CPUs
+				if err != nil {
+					return 0, err
+				}
+				if err := sp.SetWeights(diag.Areas()); err != nil {
+					return 0, err
+				}
+			}
+			if a == nil {
+				var err error
+				if a, err = core.New(sp, core.Config{D: d, Tie: tie}); err != nil {
+					return 0, err
+				}
+			} else {
+				a.Reset()
+			}
+			a.PlaceN(m, r)
+			return a.MaxLoad(), nil
+		}
+	}
+}
+
 // UniformTrial returns a TrialFunc for the classical uniform-bin process
 // of Azar et al. — the baseline the geometric results are compared to.
+// The returned TrialFunc is stateless and may be shared across workers;
+// use UniformTrialPooled with RunFactory for the reusing form.
 func UniformTrial(n, m, d int, tie core.TieBreak, stratified bool) TrialFunc {
 	return func(r *rng.Rand) (int, error) {
 		sp, err := core.NewUniform(n)
@@ -155,6 +268,29 @@ func UniformTrial(n, m, d int, tie core.TieBreak, stratified bool) TrialFunc {
 		}
 		a.PlaceN(m, r)
 		return a.MaxLoad(), nil
+	}
+}
+
+// UniformTrialPooled is the reusing form of UniformTrial (the uniform
+// space is stateless, so only the allocator is pooled).
+func UniformTrialPooled(n, m, d int, tie core.TieBreak, stratified bool) TrialFactory {
+	return func() TrialFunc {
+		var a *core.Allocator
+		return func(r *rng.Rand) (int, error) {
+			if a == nil {
+				sp, err := core.NewUniform(n)
+				if err != nil {
+					return 0, err
+				}
+				if a, err = core.New(sp, core.Config{D: d, Tie: tie, Stratified: stratified}); err != nil {
+					return 0, err
+				}
+			} else {
+				a.Reset()
+			}
+			a.PlaceN(m, r)
+			return a.MaxLoad(), nil
+		}
 	}
 }
 
@@ -205,9 +341,18 @@ func WriteCellsCSV(w io.Writer, cells []Cell) error {
 // independent experiment; cell c uses master seed seed+c so that cells
 // are decorrelated but individually reproducible.
 func Table(cells []Cell, mk func(c Cell) TrialFunc, trials int, seed uint64, workers int) ([]Cell, error) {
+	return TableFactory(cells, func(c Cell) TrialFactory {
+		trial := mk(c)
+		return func() TrialFunc { return trial }
+	}, trials, seed, workers)
+}
+
+// TableFactory is Table over per-worker trial factories, so each cell's
+// workers reuse their spaces and allocators across the cell's trials.
+func TableFactory(cells []Cell, mk func(c Cell) TrialFactory, trials int, seed uint64, workers int) ([]Cell, error) {
 	out := make([]Cell, len(cells))
 	for i, c := range cells {
-		h, err := Run(trials, seed+uint64(i)*0x9e37, workers, mk(c))
+		h, err := RunFactory(trials, seed+uint64(i)*0x9e37, workers, mk(c))
 		if err != nil {
 			return nil, fmt.Errorf("sim: cell %q: %w", c.Label, err)
 		}

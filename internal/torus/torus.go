@@ -10,6 +10,24 @@
 // can contain a closer site. For uniformly placed sites this gives O(1)
 // expected query time, which is what makes the paper's n = 2^20 torus
 // simulations tractable.
+//
+// The placement hot path (ChooseBin/ChooseBinIn/ChooseD) samples into a
+// per-space scratch vector and walks the shells iteratively with
+// per-space odometer scratch, so a query performs no heap allocation
+// and has no dimension cap. Reseed redraws the sites of an existing
+// Space in place, reusing the site storage and grid buffers (and
+// consuming exactly the variates NewRandom would), so simulation trials
+// can recycle one Space instead of rebuilding the index allocation from
+// scratch.
+//
+// Concurrency: the methods that use the per-space scratch — Nearest,
+// Locate, ChooseBin, ChooseBinIn, ChooseD, ChooseDIn — and of course
+// Reseed are NOT safe for concurrent use; run placement on one Space
+// per goroutine. The read-only accessors and the methods that keep
+// their state on the stack or in caller-provided buffers — Site,
+// Sites, Weight, SampleInto, NearestBrute, WithinRadius — remain safe
+// for concurrent readers of an unchanging Space (internal/voronoi's
+// parallel workers depend on exactly that set; extend it with care).
 package torus
 
 import (
@@ -38,6 +56,13 @@ type Space struct {
 	cellWidth float64 // 1/g
 	start     []int32 // len g^dim+1; bucket boundaries
 	items     []int32 // site indices grouped by cell
+
+	// Per-space query scratch (see the package comment on concurrency).
+	qbuf   geom.Vec // sample point for ChooseBin/ChooseBinIn/ChooseD
+	home   []int    // query cell coordinates
+	offs   []int    // shell odometer
+	cellOf []int32  // rebuildCells scratch
+	cursor []int32  // rebuildCells scratch
 }
 
 // NewRandom places n sites independently and uniformly at random on the
@@ -96,9 +121,31 @@ func FromSites(sites []geom.Vec, dim int) (*Space, error) {
 			}
 		}
 	}
-	sp := &Space{dim: dim, sites: sites}
+	sp := &Space{
+		dim:   dim,
+		sites: sites,
+		qbuf:  make(geom.Vec, dim),
+		home:  make([]int, dim),
+		offs:  make([]int, dim),
+	}
 	sp.buildGrid()
 	return sp, nil
+}
+
+// Reseed redraws all sites independently and uniformly at random and
+// refreshes the grid index, reusing the Space's buffers. It consumes
+// exactly the same n*dim Float64 variates NewRandom would (coordinates
+// in site-major order), so for a given generator state the resulting
+// Space matches a freshly constructed one. Installed weights are
+// cleared (they described the old cells).
+func (s *Space) Reseed(r *rng.Rand) {
+	for _, site := range s.sites {
+		for j := range site {
+			site[j] = r.Float64()
+		}
+	}
+	s.weights = nil
+	s.rebuildCells()
 }
 
 // buildGrid constructs the CSR grid with about one site per cell.
@@ -117,12 +164,25 @@ func (s *Space) buildGrid() {
 	s.rebuildCells()
 }
 
-// rebuildCells refills the CSR buckets for the current grid resolution.
+// rebuildCells refills the CSR buckets for the current grid resolution,
+// reusing previously allocated buffers when their capacity allows (the
+// Reseed path always does, since n and g are unchanged).
 func (s *Space) rebuildCells() {
 	n := len(s.sites)
 	nc := pow(s.g, s.dim)
-	counts := make([]int32, nc+1)
-	cellOf := make([]int32, n)
+	if cap(s.start) < nc+1 {
+		s.start = make([]int32, nc+1)
+		s.cursor = make([]int32, nc)
+	}
+	counts := s.start[:nc+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	if cap(s.cellOf) < n {
+		s.cellOf = make([]int32, n)
+		s.items = make([]int32, n)
+	}
+	cellOf := s.cellOf[:n]
 	for i, site := range s.sites {
 		c := s.cellIndex(site)
 		cellOf[i] = int32(c)
@@ -132,11 +192,12 @@ func (s *Space) rebuildCells() {
 		counts[c+1] += counts[c]
 	}
 	s.start = counts
-	s.items = make([]int32, n)
-	cursor := make([]int32, nc)
+	s.items = s.items[:n]
+	cursor := s.cursor[:nc]
+	copy(cursor, counts[:nc])
 	for i := 0; i < n; i++ {
 		c := cellOf[i]
-		s.items[s.start[c]+cursor[c]] = int32(i)
+		s.items[cursor[c]] = int32(i)
 		cursor[c]++
 	}
 }
@@ -227,24 +288,21 @@ func (s *Space) Nearest(p geom.Vec) (int, float64) {
 	best := -1
 	bestD2 := math.Inf(1)
 	// Coordinates of the query's grid cell per axis.
-	var homeArr [8]int
-	home := homeArr[:0]
+	home := s.home
 	for j := 0; j < s.dim; j++ {
 		c := int(p[j] * float64(s.g))
 		if c >= s.g {
 			c = s.g - 1
 		}
-		home = append(home, c)
+		home[j] = c
 	}
 	maxShell := s.g // after g shells every cell has been visited
 	for shell := 0; shell <= maxShell; shell++ {
 		// Certification: any site in an unvisited cell (Chebyshev shell
 		// distance > shell) is at Euclidean distance at least
-		// (shell)*cellWidth - 0 from p... more precisely at least
-		// (shell-0)*w only holds measured from the home cell boundary, so
-		// use (shell-1)*w as the safe lower bound before scanning, and
-		// shell*w - w = (shell-1)*w after. We check before scanning shell:
-		// if best <= ((shell-1)*w)^2 we are done.
+		// (shell-1)*cellWidth from p (measured from the home cell
+		// boundary), so once bestD2 is at most that squared bound no
+		// further shell can improve it.
 		if best >= 0 {
 			lower := float64(shell-1) * s.cellWidth
 			if lower > 0 && bestD2 <= lower*lower {
@@ -260,63 +318,96 @@ func (s *Space) Nearest(p geom.Vec) (int, float64) {
 }
 
 // scanShell visits all grid cells at Chebyshev offset exactly shell from
-// home (with wraparound) and updates the best site.
+// home (with wraparound) and updates the best site. The surface of the
+// offset hypercube is walked iteratively with an odometer over the
+// space's scratch (no recursion, no allocation): the leading dim-1 axes
+// sweep [-shell, shell], and the last axis visits only its extremes
+// unless an earlier axis is already extreme. When 2*shell+1 >= g the
+// offsets wrap onto each other; the modular reduction below keeps
+// correctness (cells may then be scanned more than once across shells,
+// which only costs time, and only occurs for tiny grids).
 func (s *Space) scanShell(home []int, shell int, p geom.Vec, best *int, bestD2 *float64) {
-	// Enumerate offsets in [-shell, shell]^dim with Chebyshev norm ==
-	// shell. When 2*shell+1 >= g the offsets wrap onto each other; the
-	// modular reduction below keeps correctness (cells may be scanned
-	// more than once across shells in that regime, which only costs time,
-	// and only occurs for tiny grids).
-	var offs [8]int
-	s.enumShell(home, offs[:0], shell, p, best, bestD2)
-}
-
-func (s *Space) enumShell(home, offs []int, shell int, p geom.Vec, best *int, bestD2 *float64) {
-	axis := len(offs)
-	if axis == s.dim {
-		hasExtreme := false
-		for _, o := range offs {
+	dim := s.dim
+	if shell == 0 {
+		for j := range s.offs[:dim] {
+			s.offs[j] = 0
+		}
+		s.scanCell(home, s.offs[:dim], p, best, bestD2)
+		return
+	}
+	offs := s.offs[:dim]
+	for j := range offs {
+		offs[j] = -shell
+	}
+	for {
+		extreme := false
+		for _, o := range offs[:dim-1] {
 			if o == shell || o == -shell {
-				hasExtreme = true
+				extreme = true
 				break
 			}
 		}
-		if !hasExtreme && shell > 0 {
+		if extreme {
+			for o := -shell; o <= shell; o++ {
+				offs[dim-1] = o
+				s.scanCell(home, offs, p, best, bestD2)
+			}
+		} else {
+			offs[dim-1] = -shell
+			s.scanCell(home, offs, p, best, bestD2)
+			offs[dim-1] = shell
+			s.scanCell(home, offs, p, best, bestD2)
+		}
+		// Advance the leading dim-1 axes.
+		j := dim - 2
+		for ; j >= 0; j-- {
+			offs[j]++
+			if offs[j] <= shell {
+				break
+			}
+			offs[j] = -shell
+		}
+		if j < 0 {
 			return
 		}
-		idx := 0
-		for j := 0; j < s.dim; j++ {
-			c := (home[j] + offs[j]) % s.g
-			if c < 0 {
-				c += s.g
-			}
-			idx = idx*s.g + c
-		}
-		for _, si := range s.items[s.start[idx]:s.start[idx+1]] {
-			d2 := geom.TorusDist2(p, s.sites[si])
-			if d2 < *bestD2 || (d2 == *bestD2 && int(si) < *best) {
-				*best, *bestD2 = int(si), d2
-			}
-		}
-		return
-	}
-	// Prune: at least one axis must reach +/-shell; if no axis so far has
-	// and this is the last axis, restrict to the extremes.
-	for o := -shell; o <= shell; o++ {
-		s.enumShell(home, append(offs, o), shell, p, best, bestD2)
 	}
 }
 
-// ChooseBin draws a uniform location on the torus and returns its bin
-// (nearest site). It implements core.Space without heap allocation.
-func (s *Space) ChooseBin(r *rng.Rand) int {
-	var buf [8]float64
-	v := geom.Vec(buf[:s.dim])
-	for j := range v {
-		v[j] = r.Float64()
+// scanCell scans the sites of the grid cell at home+offs (wrapped).
+func (s *Space) scanCell(home, offs []int, p geom.Vec, best *int, bestD2 *float64) {
+	idx := 0
+	for j := 0; j < s.dim; j++ {
+		c := (home[j] + offs[j]) % s.g
+		if c < 0 {
+			c += s.g
+		}
+		idx = idx*s.g + c
 	}
-	best, _ := s.Nearest(v)
+	for _, si := range s.items[s.start[idx]:s.start[idx+1]] {
+		d2 := geom.TorusDist2(p, s.sites[si])
+		if d2 < *bestD2 || (d2 == *bestD2 && int(si) < *best) {
+			*best, *bestD2 = int(si), d2
+		}
+	}
+}
+
+// ChooseBin draws a uniform location on the torus (into the per-space
+// scratch vector) and returns its bin (nearest site). It implements
+// core.Space without heap allocation.
+func (s *Space) ChooseBin(r *rng.Rand) int {
+	s.SampleInto(s.qbuf, r)
+	best, _ := s.Nearest(s.qbuf)
 	return best
+}
+
+// ChooseD fills dst with the bins of len(dst) independent uniform
+// locations, drawing exactly the variates len(dst) ChooseBin calls
+// would. It implements core.BatchChooser.
+func (s *Space) ChooseD(dst []int, r *rng.Rand) {
+	for i := range dst {
+		s.SampleInto(s.qbuf, r)
+		dst[i], _ = s.Nearest(s.qbuf)
+	}
 }
 
 // ChooseBinIn draws a location uniformly from the kth of d equal-measure
@@ -327,14 +418,23 @@ func (s *Space) ChooseBinIn(r *rng.Rand, k, d int) int {
 	if d < 1 || k < 0 || k >= d {
 		panic(fmt.Sprintf("torus: ChooseBinIn stratum %d of %d", k, d))
 	}
-	var buf [8]float64
-	v := geom.Vec(buf[:s.dim])
+	v := s.qbuf
 	v[0] = (float64(k) + r.Float64()) / float64(d)
 	for j := 1; j < s.dim; j++ {
 		v[j] = r.Float64()
 	}
 	best, _ := s.Nearest(v)
 	return best
+}
+
+// ChooseDIn fills dst with one stratified ball's candidates: dst[k] is
+// drawn from the kth of len(dst) equal-measure slabs, with exactly the
+// variate consumption of len(dst) ChooseBinIn calls. It implements
+// core.StratifiedBatchChooser.
+func (s *Space) ChooseDIn(dst []int, r *rng.Rand) {
+	for k := range dst {
+		dst[k] = s.ChooseBinIn(r, k, len(dst))
+	}
 }
 
 // NearestBrute returns the nearest site by exhaustive scan. It exists for
