@@ -9,6 +9,7 @@ package geobalance_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"geobalance/internal/balls"
@@ -405,6 +406,94 @@ func BenchmarkHashRingPlace(b *testing.B) {
 			b.ReportMetric(float64(hr.MaxLoad())/(float64(b.N)/1024), "maxload_over_mean")
 		})
 	}
+}
+
+// --- E-HRP: concurrent hashring router under parallel load ---
+
+// BenchmarkHashRingLocateParallel drives the lock-free read path from
+// GOMAXPROCS goroutines: the snapshot design should scale throughput
+// with procs (compare ns/op against BenchmarkHashRingPlace-style serial
+// runs, or the procs=1 record in cmd/benchjson output).
+func BenchmarkHashRingLocateParallel(b *testing.B) {
+	servers := make([]string, 1024)
+	for i := range servers {
+		servers[i] = fmt.Sprintf("server-%d", i)
+	}
+	hr, err := hashring.New(servers, hashring.WithChoices(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const preload = 1 << 14
+	keys := make([]string, preload)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		if _, err := hr.Place(keys[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := hr.Locate(keys[i&(preload-1)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkHashRingMixedParallel is the serving mix: mostly lookups
+// with a write minority, all goroutines sharing one router.
+func BenchmarkHashRingMixedParallel(b *testing.B) {
+	servers := make([]string, 256)
+	for i := range servers {
+		servers[i] = fmt.Sprintf("server-%d", i)
+	}
+	hr, err := hashring.New(servers, hashring.WithChoices(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const preload = 1 << 13
+	keys := make([]string, preload)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		if _, err := hr.Place(keys[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worker atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := worker.Add(1)
+		own := make([]string, 128)
+		for i := range own {
+			own[i] = fmt.Sprintf("w%d-%d", w, i)
+		}
+		r := rng.NewStream(21, uint64(w))
+		placed, head, tail := 0, 0, 0
+		for pb.Next() {
+			if r.Float64() < 0.9 {
+				if _, err := hr.Locate(keys[r.Intn(preload)]); err != nil {
+					b.Fatal(err)
+				}
+			} else if placed == 0 || (placed < len(own) && r.Uint64()&1 == 0) {
+				if _, err := hr.Place(own[head]); err != nil {
+					b.Fatal(err)
+				}
+				head = (head + 1) % len(own)
+				placed++
+			} else {
+				if err := hr.Remove(own[tail]); err != nil {
+					b.Fatal(err)
+				}
+				tail = (tail + 1) % len(own)
+				placed--
+			}
+		}
+	})
 }
 
 // --- Ablation: exact Voronoi areas vs Monte-Carlo estimation ---

@@ -3,20 +3,40 @@
 // committed BENCH_baseline.json snapshot at the repository root is
 // produced by
 //
-//	go run ./cmd/benchjson > BENCH_baseline.json
+//	go run ./cmd/benchjson -out BENCH_baseline.json
 //
 // so future changes can diff their perf against the recorded baseline
 // (machine-dependent — regenerate the baseline when the hardware
 // changes; compare like with like).
+//
+// # Regression gate
+//
+// With -compare, benchjson re-runs the suite and exits nonzero when any
+// record regresses past -tolerance against the given baseline:
+//
+//	go run ./cmd/benchjson -compare BENCH_baseline.json -tolerance 0.25
+//
+// A record regresses when its ns/ball grows, its allocs/op grow, or its
+// ops/sec shrinks by more than the tolerance fraction (an alloc count
+// whose baseline is 0 regresses on ANY allocation — the zero-alloc hot
+// paths are load-bearing). Records present in only one side are
+// reported but do not fail the gate, so adding benchmarks does not
+// break CI. -out writes the fresh JSON to a file for archiving (CI
+// uploads it as an artifact).
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"geobalance/internal/core"
+	"geobalance/internal/hashring"
+	"geobalance/internal/loadgen"
 	"geobalance/internal/ring"
 	"geobalance/internal/rng"
 	"geobalance/internal/sim"
@@ -29,8 +49,15 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	// PerBall divides ns_per_op by the number of balls an op places
-	// (zero when the op is not a placement).
+	// (1 for single-key router ops, zero when the op places nothing).
 	NsPerBall float64 `json:"ns_per_ball,omitempty"`
+	// Procs records GOMAXPROCS for parallel benchmarks.
+	Procs int `json:"procs,omitempty"`
+	// OpsPerSec is reported by throughput benchmarks (parallel router
+	// ops, loadgen runs).
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	// P99Ns is the sampled p99 latency of loadgen lookup traffic.
+	P99Ns int64 `json:"p99_ns,omitempty"`
 }
 
 func run(name string, balls int, fn func(b *testing.B)) result {
@@ -47,10 +74,90 @@ func run(name string, balls int, fn func(b *testing.B)) result {
 	return out
 }
 
-func main() {
+// runParallel is run for b.RunParallel throughput benchmarks: it
+// additionally records GOMAXPROCS and aggregate ops/sec.
+func runParallel(name string, fn func(b *testing.B)) result {
+	r := testing.Benchmark(fn)
+	out := result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		NsPerBall:   float64(r.T.Nanoseconds()) / float64(r.N),
+		Procs:       runtime.GOMAXPROCS(0),
+	}
+	if r.T > 0 {
+		out.OpsPerSec = float64(r.N) / r.T.Seconds()
+	}
+	return out
+}
+
+func newBenchRing(servers, d int) (*hashring.Ring, []string, error) {
+	names := make([]string, servers)
+	for i := range names {
+		names[i] = fmt.Sprintf("server-%d", i)
+	}
+	hr, err := hashring.New(names, hashring.WithChoices(d))
+	if err != nil {
+		return nil, nil, err
+	}
+	const preload = 1 << 14
+	keys := make([]string, preload)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		if _, err := hr.Place(keys[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return hr, keys, nil
+}
+
+// hashringLocateParallel builds the parallel Locate benchmark at the
+// current GOMAXPROCS.
+func hashringLocateParallel(hr *hashring.Ring, keys []string) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := hr.Locate(keys[i&(len(keys)-1)]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	}
+}
+
+// loadgenRecord runs one loadgen configuration and reports its
+// aggregate throughput and sampled lookup p99.
+func loadgenRecord(name string, cfg loadgen.Config) (result, error) {
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		return result{}, err
+	}
+	out := result{
+		Name:      name,
+		NsPerOp:   1e9 / res.Throughput,
+		NsPerBall: 1e9 / res.Throughput,
+		Procs:     res.Procs,
+		OpsPerSec: res.Throughput,
+	}
+	if res.Lookup.N() > 0 {
+		out.P99Ns = res.Lookup.Quantile(0.99)
+	}
+	if res.Errors > 0 {
+		return out, fmt.Errorf("loadgen %s: %d op errors", name, res.Errors)
+	}
+	return out, nil
+}
+
+func collect() ([]result, error) {
 	const n = 1 << 16
 	results := []result{
-		run("ring_locate/n=65536", 0, func(b *testing.B) {
+		// balls=1 for single-lookup ops puts them under the ns/ball
+		// regression gate; batch ops use their batch size.
+		run("ring_locate/n=65536", 1, func(b *testing.B) {
 			r := rng.New(1)
 			sp, err := ring.NewRandom(n, r)
 			if err != nil {
@@ -64,7 +171,7 @@ func main() {
 			}
 			_ = sink
 		}),
-		run("ring_reseed/n=65536", 0, func(b *testing.B) {
+		run("ring_reseed/n=65536", n, func(b *testing.B) {
 			r := rng.New(2)
 			sp, err := ring.NewRandom(n, r)
 			if err != nil {
@@ -102,7 +209,7 @@ func main() {
 				a.PlaceBatch(n, r)
 			}
 		}),
-		run("torus_nearest/n=65536/dim=2", 0, func(b *testing.B) {
+		run("torus_nearest/n=65536/dim=2", 1, func(b *testing.B) {
 			r := rng.New(5)
 			sp, err := torus.NewRandom(n, 2, r)
 			if err != nil {
@@ -134,13 +241,160 @@ func main() {
 			}
 		}),
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(struct {
-		Schema  int      `json:"schema"`
-		Results []result `json:"results"`
-	}{Schema: 1, Results: results}); err != nil {
+
+	// --- Concurrent hashring router ---
+	hr, keys, err := newBenchRing(1024, 2)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, run("hashring_locate/servers=1024", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := hr.Locate(keys[i&(len(keys)-1)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	results = append(results, run("hashring_place_remove/servers=1024", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			key := keys[i&4095]
+			if err := hr.Remove(key); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := hr.Place(key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Parallel Locate throughput at 1 proc and at the machine's full
+	// GOMAXPROCS — the pair records the scaling the snapshot design
+	// buys (identical on single-CPU machines, where only the procs=1
+	// record is emitted).
+	nprocs := runtime.GOMAXPROCS(0)
+	prev := runtime.GOMAXPROCS(1)
+	results = append(results,
+		runParallel("hashring_locate_parallel/servers=1024/procs=1", hashringLocateParallel(hr, keys)))
+	runtime.GOMAXPROCS(prev)
+	if nprocs > 1 {
+		results = append(results,
+			runParallel(fmt.Sprintf("hashring_locate_parallel/servers=1024/procs=%d", nprocs),
+				hashringLocateParallel(hr, keys)))
+	}
+
+	// --- Load-test harness: skewed concurrent traffic ---
+	lg, err := loadgenRecord("loadgen_zipf/servers=64/workers=4", loadgen.Config{
+		Servers: 64, Workers: 4, Ops: 300_000, Keys: 1 << 12, Dist: "zipf", LookupFrac: 0.9, Seed: 42,
+	})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, lg)
+	lgc, err := loadgenRecord("loadgen_zipf_churn/servers=64/workers=4", loadgen.Config{
+		Servers: 64, Workers: 4, Ops: 300_000, Keys: 1 << 12, Dist: "zipf", LookupFrac: 0.9, Seed: 43,
+		ChurnEvery: 5 * time.Millisecond, Rebalance: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, lgc)
+	return results, nil
+}
+
+type report struct {
+	Schema  int      `json:"schema"`
+	Results []result `json:"results"`
+}
+
+// compare checks fresh against the baseline file and returns the number
+// of regressions, printing one line per comparison failure to stderr.
+func compare(baselinePath string, tol float64, fresh []result) (int, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return 0, err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	baseByName := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	freshNames := make(map[string]bool, len(fresh))
+	regressions := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "REGRESSION: "+format+"\n", args...)
+		regressions++
+	}
+	for _, f := range fresh {
+		freshNames[f.Name] = true
+		b, ok := baseByName[f.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "note: %s has no baseline record (new benchmark)\n", f.Name)
+			continue
+		}
+		if b.NsPerBall > 0 && f.NsPerBall > b.NsPerBall*(1+tol) {
+			fail("%s: ns/ball %.1f vs baseline %.1f (+%.0f%% > %.0f%% tolerance)",
+				f.Name, f.NsPerBall, b.NsPerBall, 100*(f.NsPerBall/b.NsPerBall-1), 100*tol)
+		}
+		if f.AllocsPerOp > b.AllocsPerOp &&
+			float64(f.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol) {
+			fail("%s: allocs/op %d vs baseline %d",
+				f.Name, f.AllocsPerOp, b.AllocsPerOp)
+		}
+		if b.OpsPerSec > 0 && f.OpsPerSec < b.OpsPerSec*(1-tol) {
+			fail("%s: ops/sec %.0f vs baseline %.0f (-%.0f%% > %.0f%% tolerance)",
+				f.Name, f.OpsPerSec, b.OpsPerSec, 100*(1-f.OpsPerSec/b.OpsPerSec), 100*tol)
+		}
+	}
+	for _, b := range base.Results {
+		if !freshNames[b.Name] {
+			fmt.Fprintf(os.Stderr, "note: baseline record %s missing from this run\n", b.Name)
+		}
+	}
+	return regressions, nil
+}
+
+func main() {
+	compareFlag := flag.String("compare", "", "baseline JSON to gate against; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression per metric")
+	out := flag.String("out", "", "also write the fresh JSON to this file")
+	flag.Parse()
+
+	results, err := collect()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	rep := report{Schema: 2, Results: results}
+	encoded, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	encoded = append(encoded, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, encoded, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	os.Stdout.Write(encoded)
+
+	if *compareFlag != "" {
+		n, err := compare(*compareFlag, *tolerance, results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "%d benchmark regression(s) past %.0f%% tolerance\n",
+				n, 100**tolerance)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchmark gate passed (%d records compared against %s)\n",
+			len(results), *compareFlag)
 	}
 }

@@ -259,3 +259,22 @@ func TestCmdTrace(t *testing.T) {
 		t.Error("trace output malformed")
 	}
 }
+
+func TestCmdLoadtest(t *testing.T) {
+	out := runCmd(t, cmdLoadtest, "-servers", "8", "-workers", "2",
+		"-ops", "4000", "-keys", "2^8", "-dist", "zipf")
+	for _, want := range []string{"Load test", "ops/sec", "latency", "invariants: OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	runCmdErr(t, cmdLoadtest, "-ops", "100", "-dist", "bogus")
+}
+
+func TestCmdLoadtestChurn(t *testing.T) {
+	out := runCmd(t, cmdLoadtest, "-servers", "8", "-workers", "3",
+		"-ops", "20000", "-keys", "2^8", "-churn", "1ms", "-dist", "pareto")
+	if !strings.Contains(out, "invariants: OK") {
+		t.Errorf("churny loadtest did not verify invariants:\n%s", out)
+	}
+}

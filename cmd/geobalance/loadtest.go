@@ -1,0 +1,74 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"geobalance/internal/loadgen"
+)
+
+// cmdLoadtest drives the concurrent hashring router with skewed
+// multi-goroutine traffic and reports throughput and latency
+// percentiles — the serving-path counterpart of the simulation
+// subcommands.
+func cmdLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	servers := fs.Int("servers", 64, "ring servers")
+	d := fs.Int("d", 2, "hash choices per key")
+	replicas := fs.Int("replicas", 1, "ring positions per server")
+	workers := fs.Int("workers", 0, "traffic goroutines (0 = GOMAXPROCS)")
+	ops := fs.Int64("ops", 0, "total op budget; takes precedence over -duration when > 0")
+	dur := fs.Duration("duration", 2*time.Second, "wall-clock run length when -ops is 0")
+	keys := addIntExpr(fs, "keys", 1<<13, "preloaded hot-key space (accepts 2^k)")
+	dist := fs.String("dist", "zipf", "key popularity: zipf, pareto, or uniform")
+	zipfS := fs.Float64("zipf-s", 1.1, "Zipf exponent (> 1)")
+	alpha := fs.Float64("pareto-alpha", 1.2, "bounded-Pareto shape")
+	lookup := fs.Float64("lookup-frac", 0.9, "fraction of ops that are Locate")
+	churn := fs.Duration("churn", 0, "membership change period (0 = no churn)")
+	rebalance := fs.Bool("rebalance", true, "rebalance after each churn event")
+	sample := fs.Int("sample", 8, "measure latency on every k-th op")
+	seed := fs.Uint64("seed", 1, "master seed; workers derive deterministic substreams")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := loadgen.Config{
+		Servers:     *servers,
+		Choices:     *d,
+		Replicas:    *replicas,
+		Workers:     *workers,
+		Keys:        *keys,
+		Dist:        *dist,
+		ZipfS:       *zipfS,
+		ParetoAlpha: *alpha,
+		LookupFrac:  *lookup,
+		ChurnEvery:  *churn,
+		Rebalance:   *rebalance,
+		SampleEvery: *sample,
+		Seed:        *seed,
+	}
+	if *ops > 0 {
+		cfg.Ops = *ops
+	} else {
+		cfg.Duration = *dur
+	}
+	fmt.Fprintf(stdout, "Load test: %d servers, d=%d, %s keys over %s popularity",
+		*servers, *d, pow2Label(*keys), *dist)
+	if *churn > 0 {
+		fmt.Fprintf(stdout, ", churn every %v (rebalance=%v)", *churn, *rebalance)
+	}
+	fmt.Fprintln(stdout)
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		return err
+	}
+	res.Report(stdout)
+	// A load test that corrupted the ring is worse than a slow one:
+	// always verify before declaring numbers.
+	res.Ring.Rebalance()
+	if err := res.Ring.CheckInvariants(); err != nil {
+		return fmt.Errorf("ring invariants violated after run: %w", err)
+	}
+	fmt.Fprintln(stdout, "  invariants: OK")
+	return nil
+}

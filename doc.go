@@ -16,10 +16,13 @@
 //	internal/voronoi   exact Voronoi cells and areas on the 2-D torus
 //	internal/balls     classical uniform balls-into-bins baselines
 //	internal/chord     Chord DHT simulator (the Section 1.1 application)
+//	internal/hashring  concurrent consistent-hash router with d-choice placement
+//	internal/loadgen   multi-goroutine skewed-traffic load-test harness
+//	internal/workload  Zipf / bounded-Pareto popularity and size distributions
 //	internal/tailbound the paper's lemma bounds and empirical verifiers
 //	internal/fluid     fluid-limit ODE predictor for the uniform case
 //	internal/sim       parallel deterministic experiment harness
-//	internal/stats     histograms and summaries for the paper's tables
+//	internal/stats     histograms, summaries, and HDR-style latency quantiles
 //	internal/geom      shared geometry primitives
 //	internal/rng       fast deterministic PRNG (xoshiro256++/SplitMix64)
 //
@@ -45,6 +48,21 @@
 //     space in place (an O(n) counting sort on the ring), and
 //     internal/sim's *Pooled trial factories give each worker one
 //     long-lived space and allocator across trials.
+//
+// # Serving-path architecture
+//
+// internal/hashring is the deployable router distillation, rebuilt as a
+// concurrent structure: the topology (live servers, capacities, and the
+// sorted ring points in internal/jump form) is an immutable snapshot
+// published through an atomic.Pointer — membership ops copy-on-write
+// and republish, so d-choice lookups are lock-free, allocation-free,
+// and can never observe a half-applied change. Per-server load lives in
+// cache-line-padded sharded counters folded on demand. internal/loadgen
+// drives the router with N goroutines of Zipf/Pareto/uniform-keyed
+// Place/Locate/Remove traffic (optionally racing membership churn) and
+// reports throughput plus sampled latency percentiles; run it via
+// `geobalance loadtest`. cmd/benchjson records these numbers alongside
+// the simulation sweep and gates CI on regressions (-compare).
 //
 // Measured on the development machine (noisy shared vCPU, Go 1.24,
 // n = 2^16, d = 2, m = n, BenchmarkTable1Ring, interleaved runs): the

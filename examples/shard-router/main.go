@@ -1,14 +1,28 @@
 // Shard router: the hashring facade in the role a downstream system
 // would actually use it for — routing cache keys to a fleet of servers
 // with two-choice load balancing, surviving a scale-up and a failure
-// with minimal key movement.
+// with minimal key movement, then serving Zipf-skewed lookups from many
+// goroutines while a server joins mid-traffic (the concurrent
+// snapshot-based API: lookups are lock-free and never observe a
+// half-applied membership change).
+//
+// For a full measured run (latency percentiles, churn, distributions),
+// use the CLI harness instead:
+//
+//	go run ./cmd/geobalance loadtest -servers 64 -workers 8 -duration 5s -churn 50ms
 package main
 
 import (
 	"fmt"
 	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"geobalance/internal/hashring"
+	"geobalance/internal/rng"
+	"geobalance/internal/workload"
 )
 
 func main() {
@@ -28,8 +42,10 @@ func main() {
 	}
 
 	const keys = 20000
+	keyNames := make([]string, keys)
 	for i := 0; i < keys; i++ {
-		if _, err := ring.Place(fmt.Sprintf("user:%d:profile", i)); err != nil {
+		keyNames[i] = fmt.Sprintf("user:%d:profile", i)
+		if _, err := ring.Place(keyNames[i]); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -59,6 +75,44 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("user:12345:profile lives on %s\n", where)
+
+	// Concurrent serving: every core hammers Zipf-skewed lookups on the
+	// SAME ring while a membership change lands mid-traffic. No lock
+	// guards the read path — each lookup resolves against one immutable
+	// topology snapshot.
+	zipf, err := workload.NewZipf(1.1, keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	goroutines := runtime.GOMAXPROCS(0) * 2
+	const perWorker = 200000
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.NewStream(1, uint64(w))
+			for i := 0; i < perWorker; i++ {
+				if _, err := ring.Locate(keyNames[zipf.Next(r)]); err != nil {
+					log.Fatal(err)
+				}
+			}
+			ops.Add(perWorker)
+		}(w)
+	}
+	// Membership change racing the lookups.
+	if err := ring.AddServer("cache-55.example.com"); err != nil {
+		log.Fatal(err)
+	}
+	movedLive := ring.Rebalance()
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("served %d Zipf lookups from %d goroutines in %v (%.1fM ops/sec) while a join moved %d keys\n",
+		ops.Load(), goroutines, elapsed.Round(time.Millisecond),
+		float64(ops.Load())/elapsed.Seconds()/1e6, movedLive)
+	report(ring, "after concurrent serving")
 }
 
 func report(r *hashring.Ring, when string) {

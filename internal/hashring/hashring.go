@@ -1,67 +1,267 @@
 // Package hashring is the adoption-ready facade over the paper's
 // result: a consistent-hashing ring with power-of-d-choices placement,
 // in the style of production consistent-hash libraries but with the
-// paper's load balancing built in.
+// paper's load balancing built in — and, since the concurrent-router
+// rewrite, safe for many goroutines serving lookups while membership
+// churns.
 //
 // Servers are identified by strings and hashed to ring positions (so
 // placement is a pure function of the membership set — no coordination
 // needed); keys are hashed with d salts and stored at the least-loaded
-// candidate successor. The ring tracks per-server load and exposes the
+// candidate owner. The ring tracks per-server load and exposes the
 // same Add/Remove/Place/Locate surface a cache or shard router needs.
+//
+// # Concurrency model
+//
+// The ring topology (live servers, their capacities, and the sorted
+// point set in internal/jump form) lives in an immutable snapshot
+// published through an atomic.Pointer. Readers load the snapshot once
+// per operation and resolve all d candidates against it, so a lookup
+// can never observe a half-applied membership change and takes no lock
+// on the topology. Membership ops (AddServer, RemoveServer,
+// SetCapacity) serialize on a writer mutex, copy-on-write a new
+// snapshot, and publish it atomically.
+//
+// Per-server load is kept in sharded counters (each shard on its own
+// cache line to avoid false sharing) that are carried by pointer across
+// snapshots; Place/Remove touch one shard with an atomic add, and
+// Loads/MaxLoad/Rebalance fold the shards on demand. Key records are
+// held in a hash-sharded map so concurrent Place/Locate/Remove on
+// different keys rarely contend; the candidate resolution itself never
+// blocks on these shards.
+//
+// Place, Locate, and Remove on an unchanged ring are allocation-free
+// (guarded by TestReadPathAllocs).
 //
 // Relationship to the other packages: internal/ring + internal/core
 // study the process on *random real-valued* positions (the paper's
 // model); internal/chord adds overlay routing; this package is the
 // deployable library distillation — deterministic hashing, string IDs,
 // incremental membership, and d-choice placement with redirect-free
-// lookup (Locate re-derives the candidate set and picks the recorded
-// one).
+// lookup. internal/loadgen drives this package with skewed concurrent
+// traffic.
 package hashring
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"geobalance/internal/jump"
 	"geobalance/internal/rng"
 )
 
-// point is one position on the 64-bit hash ring.
-type point struct {
-	pos    uint64
-	server int32 // index into servers
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+
+	// loadShardCount is the number of per-server load counter shards.
+	// Placements from different goroutines usually hit different shards,
+	// so the atomic adds do not serialize on one cache line.
+	loadShardCount = 8
+
+	// keyShardCount is the number of key-record map shards.
+	keyShardCount = 64
+
+	// maxChoices bounds d so the per-key choice index fits the compact
+	// key record.
+	maxChoices = 127
+)
+
+// hashLabeled hashes a labeled, salted string with full 64-bit
+// diffusion (inline FNV-1a over label || salt*phi (little-endian) || s,
+// then a SplitMix64 finalizer; see internal/chord for why the finalizer
+// matters). It is allocation-free, unlike hash/fnv's interface form.
+func hashLabeled(label byte, salt int, s string) uint64 {
+	h := uint64(fnvOffset64)
+	h = (h ^ uint64(label)) * fnvPrime64
+	x := uint64(salt) * 0x9e3779b97f4a7c15
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime64
+		x >>= 8
+	}
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return rng.Mix64(h)
 }
 
-// Ring is a consistent-hashing ring with d-choice placement. It is not
-// safe for concurrent use; wrap with a mutex for shared access.
-type Ring struct {
+// unitFloat maps a 64-bit hash to a float64 in [0, 1) (53-bit mantissa,
+// the jump index's native domain).
+func unitFloat(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// loadShard is one cache-line-padded counter shard.
+type loadShard struct {
+	n atomic.Int64
+	_ [56]byte // pad to a 64-byte cache line
+}
+
+// serverLoad is one server's sharded load counter. The pointer is
+// shared across topology snapshots, so counts survive membership
+// changes without a stop-the-world transfer.
+type serverLoad struct {
+	shards [loadShardCount]loadShard
+}
+
+func (l *serverLoad) add(shard uint64, delta int64) {
+	l.shards[shard&(loadShardCount-1)].n.Add(delta)
+}
+
+func (l *serverLoad) total() int64 {
+	var t int64
+	for i := range l.shards {
+		t += l.shards[i].n.Load()
+	}
+	return t
+}
+
+// topology is an immutable membership snapshot. Every field except the
+// counter *values* behind loads is frozen once published; readers may
+// therefore use a loaded snapshot without synchronization.
+type topology struct {
 	d        int
-	replicas int // ring positions per server ("virtual nodes"); 1 = paper's model
-	servers  []string
-	index    map[string]int32 // server name -> index
-	loads    []int64          // keys currently placed per server
-	caps     []float64        // per-server capacity (1 unless set)
+	replicas int
+	servers  []string         // all ever-added servers (slots are never reused for new names)
+	index    map[string]int32 // server name -> slot
+	caps     []float64        // per-slot capacity (1 unless set)
 	dead     []bool           // removed servers keep their slot
-	points   []point          // sorted by pos
-	keys     map[string]keyRec
+	loads    []*serverLoad    // per-slot counters, shared by pointer across snapshots
+	live     int              // number of live servers
+	bits     []uint64         // sorted point positions (jump form) + sentinel
+	owner    []int32          // owner[i] = slot owning the i-th sorted point
+	points   *jump.Index      // O(1) position lookup; nil when live == 0
 }
 
+// clone copies the slot tables (sharing the counter pointers and, until
+// rebuildPoints replaces them, the point arrays).
+func (t *topology) clone() *topology {
+	nt := &topology{
+		d:        t.d,
+		replicas: t.replicas,
+		servers:  append([]string(nil), t.servers...),
+		caps:     append([]float64(nil), t.caps...),
+		dead:     append([]bool(nil), t.dead...),
+		loads:    append([]*serverLoad(nil), t.loads...),
+		live:     t.live,
+		index:    make(map[string]int32, len(t.index)),
+		bits:     t.bits,
+		owner:    t.owner,
+		points:   t.points,
+	}
+	for k, v := range t.index {
+		nt.index[k] = v
+	}
+	return nt
+}
+
+// rebuildPoints recomputes the sorted point set and its jump index from
+// the live servers.
+type rpoint struct {
+	pos    uint64
+	server int32
+}
+
+func (t *topology) rebuildPoints() {
+	pts := make([]rpoint, 0, t.live*t.replicas)
+	for i, name := range t.servers {
+		if t.dead[i] {
+			continue
+		}
+		for k := 0; k < t.replicas; k++ {
+			pos := math.Float64bits(unitFloat(hashLabeled('s', k, name)))
+			pts = append(pts, rpoint{pos: pos, server: int32(i)})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].pos != pts[b].pos {
+			return pts[a].pos < pts[b].pos
+		}
+		return pts[a].server < pts[b].server // deterministic on (astronomically rare) ties
+	})
+	if len(pts) == 0 {
+		t.bits, t.owner, t.points = nil, nil, nil
+		return
+	}
+	bits := make([]uint64, len(pts)+1)
+	owner := make([]int32, len(pts))
+	for i, p := range pts {
+		bits[i] = p.pos
+		owner[i] = p.server
+	}
+	bits[len(pts)] = jump.Inf64
+	t.bits, t.owner = bits, owner
+	t.points = jump.NewIndex(bits)
+}
+
+// ownerOf resolves the server owning the ring position of hash h: each
+// point owns the arc clockwise from itself (predecessor rule; the
+// paper's arcs, direction is a convention). live must be > 0.
+func (t *topology) ownerOf(h uint64) int32 {
+	return t.owner[t.points.Locate(unitFloat(h))]
+}
+
+// relLoad is the placement comparison key for slot s.
+func (t *topology) relLoad(s int32) float64 {
+	return float64(t.loads[s].total()) / t.caps[s]
+}
+
+// choose runs the d-choice among the key's current candidates and
+// returns the winning slot and choice index.
+func (t *topology) choose(key string, h0 uint64) (best int32, salt int) {
+	best = t.ownerOf(h0)
+	if t.d == 1 {
+		return best, 0
+	}
+	bestLoad := t.relLoad(best)
+	for j := 1; j < t.d; j++ {
+		if s := t.ownerOf(hashLabeled('k', j, key)); s != best {
+			if rl := t.relLoad(s); rl < bestLoad {
+				best, salt, bestLoad = s, j, rl
+			}
+		}
+	}
+	return best, salt
+}
+
+// keyRec records where a placed key lives and which of its d hash
+// choices won.
 type keyRec struct {
 	salt   int8
 	server int32
 }
 
+// keyShard is one shard of the key-record map, padded to a full
+// 64-byte cache line (RWMutex 24 B + map header 8 B + 32 B) so
+// neighboring shards' lock words never share a line.
+type keyShard struct {
+	mu sync.RWMutex
+	m  map[string]keyRec
+	_  [32]byte
+}
+
+// Ring is a concurrent consistent-hashing ring with d-choice placement.
+// Lookups (Place, Locate, Remove) may run from any number of goroutines
+// concurrently with each other and with membership changes; membership
+// ops and Rebalance serialize among themselves.
+type Ring struct {
+	mu    sync.Mutex // serializes membership writes and Rebalance
+	snap  atomic.Pointer[topology]
+	nkeys atomic.Int64
+	keys  [keyShardCount]keyShard
+}
+
 // Option configures New.
-type Option func(*Ring) error
+type Option func(*topology) error
 
 // WithChoices sets the number of hash choices per key (default 2).
 func WithChoices(d int) Option {
-	return func(r *Ring) error {
-		if d < 1 {
-			return fmt.Errorf("hashring: need d >= 1, got %d", d)
+	return func(t *topology) error {
+		if d < 1 || d > maxChoices {
+			return fmt.Errorf("hashring: need 1 <= d <= %d, got %d", maxChoices, d)
 		}
-		r.d = d
+		t.d = d
 		return nil
 	}
 }
@@ -71,11 +271,11 @@ func WithChoices(d int) Option {
 // the Chord "virtual servers" remedy this library's d-choices makes
 // unnecessary, kept for comparison).
 func WithReplicas(k int) Option {
-	return func(r *Ring) error {
+	return func(t *topology) error {
 		if k < 1 {
 			return fmt.Errorf("hashring: need replicas >= 1, got %d", k)
 		}
-		r.replicas = k
+		t.replicas = k
 		return nil
 	}
 }
@@ -83,17 +283,17 @@ func WithReplicas(k int) Option {
 // New builds a ring over the given servers. Server names must be
 // non-empty and distinct.
 func New(servers []string, opts ...Option) (*Ring, error) {
-	r := &Ring{
-		d:        2,
-		replicas: 1,
-		index:    make(map[string]int32),
-		keys:     make(map[string]keyRec),
+	r := &Ring{}
+	for i := range r.keys {
+		r.keys[i].m = make(map[string]keyRec)
 	}
+	t := &topology{d: 2, replicas: 1, index: make(map[string]int32)}
 	for _, opt := range opts {
-		if err := opt(r); err != nil {
+		if err := opt(t); err != nil {
 			return nil, err
 		}
 	}
+	r.snap.Store(t)
 	for _, s := range servers {
 		if err := r.AddServer(s); err != nil {
 			return nil, err
@@ -102,42 +302,56 @@ func New(servers []string, opts ...Option) (*Ring, error) {
 	return r, nil
 }
 
-// hashString hashes a labeled string to a ring position with full
-// 64-bit diffusion (FNV-1a + SplitMix64 finalizer; see internal/chord
-// for why the finalizer matters).
-func hashString(label byte, salt int, s string) uint64 {
-	h := fnv.New64a()
-	var buf [9]byte
-	buf[0] = label
-	binary.LittleEndian.PutUint64(buf[1:], uint64(salt)*0x9e3779b97f4a7c15)
-	h.Write(buf[:])
-	h.Write([]byte(s))
-	return rng.Mix64(h.Sum64())
-}
-
 // AddServer hashes a new server onto the ring. Keys whose candidate
-// successors change are NOT moved automatically; call Rebalance to
-// restore placement invariants (split so callers control when migration
-// cost is paid). Re-adding a removed server reuses its slot.
+// owners change are NOT moved automatically; call Rebalance to restore
+// placement invariants (split so callers control when migration cost is
+// paid). Re-adding a removed server reuses its slot.
 func (r *Ring) AddServer(name string) error {
 	if name == "" {
 		return fmt.Errorf("hashring: empty server name")
 	}
-	if i, ok := r.index[name]; ok {
-		if !r.dead[i] {
-			return fmt.Errorf("hashring: duplicate server %q", name)
-		}
-		r.dead[i] = false
-		r.insertPoints(i, name)
-		return nil
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.snap.Load()
+	if i, ok := t.index[name]; ok && !t.dead[i] {
+		return fmt.Errorf("hashring: duplicate server %q", name)
 	}
-	i := int32(len(r.servers))
-	r.servers = append(r.servers, name)
-	r.loads = append(r.loads, 0)
-	r.caps = append(r.caps, 1)
-	r.dead = append(r.dead, false)
-	r.index[name] = i
-	r.insertPoints(i, name)
+	nt := t.clone()
+	if i, ok := nt.index[name]; ok {
+		nt.dead[i] = false
+	} else {
+		i := int32(len(nt.servers))
+		nt.servers = append(nt.servers, name)
+		nt.caps = append(nt.caps, 1)
+		nt.dead = append(nt.dead, false)
+		nt.loads = append(nt.loads, &serverLoad{})
+		nt.index[name] = i
+	}
+	nt.live++
+	nt.rebuildPoints()
+	r.snap.Store(nt)
+	return nil
+}
+
+// RemoveServer takes a server off the ring. Its keys remain recorded
+// but orphaned until Rebalance reassigns them. Removing the last server
+// is an error.
+func (r *Ring) RemoveServer(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.snap.Load()
+	i, ok := t.index[name]
+	if !ok || t.dead[i] {
+		return fmt.Errorf("hashring: unknown server %q", name)
+	}
+	if t.live == 1 {
+		return fmt.Errorf("hashring: cannot remove the last server")
+	}
+	nt := t.clone()
+	nt.dead[i] = true
+	nt.live--
+	nt.rebuildPoints()
+	r.snap.Store(nt)
 	return nil
 }
 
@@ -145,165 +359,174 @@ func (r *Ring) AddServer(name string) error {
 // d-choice comparison then uses load/capacity, so a capacity-2 server
 // accepts twice the keys of a capacity-1 server before losing ties.
 func (r *Ring) SetCapacity(name string, capacity float64) error {
-	i, ok := r.index[name]
-	if !ok || r.dead[i] {
-		return fmt.Errorf("hashring: unknown server %q", name)
-	}
 	if !(capacity > 0) {
 		return fmt.Errorf("hashring: capacity %v must be positive", capacity)
 	}
-	r.caps[i] = capacity
-	return nil
-}
-
-// relLoad is the placement comparison key for server i.
-func (r *Ring) relLoad(i int32) float64 { return float64(r.loads[i]) / r.caps[i] }
-
-func (r *Ring) insertPoints(i int32, name string) {
-	for k := 0; k < r.replicas; k++ {
-		r.points = append(r.points, point{pos: hashString('s', k, name), server: i})
-	}
-	sort.Slice(r.points, func(a, b int) bool { return r.points[a].pos < r.points[b].pos })
-}
-
-// RemoveServer takes a server off the ring. Its keys remain recorded
-// but orphaned until Rebalance reassigns them. Removing the last server
-// is an error.
-func (r *Ring) RemoveServer(name string) error {
-	i, ok := r.index[name]
-	if !ok || r.dead[i] {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.snap.Load()
+	i, ok := t.index[name]
+	if !ok || t.dead[i] {
 		return fmt.Errorf("hashring: unknown server %q", name)
 	}
-	if r.NumServers() == 1 {
-		return fmt.Errorf("hashring: cannot remove the last server")
-	}
-	r.dead[i] = true
-	kept := r.points[:0]
-	for _, p := range r.points {
-		if p.server != i {
-			kept = append(kept, p)
-		}
-	}
-	r.points = kept
+	nt := t.clone()
+	nt.caps[i] = capacity
+	r.snap.Store(nt)
 	return nil
 }
 
 // NumServers returns the number of live servers.
-func (r *Ring) NumServers() int {
-	n := 0
-	for _, d := range r.dead {
-		if !d {
-			n++
+func (r *Ring) NumServers() int { return r.snap.Load().live }
+
+// Servers returns the live server names in sorted order.
+func (r *Ring) Servers() []string {
+	t := r.snap.Load()
+	out := make([]string, 0, t.live)
+	for i, name := range t.servers {
+		if !t.dead[i] {
+			out = append(out, name)
 		}
 	}
-	return n
-}
-
-// successor returns the server owning ring position pos.
-func (r *Ring) successor(pos uint64) int32 {
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
-	if i == len(r.points) {
-		i = 0
-	}
-	return r.points[i].server
-}
-
-// candidates returns the d candidate servers of a key.
-func (r *Ring) candidates(key string) []int32 {
-	out := make([]int32, r.d)
-	for j := 0; j < r.d; j++ {
-		out[j] = r.successor(hashString('k', j, key))
-	}
+	sort.Strings(out)
 	return out
+}
+
+// Choices returns the configured number of hash choices per key.
+func (r *Ring) Choices() int { return r.snap.Load().d }
+
+// keyShardFor picks the record shard for a key from its first-choice
+// hash (also reused as the load-counter shard selector).
+func (r *Ring) keyShardFor(h0 uint64) *keyShard {
+	return &r.keys[h0&(keyShardCount-1)]
 }
 
 // Place assigns a key to the least-loaded of its d candidate servers
 // and returns the server name. Placing an already-placed key is an
-// error (keys are sticky; see Locate).
+// error (keys are sticky; see Locate). Safe for concurrent use; the
+// candidate set is resolved against one topology snapshot, loaded
+// under the key-shard lock so a Rebalance that already visited this
+// shard cannot race an older topology in. A Place overlapping a
+// RemoveServer may still record the just-removed server (the snapshots
+// are deliberately wait-free); such keys are orphaned exactly like
+// keys stranded by RemoveServer itself and re-homed by the next
+// Rebalance.
 func (r *Ring) Place(key string) (string, error) {
-	if len(r.points) == 0 {
+	h0 := hashLabeled('k', 0, key)
+	ks := r.keyShardFor(h0)
+	ks.mu.Lock()
+	t := r.snap.Load()
+	if t.live == 0 {
+		ks.mu.Unlock()
 		return "", fmt.Errorf("hashring: no servers")
 	}
-	if _, dup := r.keys[key]; dup {
+	if _, dup := ks.m[key]; dup {
+		ks.mu.Unlock()
 		return "", fmt.Errorf("hashring: key %q already placed", key)
 	}
-	cands := r.candidates(key)
-	best := 0
-	for j := 1; j < len(cands); j++ {
-		if r.relLoad(cands[j]) < r.relLoad(cands[best]) {
-			best = j
-		}
-	}
-	s := cands[best]
-	r.loads[s]++
-	r.keys[key] = keyRec{salt: int8(best), server: s}
-	return r.servers[s], nil
+	best, salt := t.choose(key, h0)
+	t.loads[best].add(h0, 1)
+	ks.m[key] = keyRec{salt: int8(salt), server: best}
+	ks.mu.Unlock()
+	r.nkeys.Add(1)
+	return t.servers[best], nil
 }
 
 // Locate returns the server currently holding a placed key.
 func (r *Ring) Locate(key string) (string, error) {
-	rec, ok := r.keys[key]
+	h0 := hashLabeled('k', 0, key)
+	ks := r.keyShardFor(h0)
+	ks.mu.RLock()
+	rec, ok := ks.m[key]
+	ks.mu.RUnlock()
 	if !ok {
 		return "", fmt.Errorf("hashring: key %q not placed", key)
 	}
-	return r.servers[rec.server], nil
+	return r.snap.Load().servers[rec.server], nil
 }
 
 // Remove deletes a placed key.
 func (r *Ring) Remove(key string) error {
-	rec, ok := r.keys[key]
+	h0 := hashLabeled('k', 0, key)
+	ks := r.keyShardFor(h0)
+	ks.mu.Lock()
+	rec, ok := ks.m[key]
 	if !ok {
+		ks.mu.Unlock()
 		return fmt.Errorf("hashring: key %q not placed", key)
 	}
-	r.loads[rec.server]--
-	delete(r.keys, key)
+	delete(ks.m, key)
+	t := r.snap.Load()
+	t.loads[rec.server].add(h0, -1)
+	ks.mu.Unlock()
+	r.nkeys.Add(-1)
 	return nil
 }
 
 // Rebalance restores the placement invariant after membership changes:
-// every key must live at the successor of its recorded hash choice; keys
-// on dead servers or captured arcs are re-placed at their least-loaded
+// every key must live at the owner of its recorded hash choice; keys on
+// dead servers or captured arcs are re-placed at their least-loaded
 // current candidate. Returns the number of keys moved. Keys are
-// processed in sorted order for determinism.
+// processed in sorted order, so at quiescence the result is
+// deterministic. Concurrent Place/Remove during a Rebalance are safe
+// but may leave freshly placed keys for the NEXT Rebalance to repair
+// (a placement racing a membership change can land on a stale
+// candidate; see Place).
 func (r *Ring) Rebalance() int {
-	names := make([]string, 0, len(r.keys))
-	for k := range r.keys {
-		names = append(names, k)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.snap.Load()
+	if t.live == 0 {
+		return 0
+	}
+	names := make([]string, 0, r.nkeys.Load())
+	for i := range r.keys {
+		ks := &r.keys[i]
+		ks.mu.RLock()
+		for k := range ks.m {
+			names = append(names, k)
+		}
+		ks.mu.RUnlock()
 	}
 	sort.Strings(names)
 	moved := 0
 	for _, key := range names {
-		rec := r.keys[key]
-		cur := r.successor(hashString('k', int(rec.salt), key))
-		if cur == rec.server && !r.dead[rec.server] {
+		h0 := hashLabeled('k', 0, key)
+		ks := r.keyShardFor(h0)
+		ks.mu.Lock()
+		rec, ok := ks.m[key]
+		if !ok { // removed while we walked the shards
+			ks.mu.Unlock()
+			continue
+		}
+		cur := h0
+		if rec.salt != 0 {
+			cur = hashLabeled('k', int(rec.salt), key)
+		}
+		if t.ownerOf(cur) == rec.server && !t.dead[rec.server] {
+			ks.mu.Unlock()
 			continue
 		}
 		// The recorded candidate no longer resolves to the recorded
 		// server (join captured the arc, or the server left): re-run the
 		// choice among current candidates.
-		cands := r.candidates(key)
-		best := 0
-		for j := 1; j < len(cands); j++ {
-			if r.relLoad(cands[j]) < r.relLoad(cands[best]) {
-				best = j
-			}
-		}
-		r.loads[rec.server]--
-		rec.server = cands[best]
-		rec.salt = int8(best)
-		r.loads[rec.server]++
-		r.keys[key] = rec
+		best, salt := t.choose(key, h0)
+		t.loads[rec.server].add(h0, -1)
+		t.loads[best].add(h0, 1)
+		ks.m[key] = keyRec{salt: int8(salt), server: best}
+		ks.mu.Unlock()
 		moved++
 	}
 	return moved
 }
 
-// Loads returns a map of live server name to current key count.
+// Loads returns a map of live server name to current key count, folding
+// the counter shards on demand.
 func (r *Ring) Loads() map[string]int64 {
-	out := make(map[string]int64, len(r.servers))
-	for i, name := range r.servers {
-		if !r.dead[i] {
-			out[name] = r.loads[i]
+	t := r.snap.Load()
+	out := make(map[string]int64, t.live)
+	for i, name := range t.servers {
+		if !t.dead[i] {
+			out[name] = t.loads[i].total()
 		}
 	}
 	return out
@@ -311,39 +534,76 @@ func (r *Ring) Loads() map[string]int64 {
 
 // MaxLoad returns the largest key count over live servers.
 func (r *Ring) MaxLoad() int64 {
+	t := r.snap.Load()
 	var m int64
-	for i, l := range r.loads {
-		if !r.dead[i] && l > m {
-			m = l
+	for i := range t.servers {
+		if !t.dead[i] {
+			if l := t.loads[i].total(); l > m {
+				m = l
+			}
 		}
 	}
 	return m
 }
 
 // NumKeys returns the number of placed keys.
-func (r *Ring) NumKeys() int { return len(r.keys) }
+func (r *Ring) NumKeys() int { return int(r.nkeys.Load()) }
 
 // CheckInvariants verifies internal consistency; exported for tests.
+// Call it at quiescence (no Place/Remove in flight); membership changes
+// are excluded by its own locking. After membership churn, run
+// Rebalance first — keys legitimately sit on captured arcs or dead
+// servers until then.
 func (r *Ring) CheckInvariants() error {
-	loads := make([]int64, len(r.servers))
-	for key, rec := range r.keys {
-		if r.dead[rec.server] {
-			return fmt.Errorf("key %q on dead server %q", key, r.servers[rec.server])
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.snap.Load()
+	counts := make([]int64, len(t.servers))
+	var total int64
+	for i := range r.keys {
+		ks := &r.keys[i]
+		ks.mu.RLock()
+		for key, rec := range ks.m {
+			if int(rec.server) >= len(t.servers) {
+				ks.mu.RUnlock()
+				return fmt.Errorf("key %q on out-of-range slot %d", key, rec.server)
+			}
+			if t.dead[rec.server] {
+				ks.mu.RUnlock()
+				return fmt.Errorf("key %q on dead server %q", key, t.servers[rec.server])
+			}
+			if got := t.ownerOf(hashLabeled('k', int(rec.salt), key)); got != rec.server {
+				ks.mu.RUnlock()
+				return fmt.Errorf("key %q recorded on %q but hashes to %q",
+					key, t.servers[rec.server], t.servers[got])
+			}
+			counts[rec.server]++
+			total++
 		}
-		if got := r.successor(hashString('k', int(rec.salt), key)); got != rec.server {
-			return fmt.Errorf("key %q recorded on %q but hashes to %q",
-				key, r.servers[rec.server], r.servers[got])
-		}
-		loads[rec.server]++
+		ks.mu.RUnlock()
 	}
-	for i := range loads {
-		if loads[i] != r.loads[i] {
+	for i := range counts {
+		if got := t.loads[i].total(); got != counts[i] {
 			return fmt.Errorf("server %q: recorded load %d, actual %d",
-				r.servers[i], r.loads[i], loads[i])
+				t.servers[i], got, counts[i])
 		}
 	}
-	if !sort.SliceIsSorted(r.points, func(a, b int) bool { return r.points[a].pos < r.points[b].pos }) {
-		return fmt.Errorf("ring points unsorted")
+	if total != r.nkeys.Load() {
+		return fmt.Errorf("key count %d != recorded %d", total, r.nkeys.Load())
+	}
+	for i := 1; i < len(t.bits)-1; i++ {
+		if t.bits[i-1] > t.bits[i] {
+			return fmt.Errorf("ring points unsorted")
+		}
+	}
+	for _, s := range t.owner {
+		if t.dead[s] {
+			return fmt.Errorf("point owned by dead server %q", t.servers[s])
+		}
+	}
+	if t.points != nil && t.points.Len() != t.live*t.replicas {
+		return fmt.Errorf("point count %d != live %d * replicas %d",
+			t.points.Len(), t.live, t.replicas)
 	}
 	return nil
 }

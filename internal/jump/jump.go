@@ -139,6 +139,48 @@ func locateTail(bits []uint64, ub uint64, j, n int) int {
 	return j
 }
 
+// Index bundles a sorted bit-pattern array with its bucket index and
+// the compact/full-form fallback decision, so callers that are not on a
+// devirtualized hot loop (e.g. the hashring topology snapshot) get the
+// O(1) lookup without repeating the BuildIdx/BuildDelta/overflow dance.
+// An Index is immutable after NewIndex and safe for concurrent readers.
+type Index struct {
+	bits  []uint64 // n sorted patterns plus the Inf64 sentinel
+	delta []int16  // compact form; nil when a delta overflowed int16
+	idx   []int32  // full form, kept only as the overflow fallback
+	nbf   float64
+}
+
+// NewIndex builds the bucket index over bits, which must hold n sorted
+// IEEE-754 patterns of values in [0, 1) followed by the Inf64 sentinel
+// at index n. The caller must not mutate bits afterwards.
+func NewIndex(bits []uint64) *Index {
+	n := len(bits) - 1
+	ix := &Index{bits: bits, nbf: float64(n)}
+	idx := make([]int32, n+1)
+	BuildIdx(bits, idx)
+	delta := make([]int16, n)
+	if BuildDelta(idx, delta) {
+		ix.delta = delta
+	} else {
+		ix.idx = idx
+	}
+	return ix
+}
+
+// Len returns the number of indexed elements (the sentinel excluded).
+func (ix *Index) Len() int { return len(ix.bits) - 1 }
+
+// Locate returns the owner of u in [0, 1) under the package's lookup
+// rule: the greatest index i with value <= u, wrapping to Len()-1 when
+// u precedes every element. Len() must be at least 1.
+func (ix *Index) Locate(u float64) int {
+	if ix.delta != nil {
+		return Locate(ix.bits, ix.delta, ix.nbf, u)
+	}
+	return LocateIdx(ix.bits, ix.idx, ix.nbf, u)
+}
+
 // LocateIdx is Locate against the full int32 index, for element counts
 // whose delta overflows int16.
 func LocateIdx(bits []uint64, idx []int32, nbf float64, u float64) int {

@@ -196,3 +196,71 @@ func TestLocateBlockMatchesLocate(t *testing.T) {
 		}
 	}
 }
+
+// TestIndexMatchesLocate pins Index.Locate to the documented reference
+// semantics across sizes, including the compact-form/full-form split.
+func TestIndexMatchesLocate(t *testing.T) {
+	r := rng.New(77)
+	for _, n := range []int{1, 2, 3, 17, 256, 4096} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()
+		}
+		sort.Float64s(vals)
+		bits := make([]uint64, n+1)
+		for i, v := range vals {
+			bits[i] = math.Float64bits(v)
+		}
+		bits[n] = Inf64
+		ix := NewIndex(bits)
+		if ix.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, ix.Len())
+		}
+		for _, u := range adversarialLocations(vals) {
+			if got, want := ix.Locate(u), reference(vals, u); got != want {
+				t.Fatalf("n=%d u=%v: Index.Locate = %d, reference = %d", n, u, got, want)
+			}
+		}
+		for k := 0; k < 500; k++ {
+			u := r.Float64()
+			if got, want := ix.Locate(u), reference(vals, u); got != want {
+				t.Fatalf("n=%d u=%v: Index.Locate = %d, reference = %d", n, u, got, want)
+			}
+		}
+	}
+}
+
+// TestIndexFallback forces the int16 delta overflow path by clustering
+// all values into one bucket and checks Locate still answers correctly.
+func TestIndexFallback(t *testing.T) {
+	const n = 1 << 16
+	vals := make([]float64, n)
+	for i := range vals {
+		// All mass in the last bucket: delta for bucket 0 is ~n, far
+		// beyond int16 at this n... (n-1-0 = 65535 > 32767).
+		vals[i] = 1 - 1e-9 + float64(i)*1e-15
+	}
+	sort.Float64s(vals)
+	bits := make([]uint64, n+1)
+	for i, v := range vals {
+		bits[i] = math.Float64bits(v)
+	}
+	bits[n] = Inf64
+	idx := make([]int32, n+1)
+	BuildIdx(bits, idx)
+	delta := make([]int16, n)
+	if BuildDelta(idx, delta) {
+		t.Skip("delta unexpectedly fit; fallback not exercised")
+	}
+	ix := NewIndex(bits)
+	if ix.delta != nil {
+		t.Fatal("Index kept the overflowed compact form")
+	}
+	r := rng.New(5)
+	for k := 0; k < 2000; k++ {
+		u := r.Float64()
+		if got, want := ix.Locate(u), reference(vals, u); got != want {
+			t.Fatalf("u=%v: Locate = %d, reference = %d", u, got, want)
+		}
+	}
+}

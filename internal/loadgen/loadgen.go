@@ -1,0 +1,378 @@
+// Package loadgen drives the concurrent hashring router with the
+// skewed traffic the paper's applications face in production: N worker
+// goroutines issuing Zipf-, Pareto-, or uniform-keyed Locate traffic
+// plus Place/Remove write churn, optionally racing a membership churner
+// that adds and removes servers (with Rebalance) while the workers run.
+//
+// Each worker draws from its own deterministic rng stream
+// (rng.NewStream(seed, worker)), keeps its own latency histograms, and
+// merges them at the end, so a run is reproducible given (Config, Seed)
+// up to OS scheduling of the op interleaving — throughput and latency
+// are measured, correctness is asserted by the hashring invariants.
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geobalance/internal/hashring"
+	"geobalance/internal/rng"
+	"geobalance/internal/stats"
+	"geobalance/internal/workload"
+)
+
+// Config parameterizes one load-test run. Zero fields take the
+// documented defaults.
+type Config struct {
+	Servers     int           // ring size (default 64)
+	Choices     int           // d (default 2)
+	Replicas    int           // ring positions per server (default 1)
+	Workers     int           // traffic goroutines (default GOMAXPROCS)
+	Ops         int64         // total op budget; used when Duration == 0
+	Duration    time.Duration // wall-clock bound; 0 = ops-bound
+	Keys        int           // preloaded hot-key space (default 8192)
+	Dist        string        // "zipf", "pareto", or "uniform" (default zipf)
+	ZipfS       float64       // Zipf exponent (default 1.1)
+	ParetoAlpha float64       // Pareto shape (default 1.2)
+	LookupFrac  float64       // fraction of ops that are Locate; 0 = pure write traffic (the CLI defaults to 0.9)
+	ChurnEvery  time.Duration // membership change period; 0 = no churn
+	Rebalance   bool          // rebalance after every churn event
+	SampleEvery int           // measure latency on every k-th op (default 8)
+	Seed        uint64
+}
+
+// Result aggregates one run. The latency histograms hold sampled
+// latencies (every SampleEvery-th op), the counters hold every op.
+type Result struct {
+	Elapsed    time.Duration
+	Ops        int64
+	Throughput float64 // ops per second, all types
+	Lookups    int64
+	Places     int64
+	Removes    int64
+	Errors     int64
+
+	Lookup stats.LatencyHist
+	Place  stats.LatencyHist
+	Remove stats.LatencyHist
+
+	ChurnEvents int
+	MovedKeys   int
+
+	FinalKeys int
+	MaxLoad   int64
+	MeanLoad  float64
+	Workers   int
+	Procs     int
+
+	// Ring is the router after the run, for invariant checks.
+	Ring *hashring.Ring
+}
+
+func (cfg *Config) applyDefaults() error {
+	if cfg.Servers == 0 {
+		cfg.Servers = 64
+	}
+	if cfg.Choices == 0 {
+		cfg.Choices = 2
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 1 << 13
+	}
+	if cfg.Dist == "" {
+		cfg.Dist = "zipf"
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.ParetoAlpha == 0 {
+		cfg.ParetoAlpha = 1.2
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 8
+	}
+	if cfg.Servers < 1 || cfg.Workers < 1 || cfg.Keys < 2 {
+		return fmt.Errorf("loadgen: need servers >= 1, workers >= 1, keys >= 2")
+	}
+	if cfg.LookupFrac < 0 || cfg.LookupFrac > 1 {
+		return fmt.Errorf("loadgen: lookup fraction %v out of [0,1]", cfg.LookupFrac)
+	}
+	if cfg.Ops <= 0 && cfg.Duration <= 0 {
+		return fmt.Errorf("loadgen: need an op budget or a duration")
+	}
+	return nil
+}
+
+func (cfg *Config) ranker() (workload.Ranker, error) {
+	switch cfg.Dist {
+	case "zipf":
+		return workload.NewZipf(cfg.ZipfS, uint64(cfg.Keys))
+	case "pareto":
+		return workload.NewParetoRanks(cfg.ParetoAlpha, uint64(cfg.Keys))
+	case "uniform":
+		return workload.NewUniformRanks(uint64(cfg.Keys))
+	default:
+		return nil, fmt.Errorf("loadgen: unknown key distribution %q (want zipf, pareto, or uniform)", cfg.Dist)
+	}
+}
+
+// workerStats is one goroutine's private tally, merged after the run.
+type workerStats struct {
+	lookups, places, removes, errors int64
+	lookup, place, remove            stats.LatencyHist
+}
+
+// opBatch is how many ops a worker claims from the shared budget at a
+// time, bounding both contention on the budget counter and overshoot.
+const opBatch = 64
+
+// Run executes one load-test run.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	rk, err := cfg.ranker()
+	if err != nil {
+		return nil, err
+	}
+	servers := make([]string, cfg.Servers)
+	for i := range servers {
+		servers[i] = "server-" + strconv.Itoa(i)
+	}
+	ring, err := hashring.New(servers,
+		hashring.WithChoices(cfg.Choices), hashring.WithReplicas(cfg.Replicas))
+	if err != nil {
+		return nil, err
+	}
+
+	// Preload the hot-key space the Locate traffic reads.
+	hot := make([]string, cfg.Keys)
+	for i := range hot {
+		hot[i] = "hot:" + strconv.Itoa(i)
+		if _, err := ring.Place(hot[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	var (
+		budget   atomic.Int64 // remaining ops (ops-bound mode)
+		traffic  sync.WaitGroup
+		allStats = make([]workerStats, cfg.Workers)
+	)
+	budget.Store(cfg.Ops)
+	opsBound := cfg.Duration <= 0
+
+	start := time.Now()
+	var deadline time.Time
+	if !opsBound {
+		deadline = start.Add(cfg.Duration)
+	}
+
+	for w := 0; w < cfg.Workers; w++ {
+		traffic.Add(1)
+		go func(w int) {
+			defer traffic.Done()
+			runWorker(ring, &cfg, rk, rng.NewStream(cfg.Seed, uint64(w)), w,
+				&allStats[w], &budget, opsBound, deadline, hot)
+		}(w)
+	}
+
+	// Optional membership churner, racing the traffic.
+	var (
+		churnDone   chan struct{}
+		churnEvents int
+		moved       int
+	)
+	churnStop := make(chan struct{})
+	if cfg.ChurnEvery > 0 {
+		churnDone = make(chan struct{})
+		go func() {
+			defer close(churnDone)
+			tick := time.NewTicker(cfg.ChurnEvery)
+			defer tick.Stop()
+			var added []string
+			next := 0
+			cr := rng.NewStream(cfg.Seed, 1<<32)
+			for {
+				select {
+				case <-churnStop:
+					return
+				case <-tick.C:
+				}
+				if len(added) == 0 || (len(added) < 8 && cr.Intn(2) == 0) {
+					name := "churn-" + strconv.Itoa(next)
+					next++
+					if ring.AddServer(name) == nil {
+						added = append(added, name)
+						churnEvents++
+					}
+				} else {
+					name := added[0]
+					added = added[1:]
+					if ring.RemoveServer(name) == nil {
+						churnEvents++
+					}
+				}
+				if cfg.Rebalance {
+					moved += ring.Rebalance()
+				}
+			}
+		}()
+	}
+
+	traffic.Wait()
+	close(churnStop)
+	if churnDone != nil {
+		<-churnDone
+	}
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Elapsed:     elapsed,
+		ChurnEvents: churnEvents,
+		MovedKeys:   moved,
+		Workers:     cfg.Workers,
+		Procs:       runtime.GOMAXPROCS(0),
+		Ring:        ring,
+	}
+	for i := range allStats {
+		ws := &allStats[i]
+		res.Lookups += ws.lookups
+		res.Places += ws.places
+		res.Removes += ws.removes
+		res.Errors += ws.errors
+		res.Lookup.Merge(&ws.lookup)
+		res.Place.Merge(&ws.place)
+		res.Remove.Merge(&ws.remove)
+	}
+	res.Ops = res.Lookups + res.Places + res.Removes
+	if elapsed > 0 {
+		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	}
+	res.FinalKeys = ring.NumKeys()
+	loads := ring.Loads()
+	var total int64
+	for _, l := range loads {
+		total += l
+		if l > res.MaxLoad {
+			res.MaxLoad = l
+		}
+	}
+	if len(loads) > 0 {
+		res.MeanLoad = float64(total) / float64(len(loads))
+	}
+	return res, nil
+}
+
+// runWorker is one traffic goroutine: Zipf/Pareto/uniform-keyed Locate
+// traffic at LookupFrac, the rest an even mix of Place and Remove over
+// the worker's own pre-generated key pool (so write ops never collide
+// across workers and the steady state allocates nothing).
+func runWorker(ring *hashring.Ring, cfg *Config, rk workload.Ranker, r *rng.Rand,
+	w int, ws *workerStats, budget *atomic.Int64,
+	opsBound bool, deadline time.Time, hot []string) {
+
+	own := make([]string, 256)
+	for i := range own {
+		own[i] = "w" + strconv.Itoa(w) + ":" + strconv.Itoa(i)
+	}
+	head, tail := 0, 0 // own[tail:head) (mod len) are currently placed
+	placed := 0
+
+	sample := cfg.SampleEvery
+	opCount := 0
+	for {
+		n := opBatch
+		if opsBound {
+			claimed := budget.Add(-opBatch)
+			if claimed <= -opBatch {
+				return
+			}
+			if claimed < 0 {
+				n = opBatch + int(claimed)
+			}
+		} else if !time.Now().Before(deadline) {
+			return
+		}
+		for i := 0; i < n; i++ {
+			measured := opCount%sample == 0
+			opCount++
+			var t0 time.Time
+			if measured {
+				t0 = time.Now()
+			}
+			if r.Float64() < cfg.LookupFrac {
+				_, err := ring.Locate(hot[rk.Next(r)])
+				ws.lookups++
+				if err != nil {
+					ws.errors++
+				}
+				if measured {
+					ws.lookup.Add(time.Since(t0).Nanoseconds())
+				}
+				continue
+			}
+			doPlace := placed == 0 || (placed < len(own) && r.Uint64()&1 == 0)
+			if doPlace {
+				_, err := ring.Place(own[head])
+				head = (head + 1) % len(own)
+				placed++
+				ws.places++
+				if err != nil {
+					ws.errors++
+				}
+				if measured {
+					ws.place.Add(time.Since(t0).Nanoseconds())
+				}
+			} else {
+				err := ring.Remove(own[tail])
+				tail = (tail + 1) % len(own)
+				placed--
+				ws.removes++
+				if err != nil {
+					ws.errors++
+				}
+				if measured {
+					ws.remove.Add(time.Since(t0).Nanoseconds())
+				}
+			}
+		}
+	}
+}
+
+// Report renders the run in the human-readable form the loadtest
+// subcommand prints.
+func (r *Result) Report(w io.Writer) {
+	fmt.Fprintf(w, "elapsed %v   %d ops (%.0f ops/sec)   workers %d   GOMAXPROCS %d\n",
+		r.Elapsed.Round(time.Millisecond), r.Ops, r.Throughput, r.Workers, r.Procs)
+	fmt.Fprintf(w, "  lookups %d   places %d   removes %d   errors %d\n",
+		r.Lookups, r.Places, r.Removes, r.Errors)
+	if r.Lookup.N() > 0 {
+		fmt.Fprintf(w, "  locate  latency: %v\n", r.Lookup.String())
+	}
+	if r.Place.N() > 0 {
+		fmt.Fprintf(w, "  place   latency: %v\n", r.Place.String())
+	}
+	if r.Remove.N() > 0 {
+		fmt.Fprintf(w, "  remove  latency: %v\n", r.Remove.String())
+	}
+	if r.ChurnEvents > 0 {
+		fmt.Fprintf(w, "  churn: %d membership events, %d keys moved by rebalance\n",
+			r.ChurnEvents, r.MovedKeys)
+	}
+	if r.MeanLoad > 0 {
+		fmt.Fprintf(w, "  final: %d keys on %d servers   max load %d (%.2fx mean)\n",
+			r.FinalKeys, r.Ring.NumServers(), r.MaxLoad, float64(r.MaxLoad)/r.MeanLoad)
+	}
+}

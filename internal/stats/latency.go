@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// LatencyHist is a fixed-size log-bucketed histogram for latency (or
+// any non-negative int64) samples, in the HDR style: values below 2^4
+// are recorded exactly; above that each power-of-two octave is split
+// into 16 linear sub-buckets, bounding the relative quantile error at
+// 1/16 while keeping Add a handful of bit operations with no
+// allocation. The zero value is ready to use; it is NOT safe for
+// concurrent use — give each goroutine its own and Merge at the end
+// (the pattern internal/loadgen uses).
+type LatencyHist struct {
+	counts [latencyBuckets]int64
+	n      int64
+	sum    int64
+	max    int64
+}
+
+const (
+	latencySubBits = 4 // 16 sub-buckets per octave
+	latencySub     = 1 << latencySubBits
+	// Octaves 4..63 each contribute latencySub buckets, on top of the
+	// latencySub exact low values.
+	latencyBuckets = latencySub + (64-latencySubBits)*latencySub
+)
+
+// latencyBucket maps a non-negative value to its bucket.
+func latencyBucket(v int64) int {
+	if v < latencySub {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // position of the top bit, >= latencySubBits
+	sub := int(v>>(uint(e)-latencySubBits)) & (latencySub - 1)
+	return latencySub + (e-latencySubBits)*latencySub + sub
+}
+
+// latencyBucketLow returns the smallest value mapping to bucket b (the
+// "lower value" convention Quantile reports).
+func latencyBucketLow(b int) int64 {
+	if b < latencySub {
+		return int64(b)
+	}
+	b -= latencySub
+	e := b/latencySub + latencySubBits
+	sub := int64(b % latencySub)
+	return (1 << uint(e)) + sub<<(uint(e)-latencySubBits)
+}
+
+// Add records one sample; negative values clamp to 0.
+func (h *LatencyHist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[latencyBucket(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge adds all of other's samples into h.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// N returns the number of recorded samples.
+func (h *LatencyHist) N() int64 { return h.n }
+
+// Mean returns the exact mean of the samples (0 with no samples).
+func (h *LatencyHist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the exact largest sample (0 with no samples).
+func (h *LatencyHist) Max() int64 { return h.max }
+
+// Quantile returns the q-quantile (0 <= q <= 1) as the lower bound of
+// the bucket holding it — an underestimate by at most a factor of
+// 1 + 1/16. It panics on an empty histogram or out-of-range q.
+func (h *LatencyHist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		panic("stats: Quantile of empty LatencyHist")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	target := int64(q * float64(h.n))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return latencyBucketLow(b)
+		}
+	}
+	return h.max
+}
+
+// String renders the standard percentile line a load test reports.
+func (h *LatencyHist) String() string {
+	if h.n == 0 {
+		return "no samples"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d mean=%.0fns", h.n, h.Mean())
+	for _, p := range []struct {
+		label string
+		q     float64
+	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p99.9", 0.999}} {
+		fmt.Fprintf(&sb, " %s=%dns", p.label, h.Quantile(p.q))
+	}
+	fmt.Fprintf(&sb, " max=%dns", h.max)
+	return sb.String()
+}

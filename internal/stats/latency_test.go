@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"sort"
+	"testing"
+
+	"geobalance/internal/rng"
+)
+
+func TestLatencyBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose lower bound is <= the
+	// value and within a 1/16 relative error below it.
+	vals := []int64{0, 1, 2, 15, 16, 17, 31, 32, 100, 1000, 12345,
+		1 << 20, (1 << 40) + 12345, 1<<62 + 999}
+	for _, v := range vals {
+		b := latencyBucket(v)
+		lo := latencyBucketLow(b)
+		if lo > v {
+			t.Fatalf("v=%d: bucket lower bound %d exceeds value", v, lo)
+		}
+		if v >= 16 && float64(v-lo) > float64(v)/16 {
+			t.Fatalf("v=%d: lower bound %d off by more than 1/16", v, lo)
+		}
+		if v < 16 && lo != v {
+			t.Fatalf("v=%d: small values must be exact, got %d", v, lo)
+		}
+	}
+	// Bucket mapping must be monotone.
+	prev := -1
+	for v := int64(0); v < 1<<12; v++ {
+		b := latencyBucket(v)
+		if b < prev {
+			t.Fatalf("bucket not monotone at v=%d", v)
+		}
+		prev = b
+	}
+}
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	r := rng.New(3)
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := int64(r.Intn(1_000_000))
+		samples = append(samples, v)
+		h.Add(v)
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		if got > exact {
+			t.Fatalf("q=%v: histogram quantile %d above exact %d", q, got, exact)
+		}
+		if float64(exact-got) > float64(exact)/8 {
+			t.Fatalf("q=%v: histogram quantile %d too far below exact %d", q, got, exact)
+		}
+	}
+	if h.Max() != samples[len(samples)-1] {
+		t.Fatalf("Max = %d, want %d", h.Max(), samples[len(samples)-1])
+	}
+	var sum int64
+	for _, v := range samples {
+		sum += v
+	}
+	if got, want := h.Mean(), float64(sum)/float64(len(samples)); got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyHistMerge(t *testing.T) {
+	var a, b, all LatencyHist
+	r := rng.New(9)
+	for i := 0; i < 5000; i++ {
+		v := int64(r.Intn(100000))
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() || a.Max() != all.Max() || a.Mean() != all.Mean() {
+		t.Fatal("merge lost samples")
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q=%v: merged quantile %d != direct %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestLatencyHistEdges(t *testing.T) {
+	var h LatencyHist
+	h.Add(-5) // clamps to 0
+	if h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("negative sample not clamped to 0")
+	}
+	if h.String() == "" || (&LatencyHist{}).String() != "no samples" {
+		t.Fatal("String rendering broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile on empty histogram did not panic")
+		}
+	}()
+	(&LatencyHist{}).Quantile(0.5)
+}

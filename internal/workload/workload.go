@@ -70,6 +70,61 @@ func (z *Zipf) Next(r *rng.Rand) uint64 {
 	}
 }
 
+// Ranker draws ranks into a fixed key space {0, ..., n-1} with some
+// popularity distribution. It is the interface the load-generation
+// harness keys its traffic by; Zipf, ParetoRanks, and UniformRanks
+// implement it. Implementations are deterministic given the rng.Rand
+// and safe for concurrent use with per-goroutine generators.
+type Ranker interface {
+	Next(r *rng.Rand) uint64
+}
+
+var (
+	_ Ranker = (*Zipf)(nil)
+	_ Ranker = (*ParetoRanks)(nil)
+	_ Ranker = (*UniformRanks)(nil)
+)
+
+// UniformRanks draws ranks uniformly — the no-skew baseline workload.
+type UniformRanks struct {
+	n uint64
+}
+
+// NewUniformRanks returns a uniform chooser over {0, ..., n-1}.
+func NewUniformRanks(n uint64) (*UniformRanks, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: UniformRanks needs n >= 1")
+	}
+	return &UniformRanks{n: n}, nil
+}
+
+// Next draws the next rank in [0, n).
+func (u *UniformRanks) Next(r *rng.Rand) uint64 { return r.Uint64n(u.n) }
+
+// ParetoRanks maps bounded-Pareto draws on [1, n] onto ranks 0..n-1, so
+// low ranks are polynomially hotter than the tail — a heavier-headed
+// alternative to Zipf for key popularity.
+type ParetoRanks struct {
+	p *BoundedPareto
+}
+
+// NewParetoRanks returns a Pareto chooser over {0, ..., n-1} with shape
+// alpha > 0. n must be at least 2 (the bounded Pareto needs lo < hi)
+// and fit in an int32.
+func NewParetoRanks(alpha float64, n uint64) (*ParetoRanks, error) {
+	if n < 2 || n > math.MaxInt32 {
+		return nil, fmt.Errorf("workload: ParetoRanks needs 2 <= n <= 2^31-1, got %d", n)
+	}
+	p, err := NewBoundedPareto(alpha, 1, float64(n))
+	if err != nil {
+		return nil, err
+	}
+	return &ParetoRanks{p: p}, nil
+}
+
+// Next draws the next rank in [0, n).
+func (pr *ParetoRanks) Next(r *rng.Rand) uint64 { return uint64(pr.p.Next(r) - 1) }
+
 // BoundedPareto samples integer item sizes from a bounded Pareto
 // distribution on [lo, hi] with shape alpha — the standard heavy-tailed
 // size model for storage objects.

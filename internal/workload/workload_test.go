@@ -177,3 +177,72 @@ func BenchmarkParetoNext(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestUniformRanks(t *testing.T) {
+	if _, err := NewUniformRanks(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	u, err := NewUniformRanks(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		k := u.Next(r)
+		if k >= 100 {
+			t.Fatalf("rank %d out of range", k)
+		}
+		counts[k]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("rank %d drawn %d times; want ~1000", i, c)
+		}
+	}
+}
+
+func TestParetoRanks(t *testing.T) {
+	if _, err := NewParetoRanks(1.2, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewParetoRanks(0, 100); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	p, err := NewParetoRanks(1.2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	const draws = 100000
+	var low int
+	for i := 0; i < draws; i++ {
+		k := p.Next(r)
+		if k >= 1000 {
+			t.Fatalf("rank %d out of range", k)
+		}
+		if k < 10 {
+			low++
+		}
+	}
+	// Pareto(1.2) puts most of its mass at the head: P(rank < 10) =
+	// 1 - 11^-1.2 over the normalization, well over half.
+	if float64(low)/draws < 0.5 {
+		t.Fatalf("head ranks drawn %.1f%% of the time; want > 50%%", 100*float64(low)/draws)
+	}
+}
+
+func TestRankerInterface(t *testing.T) {
+	// Zipf must satisfy the Ranker interface the load generator uses.
+	z, err := NewZipf(1.1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rk Ranker = z
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		if k := rk.Next(r); k >= 100 {
+			t.Fatalf("rank %d out of range", k)
+		}
+	}
+}
