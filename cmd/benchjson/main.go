@@ -223,6 +223,57 @@ func collect() ([]result, error) {
 				sp.Nearest(q)
 			}
 		}),
+		run("torus_nearest/n=65536/dim=3", 1, func(b *testing.B) {
+			r := rng.New(5)
+			sp, err := torus.NewRandom(n, 3, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := sp.Sample(r)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp.SampleInto(q, r)
+				sp.Nearest(q)
+			}
+		}),
+		// The torus bulk placement path (core's concrete torus loop):
+		// zero allocs per ball is part of the gate — the baseline alloc
+		// column is 0, so ANY allocation fails CI.
+		run("torus_place_batch/n=65536/dim=2/d=2", n, func(b *testing.B) {
+			r := rng.New(7)
+			sp, err := torus.NewRandom(n, 2, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := core.New(sp, core.Config{D: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Reset()
+				a.PlaceBatch(n, r)
+			}
+		}),
+		run("torus_place_batch/n=65536/dim=3/d=2", n, func(b *testing.B) {
+			r := rng.New(8)
+			sp, err := torus.NewRandom(n, 3, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := core.New(sp, core.Config{D: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Reset()
+				a.PlaceBatch(n, r)
+			}
+		}),
 		run("uniform_place_batch/n=65536/d=2", n, func(b *testing.B) {
 			sp, err := core.NewUniform(n)
 			if err != nil {

@@ -36,14 +36,29 @@
 //     raw IEEE bit patterns plus a one-bucket-per-site jump index — so
 //     resolving a location is O(1) expected with branch-free mask
 //     arithmetic, replacing the seed's O(log n) binary search.
+//   - internal/torus stores site coordinates twice: the public
+//     site-indexed view, and a flat buffer permuted into grid-cell
+//     (CSR) order that the nearest-site kernels scan as contiguous
+//     slot runs (a row of adjacent cells is one run). perm/slotOf map
+//     cell slots to public site indices and back, so the public index
+//     contract — Site, Sites, SetWeights, Reseed, returned bins — is
+//     untouched by the permutation. Dim-specialized kernels for 2-D
+//     and 3-D unroll the wrapped distance branch-free, precompute
+//     wrapped row/plane offset tables, and fuse the first two search
+//     shells; wrapped-Chebyshev shell enumeration scans every cell at
+//     most once per query. Measured: Nearest at n=2^16 dropped from
+//     ~488 to ~119 ns (dim 2) and ~900 to ~370 ns (dim 3).
 //   - internal/core.PlaceBatch is the bulk API: it hoists the tie-break
 //     switch and stratified branch out of the per-ball loop,
 //     devirtualizes the space (structural jump-index match, concrete
-//     UniformSpace, or the BatchChooser interfaces), and reuses
-//     allocator-owned scratch for zero allocations per ball. For the
-//     d=2 random-tie configuration it pipelines lookups in blocks of
-//     32 balls (a documented random-variate reordering; every other
-//     configuration is bit-identical to sequential Place).
+//     UniformSpace and torus.Space, or the BatchChooser interfaces),
+//     and reuses allocator-owned scratch for zero allocations per
+//     ball. The concrete torus loop preserves Place's exact variate
+//     interleaving for every configuration, including d >= 3 random
+//     ties. For the ring d=2 random-tie configuration PlaceBatch
+//     pipelines lookups in blocks of 32 balls (a documented
+//     random-variate reordering; every other configuration is
+//     bit-identical to sequential Place).
 //   - internal/ring.Reseed and internal/torus.Reseed redraw an existing
 //     space in place (an O(n) counting sort on the ring), and
 //     internal/sim's *Pooled trial factories give each worker one

@@ -6,7 +6,11 @@
 //   - a bucketSpace (ring.Space, matched structurally) is resolved
 //     inline through internal/jump: zero calls and O(1) branch-free
 //     expected work per choice;
-//   - *UniformSpace is handled concretely;
+//   - *UniformSpace and *torus.Space are handled concretely (the ring
+//     is matched structurally because its lookup is pure data; the
+//     torus grid-scan kernel cannot be expressed as data, so its space
+//     is dispatched by type like UniformSpace and its choices run as
+//     direct — devirtualized — method calls);
 //   - a BatchChooser/StratifiedBatchChooser collapses d interface calls
 //     per ball into one;
 //   - anything else falls back to the exact per-ball loop.
@@ -35,6 +39,7 @@ package core
 import (
 	"geobalance/internal/jump"
 	"geobalance/internal/rng"
+	"geobalance/internal/torus"
 )
 
 // blockBalls is the pipeline depth of the blocked d-choice loop: enough
@@ -56,6 +61,10 @@ func (a *Allocator) PlaceBatch(m int, r *rng.Rand) {
 		}
 		if us, ok := a.space.(*UniformSpace); ok {
 			a.placeBatchUniform(us, m, r)
+			return
+		}
+		if ts, ok := a.space.(*torus.Space); ok {
+			a.placeBatchTorus(ts, m, r)
 			return
 		}
 		// The chooser paths draw one ball's d location variates before
@@ -207,6 +216,82 @@ func (a *Allocator) placeBatchBucketExact(bs bucketSpace, m int, r *rng.Rand) {
 					}
 				case TieLarger:
 					if weights[c] > weights[best] {
+						best = c
+					}
+				case TieLeft:
+					// Keep the earlier stratum.
+				}
+			}
+		}
+		nl := loads[best] + 1
+		loads[best] = nl
+		if nl > max {
+			max, atMax = nl, 1
+		} else if nl == max {
+			atMax++
+		}
+		if track {
+			a.balls = append(a.balls, int32(best))
+			a.histUp(nl)
+		}
+	}
+	a.max, a.atMax = max, atMax
+	a.placed += m
+}
+
+// placeBatchTorus is the concrete bulk loop for the k-d torus: one
+// direct (devirtualized) ChooseBin/ChooseBinIn call per choice, the
+// configuration dispatch hoisted out of the per-ball loop, and commit
+// inlined. It preserves Place's exact variate interleaving — each
+// choice's location variates are drawn immediately before its load
+// comparison and possible tie draw — so unlike the chooser paths it
+// handles every configuration, including d >= 3 TieRandom (which used
+// to fall back to the per-ball Place loop), bit-identically to Place.
+// All state lives on the Allocator and the Space's scratch, so the
+// loop performs zero heap allocations per ball (TrackBalls aside).
+func (a *Allocator) placeBatchTorus(ts *torus.Space, m int, r *rng.Rand) {
+	loads := a.loads
+	d := a.cfg.D
+	tie := a.cfg.Tie
+	strat := a.cfg.Stratified
+	track := a.cfg.TrackBalls
+	max, atMax := a.max, a.atMax
+	for b := 0; b < m; b++ {
+		var best int
+		if strat {
+			best = ts.ChooseBinIn(r, 0, d)
+		} else {
+			best = ts.ChooseBin(r)
+		}
+		bestLoad := loads[best]
+		ties := 1
+		for k := 1; k < d; k++ {
+			var c int
+			if strat {
+				c = ts.ChooseBinIn(r, k, d)
+			} else {
+				c = ts.ChooseBin(r)
+			}
+			if c == best {
+				continue
+			}
+			l := loads[c]
+			switch {
+			case l < bestLoad:
+				best, bestLoad, ties = c, l, 1
+			case l == bestLoad:
+				switch tie {
+				case TieRandom:
+					ties++
+					if r.Intn(ties) == 0 {
+						best = c
+					}
+				case TieSmaller:
+					if ts.Weight(c) < ts.Weight(best) {
+						best = c
+					}
+				case TieLarger:
+					if ts.Weight(c) > ts.Weight(best) {
 						best = c
 					}
 				case TieLeft:

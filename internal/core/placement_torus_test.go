@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"geobalance/internal/rng"
+	"geobalance/internal/torus"
+)
+
+// newTorusSpaceDim builds a torus space of the given dimension from a
+// fixed stream, so two calls with the same seed yield identical spaces.
+func newTorusSpaceDim(t testing.TB, n, dim int, seed uint64) *torus.Space {
+	t.Helper()
+	sp, err := torus.NewRandom(n, dim, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// syntheticWeights returns a deterministic positive weight vector, good
+// enough to exercise the weight tie-break comparisons (the rules only
+// ever compare weights, they never require them to be true areas).
+func syntheticWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.001 + float64((uint32(i)*2654435761)%1000)/1000
+	}
+	return w
+}
+
+// TestPlaceBatchTorusMatchesPlace pins the devirtualized torus bulk
+// path to the sequential process: for every dimension, choice count,
+// tie rule, and stratification, PlaceBatch must produce the exact
+// per-ball placement trace of m Place calls from the same stream —
+// including d >= 3 TieRandom, where tie draws interleave with location
+// draws and the chooser paths cannot be used.
+func TestPlaceBatchTorusMatchesPlace(t *testing.T) {
+	const n, m = 300, 700
+	configs := []Config{
+		{D: 1},
+		{D: 2},
+		{D: 3},
+		{D: 4},
+		{D: 3, Stratified: true},
+		{D: 2, Tie: TieLeft},
+		{D: 4, Tie: TieLeft},
+		{D: 3, Tie: TieSmaller},
+		{D: 3, Tie: TieLarger},
+	}
+	for _, dim := range []int{1, 2, 3, 4} {
+		for _, cfg := range configs {
+			cfg.TrackBalls = true
+			name := fmt.Sprintf("dim=%d/d=%d/%s/strat=%v", dim, cfg.D, cfg.Tie, cfg.Stratified)
+			t.Run(name, func(t *testing.T) {
+				seed := uint64(100*dim + cfg.D)
+				spA := newTorusSpaceDim(t, n, dim, seed)
+				spB := newTorusSpaceDim(t, n, dim, seed)
+				if cfg.Tie == TieSmaller || cfg.Tie == TieLarger {
+					w := syntheticWeights(n)
+					if err := spA.SetWeights(w); err != nil {
+						t.Fatal(err)
+					}
+					if err := spB.SetWeights(w); err != nil {
+						t.Fatal(err)
+					}
+				}
+				aa, err := New(spA, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ab, err := New(spB, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r1, r2 := rng.New(31+seed), rng.New(31+seed)
+				for i := 0; i < m; i++ {
+					aa.Place(r1)
+				}
+				ab.PlaceBatch(m, r2)
+				for i := range aa.balls {
+					if aa.balls[i] != ab.balls[i] {
+						t.Fatalf("ball %d: Place chose %d, PlaceBatch chose %d", i, aa.balls[i], ab.balls[i])
+					}
+				}
+				if aa.MaxLoad() != ab.MaxLoad() || aa.Placed() != ab.Placed() {
+					t.Fatalf("trackers diverged: max %d/%d placed %d/%d",
+						aa.MaxLoad(), ab.MaxLoad(), aa.Placed(), ab.Placed())
+				}
+				if r1.Uint64() != r2.Uint64() {
+					t.Fatal("Place and PlaceBatch consumed different variate counts")
+				}
+			})
+		}
+	}
+}
+
+// TestPlaceBatchTorusZeroAllocs guards the torus batch path's zero
+// allocations per ball, for both specialized dimensions and for the
+// d=3 TieRandom configuration that used to fall back to per-ball Place.
+func TestPlaceBatchTorusZeroAllocs(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		for _, d := range []int{2, 3} {
+			t.Run(fmt.Sprintf("dim=%d/d=%d", dim, d), func(t *testing.T) {
+				sp := newTorusSpaceDim(t, 1<<11, dim, uint64(40+dim))
+				a, err := New(sp, Config{D: d})
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := rng.New(41)
+				a.PlaceBatch(256, r) // warm scratch
+				if allocs := testing.AllocsPerRun(10, func() {
+					a.PlaceBatch(512, r)
+				}); allocs != 0 {
+					t.Fatalf("torus PlaceBatch allocated %v times per run", allocs)
+				}
+			})
+		}
+	}
+}

@@ -41,12 +41,41 @@ func CCWDist(a, b float64) float64 {
 
 // AxisDist returns the wraparound distance between coordinates a and b on
 // a unit circle axis; the result is in [0, 1/2].
-func AxisDist(a, b float64) float64 {
-	d := math.Abs(a - b)
-	if d > 0.5 {
-		d = 1 - d
-	}
-	return d
+func AxisDist(a, b float64) float64 { return AxisDelta(a - b) }
+
+// AxisDelta returns the wraparound distance along one unit-circle axis
+// given the raw coordinate difference d, with |d| < 1 (always true for
+// coordinates in [0, 1)); the result is in [0, 1/2]. It is the kernel
+// form of AxisDist, written branch-free — math.Abs is a compiler
+// intrinsic and the min builtin lowers to conditional-move-style code —
+// because both "which side" tests are coin flips on random coordinates
+// and their mispredictions would dominate the torus scan loops. The
+// result is bit-identical to the branchy abs-then-fold form: 1-a is
+// only selected when a > 1/2, where the subtraction is exact.
+func AxisDelta(d float64) float64 {
+	a := math.Abs(d)
+	return min(a, 1-a)
+}
+
+// wrapMagic is 1.5·2^52. Adding it to a float64 of magnitude below 2^51
+// pushes the value into the exponent range whose ulp is exactly 1, so
+// the add itself rounds to the nearest integer (ties to even, the IEEE
+// default Go guarantees); subtracting it back is exact. The add-sub
+// pair is the cheapest branch-free round on every architecture — the
+// math.Round* intrinsics carry a runtime CPU-feature branch on amd64
+// that forces scan-loop invariants to spill around a potential call.
+const wrapMagic = 3 << 51
+
+// WrapDelta returns the signed wraparound difference along one
+// unit-circle axis given the raw coordinate difference d with |d| < 1:
+// the representative of d modulo 1 in [-1/2, 1/2]. Its magnitude is
+// bit-for-bit AxisDelta(d) — the fold subtracts roundeven(d) from d,
+// which only changes d when |d| >= 1/2, where the subtraction is exact
+// by Sterbenz — so squaring it gives exactly AxisDelta(d)². It is the
+// distance-kernel form: two adds and a subtract, free of branches,
+// calls, and sign-mask trips through integer registers.
+func WrapDelta(d float64) float64 {
+	return d - ((d + wrapMagic) - wrapMagic)
 }
 
 // Vec is a point in k-dimensional space. On the unit torus every

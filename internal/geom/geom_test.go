@@ -340,3 +340,49 @@ func TestCentroidDegenerateFallback(t *testing.T) {
 		t.Errorf("degenerate centroid = %v, want (1,0)", c)
 	}
 }
+
+// TestAxisDeltaForms pins the three equivalent wraparound-distance
+// forms to each other bit for bit: the branchy reference fold, the
+// abs/min AxisDelta, and the magic-number WrapDelta the scan kernels
+// square. Exercised on random differences, on the exact half-way and
+// boundary points, and on values an ulp away from them.
+func TestAxisDeltaForms(t *testing.T) {
+	ref := func(d float64) float64 {
+		if d < 0 {
+			d = -d
+		}
+		if d > 0.5 {
+			d = 1 - d
+		}
+		return d
+	}
+	check := func(d float64) {
+		t.Helper()
+		want := ref(d)
+		if got := AxisDelta(d); got != want {
+			t.Fatalf("AxisDelta(%v) = %v, want %v", d, got, want)
+		}
+		if got := math.Abs(WrapDelta(d)); got != want {
+			t.Fatalf("|WrapDelta(%v)| = %v, want %v", d, got, want)
+		}
+		w := WrapDelta(d)
+		if w*w != want*want {
+			t.Fatalf("WrapDelta(%v)² = %v, want %v", d, w*w, want*want)
+		}
+	}
+	for _, d := range []float64{0, 0.5, -0.5, 0.25, -0.25, 1, -1} {
+		if d < 1 && d > -1 {
+			check(d)
+		}
+	}
+	for _, base := range []float64{0, 0.25, 0.5, 0.75} {
+		for _, sign := range []float64{1, -1} {
+			check(sign * math.Nextafter(base, 0))
+			check(sign * math.Nextafter(base, 1))
+		}
+	}
+	r := rng.New(77)
+	for i := 0; i < 200000; i++ {
+		check(r.Float64() - r.Float64())
+	}
+}

@@ -308,12 +308,16 @@ func runWorker(ring *hashring.Ring, cfg *Config, rk workload.Ranker, r *rng.Rand
 		for i := 0; i < n; i++ {
 			measured := opCount%sample == 0
 			opCount++
-			var t0 time.Time
-			if measured {
-				t0 = time.Now()
-			}
 			if r.Float64() < cfg.LookupFrac {
-				_, err := ring.Locate(hot[rk.Next(r)])
+				// Pick the key before starting the clock: the Zipf rank
+				// draw is a rejection-sampling loop whose cost would
+				// otherwise dominate the ~50ns router op being measured.
+				key := hot[rk.Next(r)]
+				var t0 time.Time
+				if measured {
+					t0 = time.Now()
+				}
+				_, err := ring.Locate(key)
 				ws.lookups++
 				if err != nil {
 					ws.errors++
@@ -324,6 +328,10 @@ func runWorker(ring *hashring.Ring, cfg *Config, rk workload.Ranker, r *rng.Rand
 				continue
 			}
 			doPlace := placed == 0 || (placed < len(own) && r.Uint64()&1 == 0)
+			var t0 time.Time
+			if measured {
+				t0 = time.Now()
+			}
 			if doPlace {
 				_, err := ring.Place(own[head])
 				head = (head + 1) % len(own)

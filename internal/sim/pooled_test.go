@@ -23,6 +23,12 @@ func TestPooledMatchesAllocating(t *testing.T) {
 			RingTrialPooled(1<<10, 1<<10, 3, core.TieLeft, true)},
 		{"torus-d2", TorusTrial(256, 256, 2, 2, core.TieRandom),
 			TorusTrialPooled(256, 256, 2, 2, core.TieRandom)},
+		// d=3 TieRandom exercises core's devirtualized torus bulk path
+		// (interleaved tie draws), dim=3 the three-dimensional kernel.
+		{"torus-d3", TorusTrial(256, 256, 3, 2, core.TieRandom),
+			TorusTrialPooled(256, 256, 3, 2, core.TieRandom)},
+		{"torus-dim3-d2", TorusTrial(216, 216, 2, 3, core.TieRandom),
+			TorusTrialPooled(216, 216, 2, 3, core.TieRandom)},
 		{"uniform-d2", UniformTrial(1<<10, 1<<10, 2, core.TieRandom, false),
 			UniformTrialPooled(1<<10, 1<<10, 2, core.TieRandom, false)},
 	}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 )
@@ -100,7 +101,10 @@ func (h *LatencyHist) Quantile(q float64) int64 {
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
 	}
-	target := int64(q * float64(h.n))
+	// Nearest-rank: the smallest sample with at least ceil(q*n) samples
+	// at or below it (truncating here would hand back one rank too few
+	// at exact boundaries, e.g. the 1st of 3 samples as the median).
+	target := int64(math.Ceil(q * float64(h.n)))
 	if target < 1 {
 		target = 1
 	}

@@ -1,0 +1,121 @@
+package torus
+
+import (
+	"fmt"
+	"testing"
+
+	"geobalance/internal/geom"
+	"geobalance/internal/rng"
+)
+
+// TestTinyGridNoDuplicateCellScans pins the wrapped-Chebyshev shell
+// enumeration: on a tiny grid, where the old offset walk wrapped shell
+// offsets onto already-visited cells (and so re-scanned cells across
+// shells once 2*shell+1 reached g), a query must examine each grid cell
+// at most once — at most g^dim scanCell visits in total. The g=2 cases
+// are the regression the enumeration rewrite was for: the old walk
+// visited up to 25 offsets per 2-D query against the 4 distinct cells.
+func TestTinyGridNoDuplicateCellScans(t *testing.T) {
+	r := rng.New(91)
+	cases := []struct {
+		dim, g, n int
+	}{
+		{1, 2, 4}, {1, 5, 10},
+		{2, 2, 8}, {2, 3, 12}, {2, 4, 20},
+		{3, 2, 16}, {3, 3, 40},
+		{4, 2, 32},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("dim=%d/g=%d", tc.dim, tc.g), func(t *testing.T) {
+			sites := make([]geom.Vec, tc.n)
+			for i := range sites {
+				v := make(geom.Vec, tc.dim)
+				for j := range v {
+					v[j] = r.Float64()
+				}
+				sites[i] = v
+			}
+			sp, err := FromSitesGrid(sites, tc.dim, tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			budget := uint64(pow(tc.g, tc.dim))
+			p := make(geom.Vec, tc.dim)
+			for q := 0; q < 300; q++ {
+				sp.SampleInto(p, r)
+				before := sp.cellsScanned
+				sp.Nearest(p)
+				if visits := sp.cellsScanned - before; visits > budget {
+					t.Fatalf("query %d scanned %d cells on a g=%d grid with only %d cells",
+						q, visits, tc.g, budget)
+				}
+			}
+		})
+	}
+}
+
+// TestCellsScannedExactTinyGrid: on the g=2, dim=2 grid no query can
+// certify before the fused home block has covered the whole grid, so
+// every query must scan exactly 4 cells — the bound above is tight.
+func TestCellsScannedExactTinyGrid(t *testing.T) {
+	r := rng.New(92)
+	sites := make([]geom.Vec, 6)
+	for i := range sites {
+		sites[i] = geom.Vec{r.Float64(), r.Float64()}
+	}
+	sp, err := FromSitesGrid(sites, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make(geom.Vec, 2)
+	for q := 0; q < 200; q++ {
+		sp.SampleInto(p, r)
+		before := sp.cellsScanned
+		sp.Nearest(p)
+		if visits := sp.cellsScanned - before; visits != 4 {
+			t.Fatalf("query %d scanned %d cells, want exactly 4", q, visits)
+		}
+	}
+}
+
+// TestPermSlotOfInvariant pins the cell-order index contract: perm and
+// slotOf are inverse permutations, slots are grouped by CSR cell in
+// ascending public order within each cell, and the SoA buffer holds
+// exactly the public sites' coordinates under the permutation — so the
+// public index semantics of Site/Sites/SetWeights survive any reorder.
+func TestPermSlotOfInvariant(t *testing.T) {
+	r := rng.New(97)
+	for _, dim := range []int{1, 2, 3, 4} {
+		sp, err := NewRandom(500, dim, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for reseed := 0; reseed < 2; reseed++ {
+			n := sp.NumBins()
+			for slot := 0; slot < n; slot++ {
+				pub := sp.perm[slot]
+				if sp.slotOf[pub] != int32(slot) {
+					t.Fatalf("dim=%d: slotOf[perm[%d]] = %d", dim, slot, sp.slotOf[pub])
+				}
+				site := sp.Site(int(pub))
+				for j := 0; j < dim; j++ {
+					if sp.soa[slot*dim+j] != site[j] {
+						t.Fatalf("dim=%d: soa slot %d axis %d = %v, site %d has %v",
+							dim, slot, j, sp.soa[slot*dim+j], pub, site[j])
+					}
+				}
+			}
+			// Slots within one cell must be in ascending public order
+			// (the scatter pass walks public indices in order), which is
+			// what keeps tie-breaking toward the lower public index.
+			for c := 0; c < len(sp.start)-1; c++ {
+				for k := sp.start[c] + 1; k < sp.start[c+1]; k++ {
+					if sp.perm[k-1] >= sp.perm[k] {
+						t.Fatalf("dim=%d: cell %d slots out of public order", dim, c)
+					}
+				}
+			}
+			sp.Reseed(r)
+		}
+	}
+}

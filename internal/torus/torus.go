@@ -4,30 +4,60 @@
 // nearer to it than to any other site under the wraparound Euclidean
 // metric).
 //
-// Nearest-neighbor resolution uses a uniform grid index with roughly one
-// site per cell; queries expand over cell shells outward from the query
-// point until the current best distance certifies that no unexamined cell
-// can contain a closer site. For uniformly placed sites this gives O(1)
-// expected query time, which is what makes the paper's n = 2^20 torus
-// simulations tractable.
+// Nearest-neighbor resolution uses a uniform grid index (about two
+// cells per site for the dimensions with specialized kernels, one
+// otherwise); queries expand over cell shells outward from the query
+// point until the current best distance certifies that no unexamined
+// cell can contain a closer site. For uniformly placed sites this gives
+// O(1) expected query time, which is what makes the paper's n = 2^20
+// torus simulations tractable.
+//
+// # Storage layout
+//
+// The grid index stores site coordinates twice. The public view is
+// sites[i], one geom.Vec per public site index, which Site, Sites and
+// Reseed operate on — their semantics are unchanged by the fast path.
+// The query kernels instead read a flat coordinate buffer soa, permuted
+// into grid-cell (CSR) order, so scanning a cell — or a whole row of
+// adjacent cells, which the CSR order makes one contiguous slot range —
+// streams through memory instead of pointer-chasing one heap slice per
+// candidate. Within the buffer a slot's coordinates are packed
+// site-major (axis j of slot k at soa[k*dim+j]): every candidate needs
+// all of its coordinates for the distance test, so packing them on one
+// cache line measures faster than per-axis slabs, whose second slab
+// costs a second memory stream. perm maps a cell slot back to the
+// public site index (perm[k] = i) and slotOf is its inverse
+// (slotOf[i] = k); all results, weights, and tie breaks are expressed
+// in public indices, so callers never observe the permutation.
+//
+// # Query kernels
+//
+// Nearest dispatches to dimension-specialized kernels for dim 2 and 3
+// (unrolled wrapped distances, modular cell arithmetic hoisted into
+// precomputed wrapped row/plane offset tables, branch-light min
+// tracking) with a generic odometer kernel for any other dimension.
+// Shells are enumerated by wrapped Chebyshev distance, so every grid
+// cell is scanned at most once per query regardless of grid size (the
+// previous enumeration re-scanned wrapped cells across shells once
+// 2*shell+1 reached g) and the walk terminates after g/2 shells.
 //
 // The placement hot path (ChooseBin/ChooseBinIn/ChooseD) samples into a
-// per-space scratch vector and walks the shells iteratively with
-// per-space odometer scratch, so a query performs no heap allocation
-// and has no dimension cap. Reseed redraws the sites of an existing
-// Space in place, reusing the site storage and grid buffers (and
-// consuming exactly the variates NewRandom would), so simulation trials
-// can recycle one Space instead of rebuilding the index allocation from
+// per-space scratch vector, so a query performs no heap allocation and
+// has no dimension cap. Reseed redraws the sites of an existing Space
+// in place, reusing the site storage and grid buffers (and consuming
+// exactly the variates NewRandom would), so simulation trials can
+// recycle one Space instead of rebuilding the index allocation from
 // scratch.
 //
-// Concurrency: the methods that use the per-space scratch — Nearest,
-// Locate, ChooseBin, ChooseBinIn, ChooseD, ChooseDIn — and of course
-// Reseed are NOT safe for concurrent use; run placement on one Space
-// per goroutine. The read-only accessors and the methods that keep
-// their state on the stack or in caller-provided buffers — Site,
-// Sites, Weight, SampleInto, NearestBrute, WithinRadius — remain safe
-// for concurrent readers of an unchanging Space (internal/voronoi's
-// parallel workers depend on exactly that set; extend it with care).
+// Concurrency: the methods that use the per-space scratch or statistics
+// counters — Nearest, Locate, ChooseBin, ChooseBinIn, ChooseD,
+// ChooseDIn — and of course Reseed are NOT safe for concurrent use; run
+// placement on one Space per goroutine. The read-only accessors and the
+// methods that keep their state on the stack or in caller-provided
+// buffers — Site, Sites, Weight, SampleInto, NearestBrute, WithinRadius
+// — remain safe for concurrent readers of an unchanging Space
+// (internal/voronoi's parallel workers depend on exactly that set;
+// extend it with care).
 package torus
 
 import (
@@ -51,16 +81,32 @@ type Space struct {
 	sites   []geom.Vec
 	weights []float64 // nil until SetWeights
 
-	// Grid index in CSR layout.
-	g         int     // cells per axis
-	cellWidth float64 // 1/g
-	start     []int32 // len g^dim+1; bucket boundaries
-	items     []int32 // site indices grouped by cell
+	// Grid index in CSR layout over cell-ordered SoA coordinates (see
+	// the package comment on the storage layout).
+	g         int       // cells per axis
+	cellWidth float64   // 1/g
+	start     []int32   // len g^dim+1; bucket boundaries
+	perm      []int32   // len n; perm[slot] = public site index
+	slotOf    []int32   // len n; inverse of perm
+	soa       []float64 // len n*dim; axis j of slot k at soa[k*dim+j]
+
+	// Wrapped cell-coordinate tables, each of length 3g and indexed by
+	// a biased coordinate c+g for c in [-g, 2g): wrap[c+g] = c mod g.
+	// wrapRow and wrapPlane premultiply by the axis strides g and g*g so
+	// the dim-2/3 kernels compute flat cell indices with adds only.
+	wrap      []int32 // built for every dim (the generic kernel uses it)
+	wrapRow   []int32 // dim 2 and 3
+	wrapPlane []int32 // dim 3
+
+	// cellsScanned counts grid cells examined by Nearest across the
+	// Space's lifetime — instrumentation for the duplicate-scan
+	// regression tests (one register increment per cell on the hot path).
+	cellsScanned uint64
 
 	// Per-space query scratch (see the package comment on concurrency).
 	qbuf   geom.Vec // sample point for ChooseBin/ChooseBinIn/ChooseD
-	home   []int    // query cell coordinates
-	offs   []int    // shell odometer
+	home   []int    // query cell coordinates (generic kernel)
+	offs   []int    // shell odometer (generic kernel)
 	cellOf []int32  // rebuildCells scratch
 	cursor []int32  // rebuildCells scratch
 }
@@ -88,7 +134,7 @@ func NewRandom(n, dim int, r *rng.Rand) (*Space, error) {
 
 // FromSitesGrid is FromSites with an explicit grid resolution
 // (cellsPerAxis), exposed for the index-density ablation benchmarks;
-// cellsPerAxis <= 0 selects the default (about one site per cell).
+// cellsPerAxis <= 0 selects the default density (see buildGrid).
 func FromSitesGrid(sites []geom.Vec, dim, cellsPerAxis int) (*Space, error) {
 	sp, err := FromSites(sites, dim)
 	if err != nil {
@@ -148,10 +194,19 @@ func (s *Space) Reseed(r *rng.Rand) {
 	s.rebuildCells()
 }
 
-// buildGrid constructs the CSR grid with about one site per cell.
+// buildGrid constructs the CSR grid. The generic kernel gets about one
+// site per cell; for the dim-2/3 run-scanning kernels about half a
+// site per cell measures fastest (the fused 3^dim home block then
+// holds ~4-13 candidates instead of ~9-27, and the extra cells cost
+// only slot-range arithmetic, not scans) — see the grid-density
+// ablation benchmark.
 func (s *Space) buildGrid() {
 	n := len(s.sites)
-	g := int(math.Round(math.Pow(float64(n), 1/float64(s.dim))))
+	target := float64(n)
+	if s.dim == 2 || s.dim == 3 {
+		target = 2 * float64(n)
+	}
+	g := int(math.Round(math.Pow(target, 1/float64(s.dim))))
 	if g < 1 {
 		g = 1
 	}
@@ -164,12 +219,14 @@ func (s *Space) buildGrid() {
 	s.rebuildCells()
 }
 
-// rebuildCells refills the CSR buckets for the current grid resolution,
+// rebuildCells refills the CSR buckets, the cell-ordered SoA coordinate
+// buffer, and the perm/slotOf maps for the current grid resolution,
 // reusing previously allocated buffers when their capacity allows (the
 // Reseed path always does, since n and g are unchanged).
 func (s *Space) rebuildCells() {
 	n := len(s.sites)
-	nc := pow(s.g, s.dim)
+	dim := s.dim
+	nc := pow(s.g, dim)
 	if cap(s.start) < nc+1 {
 		s.start = make([]int32, nc+1)
 		s.cursor = make([]int32, nc)
@@ -180,7 +237,9 @@ func (s *Space) rebuildCells() {
 	}
 	if cap(s.cellOf) < n {
 		s.cellOf = make([]int32, n)
-		s.items = make([]int32, n)
+		s.perm = make([]int32, n)
+		s.slotOf = make([]int32, n)
+		s.soa = make([]float64, n*dim)
 	}
 	cellOf := s.cellOf[:n]
 	for i, site := range s.sites {
@@ -192,13 +251,54 @@ func (s *Space) rebuildCells() {
 		counts[c+1] += counts[c]
 	}
 	s.start = counts
-	s.items = s.items[:n]
+	s.perm = s.perm[:n]
+	s.slotOf = s.slotOf[:n]
+	soa := s.soa[:n*dim]
 	cursor := s.cursor[:nc]
 	copy(cursor, counts[:nc])
-	for i := 0; i < n; i++ {
+	for i, site := range s.sites {
 		c := cellOf[i]
-		s.items[cursor[c]] = int32(i)
-		cursor[c]++
+		slot := cursor[c]
+		cursor[c] = slot + 1
+		s.perm[slot] = int32(i)
+		s.slotOf[i] = slot
+		for j := 0; j < dim; j++ {
+			soa[int(slot)*dim+j] = site[j]
+		}
+	}
+	s.buildWrapTables()
+}
+
+// buildWrapTables (re)builds the biased modular-coordinate tables for
+// the current grid resolution. Row/plane tables are only materialized
+// for the dimensions whose specialized kernels use them.
+func (s *Space) buildWrapTables() {
+	g := s.g
+	if cap(s.wrap) < 3*g {
+		s.wrap = make([]int32, 3*g)
+	}
+	s.wrap = s.wrap[:3*g]
+	for j := range s.wrap {
+		s.wrap[j] = int32(j % g)
+	}
+	if s.dim == 2 || s.dim == 3 {
+		if cap(s.wrapRow) < 3*g {
+			s.wrapRow = make([]int32, 3*g)
+		}
+		s.wrapRow = s.wrapRow[:3*g]
+		for j, w := range s.wrap {
+			s.wrapRow[j] = w * int32(g)
+		}
+	}
+	if s.dim == 3 {
+		if cap(s.wrapPlane) < 3*g {
+			s.wrapPlane = make([]int32, 3*g)
+		}
+		s.wrapPlane = s.wrapPlane[:3*g]
+		g2 := int32(g) * int32(g)
+		for j, w := range s.wrap {
+			s.wrapPlane[j] = w * g2
+		}
 	}
 }
 
@@ -260,7 +360,8 @@ func (s *Space) Weight(i int) float64 {
 }
 
 // SetWeights installs per-bin region measures (e.g. exact Voronoi areas).
-// len(w) must equal NumBins.
+// len(w) must equal NumBins. Weights are indexed by public site index,
+// unaffected by the internal cell ordering.
 func (s *Space) SetWeights(w []float64) error {
 	if len(w) != len(s.sites) {
 		return fmt.Errorf("torus: got %d weights for %d sites", len(w), len(s.sites))
@@ -281,63 +382,101 @@ func (s *Space) Locate(p geom.Vec) int {
 }
 
 // Nearest returns the nearest site index and its squared distance to p.
+// It dispatches to the dimension-specialized kernels for dim 2 and 3
+// and to the generic odometer kernel otherwise; all kernels return the
+// same (index, distance) pair a brute-force scan with lowest-index tie
+// breaking would, up to ties at exactly the certification radius.
 func (s *Space) Nearest(p geom.Vec) (int, float64) {
 	if len(p) != s.dim {
 		panic(fmt.Sprintf("torus: query dimension %d, want %d", len(p), s.dim))
 	}
+	switch s.dim {
+	case 2:
+		return s.nearest2(p[0], p[1])
+	case 3:
+		return s.nearest3(p[0], p[1], p[2])
+	}
+	return s.nearestGeneric(p)
+}
+
+// nearestGeneric is the any-dimension kernel: shells of wrapped
+// Chebyshev cell distance are walked iteratively with an odometer over
+// the space's scratch (no recursion, no allocation). Because offsets
+// are kept in the canonical wrapped range, every cell is visited at
+// most once per query and the walk ends after g/2 shells.
+//
+// Certification (all kernels): every unvisited cell before shell s has
+// wrapped Chebyshev cell distance >= s from the home cell, so any site
+// it contains is at Euclidean distance at least (s-1+mb)*cellWidth
+// from p, where mb in [0, 1/2] is p's distance to its nearest home
+// cell boundary in cell units. Once bestD2 is at most that squared
+// bound no further shell can improve it. (The mb refinement only
+// tightens the classic (s-1)*cellWidth bound; the returned site is the
+// exact argmin either way.)
+func (s *Space) nearestGeneric(p geom.Vec) (int, float64) {
+	g := s.g
+	gf := float64(g)
+	home := s.home
+	mb := 0.5
+	for j := 0; j < s.dim; j++ {
+		cf := p[j] * gf
+		c := int(cf)
+		if c >= g {
+			c = g - 1
+		}
+		home[j] = c + g // biased for the wrap table
+		f := cf - float64(c)
+		if f < mb {
+			mb = f
+		}
+		if 1-f < mb {
+			mb = 1 - f
+		}
+	}
 	best := -1
 	bestD2 := math.Inf(1)
-	// Coordinates of the query's grid cell per axis.
-	home := s.home
-	for j := 0; j < s.dim; j++ {
-		c := int(p[j] * float64(s.g))
-		if c >= s.g {
-			c = s.g - 1
-		}
-		home[j] = c
-	}
-	maxShell := s.g // after g shells every cell has been visited
-	for shell := 0; shell <= maxShell; shell++ {
-		// Certification: any site in an unvisited cell (Chebyshev shell
-		// distance > shell) is at Euclidean distance at least
-		// (shell-1)*cellWidth from p (measured from the home cell
-		// boundary), so once bestD2 is at most that squared bound no
-		// further shell can improve it.
-		if best >= 0 {
-			lower := float64(shell-1) * s.cellWidth
+	sMax := g / 2
+	cw := s.cellWidth
+	for shell := 0; ; shell++ {
+		if best >= 0 && shell >= 1 {
+			lower := (float64(shell-1) + mb) * cw
 			if lower > 0 && bestD2 <= lower*lower {
 				break
 			}
 		}
-		s.scanShell(home, shell, p, &best, &bestD2)
-		if s.g == 1 {
-			break // single cell: everything scanned at shell 0
+		best, bestD2 = s.scanShell(p, shell, best, bestD2)
+		if shell >= sMax {
+			break // every cell has been visited exactly once
 		}
 	}
 	return best, bestD2
 }
 
-// scanShell visits all grid cells at Chebyshev offset exactly shell from
-// home (with wraparound) and updates the best site. The surface of the
-// offset hypercube is walked iteratively with an odometer over the
-// space's scratch (no recursion, no allocation): the leading dim-1 axes
-// sweep [-shell, shell], and the last axis visits only its extremes
-// unless an earlier axis is already extreme. When 2*shell+1 >= g the
-// offsets wrap onto each other; the modular reduction below keeps
-// correctness (cells may then be scanned more than once across shells,
-// which only costs time, and only occurs for tiny grids).
-func (s *Space) scanShell(home []int, shell int, p geom.Vec, best *int, bestD2 *float64) {
+// scanShell visits all grid cells at wrapped Chebyshev offset exactly
+// shell from the (biased) home coordinates and updates the best site.
+// Offsets are restricted to the canonical wrapped range: the extremes
+// are {-shell, +shell} while 2*shell < g, and just {+shell} when
+// 2*shell == g (the two wrap onto the same cell), so no cell is ever
+// scanned twice — across shells or within one — even on tiny grids.
+// The surface of the offset hypercube is walked with the usual
+// odometer: the leading dim-1 axes sweep the canonical range, and the
+// last axis visits only its extremes unless an earlier axis is already
+// extreme.
+func (s *Space) scanShell(p geom.Vec, shell, best int, bestD2 float64) (int, float64) {
 	dim := s.dim
-	if shell == 0 {
-		for j := range s.offs[:dim] {
-			s.offs[j] = 0
-		}
-		s.scanCell(home, s.offs[:dim], p, best, bestD2)
-		return
-	}
 	offs := s.offs[:dim]
-	for j := range offs {
-		offs[j] = -shell
+	if shell == 0 {
+		for j := range offs {
+			offs[j] = 0
+		}
+		return s.scanCell(p, offs, best, bestD2)
+	}
+	lo := -shell
+	if 2*shell >= s.g {
+		lo = 1 - shell
+	}
+	for j := range offs[:dim-1] {
+		offs[j] = lo
 	}
 	for {
 		extreme := false
@@ -348,15 +487,17 @@ func (s *Space) scanShell(home []int, shell int, p geom.Vec, best *int, bestD2 *
 			}
 		}
 		if extreme {
-			for o := -shell; o <= shell; o++ {
+			for o := lo; o <= shell; o++ {
 				offs[dim-1] = o
-				s.scanCell(home, offs, p, best, bestD2)
+				best, bestD2 = s.scanCell(p, offs, best, bestD2)
 			}
 		} else {
-			offs[dim-1] = -shell
-			s.scanCell(home, offs, p, best, bestD2)
+			if lo == -shell {
+				offs[dim-1] = -shell
+				best, bestD2 = s.scanCell(p, offs, best, bestD2)
+			}
 			offs[dim-1] = shell
-			s.scanCell(home, offs, p, best, bestD2)
+			best, bestD2 = s.scanCell(p, offs, best, bestD2)
 		}
 		// Advance the leading dim-1 axes.
 		j := dim - 2
@@ -365,30 +506,320 @@ func (s *Space) scanShell(home []int, shell int, p geom.Vec, best *int, bestD2 *
 			if offs[j] <= shell {
 				break
 			}
-			offs[j] = -shell
+			offs[j] = lo
 		}
 		if j < 0 {
-			return
+			return best, bestD2
 		}
 	}
 }
 
-// scanCell scans the sites of the grid cell at home+offs (wrapped).
-func (s *Space) scanCell(home, offs []int, p geom.Vec, best *int, bestD2 *float64) {
+// scanCell scans the SoA slots of the grid cell at home+offs (wrapped).
+func (s *Space) scanCell(p geom.Vec, offs []int, best int, bestD2 float64) (int, float64) {
+	s.cellsScanned++
+	dim := s.dim
+	wrap := s.wrap
 	idx := 0
-	for j := 0; j < s.dim; j++ {
-		c := (home[j] + offs[j]) % s.g
-		if c < 0 {
-			c += s.g
-		}
-		idx = idx*s.g + c
+	for j := 0; j < dim; j++ {
+		idx = idx*s.g + int(wrap[s.home[j]+offs[j]])
 	}
-	for _, si := range s.items[s.start[idx]:s.start[idx+1]] {
-		d2 := geom.TorusDist2(p, s.sites[si])
-		if d2 < *bestD2 || (d2 == *bestD2 && int(si) < *best) {
-			*best, *bestD2 = int(si), d2
+	soa := s.soa
+	perm := s.perm
+	for k := s.start[idx]; k < s.start[idx+1]; k++ {
+		var d2 float64
+		for j := 0; j < dim; j++ {
+			d := geom.WrapDelta(p[j] - soa[int(k)*dim+j])
+			d2 += d * d
+		}
+		if d2 <= bestD2 {
+			pk := int(perm[k])
+			if d2 < bestD2 || pk < best {
+				best, bestD2 = pk, d2
+			}
 		}
 	}
+	return best, bestD2
+}
+
+// nearest2 is the dim=2 kernel: wrapped distances unrolled, modular
+// cell arithmetic replaced by the precomputed wrapRow/wrap tables, and
+// the shell surface written as explicit row loops. Because the CSR
+// permutation orders slots by flat cell index, a row's whole column
+// span is (up to one wraparound split) a single contiguous SoA run —
+// the two extreme rows of a shell each scan as one or two runs, and
+// only interior rows fall back to single-cell runs for their extreme
+// columns.
+func (s *Space) nearest2(px, py float64) (int, float64) {
+	g := s.g
+	gf := float64(g)
+	cfx := px * gf
+	hx := int(cfx)
+	if hx >= g {
+		hx = g - 1
+	}
+	cfy := py * gf
+	hy := int(cfy)
+	if hy >= g {
+		hy = g - 1
+	}
+	// mb: distance from p to the nearest home cell boundary, in cell
+	// units (see nearestGeneric's certification comment). The min
+	// builtin keeps it branch-free — each comparison is a coin flip.
+	fx := cfx - float64(hx)
+	fy := cfy - float64(hy)
+	mb := min(fx, 1-fx, fy, 1-fy)
+	wrap := s.wrap
+	wrapRow := s.wrapRow
+	start := s.start
+	xy := s.soa
+	perm := s.perm
+	best := -1
+	bestD2 := math.Inf(1)
+	sMax := g / 2
+	cw := s.cellWidth
+	hx += g // bias once; all offsets stay within the 3g wrap tables
+
+	// Fused shells 0+1: with about one site per cell almost every query
+	// ends up scanning the whole wrapped 3x3 block around the home cell,
+	// so scan it unconditionally, one contiguous slot run per row (two
+	// when the column span wraps). Gathering the run bounds first issues
+	// the start[] loads back to back, and the single scan loop over
+	// predictable ~3-site runs avoids the branchy per-cell surface walk
+	// for the shells that matter.
+	r0, r1 := hx-1, hx+1
+	c0, c1 := hy-1, hy+1
+	if g <= 2 { // offsets -1 and +1 wrap onto each other
+		r0, r1 = g, 2*g-1
+		c0, c1 = 0, g-1
+	}
+	var runs [6][2]int32
+	nr := 0
+	for ro := r0; ro <= r1; ro++ {
+		rb := int(wrapRow[ro])
+		a0, a1 := c0, c1
+		if a0 < 0 {
+			runs[nr] = [2]int32{start[rb+a0+g], start[rb+g]}
+			nr++
+			a0 = 0
+		} else if a1 >= g {
+			runs[nr] = [2]int32{start[rb], start[rb+a1-g+1]}
+			nr++
+			a1 = g - 1
+		}
+		runs[nr] = [2]int32{start[rb+a0], start[rb+a1+1]}
+		nr++
+	}
+	s.cellsScanned += uint64((r1 - r0 + 1) * (c1 - c0 + 1))
+	for t := 0; t < nr; t++ {
+		for k := runs[t][0]; k < runs[t][1]; k++ {
+			dx := geom.WrapDelta(px - xy[2*k])
+			dy := geom.WrapDelta(py - xy[2*k+1])
+			d2 := dx*dx + dy*dy
+			if d2 <= bestD2 {
+				pk := int(perm[k])
+				if d2 < bestD2 || pk < best {
+					best, bestD2 = pk, d2
+				}
+			}
+		}
+	}
+	if sMax < 2 {
+		return best, bestD2 // the block covered the whole grid
+	}
+	for shell := 2; ; shell++ {
+		if best >= 0 {
+			lower := (float64(shell-1) + mb) * cw
+			if bestD2 <= lower*lower {
+				break
+			}
+		}
+		lo := -shell
+		if 2*shell >= g {
+			lo = 1 - shell // -shell wraps onto +shell; scan it once
+		}
+		// Rows at wrapped distance exactly shell: full column span.
+		best, bestD2 = s.scanRow2(int(wrapRow[hx+shell]), hy+lo, hy+shell, px, py, best, bestD2)
+		if lo == -shell {
+			best, bestD2 = s.scanRow2(int(wrapRow[hx-shell]), hy+lo, hy+shell, px, py, best, bestD2)
+		}
+		// Interior rows: only the extreme columns.
+		cHi := int(wrap[hy+shell+g])
+		cLo := int(wrap[hy-shell+g])
+		for ro := 1 - shell; ro <= shell-1; ro++ {
+			rb := int(wrapRow[hx+ro])
+			best, bestD2 = s.scanRun2(rb+cHi, rb+cHi, px, py, best, bestD2)
+			if lo == -shell {
+				best, bestD2 = s.scanRun2(rb+cLo, rb+cLo, px, py, best, bestD2)
+			}
+		}
+		if shell >= sMax {
+			break
+		}
+	}
+	return best, bestD2
+}
+
+// scanRow2 scans columns [c0, c1] (unwrapped, c1-c0+1 <= g) of the row
+// with flat base rb, splitting at the wraparound boundary into at most
+// two contiguous runs.
+func (s *Space) scanRow2(rb, c0, c1 int, px, py float64, best int, bestD2 float64) (int, float64) {
+	g := s.g
+	if c0 < 0 {
+		best, bestD2 = s.scanRun2(rb+c0+g, rb+g-1, px, py, best, bestD2)
+		c0 = 0
+	} else if c1 >= g {
+		best, bestD2 = s.scanRun2(rb, rb+c1-g, px, py, best, bestD2)
+		c1 = g - 1
+	}
+	return s.scanRun2(rb+c0, rb+c1, px, py, best, bestD2)
+}
+
+// scanRun2 scans the contiguous SoA slot range covering the adjacent
+// cells [idx0, idx1] with the dim=2 distance unrolled.
+func (s *Space) scanRun2(idx0, idx1 int, px, py float64, best int, bestD2 float64) (int, float64) {
+	s.cellsScanned += uint64(idx1 - idx0 + 1)
+	xy := s.soa
+	perm := s.perm
+	for k := s.start[idx0]; k < s.start[idx1+1]; k++ {
+		dx := geom.WrapDelta(px - xy[2*k])
+		dy := geom.WrapDelta(py - xy[2*k+1])
+		d2 := dx*dx + dy*dy
+		if d2 <= bestD2 {
+			pk := int(perm[k])
+			if d2 < bestD2 || pk < best {
+				best, bestD2 = pk, d2
+			}
+		}
+	}
+	return best, bestD2
+}
+
+// nearest3 is the dim=3 kernel: the two extreme planes scan their full
+// y/z block (each y row one or two contiguous z runs), interior planes
+// scan their extreme rows as z runs and only the extreme z columns of
+// interior rows.
+func (s *Space) nearest3(px, py, pz float64) (int, float64) {
+	g := s.g
+	gf := float64(g)
+	cfx := px * gf
+	hx := int(cfx)
+	if hx >= g {
+		hx = g - 1
+	}
+	cfy := py * gf
+	hy := int(cfy)
+	if hy >= g {
+		hy = g - 1
+	}
+	cfz := pz * gf
+	hz := int(cfz)
+	if hz >= g {
+		hz = g - 1
+	}
+	fx := cfx - float64(hx)
+	fy := cfy - float64(hy)
+	fz := cfz - float64(hz)
+	mb := min(fx, 1-fx, fy, 1-fy, fz, 1-fz)
+	wrap := s.wrap
+	wrapRow := s.wrapRow
+	wrapPlane := s.wrapPlane
+	best := -1
+	bestD2 := math.Inf(1)
+	sMax := g / 2
+	cw := s.cellWidth
+	hx += g
+	hy += g
+	for shell := 0; ; shell++ {
+		if best >= 0 && shell >= 1 {
+			lower := (float64(shell-1) + mb) * cw
+			if lower > 0 && bestD2 <= lower*lower {
+				break
+			}
+		}
+		if shell == 0 {
+			idx := int(wrapPlane[hx]) + int(wrapRow[hy]) + hz
+			best, bestD2 = s.scanRun3(idx, idx, px, py, pz, best, bestD2)
+		} else {
+			lo := -shell
+			if 2*shell >= g {
+				lo = 1 - shell
+			}
+			// Planes at wrapped x-distance exactly shell: full y/z block.
+			pb := int(wrapPlane[hx+shell])
+			for yo := lo; yo <= shell; yo++ {
+				rb := pb + int(wrapRow[hy+yo])
+				best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2)
+			}
+			if lo == -shell {
+				pb = int(wrapPlane[hx-shell])
+				for yo := lo; yo <= shell; yo++ {
+					rb := pb + int(wrapRow[hy+yo])
+					best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2)
+				}
+			}
+			// Interior planes.
+			zHi := int(wrap[hz+shell+g])
+			zLo := int(wrap[hz-shell+g])
+			for xo := 1 - shell; xo <= shell-1; xo++ {
+				pb = int(wrapPlane[hx+xo])
+				// Extreme rows: full z span.
+				rb := pb + int(wrapRow[hy+shell])
+				best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2)
+				if lo == -shell {
+					rb = pb + int(wrapRow[hy-shell])
+					best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2)
+				}
+				// Interior rows: extreme z columns only.
+				for yo := 1 - shell; yo <= shell-1; yo++ {
+					rb = pb + int(wrapRow[hy+yo])
+					best, bestD2 = s.scanRun3(rb+zHi, rb+zHi, px, py, pz, best, bestD2)
+					if lo == -shell {
+						best, bestD2 = s.scanRun3(rb+zLo, rb+zLo, px, py, pz, best, bestD2)
+					}
+				}
+			}
+		}
+		if shell >= sMax {
+			break
+		}
+	}
+	return best, bestD2
+}
+
+// scanRow3 scans z columns [c0, c1] (unwrapped, c1-c0+1 <= g) of the
+// row with flat base rb, splitting at the wraparound boundary into at
+// most two contiguous runs.
+func (s *Space) scanRow3(rb, c0, c1 int, px, py, pz float64, best int, bestD2 float64) (int, float64) {
+	g := s.g
+	if c0 < 0 {
+		best, bestD2 = s.scanRun3(rb+c0+g, rb+g-1, px, py, pz, best, bestD2)
+		c0 = 0
+	} else if c1 >= g {
+		best, bestD2 = s.scanRun3(rb, rb+c1-g, px, py, pz, best, bestD2)
+		c1 = g - 1
+	}
+	return s.scanRun3(rb+c0, rb+c1, px, py, pz, best, bestD2)
+}
+
+// scanRun3 scans the contiguous SoA slot range covering the adjacent
+// cells [idx0, idx1] with the dim=3 distance unrolled.
+func (s *Space) scanRun3(idx0, idx1 int, px, py, pz float64, best int, bestD2 float64) (int, float64) {
+	s.cellsScanned += uint64(idx1 - idx0 + 1)
+	xyz := s.soa
+	perm := s.perm
+	for k := s.start[idx0]; k < s.start[idx1+1]; k++ {
+		dx := geom.WrapDelta(px - xyz[3*k])
+		dy := geom.WrapDelta(py - xyz[3*k+1])
+		dz := geom.WrapDelta(pz - xyz[3*k+2])
+		d2 := dx*dx + dy*dy + dz*dz
+		if d2 <= bestD2 {
+			pk := int(perm[k])
+			if d2 < bestD2 || pk < best {
+				best, bestD2 = pk, d2
+			}
+		}
+	}
+	return best, bestD2
 }
 
 // ChooseBin draws a uniform location on the torus (into the per-space
@@ -498,7 +929,7 @@ func (s *Space) enumBall(home, offs []int, reach int, p geom.Vec, r2 float64, ds
 			}
 			idx = idx*s.g + c
 		}
-		for _, si := range s.items[s.start[idx]:s.start[idx+1]] {
+		for _, si := range s.perm[s.start[idx]:s.start[idx+1]] {
 			if geom.TorusDist2(p, s.sites[si]) <= r2 {
 				dst = append(dst, int(si))
 			}

@@ -241,15 +241,17 @@ func TestGridResolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g := s.GridCellsPerAxis(); g != 32 {
-		t.Errorf("grid for n=1024, dim=2 has %d cells/axis, want 32", g)
+	// Default density: ~2 cells per site for the dims with specialized
+	// run kernels — round(sqrt(2*1024)) and round(cbrt(2*4096)).
+	if g := s.GridCellsPerAxis(); g != 45 {
+		t.Errorf("grid for n=1024, dim=2 has %d cells/axis, want 45", g)
 	}
 	s3, err := NewRandom(4096, 3, r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g := s3.GridCellsPerAxis(); g != 16 {
-		t.Errorf("grid for n=4096, dim=3 has %d cells/axis, want 16", g)
+	if g := s3.GridCellsPerAxis(); g != 20 {
+		t.Errorf("grid for n=4096, dim=3 has %d cells/axis, want 20", g)
 	}
 }
 
@@ -282,8 +284,8 @@ func TestFromSitesGridOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sp.GridCellsPerAxis() != 20 {
-		t.Fatalf("default grid for n=400 = %d, want 20", sp.GridCellsPerAxis())
+	if sp.GridCellsPerAxis() != 28 {
+		t.Fatalf("default grid for n=400 = %d, want 28", sp.GridCellsPerAxis())
 	}
 }
 

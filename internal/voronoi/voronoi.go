@@ -288,6 +288,13 @@ func (d *Diagram) Neighbors(i int) []int32 {
 func (d *Diagram) buildNeighbors() {
 	n := d.space.NumBins()
 	d.neighbors = make([][]int32, n)
+	// Scratch query vector for the mirror-point checks below: one edge
+	// per cell vertex resolves through torus.Space.Nearest (the grid
+	// fast path), so building a fresh geom.Vec per candidate would be
+	// the dominant allocation of the pass. buildNeighbors runs
+	// single-threaded under the sync.Once, so sharing the scratch (and
+	// the space's query scratch inside Nearest) is safe.
+	w := make(geom.Vec, 2)
 	for i := 0; i < n; i++ {
 		site := d.space.Site(i)
 		u := geom.Point2{X: site[0], Y: site[1]}
@@ -307,7 +314,7 @@ func (d *Diagram) buildNeighbors() {
 			foot := p.Add(dir.Scale(t))
 			mirror := foot.Scale(2).Sub(u)
 			// Wrap back into the torus and find the site there.
-			w := geom.Vec{frac(mirror.X), frac(mirror.Y)}
+			w[0], w[1] = frac(mirror.X), frac(mirror.Y)
 			j, dist2 := d.space.Nearest(w)
 			if int(j) == i {
 				continue // numerically tiny edge; skip
