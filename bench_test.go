@@ -48,15 +48,17 @@ func BenchmarkTable1Ring(b *testing.B) {
 }
 
 // benchPooledTrial runs one worker's pooled trial per iteration — the
-// exact per-worker code path sim.RunFactory executes in production —
-// and reports the mean max load plus per-ball cost.
+// exact per-worker code path sim.RunFactory executes in production,
+// including the in-place per-trial generator reseed — and reports the
+// mean max load plus per-ball cost.
 func benchPooledTrial(b *testing.B, n int, mk sim.TrialFactory, seed uint64) {
 	b.ReportAllocs()
 	trial := mk()
+	var r rng.Rand
 	var sum float64
 	for i := 0; i < b.N; i++ {
-		r := rng.NewStream(seed, uint64(i))
-		v, err := trial(r)
+		r.SeedStream(seed, uint64(i))
+		v, err := trial(&r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,6 +88,24 @@ func BenchmarkTable2TorusDim3(b *testing.B) {
 		for _, d := range []int{1, 2} {
 			b.Run(fmt.Sprintf("n=%d/d=%d", n, d), func(b *testing.B) {
 				benchPooledTrial(b, n, sim.TorusTrialPooled(n, n, d, 3, core.TieRandom), 2)
+			})
+		}
+	}
+}
+
+// BenchmarkTable2TorusDim4 extends the sweep to the four-dimensional
+// torus: no specialized kernel exists for dim >= 4, so this family
+// perf-tracks the generic odometer path (and its batch-pipeline
+// integration) end to end. Sites are capped at 2^16 — a 2^20 generic
+// trial would dominate the CI smoke run without adding coverage.
+func BenchmarkTable2TorusDim4(b *testing.B) {
+	for _, n := range benchNs {
+		if n > 1<<16 {
+			continue
+		}
+		for _, d := range []int{1, 2} {
+			b.Run(fmt.Sprintf("n=%d/d=%d", n, d), func(b *testing.B) {
+				benchPooledTrial(b, n, sim.TorusTrialPooled(n, n, d, 4, core.TieRandom), 2)
 			})
 		}
 	}

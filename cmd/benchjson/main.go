@@ -183,11 +183,22 @@ func collect() ([]result, error) {
 				sp.Reseed(r)
 			}
 		}),
+		// The pooled-trial record measures the steady state the sim
+		// workers run in: the space and allocator are built once (warmed
+		// before the timer) and the per-trial generator is re-seeded in
+		// place, so the loop performs zero allocations — gated exactly.
 		run("ring_trial_reused/n=65536/d=2", n, func(b *testing.B) {
 			trial := sim.RingTrialPooled(n, n, 2, core.TieRandom, false)()
+			var r rng.Rand
+			r.SeedStream(3, 0)
+			if _, err := trial(&r); err != nil { // builds the pooled state
+				b.Fatal(err)
+			}
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := trial(rng.NewStream(3, uint64(i))); err != nil {
+				r.SeedStream(3, uint64(i))
+				if _, err := trial(&r); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -202,6 +213,7 @@ func collect() ([]result, error) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			a.PlaceBatch(n, r) // size the pipeline scratch before the alloc gate
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -250,6 +262,7 @@ func collect() ([]result, error) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			a.PlaceBatch(n, r) // size the pipeline scratch before the alloc gate
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -267,11 +280,54 @@ func collect() ([]result, error) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			a.PlaceBatch(n, r) // size the pipeline scratch before the alloc gate
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				a.Reset()
 				a.PlaceBatch(n, r)
+			}
+		}),
+		// The generic-dimension kernel path (no specialized nearest
+		// kernel exists for dim >= 4), so the non-specialized code is
+		// perf-tracked too.
+		run("torus_place_batch/n=65536/dim=4/d=2", n, func(b *testing.B) {
+			r := rng.New(8)
+			sp, err := torus.NewRandom(n, 4, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := core.New(sp, core.Config{D: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.PlaceBatch(n, r) // size the pipeline scratch before the alloc gate
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Reset()
+				a.PlaceBatch(n, r)
+			}
+		}),
+		// The cell-sorted bulk-nearest kernel on its own (one op = one
+		// 4096-query batch; ns/ball is per query). Zero allocs after the
+		// warmup call — gated exactly.
+		run("torus_nearest_batch/n=65536/dim=2", 4096, func(b *testing.B) {
+			r := rng.New(9)
+			sp, err := torus.NewRandom(n, 2, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pts := make([]float64, 4096*2)
+			for i := range pts {
+				pts[i] = r.Float64()
+			}
+			out := make([]int32, 4096)
+			sp.NearestBatch(pts, out) // size the scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp.NearestBatch(pts, out)
 			}
 		}),
 		run("uniform_place_batch/n=65536/d=2", n, func(b *testing.B) {
@@ -292,6 +348,33 @@ func collect() ([]result, error) {
 			}
 		}),
 	}
+
+	// The parallel pipeline: PlaceBatchParallel shards the bulk-nearest
+	// phase over GOMAXPROCS workers (bit-identical results; see
+	// core/pipeline.go). The record carries the proc count in its name,
+	// so baselines only gate like-for-like machines.
+	nprocsPlace := runtime.GOMAXPROCS(0)
+	recPar := run(fmt.Sprintf("torus_place_batch_parallel/n=65536/dim=2/d=2/procs=%d", nprocsPlace), n,
+		func(b *testing.B) {
+			r := rng.New(7)
+			sp, err := torus.NewRandom(n, 2, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := core.New(sp, core.Config{D: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.PlaceBatchParallel(n, 0, r) // size the scratch before the alloc gate
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Reset()
+				a.PlaceBatchParallel(n, 0, r)
+			}
+		})
+	recPar.Procs = nprocsPlace
+	results = append(results, recPar)
 
 	// --- Concurrent hashring router ---
 	hr, keys, err := newBenchRing(1024, 2)

@@ -278,3 +278,31 @@ func TestCmdLoadtestChurn(t *testing.T) {
 		t.Errorf("churny loadtest did not verify invariants:\n%s", out)
 	}
 }
+
+// TestCmdProfileFlags: -cpuprofile/-memprofile must produce non-empty
+// pprof files around a real run (table sweep and loadtest).
+func TestCmdProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pprof"
+	mem := dir + "/mem.pprof"
+	runCmd(t, cmdTable2, "-n", "2^8", "-d", "2", "-trials", "5",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+	lt := dir + "/loadtest.pprof"
+	runCmd(t, cmdLoadtest, "-servers", "8", "-workers", "2", "-ops", "20000",
+		"-keys", "2^8", "-cpuprofile", lt)
+	if st, err := os.Stat(lt); err != nil || st.Size() == 0 {
+		t.Fatalf("loadtest profile missing or empty (err %v)", err)
+	}
+	// A bad path must fail, not silently skip profiling.
+	runCmdErr(t, cmdTable1, "-n", "2^8", "-d", "1", "-trials", "2",
+		"-cpuprofile", dir+"/no/such/dir/x.pprof")
+}

@@ -29,6 +29,7 @@ func cmdLoadtest(args []string) error {
 	rebalance := fs.Bool("rebalance", true, "rebalance after each churn event")
 	sample := fs.Int("sample", 8, "measure latency on every k-th op")
 	seed := fs.Uint64("seed", 1, "master seed; workers derive deterministic substreams")
+	prof := addProfile(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,8 +59,12 @@ func cmdLoadtest(args []string) error {
 		fmt.Fprintf(stdout, ", churn every %v (rebalance=%v)", *churn, *rebalance)
 	}
 	fmt.Fprintln(stdout)
-	res, err := loadgen.Run(cfg)
-	if err != nil {
+	var res *loadgen.Result
+	if err := prof.run(func() error {
+		var err error
+		res, err = loadgen.Run(cfg)
+		return err
+	}); err != nil {
 		return err
 	}
 	res.Report(stdout)

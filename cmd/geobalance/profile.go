@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags adds -cpuprofile/-memprofile to a subcommand, so perf
+// work can profile the real hot paths (the table sweeps, the loadtest
+// traffic loop) without ad-hoc patches:
+//
+//	geobalance table2 -n 2^16 -trials 50 -cpuprofile table2.pprof
+//	go tool pprof table2.pprof
+type profileFlags struct {
+	cpu string
+	mem string
+}
+
+// addProfile registers the profiling flags on fs.
+func addProfile(fs *flag.FlagSet) *profileFlags {
+	p := &profileFlags{}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to this file after the run")
+	return p
+}
+
+// run executes f with CPU profiling active when requested and writes
+// the heap profile afterwards. With both flags empty it is exactly f().
+func (p *profileFlags) run(f func() error) error {
+	if p.cpu != "" {
+		fc, err := os.Create(p.cpu)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer fc.Close()
+		if err := pprof.StartCPUProfile(fc); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := f(); err != nil {
+		return err
+	}
+	if p.mem != "" {
+		runtime.GC() // up-to-date allocation statistics
+		fm, err := os.Create(p.mem)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer fm.Close()
+		if err := pprof.WriteHeapProfile(fm); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
+}

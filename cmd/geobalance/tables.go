@@ -48,6 +48,7 @@ func cmdTable1(args []string) error {
 	dList := fs.String("d", "1,2,3,4", "choice counts")
 	csvPath := fs.String("csv", "", "optional CSV output path")
 	svgDir := fs.String("svg", "", "optional directory for per-cell histogram SVGs")
+	prof := addProfile(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,10 +71,14 @@ func cmdTable1(args []string) error {
 			})
 		}
 	}
-	out, err := sim.TableFactory(cells, func(cell sim.Cell) sim.TrialFactory {
-		return sim.RingTrialPooled(cell.N, cell.M, cell.D, cell.Tie, false)
-	}, c.trials, c.seed, c.workers)
-	if err != nil {
+	var out []sim.Cell
+	if err := prof.run(func() error {
+		var err error
+		out, err = sim.TableFactory(cells, func(cell sim.Cell) sim.TrialFactory {
+			return sim.RingTrialPooled(cell.N, cell.M, cell.D, cell.Tie, false)
+		}, c.trials, c.seed, c.workers)
+		return err
+	}); err != nil {
 		return err
 	}
 	for _, cell := range out {
@@ -119,6 +124,7 @@ func cmdTable2(args []string) error {
 	dList := fs.String("d", "1,2,3,4", "choice counts")
 	tieName := fs.String("tiebreak", "random", "tie-break rule: random|smaller|larger")
 	csvPath := fs.String("csv", "", "optional CSV output path")
+	prof := addProfile(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -145,10 +151,14 @@ func cmdTable2(args []string) error {
 			})
 		}
 	}
-	out, err := sim.TableFactory(cells, func(cell sim.Cell) sim.TrialFactory {
-		return sim.TorusTrialPooled(cell.N, cell.M, cell.D, 2, cell.Tie)
-	}, c.trials, c.seed, c.workers)
-	if err != nil {
+	var out []sim.Cell
+	if err := prof.run(func() error {
+		var err error
+		out, err = sim.TableFactory(cells, func(cell sim.Cell) sim.TrialFactory {
+			return sim.TorusTrialPooled(cell.N, cell.M, cell.D, 2, cell.Tie)
+		}, c.trials, c.seed, c.workers)
+		return err
+	}); err != nil {
 		return err
 	}
 	for _, cell := range out {
@@ -177,6 +187,7 @@ func cmdTable3(args []string) error {
 	nList := fs.String("n", "2^8,2^12,2^16", "site counts (paper: 2^8..2^24)")
 	d := fs.Int("d", 2, "choices (paper uses 2)")
 	csvPath := fs.String("csv", "", "optional CSV output path")
+	prof := addProfile(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -196,25 +207,30 @@ func cmdTable3(args []string) error {
 		{"arc-smaller", core.TieSmaller},
 	}
 	var allCells []sim.Cell
-	for _, n := range ns {
-		var cells []sim.Cell
-		for _, s := range strategies {
-			cells = append(cells, sim.Cell{
-				Label: fmt.Sprintf("n=%s %s", pow2Label(n), s.name),
-				N:     n, M: n, D: *d, Tie: s.tie,
-			})
+	if err := prof.run(func() error {
+		for _, n := range ns {
+			var cells []sim.Cell
+			for _, s := range strategies {
+				cells = append(cells, sim.Cell{
+					Label: fmt.Sprintf("n=%s %s", pow2Label(n), s.name),
+					N:     n, M: n, D: *d, Tie: s.tie,
+				})
+			}
+			out, err := sim.TableFactory(cells, func(cell sim.Cell) sim.TrialFactory {
+				return sim.RingTrialPooled(cell.N, cell.M, cell.D, cell.Tie, cell.Tie == core.TieLeft)
+			}, c.trials, c.seed, c.workers)
+			if err != nil {
+				return err
+			}
+			for _, cell := range out {
+				printCellBlock(cell.Label, cell.Hist)
+			}
+			allCells = append(allCells, out...)
+			fmt.Fprintln(stdout)
 		}
-		out, err := sim.TableFactory(cells, func(cell sim.Cell) sim.TrialFactory {
-			return sim.RingTrialPooled(cell.N, cell.M, cell.D, cell.Tie, cell.Tie == core.TieLeft)
-		}, c.trials, c.seed, c.workers)
-		if err != nil {
-			return err
-		}
-		for _, cell := range out {
-			printCellBlock(cell.Label, cell.Hist)
-		}
-		allCells = append(allCells, out...)
-		fmt.Fprintln(stdout)
+		return nil
+	}); err != nil {
+		return err
 	}
 	return writeCSVIfRequested(*csvPath, allCells)
 }
@@ -298,6 +314,7 @@ func cmdDim3(args []string) error {
 	nList := fs.String("n", "2^8,2^12,2^14", "site counts")
 	dList := fs.String("d", "1,2", "choice counts")
 	dim := fs.Int("dim", 3, "torus dimension")
+	prof := addProfile(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -310,16 +327,18 @@ func cmdDim3(args []string) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "Higher-dimension extension: %d-D torus (m = n), %d trials, seed %d\n\n", *dim, c.trials, c.seed)
-	for _, n := range ns {
-		for _, d := range ds {
-			h, err := sim.RunFactory(c.trials, c.seed+uint64(n*10+d), c.workers, sim.TorusTrialPooled(n, n, d, *dim, core.TieRandom))
-			if err != nil {
-				return err
+	return prof.run(func() error {
+		for _, n := range ns {
+			for _, d := range ds {
+				h, err := sim.RunFactory(c.trials, c.seed+uint64(n*10+d), c.workers, sim.TorusTrialPooled(n, n, d, *dim, core.TieRandom))
+				if err != nil {
+					return err
+				}
+				printCellBlock(fmt.Sprintf("n=%s d=%d", pow2Label(n), d), h)
 			}
-			printCellBlock(fmt.Sprintf("n=%s d=%d", pow2Label(n), d), h)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 func cmdUniform(args []string) error {

@@ -48,21 +48,37 @@
 //     shells; wrapped-Chebyshev shell enumeration scans every cell at
 //     most once per query. Measured: Nearest at n=2^16 dropped from
 //     ~488 to ~119 ns (dim 2) and ~900 to ~370 ns (dim 3).
+//   - internal/torus.NearestBatch is the bulk-nearest kernel behind
+//     blocked placement (mirrored by ring.NearestBatch for interface
+//     symmetry): a block's queries are counting-sorted into grid-cell
+//     order and answered by staged, register-resident scan loops over
+//     an overlapped 3-row site index, in which a query's whole fused
+//     3x3 home block is one contiguous slot run. Uncertified queries
+//     settle through a flat 5x5 scan and, in the vanishing residue,
+//     the shared shell walk. Results are identical to per-query
+//     Nearest; with caller-owned scratch (NearestBatchInto) batches
+//     may run concurrently over one unchanging Space.
 //   - internal/core.PlaceBatch is the bulk API: it hoists the tie-break
 //     switch and stratified branch out of the per-ball loop,
 //     devirtualizes the space (structural jump-index match, concrete
-//     UniformSpace and torus.Space, or the BatchChooser interfaces),
-//     and reuses allocator-owned scratch for zero allocations per
-//     ball. The concrete torus loop preserves Place's exact variate
-//     interleaving for every configuration, including d >= 3 random
-//     ties. For the ring d=2 random-tie configuration PlaceBatch
-//     pipelines lookups in blocks of 32 balls (a documented
-//     random-variate reordering; every other configuration is
-//     bit-identical to sequential Place).
+//     UniformSpace, or the BatchChooser interfaces), and reuses
+//     allocator-owned scratch for zero allocations per ball. Torus
+//     placement runs as a three-phase blocked pipeline — draw a block's
+//     variates in Place's exact order into flat buffers, resolve all
+//     d*B candidate queries through NearestBatch, then a sequential
+//     load-compare/commit loop. The tie-variate contract (one
+//     unconditional tie variate per candidate after the first under
+//     random ties) makes the variate schedule static, so every bulk
+//     path — the ring's blocked 32-ball lookup pipeline included — is
+//     bit-identical to sequential Place for every dim x d x tie x
+//     stratification configuration. core.PlaceBatchParallel shards the
+//     resolve phase across GOMAXPROCS workers with the same
+//     bit-identical trace.
 //   - internal/ring.Reseed and internal/torus.Reseed redraw an existing
 //     space in place (an O(n) counting sort on the ring), and
 //     internal/sim's *Pooled trial factories give each worker one
-//     long-lived space and allocator across trials.
+//     long-lived space, allocator, and in-place-reseeded generator
+//     across trials — the pooled trial loop is allocation-free.
 //
 // # Serving-path architecture
 //

@@ -16,9 +16,23 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"geobalance/internal/rng"
 )
+
+// tiePick reports whether tie variate u selects the newest of `ties`
+// equally loaded candidates. The selection probability is 1/ties up to a
+// bias below 2^-62 (mulhi without rejection — exact for ties a power of
+// two), which is immeasurable at simulation scale and, unlike
+// rng.Intn's rejection loop, consumes exactly one variate no matter
+// what u is. That fixed consumption is what makes the TieRandom variate
+// schedule static (see the tie-variate contract in placement.go) and
+// therefore block-prefetchable.
+func tiePick(u uint64, ties int) bool {
+	hi, _ := bits.Mul64(u, uint64(ties))
+	return hi == 0
+}
 
 // PlaceBatchStale inserts k balls whose d choices are all evaluated
 // against the loads as of the call (stale within the batch), then
@@ -43,6 +57,7 @@ func (a *Allocator) PlaceBatchStale(k int, r *rng.Rand) ([]int, error) {
 	}
 	bins := make([]int, k)
 	d := a.cfg.D
+	tieRand := a.cfg.Tie == TieRandom
 	for b := 0; b < k; b++ {
 		var best int
 		if a.strat != nil {
@@ -59,6 +74,10 @@ func (a *Allocator) PlaceBatchStale(k int, r *rng.Rand) ([]int, error) {
 			} else {
 				c = a.space.ChooseBin(r)
 			}
+			var u uint64
+			if tieRand {
+				u = r.Uint64() // unconditional; see the tie-variate contract
+			}
 			if c == best {
 				continue
 			}
@@ -70,7 +89,7 @@ func (a *Allocator) PlaceBatchStale(k int, r *rng.Rand) ([]int, error) {
 				switch a.cfg.Tie {
 				case TieRandom:
 					ties++
-					if r.Intn(ties) == 0 {
+					if tiePick(u, ties) {
 						best = c
 					}
 				case TieSmaller:
@@ -144,9 +163,13 @@ func (a *Allocator) PlaceSized(size int32, r *rng.Rand) (int, error) {
 
 // chooseForPlacement runs the d-choice candidate selection and
 // tie-breaking against the current loads without committing a
-// placement.
+// placement. Under TieRandom it draws one tie variate per candidate
+// after the first whether or not a tie occurred — the tie-variate
+// contract documented in placement.go, which every bulk path matches
+// bit for bit.
 func (a *Allocator) chooseForPlacement(r *rng.Rand) int {
 	d := a.cfg.D
+	tieRand := a.cfg.Tie == TieRandom
 	var best int
 	if a.strat != nil {
 		best = a.strat.ChooseBinIn(r, 0, d)
@@ -162,6 +185,10 @@ func (a *Allocator) chooseForPlacement(r *rng.Rand) int {
 		} else {
 			c = a.space.ChooseBin(r)
 		}
+		var u uint64
+		if tieRand {
+			u = r.Uint64()
+		}
 		if c == best {
 			continue
 		}
@@ -173,7 +200,7 @@ func (a *Allocator) chooseForPlacement(r *rng.Rand) int {
 			switch a.cfg.Tie {
 			case TieRandom:
 				ties++
-				if r.Intn(ties) == 0 {
+				if tiePick(u, ties) {
 					best = c
 				}
 			case TieSmaller:

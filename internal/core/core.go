@@ -26,19 +26,24 @@
 // path: it hoists the configuration branches out of the per-ball loop
 // and devirtualizes the space — structurally (a space exposing a
 // sorted-site array plus bucket index, like ring.Space, is resolved
-// inline with zero calls per choice), concretely (UniformSpace), or via
+// inline with zero calls per choice and, for d=2 random ties, as a
+// blocked lookup pipeline), concretely (UniformSpace, and *torus.Space
+// through the blocked bulk-nearest pipeline of pipeline.go), or via
 // the optional BatchChooser/StratifiedBatchChooser interfaces (one call
 // per ball instead of d). Candidate buffers live on the Allocator, so
 // steady-state placement performs zero heap allocations per ball.
 // PlaceBatch consumes random variates in exactly the per-ball order
 // Place does — and is therefore bit-identical to the sequential loop —
-// for every configuration except the blocked d=2 random-tie bucket
-// path, which reorders location variates within a block and preserves
-// the distribution but not per-seed values (see the placement.go
-// package comment and placement_test.go). Measured effect:
+// for EVERY configuration and space: the tie-variate contract
+// (placement.go) makes the variate schedule static, so even the
+// blocked paths prefetch a block's variates without reordering
+// anything. PlaceBatchParallel additionally shards the torus pipeline's
+// geometric queries across workers while keeping the commit loop
+// sequential, so its trace is bit-identical too. Measured effect:
 // BenchmarkTable1Ring/n=65536/d=2 drops from ~430 ns/ball (seed,
 // binary-search Locate, per-trial rebuild) to ~35 ns/ball with a
-// reused ring.Space.
+// reused ring.Space; torus placement drops from ~285 to well under
+// 200 ns/ball at the same size.
 //
 // When Config.TrackBalls is set the allocator also maintains a
 // load-count histogram (loadCount[l] = number of bins with load l), so
@@ -52,6 +57,7 @@ import (
 	"math"
 
 	"geobalance/internal/rng"
+	"geobalance/internal/torus"
 )
 
 // Space is a geometric space partitioned into bins, one per server.
@@ -184,9 +190,12 @@ type Allocator struct {
 	capInv []float64 // inverse capacities, when SetCapacities was called
 
 	cand      []int     // scratch candidate buffer for the batch fast paths
-	ubuf      []float64 // scratch location block for the blocked pipeline
-	jbuf      []int32   // scratch bin block for the blocked pipeline
+	ubuf      []float64 // scratch location block for the blocked pipelines
+	jbuf      []int32   // scratch bin block for the blocked pipelines
+	traw      []uint64  // scratch tie-variate block (see the tie-variate contract)
 	loadCount []int32   // loadCount[l] = bins with load l, when TrackBalls is set
+
+	nbsc []*torus.BatchScratch // per-worker scratch for the parallel nearest phase
 }
 
 // New validates the configuration against the space and returns a fresh
@@ -308,11 +317,9 @@ func (a *Allocator) DeleteRandom(r *rng.Rand) int {
 	return bin
 }
 
-// PlaceN inserts m balls sequentially. It delegates to PlaceBatch:
-// bit-identical to m Place calls at a fraction of the cost for every
-// configuration except the blocked d=2 random-tie bucket fast path,
-// which preserves the distribution but not per-seed values (see the
-// placement.go package comment).
+// PlaceN inserts m balls sequentially. It delegates to PlaceBatch,
+// which is bit-identical to m Place calls at a fraction of the cost
+// for every configuration (see the placement.go package comment).
 func (a *Allocator) PlaceN(m int, r *rng.Rand) {
 	a.PlaceBatch(m, r)
 }

@@ -1,0 +1,300 @@
+// The torus blocked bulk-nearest pipeline.
+//
+// Per-ball torus placement spends nearly all of its time in
+// nearest-site queries whose grid accesses miss cache because
+// consecutive balls land in unrelated cells. The pipeline restructures
+// a batch of m balls into blocks of up to pipeBalls balls processed in
+// three phases:
+//
+//  1. Draw: all of the block's random variates are drawn into flat
+//     buffers in exactly the per-ball order Place consumes them —
+//     location coordinates (stratified or not) into a query-point
+//     buffer and, under TieRandom, one tie variate per candidate after
+//     the first (the tie-variate contract of placement.go) into a raw
+//     buffer.
+//  2. Resolve: the block's d*B candidate queries are answered by the
+//     cell-sorted torus.NearestBatch kernel — and, under
+//     PlaceBatchParallel, sharded across workers, each with its own
+//     torus.BatchScratch. Site geometry is immutable during a batch, so
+//     this phase is embarrassingly parallel and its output is
+//     independent of worker count and scheduling.
+//  3. Commit: the load comparisons, tie breaks (consuming the buffered
+//     tie variates exactly where Place would draw them), and load
+//     updates run strictly sequentially, so every ball sees all
+//     previous placements.
+//
+// Because the variate schedule is static (phase 1) and the commit loop
+// is sequential (phase 3), the resulting placement trace is
+// bit-identical to m Place calls for every dim x d x tie x
+// stratification x TrackBalls configuration — serial or parallel —
+// which TestPlaceBatchTorusMatchesPlace pins, block boundaries and all.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"geobalance/internal/rng"
+	"geobalance/internal/torus"
+)
+
+// pipeBalls is the pipeline block size: large enough that the resolve
+// phase's cell-sorted queries stream through the grid index (and that
+// parallel shards amortize goroutine handoff), small enough that the
+// block's buffers stay cache-resident alongside the index.
+const pipeBalls = 8192
+
+// minParallelShard is the smallest per-worker query count worth a
+// goroutine handoff in the parallel resolve phase.
+const minParallelShard = 256
+
+// PlaceBatchParallel inserts m balls with results bit-identical to m
+// sequential Place calls — and therefore to PlaceBatch — sharding the
+// geometric nearest-site resolution across workers (<= 0 selects
+// GOMAXPROCS). Only phase 2 of the pipeline runs concurrently: variate
+// drawing and the load-compare/commit loop stay sequential, so the
+// placement trace is independent of worker count and scheduling.
+// Spaces without a bulk-nearest phase worth sharding (the ring resolves
+// a lookup in a few nanoseconds) fall back to the sequential PlaceBatch,
+// which is bit-identical anyway.
+//
+// The Allocator itself remains single-threaded: PlaceBatchParallel may
+// not be called concurrently with any other method.
+func (a *Allocator) PlaceBatchParallel(m, workers int, r *rng.Rand) {
+	if m <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if a.capInv == nil && workers > 1 {
+		if ts, ok := a.space.(*torus.Space); ok {
+			a.placeBatchTorus(ts, m, r, workers)
+			return
+		}
+	}
+	a.PlaceBatch(m, r)
+}
+
+// placeBatchTorus runs the blocked bulk-nearest pipeline (see the
+// package comment above); workers > 1 shards the resolve phase.
+func (a *Allocator) placeBatchTorus(ts *torus.Space, m int, r *rng.Rand, workers int) {
+	d := a.cfg.D
+	dim := ts.Dim()
+	tie := a.cfg.Tie
+	tieRand := tie == TieRandom && d >= 2
+	strat := a.cfg.Stratified
+	track := a.cfg.TrackBalls
+	df := float64(d)
+
+	B := pipeBalls
+	if m < B {
+		B = m
+	}
+	if maxW := B * d / minParallelShard; workers > maxW {
+		workers = maxW
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if cap(a.ubuf) < B*d*dim {
+		a.ubuf = make([]float64, B*d*dim)
+	}
+	if cap(a.jbuf) < B*d {
+		a.jbuf = make([]int32, B*d)
+	}
+	if tieRand && cap(a.traw) < B*(d-1) {
+		a.traw = make([]uint64, B*(d-1))
+	}
+	for len(a.nbsc) < workers-1 {
+		a.nbsc = append(a.nbsc, new(torus.BatchScratch))
+	}
+
+	loads := a.loads
+	max, atMax := a.max, a.atMax
+	fastCommit := tieRand && d == 2 && !track
+	for placed := 0; placed < m; {
+		b := B
+		if placed+b > m {
+			b = m - placed
+		}
+		qpts := a.ubuf[0 : b*d*dim : b*d*dim]
+		qbins := a.jbuf[0 : b*d : b*d]
+
+		// Phase 1: draw the block's variates in Place's exact order.
+		pos, ti := 0, 0
+		if tieRand && d == 2 && !strat {
+			// Tables 1-2's configuration: location, location, tie
+			// variate per ball, unrolled.
+			traw := a.traw[0:b:b]
+			for ball := 0; ball < b; ball++ {
+				base := 2 * dim * ball
+				for j := 0; j < dim; j++ {
+					qpts[base+j] = r.Float64()
+				}
+				for j := 0; j < dim; j++ {
+					qpts[base+dim+j] = r.Float64()
+				}
+				traw[ball] = r.Uint64()
+			}
+		} else {
+			for ball := 0; ball < b; ball++ {
+				for k := 0; k < d; k++ {
+					if strat {
+						// Exactly torus.ChooseBinIn's transform — NOT
+						// wrapped: the kernels clamp a (k+F)/d that
+						// rounds up to 1.0 into the last cell, and the
+						// bit-identical contract requires feeding them
+						// the same coordinate Place would.
+						qpts[pos] = (float64(k) + r.Float64()) / df
+						pos++
+						for j := 1; j < dim; j++ {
+							qpts[pos] = r.Float64()
+							pos++
+						}
+					} else {
+						for j := 0; j < dim; j++ {
+							qpts[pos] = r.Float64()
+							pos++
+						}
+					}
+					if tieRand && k >= 1 {
+						a.traw[ti] = r.Uint64()
+						ti++
+					}
+				}
+			}
+		}
+
+		// Phase 2: resolve all d*b candidate queries in bulk.
+		if workers > 1 {
+			a.resolveParallel(ts, qpts, qbins, dim, workers)
+		} else {
+			ts.NearestBatch(qpts, qbins)
+		}
+
+		// Phase 3: sequential load-compare/commit, consuming the
+		// buffered tie variates exactly where Place would draw them.
+		if fastCommit {
+			// Tables 1-2's configuration, branch-free: the pick among
+			// {lower load, tie coin} is an arithmetic select, keeping
+			// the ~50/50 outcomes off the branch predictor. The maximum
+			// tracker is recovered in one pass after the batch.
+			for ball := 0; ball < b; ball++ {
+				j1, j2 := int(qbins[2*ball]), int(qbins[2*ball+1])
+				if j1 != j2 {
+					diff := loads[j2] - loads[j1]
+					neg := uint32(diff) >> 31 // 1 iff loads[j2] < loads[j1]
+					var eq uint32             // 1 iff equal
+					if diff == 0 {
+						eq = 1
+					}
+					pick := uint32(a.traw[ball]>>63) ^ 1 // tiePick(u, 2)
+					j1 += (j2 - j1) * int(neg|(eq&pick))
+				}
+				loads[j1]++
+			}
+			placed += b
+			continue
+		}
+		ti = 0
+		for ball := 0; ball < b; ball++ {
+			base := ball * d
+			best := int(qbins[base])
+			bestLoad := loads[best]
+			ties := 1
+			for k := 1; k < d; k++ {
+				c := int(qbins[base+k])
+				var tu uint64
+				if tieRand {
+					tu = a.traw[ti]
+					ti++
+				}
+				if c == best {
+					continue
+				}
+				l := loads[c]
+				switch {
+				case l < bestLoad:
+					best, bestLoad, ties = c, l, 1
+				case l == bestLoad:
+					switch tie {
+					case TieRandom:
+						ties++
+						if tiePick(tu, ties) {
+							best = c
+						}
+					case TieSmaller:
+						if ts.Weight(c) < ts.Weight(best) {
+							best = c
+						}
+					case TieLarger:
+						if ts.Weight(c) > ts.Weight(best) {
+							best = c
+						}
+					case TieLeft:
+						// Keep the earlier stratum.
+					}
+				}
+			}
+			nl := loads[best] + 1
+			loads[best] = nl
+			if nl > max {
+				max, atMax = nl, 1
+			} else if nl == max {
+				atMax++
+			}
+			if track {
+				a.balls = append(a.balls, int32(best))
+				a.histUp(nl)
+			}
+		}
+		placed += b
+	}
+	if fastCommit {
+		// Recover the maximum tracker in one sequential pass (the fast
+		// commit loop does not maintain it per ball).
+		max, atMax = 0, 0
+		for _, l := range loads {
+			if l > max {
+				max, atMax = l, 1
+			} else if l == max && l > 0 {
+				atMax++
+			}
+		}
+	}
+	a.max, a.atMax = max, atMax
+	a.placed += m
+}
+
+// resolveParallel shards one block's queries into contiguous chunks,
+// one goroutine per extra worker (the caller's goroutine takes the
+// first chunk). Chunks write disjoint ranges of out and each worker
+// uses its own BatchScratch, so the result is deterministic and
+// race-free.
+func (a *Allocator) resolveParallel(ts *torus.Space, qpts []float64, out []int32, dim, workers int) {
+	q := len(out)
+	chunk := (q + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		lo := w * chunk
+		if lo >= q {
+			break
+		}
+		hi := lo + chunk
+		if hi > q {
+			hi = q
+		}
+		wg.Add(1)
+		go func(sc *torus.BatchScratch, lo, hi int) {
+			defer wg.Done()
+			ts.NearestBatchInto(sc, qpts[lo*dim:hi*dim], out[lo:hi])
+		}(a.nbsc[w-1], lo, hi)
+	}
+	hi := chunk
+	if hi > q {
+		hi = q
+	}
+	ts.NearestBatch(qpts[:hi*dim], out[:hi])
+	wg.Wait()
+}

@@ -5,32 +5,43 @@
 //
 //   - a bucketSpace (ring.Space, matched structurally) is resolved
 //     inline through internal/jump: zero calls and O(1) branch-free
-//     expected work per choice;
-//   - *UniformSpace and *torus.Space are handled concretely (the ring
-//     is matched structurally because its lookup is pure data; the
-//     torus grid-scan kernel cannot be expressed as data, so its space
-//     is dispatched by type like UniformSpace and its choices run as
-//     direct — devirtualized — method calls);
+//     expected work per choice, with the d=2 TieRandom configuration
+//     running as a blocked lookup pipeline;
+//   - *torus.Space runs the blocked bulk-nearest pipeline of
+//     pipeline.go: variates for a block of balls are drawn ahead into
+//     flat buffers, the block's candidate queries are answered by the
+//     cell-sorted torus.NearestBatch kernel, and the load
+//     comparisons commit strictly sequentially;
+//   - *UniformSpace is handled concretely;
 //   - a BatchChooser/StratifiedBatchChooser collapses d interface calls
 //     per ball into one;
 //   - anything else falls back to the exact per-ball loop.
 //
-// # Random-variate order
+// # Random-variate order and the tie-variate contract
 //
 // PlaceBatch consumes random variates in exactly the per-ball order
 // Place does — and therefore places every ball in exactly the same bin
-// for a given generator state — for every configuration EXCEPT one,
-// called out here explicitly: the bucket-space d >= 2 TieRandom fast
-// path pipelines lookups by drawing a block of location variates ahead
-// of the block's tie-break variates. Load comparisons remain strictly
-// sequential (each ball sees all previous placements), so the process
-// distribution is unchanged — TestPlaceBatchBlockedDistribution checks
-// the maximum-load distribution against Place — but per-seed values
-// differ from Place. Every other configuration (d = 1, the
-// weight/left tie rules which draw no tie variates, stratified
-// generation, uniform and chooser spaces, capacities, TrackBalls) is
-// bit-identical to Place, which TestPlaceBatchMatchesPlace verifies
-// config by config.
+// for a given generator state — for EVERY configuration and space.
+// What makes that possible for the blocked paths is that the variate
+// schedule is static: the number and order of draws per ball depends
+// only on the configuration, never on the data. Location draws are
+// static by construction (d choices of Dim() uniforms each); the one
+// historically data-dependent draw, the TieRandom tie break, is made
+// static by the tie-variate contract:
+//
+//	Under TieRandom with d >= 2, every candidate after the first draws
+//	one raw Uint64 tie variate immediately after its location variates,
+//	whether or not a tie occurred. When a tie did occur the variate
+//	selects among the tied candidates via tiePick (probability 1/ties
+//	up to a 2^-62 bias); otherwise it is discarded.
+//
+// Because the schedule is static, a block's variates can be drawn
+// upfront in Place's exact order, the expensive geometric queries
+// answered in bulk (even in parallel — see PlaceBatchParallel), and the
+// buffered tie variates consumed by the sequential commit loop exactly
+// where Place would have drawn them. TestPlaceBatchMatchesPlace and
+// TestPlaceBatchTorusMatchesPlace pin the bit-exactness config by
+// config, block boundaries included.
 //
 // All scratch lives on the Allocator, so steady-state placement does
 // zero heap allocations per ball (guarded by TestPlaceBatchZeroAllocs).
@@ -42,14 +53,13 @@ import (
 	"geobalance/internal/torus"
 )
 
-// blockBalls is the pipeline depth of the blocked d-choice loop: enough
-// lookups in flight to hide table latency, small enough that the
+// blockBalls is the pipeline depth of the blocked ring d-choice loop:
+// enough lookups in flight to hide table latency, small enough that the
 // scratch stays in L1.
 const blockBalls = 32
 
-// PlaceBatch inserts m balls sequentially, equivalent to calling Place
-// m times (bit-identically so except for the blocked TieRandom path —
-// see the package comment). m <= 0 is a no-op.
+// PlaceBatch inserts m balls sequentially, bit-identical to calling
+// Place m times. m <= 0 is a no-op.
 func (a *Allocator) PlaceBatch(m int, r *rng.Rand) {
 	if m <= 0 {
 		return
@@ -64,13 +74,14 @@ func (a *Allocator) PlaceBatch(m int, r *rng.Rand) {
 			return
 		}
 		if ts, ok := a.space.(*torus.Space); ok {
-			a.placeBatchTorus(ts, m, r)
+			a.placeBatchTorus(ts, m, r, 1)
 			return
 		}
 		// The chooser paths draw one ball's d location variates before
-		// its tie-break variates. Place interleaves them, so the orders
-		// agree only when at most one tie-break draw can occur after the
-		// last location draw (d <= 2) or when the tie rule draws nothing.
+		// its tie-break variates. The tie-variate contract interleaves
+		// them per candidate, so the orders agree only when at most one
+		// tie draw can occur after the last location draw (d <= 2) or
+		// when the tie rule draws nothing.
 		if a.cfg.D <= 2 || a.cfg.Tie != TieRandom {
 			if a.strat != nil {
 				if sbc, ok := a.space.(StratifiedBatchChooser); ok {
@@ -89,13 +100,13 @@ func (a *Allocator) PlaceBatch(m int, r *rng.Rand) {
 }
 
 // placeBatchBucket dispatches between the blocked pipeline and the
-// exact per-ball loop for bucket-indexed spaces.
+// exact per-ball loop for bucket-indexed spaces. Both are bit-identical
+// to Place; the split is purely about cost: the blocked pipeline
+// recovers the maximum tracker with an O(n) pass and skips the
+// TrackBalls bookkeeping, so it wants a batch comparable to the bin
+// count and no ball tracking.
 func (a *Allocator) placeBatchBucket(bs bucketSpace, m int, r *rng.Rand) {
 	bits, delta := bs.SiteBits(), bs.BucketDeltas()
-	// The blocked pipeline reorders variates (see package comment), so
-	// it is reserved for the configuration whose order is perturbed
-	// anyway only by tie draws it controls: d=2 TieRandom. Its O(n)
-	// max-recovery pass also wants a batch comparable to the bin count.
 	if delta != nil && a.cfg.D == 2 && a.cfg.Tie == TieRandom &&
 		!a.cfg.Stratified && !a.cfg.TrackBalls && 4*m >= len(a.loads) {
 		a.placeBatchBlocked(bits, delta, m, r)
@@ -104,15 +115,21 @@ func (a *Allocator) placeBatchBucket(bs bucketSpace, m int, r *rng.Rand) {
 	a.placeBatchBucketExact(bs, m, r)
 }
 
-// placeBatchBlocked is the throughput loop for Tables 1 and 2's
-// configuration (d = 2, random ties). Each block draws 2*blockBalls
-// location variates, resolves all lookups back to back (independent,
-// branch-free — the memory accesses overlap), then commits the block's
-// balls strictly sequentially against live loads.
+// placeBatchBlocked is the ring throughput loop for Tables 1 and 2's
+// configuration (d = 2, random ties). Each block draws its balls'
+// variates in Place's exact order — location, location, tie variate per
+// ball, the tie draw unconditional per the tie-variate contract —
+// resolves all lookups back to back (independent, branch-free — the
+// memory accesses overlap), then commits the block's balls strictly
+// sequentially against live loads. Placements are bit-identical to
+// Place's.
 func (a *Allocator) placeBatchBlocked(bits []uint64, delta []int16, m int, r *rng.Rand) {
-	if a.ubuf == nil {
+	if cap(a.ubuf) < 2*blockBalls {
 		a.ubuf = make([]float64, 2*blockBalls)
 		a.jbuf = make([]int32, 2*blockBalls)
+	}
+	if cap(a.traw) < blockBalls {
+		a.traw = make([]uint64, blockBalls)
 	}
 	loads := a.loads
 	for placed := 0; placed < m; {
@@ -120,10 +137,13 @@ func (a *Allocator) placeBatchBlocked(bits []uint64, delta []int16, m int, r *rn
 		if placed+b > m {
 			b = m - placed
 		}
-		ubuf := a.ubuf[0 : 2*b : 2*blockBalls]
-		jbuf := a.jbuf[0 : 2*b : 2*blockBalls]
-		for i := range ubuf {
-			ubuf[i] = r.Float64()
+		ubuf := a.ubuf[0 : 2*b : 2*b]
+		jbuf := a.jbuf[0 : 2*b : 2*b]
+		traw := a.traw[0:b:b]
+		for k := 0; k < b; k++ {
+			ubuf[2*k] = r.Float64()
+			ubuf[2*k+1] = r.Float64()
+			traw[k] = r.Uint64()
 		}
 		jump.LocateBlock(bits, delta, ubuf, jbuf)
 		for k := 0; k < b; k++ {
@@ -131,9 +151,9 @@ func (a *Allocator) placeBatchBlocked(bits []uint64, delta []int16, m int, r *rn
 			if j1 != j2 {
 				lb, lc := loads[j1], loads[j2]
 				if lc == lb {
-					// Arithmetic select keeps the 50/50 outcome off the
-					// branch predictor.
-					j1 += (j2 - j1) * (1 - r.Intn(2))
+					if tiePick(traw[k], 2) {
+						j1 = j2
+					}
 				} else {
 					j1 += (j2 - j1) & int(int32(lc-lb)>>31)
 				}
@@ -164,6 +184,7 @@ func (a *Allocator) placeBatchBucketExact(bs bucketSpace, m int, r *rng.Rand) {
 	loads := a.loads
 	d := a.cfg.D
 	tie := a.cfg.Tie
+	tieRand := tie == TieRandom
 	strat := a.cfg.Stratified
 	track := a.cfg.TrackBalls
 	compact := delta != nil
@@ -196,6 +217,10 @@ func (a *Allocator) placeBatchBucketExact(bs bucketSpace, m int, r *rng.Rand) {
 				best, bestLoad = c, loads[c]
 				continue
 			}
+			var tu uint64
+			if tieRand {
+				tu = r.Uint64()
+			}
 			if c == best {
 				continue
 			}
@@ -207,7 +232,7 @@ func (a *Allocator) placeBatchBucketExact(bs bucketSpace, m int, r *rng.Rand) {
 				switch tie {
 				case TieRandom:
 					ties++
-					if r.Intn(ties) == 0 {
+					if tiePick(tu, ties) {
 						best = c
 					}
 				case TieSmaller:
@@ -216,82 +241,6 @@ func (a *Allocator) placeBatchBucketExact(bs bucketSpace, m int, r *rng.Rand) {
 					}
 				case TieLarger:
 					if weights[c] > weights[best] {
-						best = c
-					}
-				case TieLeft:
-					// Keep the earlier stratum.
-				}
-			}
-		}
-		nl := loads[best] + 1
-		loads[best] = nl
-		if nl > max {
-			max, atMax = nl, 1
-		} else if nl == max {
-			atMax++
-		}
-		if track {
-			a.balls = append(a.balls, int32(best))
-			a.histUp(nl)
-		}
-	}
-	a.max, a.atMax = max, atMax
-	a.placed += m
-}
-
-// placeBatchTorus is the concrete bulk loop for the k-d torus: one
-// direct (devirtualized) ChooseBin/ChooseBinIn call per choice, the
-// configuration dispatch hoisted out of the per-ball loop, and commit
-// inlined. It preserves Place's exact variate interleaving — each
-// choice's location variates are drawn immediately before its load
-// comparison and possible tie draw — so unlike the chooser paths it
-// handles every configuration, including d >= 3 TieRandom (which used
-// to fall back to the per-ball Place loop), bit-identically to Place.
-// All state lives on the Allocator and the Space's scratch, so the
-// loop performs zero heap allocations per ball (TrackBalls aside).
-func (a *Allocator) placeBatchTorus(ts *torus.Space, m int, r *rng.Rand) {
-	loads := a.loads
-	d := a.cfg.D
-	tie := a.cfg.Tie
-	strat := a.cfg.Stratified
-	track := a.cfg.TrackBalls
-	max, atMax := a.max, a.atMax
-	for b := 0; b < m; b++ {
-		var best int
-		if strat {
-			best = ts.ChooseBinIn(r, 0, d)
-		} else {
-			best = ts.ChooseBin(r)
-		}
-		bestLoad := loads[best]
-		ties := 1
-		for k := 1; k < d; k++ {
-			var c int
-			if strat {
-				c = ts.ChooseBinIn(r, k, d)
-			} else {
-				c = ts.ChooseBin(r)
-			}
-			if c == best {
-				continue
-			}
-			l := loads[c]
-			switch {
-			case l < bestLoad:
-				best, bestLoad, ties = c, l, 1
-			case l == bestLoad:
-				switch tie {
-				case TieRandom:
-					ties++
-					if r.Intn(ties) == 0 {
-						best = c
-					}
-				case TieSmaller:
-					if ts.Weight(c) < ts.Weight(best) {
-						best = c
-					}
-				case TieLarger:
-					if ts.Weight(c) > ts.Weight(best) {
 						best = c
 					}
 				case TieLeft:
@@ -324,6 +273,7 @@ func (a *Allocator) placeBatchUniform(us *UniformSpace, m int, r *rng.Rand) {
 	loads := a.loads
 	d := a.cfg.D
 	tie := a.cfg.Tie
+	tieRand := tie == TieRandom
 	strat := a.cfg.Stratified
 	for b := 0; b < m; b++ {
 		var best int
@@ -341,6 +291,10 @@ func (a *Allocator) placeBatchUniform(us *UniformSpace, m int, r *rng.Rand) {
 			} else {
 				c = r.Intn(n)
 			}
+			var tu uint64
+			if tieRand {
+				tu = r.Uint64()
+			}
 			if c == best {
 				continue
 			}
@@ -348,9 +302,9 @@ func (a *Allocator) placeBatchUniform(us *UniformSpace, m int, r *rng.Rand) {
 			switch {
 			case l < bestLoad:
 				best, bestLoad, ties = c, l, 1
-			case l == bestLoad && tie == TieRandom:
+			case l == bestLoad && tieRand:
 				ties++
-				if r.Intn(ties) == 0 {
+				if tiePick(tu, ties) {
 					best = c
 				}
 			}
@@ -379,14 +333,20 @@ func (a *Allocator) placeBatchStratChooser(sbc StratifiedBatchChooser, m int, r 
 }
 
 // selectCandidate applies the least-loaded rule with the configured
-// tie-break to a pre-drawn candidate list, mirroring chooseForPlacement.
+// tie-break to a pre-drawn candidate list, mirroring chooseForPlacement
+// (including the tie-variate contract's unconditional draws).
 func (a *Allocator) selectCandidate(cand []int, r *rng.Rand) int {
 	loads := a.loads
+	tieRand := a.cfg.Tie == TieRandom
 	best := cand[0]
 	bestLoad := loads[best]
 	ties := 1
 	for k := 1; k < len(cand); k++ {
 		c := cand[k]
+		var tu uint64
+		if tieRand {
+			tu = r.Uint64()
+		}
 		if c == best {
 			continue
 		}
@@ -398,7 +358,7 @@ func (a *Allocator) selectCandidate(cand []int, r *rng.Rand) int {
 			switch a.cfg.Tie {
 			case TieRandom:
 				ties++
-				if r.Intn(ties) == 0 {
+				if tiePick(tu, ties) {
 					best = c
 				}
 			case TieSmaller:

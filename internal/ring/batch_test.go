@@ -1,0 +1,84 @@
+package ring
+
+import (
+	"testing"
+
+	"geobalance/internal/rng"
+)
+
+// TestNearestBatchMatchesLocate pins the bulk lookup to the scalar one
+// on random sites (the compact jump-index path), including duplicate
+// locations and the exact site positions.
+func TestNearestBatchMatchesLocate(t *testing.T) {
+	r := rng.New(61)
+	sp, err := NewRandom(1<<12, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = 1 << 13
+	pts := make([]float64, q)
+	for i := range pts {
+		switch i % 5 {
+		case 0:
+			pts[i] = sp.Site(i % sp.NumBins()) // exactly on a site
+		case 1:
+			pts[i] = pts[i/2] // duplicate an earlier location
+		default:
+			pts[i] = r.Float64()
+		}
+	}
+	out := make([]int32, q)
+	sp.NearestBatch(pts, out)
+	for i, u := range pts {
+		if want := sp.Locate(u); int(out[i]) != want {
+			t.Fatalf("location %d (%v): NearestBatch %d, Locate %d", i, u, out[i], want)
+		}
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		sp.NearestBatch(pts, out)
+	}); allocs != 0 {
+		t.Fatalf("NearestBatch allocated %v times per run", allocs)
+	}
+}
+
+// TestNearestBatchNonCompact covers the LocateIdx fallback: a site set
+// clustered hard enough that some bucket delta overflows the compact
+// int16 index.
+func TestNearestBatchNonCompact(t *testing.T) {
+	const n = 40000
+	r := rng.New(67)
+	positions := make([]float64, n)
+	for i := range positions {
+		positions[i] = 0.999 + 0.0009*r.Float64() // all in the top bucket region
+	}
+	sp, err := FromSites(positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.BucketDeltas() != nil {
+		t.Skip("layout unexpectedly produced a compact index")
+	}
+	const q = 4096
+	pts := make([]float64, q)
+	for i := range pts {
+		pts[i] = r.Float64()
+	}
+	out := make([]int32, q)
+	sp.NearestBatch(pts, out)
+	for i, u := range pts {
+		if want := sp.Locate(u); int(out[i]) != want {
+			t.Fatalf("location %d (%v): NearestBatch %d, Locate %d", i, u, out[i], want)
+		}
+	}
+}
+
+// TestRingDim pins the interface-symmetry constant.
+func TestRingDim(t *testing.T) {
+	sp, err := NewRandom(4, rng.New(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Dim() != 1 {
+		t.Fatalf("ring Dim() = %d, want 1", sp.Dim())
+	}
+}

@@ -278,6 +278,32 @@ func frac(x float64) float64 {
 // NumBins returns the number of sites (bins).
 func (s *Space) NumBins() int { return s.n }
 
+// Dim returns the dimension of the space — 1 on the ring. It exists for
+// interface symmetry with torus.Space, so bulk callers can size flat
+// point buffers as queries*Dim() for either geometry.
+func (s *Space) Dim() int { return 1 }
+
+// NearestBatch resolves len(out) lookups in one call: out[i] receives
+// the bin owning location pts[i] (each in [0, 1), as Sample draws
+// them). It mirrors torus.Space's bulk-nearest API; on the ring the
+// lookups are resolved through the jump index back to back, which lets
+// the independent table loads overlap. Unlike most ring methods it is
+// safe for concurrent use on an unchanging Space — it reads only the
+// immutable index.
+func (s *Space) NearestBatch(pts []float64, out []int32) {
+	if len(pts) != len(out) {
+		panic(fmt.Sprintf("ring: NearestBatch with %d locations for %d outputs", len(pts), len(out)))
+	}
+	if s.compact {
+		jump.LocateBlock(s.bits, s.delta, pts, out)
+		return
+	}
+	nbf := float64(s.n)
+	for i, u := range pts {
+		out[i] = int32(jump.LocateIdx(s.bits, s.idx, nbf, u))
+	}
+}
+
 // Sample draws a location uniformly at random on the ring.
 func (s *Space) Sample(r *rng.Rand) float64 { return r.Float64() }
 

@@ -62,7 +62,17 @@ func New(seed uint64) *Rand {
 // derived from the same seed but different stream indices are independent
 // for simulation purposes.
 func NewStream(seed, stream uint64) *Rand {
-	return New(Mix64(seed) ^ Mix64(stream^0xd1b54a32d192ed03))
+	r := new(Rand)
+	r.SeedStream(seed, stream)
+	return r
+}
+
+// SeedStream resets the generator in place to the exact state NewStream
+// would construct for (seed, stream). Trial loops that burn one stream
+// per trial use it to recycle a single Rand instead of allocating one
+// per trial — the last allocation on the pooled simulation hot path.
+func (r *Rand) SeedStream(seed, stream uint64) {
+	r.Seed(Mix64(seed) ^ Mix64(stream^0xd1b54a32d192ed03))
 }
 
 // Seed resets the generator state deterministically from seed.

@@ -292,3 +292,19 @@ func BenchmarkIntn(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestSeedStreamMatchesNewStream: the in-place reseed must reproduce
+// NewStream's state exactly, for any prior state of the generator.
+func TestSeedStreamMatchesNewStream(t *testing.T) {
+	var r Rand
+	for _, pair := range [][2]uint64{{0, 0}, {1, 7}, {42, 1 << 40}, {^uint64(0), 3}} {
+		r.Uint64() // perturb the prior state
+		r.SeedStream(pair[0], pair[1])
+		fresh := NewStream(pair[0], pair[1])
+		for i := 0; i < 8; i++ {
+			if a, b := r.Uint64(), fresh.Uint64(); a != b {
+				t.Fatalf("seed %d stream %d draw %d: %x vs %x", pair[0], pair[1], i, a, b)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"geobalance/internal/core"
+	"geobalance/internal/rng"
 )
 
 // TestPooledMatchesAllocating: the pooled trial families must report
@@ -51,6 +52,45 @@ func TestPooledMatchesAllocating(t *testing.T) {
 						t.Fatalf("workers=%d: count(%d) = %d, want %d", workers, v, got.Count(v), want.Count(v))
 					}
 				}
+			}
+		})
+	}
+}
+
+// TestPooledTrialZeroAllocs guards the allocation-free steady state of
+// the pooled trial loop as RunFactory drives it — one long-lived space,
+// allocator, and generator per worker, re-seeded in place per trial.
+// This is the loop cmd/benchjson's *_trial_reused records gate exactly
+// (a zero-alloc baseline fails CI on ANY allocation), so a regression
+// here fails fast without a benchmark run.
+func TestPooledTrialZeroAllocs(t *testing.T) {
+	const n = 1 << 11
+	cases := []struct {
+		name string
+		mk   TrialFactory
+	}{
+		{"ring-d2", RingTrialPooled(n, n, 2, core.TieRandom, false)},
+		{"torus-dim2-d2", TorusTrialPooled(n, n, 2, 2, core.TieRandom)},
+		{"torus-dim3-d2", TorusTrialPooled(n, n, 2, 3, core.TieRandom)},
+		{"uniform-d2", UniformTrialPooled(n, n, 2, core.TieRandom, false)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			trial := tc.mk()
+			var r rng.Rand
+			r.SeedStream(991, 0)
+			if _, err := trial(&r); err != nil { // builds the pooled state
+				t.Fatal(err)
+			}
+			stream := uint64(1)
+			if allocs := testing.AllocsPerRun(5, func() {
+				r.SeedStream(991, stream)
+				stream++
+				if _, err := trial(&r); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Fatalf("pooled trial allocated %v times per run", allocs)
 			}
 		})
 	}

@@ -13,8 +13,13 @@
 // one long-lived space and allocator, Reseed/Reset between trials
 // instead of reconstructing: per-trial allocations drop to zero and the
 // per-trial O(n log n) construction sort becomes an O(n) counting pass.
-// Reseeding consumes exactly the variates fresh construction would, so
-// pooled and allocating runs report identical per-seed metrics.
+// The per-trial generator is likewise pooled — each worker owns one
+// rng.Rand re-seeded in place via SeedStream(seed, trial), producing
+// exactly the state rng.NewStream would. Reseeding consumes exactly
+// the variates fresh construction would, so pooled and allocating runs
+// report identical per-seed metrics, and pooled torus trials place
+// through core's blocked bulk-nearest pipeline automatically (PlaceN
+// delegates to PlaceBatch).
 package sim
 
 import (
@@ -92,6 +97,7 @@ func RunFactory(trials int, seed uint64, workers int, mk TrialFactory) (*stats.I
 				mu.Unlock()
 				return
 			}
+			r := new(rng.Rand) // one generator per worker, re-seeded per trial
 			for {
 				mu.Lock()
 				if firstEr != nil || next >= trials {
@@ -102,7 +108,7 @@ func RunFactory(trials int, seed uint64, workers int, mk TrialFactory) (*stats.I
 				next++
 				mu.Unlock()
 
-				r := rng.NewStream(seed, uint64(t))
+				r.SeedStream(seed, uint64(t))
 				v, err := trial(r)
 				if err != nil {
 					mu.Lock()

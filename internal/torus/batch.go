@@ -1,0 +1,534 @@
+// Bulk nearest-site resolution: the cell-sorted batch kernel behind
+// core's blocked placement pipeline.
+//
+// NearestBatch answers a whole block of queries at once, which buys
+// three things a per-query loop cannot have:
+//
+//   - Cell order. Queries are sorted into grid-cell order with a
+//     counting sort keyed by the flat home-cell index (the same order
+//     the CSR structure stores sites in), so the block walks the index
+//     front to back — consecutive queries hit the same or adjacent
+//     rows and one query's scan warms the next one's — instead of
+//     striding across it at random.
+//   - The overlapped 3-row index (dim 2). A second copy of the
+//     cell-ordered sites stores, for each grid group (r, c), the sites
+//     of rows r-1..r+1 at column c contiguously. A query's whole fused
+//     3x3 home block is then ONE contiguous slot run bounded by two
+//     loads, instead of three runs behind six bound loads — at the
+//     price of 3x the coordinate memory, which the sorted order turns
+//     into streamed, not random, traffic.
+//   - Staged windows. The dim-2 kernel processes queries in windows of
+//     batchWindow, computing all home cells and run bounds first
+//     (back-to-back loads with no intervening branches) and then
+//     scanning each staged run in a small leaf function whose
+//     min-tracking lowers to integer conditional moves on the raw
+//     distance bits. Queries the fused block cannot certify are
+//     deferred and settled after the window by a flat 5x5 scan, with
+//     the branchy shell machinery reserved for the vanishing residue.
+//
+// Results are identical to calling Nearest per query — exact distance
+// ties resolve to the lowest public site index through a cold re-scan,
+// the shell walk beyond 5x5 is shared code — and the query order chosen
+// by the sort is unobservable in the output. Winners are written back
+// through the sort permutation, so out[i] always belongs to query i.
+//
+// Concurrency: NearestBatch uses the Space's own scratch and follows
+// the package's usual rule (one goroutine per Space). NearestBatchInto
+// takes the scratch explicitly and touches no other mutable Space state
+// (the cells-scanned statistic is folded in atomically), so concurrent
+// callers with distinct BatchScratch values — core.PlaceBatchParallel's
+// workers — may batch over one unchanging Space simultaneously.
+package torus
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"geobalance/internal/geom"
+)
+
+// batchSortBuckets bounds the counting-sort bucket count. Grids with
+// more cells than this are sorted by the top bits of the cell index —
+// each bucket then covers a contiguous range of cells (at most a few
+// dozen within one row), which preserves the locality the sort exists
+// for while keeping the per-call bucket reset O(1) per query.
+const batchSortBuckets = 1 << 11
+
+// BatchScratch holds the per-call state of NearestBatchInto. Distinct
+// scratch values make concurrent batches over one Space race-free; the
+// zero value is ready to use and grows on demand.
+type BatchScratch struct {
+	key  []int32   // per-query sort key (home cell >> sortShift)
+	ord  []int32   // query indices in key order
+	cnt  []int32   // counting-sort buckets
+	dq   []int32   // queries deferred to the shell walk (dim-2 kernel)
+	dd   []float64 // their block-scan best squared distances
+	home []int     // generic-kernel home cell coordinates
+	offs []int     // generic-kernel shell odometer
+}
+
+// NearestBatch resolves len(out) nearest-site queries in one call.
+// pts holds the query points packed point-major — query i's axis j at
+// pts[i*Dim()+j] — and out[i] receives the site index Nearest would
+// return for query i. It uses the Space's internal scratch; for
+// concurrent batches over one Space use NearestBatchInto with distinct
+// scratch values.
+func (s *Space) NearestBatch(pts []float64, out []int32) {
+	if s.bsc == nil {
+		s.bsc = new(BatchScratch)
+	}
+	s.NearestBatchInto(s.bsc, pts, out)
+}
+
+// NearestBatchInto is NearestBatch with caller-provided scratch. It
+// reads only immutable Space state (plus one atomic statistics update),
+// so concurrent calls with distinct scratch values over an unchanging
+// Space are safe.
+func (s *Space) NearestBatchInto(sc *BatchScratch, pts []float64, out []int32) {
+	dim := s.dim
+	q := len(out)
+	if len(pts) != q*dim {
+		panic(fmt.Sprintf("torus: NearestBatch with %d coordinates for %d queries of dim %d",
+			len(pts), q, dim))
+	}
+	if q == 0 {
+		return
+	}
+	ord := s.sortByCell(sc, pts, q)
+	var visits uint64
+	switch dim {
+	case 2:
+		s.nearestBatch2(pts, out, ord, sc, &visits)
+	case 3:
+		for _, qi := range ord {
+			p := pts[int(qi)*3:]
+			best, _ := s.nearest3(p[0], p[1], p[2], &visits)
+			out[qi] = int32(best)
+		}
+	default:
+		if cap(sc.home) < dim {
+			sc.home = make([]int, dim)
+			sc.offs = make([]int, dim)
+		}
+		home, offs := sc.home[:dim], sc.offs[:dim]
+		for _, qi := range ord {
+			p := geom.Vec(pts[int(qi)*dim : (int(qi)+1)*dim])
+			best, _ := s.nearestGeneric(p, home, offs, &visits)
+			out[qi] = int32(best)
+		}
+	}
+	atomic.AddUint64(&s.cellsScanned, visits)
+}
+
+// sortByCell fills sc.ord with the query indices ordered by home grid
+// cell (ties by query index — the sort is stable) and returns it. The
+// key is the flat cell index truncated to at most batchSortBuckets
+// buckets, so sorting costs two passes over the queries plus one over
+// the bucket array regardless of grid size.
+func (s *Space) sortByCell(sc *BatchScratch, pts []float64, q int) []int32 {
+	dim := s.dim
+	g := s.g
+	gf := float64(g)
+	nc := pow(g, dim)
+	shift := 0
+	for nc>>shift > batchSortBuckets {
+		shift++
+	}
+	nb := (nc-1)>>shift + 1
+	if cap(sc.key) < q {
+		sc.key = make([]int32, q)
+		sc.ord = make([]int32, q)
+	}
+	if cap(sc.cnt) < nb+1 {
+		sc.cnt = make([]int32, nb+1)
+	}
+	key := sc.key[:q]
+	ord := sc.ord[:q]
+	cnt := sc.cnt[:nb+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for i := 0; i < q; i++ {
+		idx := 0
+		base := i * dim
+		for j := 0; j < dim; j++ {
+			c := int(pts[base+j] * gf)
+			if c >= g { // guard against coordinates one ulp below 1
+				c = g - 1
+			}
+			idx = idx*g + c
+		}
+		k := int32(idx >> shift)
+		key[i] = k
+		cnt[k+1]++
+	}
+	for b := 0; b < nb; b++ {
+		cnt[b+1] += cnt[b]
+	}
+	for i := 0; i < q; i++ {
+		k := key[i]
+		ord[cnt[k]] = int32(i)
+		cnt[k]++
+	}
+	return ord
+}
+
+// scanRun2Flat is stage B's leaf: the minimum squared distance over one
+// contiguous overlapped-index slot run, tracked on the raw IEEE bits of
+// the distance — order-isomorphic to the float order for the
+// non-negative, non-NaN distances the kernel produces — so the
+// compare-and-update lowers to integer conditional moves with no
+// data-dependent branch. It lives in its own small function so the
+// compiler register-allocates the whole loop (inlined into the big
+// kernel body it spills). With strict-less updates bestSlot is the
+// first slot in scan order attaining the minimum; exact ties against
+// the running minimum only set sawTie (possibly stale — the caller
+// re-scans exactly). The sentinel 1<<63 (the bits of -0.0) is above
+// every distance and never compares equal.
+//
+//go:noinline
+func scanRun2Flat(xy []float64, px, py float64, b, e int32) (bestSlot int32, bestBits uint64, sawTie bool) {
+	// Two independent accumulator chains over the even and odd slots
+	// break the loop-carried dependence on one running minimum; the
+	// merge can mis-order equal minima across chains, but any equality
+	// raises sawTie and the caller's exact re-scan decides those.
+	s0, s1 := int32(-1), int32(-1)
+	b0, b1 := uint64(1)<<63, uint64(1)<<63
+	k := b
+	for ; k+1 < e; k += 2 {
+		dx0 := geom.WrapDelta(px - xy[2*k])
+		dy0 := geom.WrapDelta(py - xy[2*k+1])
+		db0 := math.Float64bits(dx0*dx0 + dy0*dy0)
+		dx1 := geom.WrapDelta(px - xy[2*k+2])
+		dy1 := geom.WrapDelta(py - xy[2*k+3])
+		db1 := math.Float64bits(dx1*dx1 + dy1*dy1)
+		if db0 == b0 || db1 == b1 {
+			sawTie = true
+		}
+		if db0 < b0 {
+			s0 = k
+		}
+		if db0 < b0 {
+			b0 = db0
+		}
+		if db1 < b1 {
+			s1 = k + 1
+		}
+		if db1 < b1 {
+			b1 = db1
+		}
+	}
+	if k < e {
+		dx := geom.WrapDelta(px - xy[2*k])
+		dy := geom.WrapDelta(py - xy[2*k+1])
+		db := math.Float64bits(dx*dx + dy*dy)
+		if db == b0 {
+			sawTie = true
+		}
+		if db < b0 {
+			s0 = k
+		}
+		if db < b0 {
+			b0 = db
+		}
+	}
+	if b0 == b1 && s1 >= 0 {
+		sawTie = true
+	}
+	if b1 < b0 {
+		return s1, b1, sawTie
+	}
+	return s0, b0, sawTie
+}
+
+// rescanTies2Flat resolves an exact distance tie with the contract's
+// rule — the lowest public site index among the sites tied at the
+// minimum — by re-scanning the run with the exact comparison chain.
+// Ties are essentially impossible for random sites, so this stays cold.
+//
+//go:noinline
+func rescanTies2Flat(xy []float64, perm []int32, px, py float64, b, e int32) (int32, float64) {
+	bestSlot := int32(-1)
+	bestD2 := math.Inf(1)
+	for k := b; k < e; k++ {
+		dx := geom.WrapDelta(px - xy[2*k])
+		dy := geom.WrapDelta(py - xy[2*k+1])
+		d2 := dx*dx + dy*dy
+		if d2 < bestD2 {
+			bestSlot, bestD2 = k, d2
+		} else if d2 == bestD2 && bestSlot >= 0 && perm[k] < perm[bestSlot] {
+			bestSlot = k
+		}
+	}
+	return bestSlot, bestD2
+}
+
+// scanRuns2x5 is scanRuns2 over the five contiguous runs of a deferred
+// query's flat 5x5 block.
+//
+//go:noinline
+func scanRuns2x5(xy []float64, px, py float64, b, e *[5]int32) (bestSlot int32, bestBits uint64, sawTie bool) {
+	bestSlot = -1
+	bestBits = uint64(1) << 63
+	for t := 0; t < 5; t++ {
+		for k := b[t]; k < e[t]; k++ {
+			dx := geom.WrapDelta(px - xy[2*k])
+			dy := geom.WrapDelta(py - xy[2*k+1])
+			db := math.Float64bits(dx*dx + dy*dy)
+			if db == bestBits {
+				sawTie = true
+			}
+			if db < bestBits {
+				bestSlot = k
+			}
+			if db < bestBits {
+				bestBits = db
+			}
+		}
+	}
+	return bestSlot, bestBits, sawTie
+}
+
+// rescanTies2x5 is rescanTies2 for the 5x5 block.
+//
+//go:noinline
+func rescanTies2x5(xy []float64, perm []int32, px, py float64, b, e *[5]int32) (int32, float64) {
+	bestSlot := int32(-1)
+	bestD2 := math.Inf(1)
+	for t := 0; t < 5; t++ {
+		for k := b[t]; k < e[t]; k++ {
+			dx := geom.WrapDelta(px - xy[2*k])
+			dy := geom.WrapDelta(py - xy[2*k+1])
+			d2 := dx*dx + dy*dy
+			if d2 < bestD2 {
+				bestSlot, bestD2 = k, d2
+			} else if d2 == bestD2 && bestSlot >= 0 && perm[k] < perm[bestSlot] {
+				bestSlot = k
+			}
+		}
+	}
+	return bestSlot, bestD2
+}
+
+// nearestBatch2 answers cell-ordered dim=2 queries in two passes. The
+// hot pass inlines nearest2's fused 3x3 home-block scan with no calls
+// and minimal live state (register-resident; the shared single-query
+// kernel spills), writes each query's block winner, and records the
+// queries whose block scan does not yet certify the winner. The second
+// pass walks shells >= 2 for just those deferred queries through the
+// shared nearest2Tail — for uniform sites at the default grid density
+// that is a small minority, so the branchy shell machinery stays off
+// the common path entirely.
+func (s *Space) nearestBatch2(pts []float64, out []int32, ord []int32, sc *BatchScratch, visits *uint64) {
+	g := s.g
+	gf := float64(g)
+	wrapRow := s.wrapRow
+	start := s.start
+	xy := s.soa
+	perm := s.perm
+	cw := s.cellWidth
+	if cap(sc.dq) < len(ord) {
+		sc.dq = make([]int32, len(ord))
+		sc.dd = make([]float64, len(ord))
+	}
+	dq, dd := sc.dq[:0], sc.dd
+	nd := 0
+	v := uint64(0)
+
+	// The hot pass runs in windows of batchWindow queries, two stages
+	// per window. Stage A walks the sorted queries once computing home
+	// cells and loading each query's overlapped-index run bounds — the
+	// whole 3x3 home block is ONE contiguous slot run there, two
+	// start3[] loads issued back to back with no intervening branches,
+	// so the loads of the whole window overlap. Stage B then scans each
+	// staged run with everything register-resident. Queries whose
+	// column span wraps (hy on the torus seam) and tiny grids take the
+	// unstaged slow path below — a per-mille case at production
+	// densities.
+	const batchWindow = 64
+	var wqi [batchWindow]int32 // query index
+	var wpx, wpy [batchWindow]float64
+	var wthr [batchWindow]float64 // squared (1+mb)*cw certification radius
+	var wb [batchWindow]int32     // overlapped run start
+	var we [batchWindow]int32     // overlapped run end
+	var slow [batchWindow]int32   // wrap-column queries of this window
+	start3 := s.start3
+	xy3 := s.soa3
+	perm3 := s.perm3
+	staged := g >= 5
+	for w := 0; w < len(ord); w += batchWindow {
+		wn := len(ord) - w
+		if wn > batchWindow {
+			wn = batchWindow
+		}
+		na, ns := 0, 0
+		// Stage A: home cells, certification radii, run bounds.
+		for _, qi := range ord[w : w+wn] {
+			px := pts[2*qi]
+			py := pts[2*qi+1]
+			cfx := px * gf
+			hx := int(cfx)
+			if hx >= g {
+				hx = g - 1
+			}
+			cfy := py * gf
+			hy := int(cfy)
+			if hy >= g {
+				hy = g - 1
+			}
+			if !staged || hy == 0 || hy == g-1 {
+				slow[ns] = qi
+				ns++
+				continue
+			}
+			fx := cfx - float64(hx)
+			fy := cfy - float64(hy)
+			mb := min(fx, 1-fx, fy, 1-fy)
+			lower := (1 + mb) * cw
+			wqi[na] = qi
+			wpx[na] = px
+			wpy[na] = py
+			wthr[na] = lower * lower
+			gb := hx*g + hy
+			wb[na] = start3[gb-1]
+			we[na] = start3[gb+2]
+			na++
+		}
+		v += uint64(9 * na)
+		// Stage B: scan the staged runs; exact distance ties
+		// (essentially impossible for random sites, but the contract
+		// demands the lowest public index among them) are flagged by
+		// the leaf and resolved by a rare exact re-scan.
+		for j := 0; j < na; j++ {
+			px, py := wpx[j], wpy[j]
+			bestSlot, bestBits, sawTie := scanRun2Flat(xy3, px, py, wb[j], we[j])
+			bestD2 := math.Float64frombits(bestBits)
+			if bestSlot < 0 {
+				bestD2 = math.Inf(1)
+			}
+			if sawTie {
+				bestSlot, bestD2 = rescanTies2Flat(xy3, perm3, px, py, wb[j], we[j])
+			}
+			qi := wqi[j]
+			best := int32(-1)
+			if bestSlot >= 0 {
+				best = perm3[bestSlot]
+			}
+			out[qi] = best
+			// Certification (the first iteration of nearest2Tail's
+			// loop): defer when a shell >= 2 could still improve.
+			if best < 0 || bestD2 > wthr[j] {
+				dd[nd] = bestD2
+				dq = append(dq, qi)
+				nd++
+			}
+		}
+		// Slow path: wrapping columns or a tiny grid — assemble the
+		// split runs per query, exactly as nearest2 does.
+		for _, qi := range slow[:ns] {
+			px := pts[2*qi]
+			py := pts[2*qi+1]
+			cfx := px * gf
+			hx := int(cfx)
+			if hx >= g {
+				hx = g - 1
+			}
+			cfy := py * gf
+			hy := int(cfy)
+			if hy >= g {
+				hy = g - 1
+			}
+			fx := cfx - float64(hx)
+			fy := cfy - float64(hy)
+			mb := min(fx, 1-fx, fy, 1-fy)
+			hx += g
+			runs, nr, cells := s.buildRuns2(hx, hy)
+			v += cells
+			bestSlot := int32(-1)
+			bestD2 := math.Inf(1)
+			for t := 0; t < nr; t++ {
+				for k := runs[t][0]; k < runs[t][1]; k++ {
+					dx := geom.WrapDelta(px - xy[2*k])
+					dy := geom.WrapDelta(py - xy[2*k+1])
+					d2 := dx*dx + dy*dy
+					if d2 < bestD2 {
+						bestSlot, bestD2 = k, d2
+					} else if d2 == bestD2 && bestSlot >= 0 && perm[k] < perm[bestSlot] {
+						bestSlot = k
+					}
+				}
+			}
+			best := int32(-1)
+			if bestSlot >= 0 {
+				best = perm[bestSlot]
+			}
+			out[qi] = best
+			lower := (1 + mb) * cw
+			if best < 0 || bestD2 > lower*lower {
+				dd[nd] = bestD2
+				dq = append(dq, qi)
+				nd++
+			}
+		}
+	}
+	sc.dq = dq // keep length observable (and the backing array growable)
+	// Deferred pass: shell 2 and beyond. A deferred interior query scans
+	// the flat 5x5 block around its home cell — five contiguous slot
+	// runs, covering exactly the cells Nearest would have seen after its
+	// shell-2 ring — and only escalates to the branchy shell machinery
+	// when even the (2+mb) certification fails (vanishingly rare at the
+	// default grid density).
+	for i, qi := range dq {
+		px := pts[2*qi]
+		py := pts[2*qi+1]
+		cfx := px * gf
+		hx := int(cfx)
+		if hx >= g {
+			hx = g - 1
+		}
+		cfy := py * gf
+		hy := int(cfy)
+		if hy >= g {
+			hy = g - 1
+		}
+		fx := cfx - float64(hx)
+		fy := cfy - float64(hy)
+		mb := min(fx, 1-fx, fy, 1-fy)
+		hxb := hx + g
+		if g >= 5 && hy >= 2 && hy <= g-3 {
+			var b5, e5 [5]int32
+			for o := 0; o < 5; o++ {
+				rb := int(wrapRow[hxb-2+o]) + hy
+				b5[o] = start[rb-2]
+				e5[o] = start[rb+3]
+			}
+			bestSlot, bestBits, sawTie := scanRuns2x5(xy, px, py, &b5, &e5)
+			bestD2 := math.Float64frombits(bestBits)
+			if bestSlot < 0 {
+				bestD2 = math.Inf(1)
+			}
+			if sawTie {
+				bestSlot, bestD2 = rescanTies2x5(xy, perm, px, py, &b5, &e5)
+			}
+			v += 25
+			best := -1
+			if bestSlot >= 0 {
+				best = int(perm[bestSlot])
+			}
+			lower := (2 + mb) * cw
+			if (best >= 0 && bestD2 <= lower*lower) || g/2 < 3 {
+				out[qi] = int32(best)
+				continue
+			}
+			best, _ = s.nearest2Tail(px, py, hxb, hy, mb, best, bestD2, &v, 3)
+			out[qi] = int32(best)
+			continue
+		}
+		// Wrapping columns or a tiny grid: continue from the block
+		// result through the generic shell walk.
+		best, _ := s.nearest2Tail(px, py, hxb, hy, mb, int(out[qi]), dd[i], &v, 2)
+		out[qi] = int32(best)
+	}
+	*visits += v
+}

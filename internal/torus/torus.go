@@ -43,20 +43,24 @@
 //
 // The placement hot path (ChooseBin/ChooseBinIn/ChooseD) samples into a
 // per-space scratch vector, so a query performs no heap allocation and
-// has no dimension cap. Reseed redraws the sites of an existing Space
-// in place, reusing the site storage and grid buffers (and consuming
-// exactly the variates NewRandom would), so simulation trials can
-// recycle one Space instead of rebuilding the index allocation from
+// has no dimension cap. NearestBatch (batch.go) answers whole blocks of
+// queries through a cell-sorted bulk kernel — the engine behind core's
+// blocked placement pipeline. Reseed redraws the sites of an existing
+// Space in place, reusing the site storage and grid buffers (and
+// consuming exactly the variates NewRandom would), so simulation trials
+// can recycle one Space instead of rebuilding the index allocation from
 // scratch.
 //
 // Concurrency: the methods that use the per-space scratch or statistics
 // counters — Nearest, Locate, ChooseBin, ChooseBinIn, ChooseD,
-// ChooseDIn — and of course Reseed are NOT safe for concurrent use; run
-// placement on one Space per goroutine. The read-only accessors and the
-// methods that keep their state on the stack or in caller-provided
-// buffers — Site, Sites, Weight, SampleInto, NearestBrute, WithinRadius
-// — remain safe for concurrent readers of an unchanging Space
-// (internal/voronoi's parallel workers depend on exactly that set;
+// ChooseDIn, NearestBatch — and of course Reseed are NOT safe for
+// concurrent use; run placement on one Space per goroutine. The
+// read-only accessors and the methods that keep their state on the
+// stack or in caller-provided buffers — Site, Sites, Weight,
+// SampleInto, NearestBrute, WithinRadius, and NearestBatchInto with a
+// caller-owned scratch — remain safe for concurrent readers of an
+// unchanging Space (internal/voronoi's parallel workers and
+// core.PlaceBatchParallel's resolve shards depend on exactly that set;
 // extend it with care).
 package torus
 
@@ -98,17 +102,31 @@ type Space struct {
 	wrapRow   []int32 // dim 2 and 3
 	wrapPlane []int32 // dim 3
 
-	// cellsScanned counts grid cells examined by Nearest across the
-	// Space's lifetime — instrumentation for the duplicate-scan
-	// regression tests (one register increment per cell on the hot path).
+	// Overlapped 3-row index for the dim-2 batch kernel (see batch.go):
+	// group (r, c) stores the sites of cells (r-1, c), (r, c), (r+1, c)
+	// — wrapped — contiguously, so a query's whole 3x3 home block is ONE
+	// slot run bounded by two loads. Each site appears three times
+	// (3x the SoA memory); built by rebuildCells for dim 2 on grids the
+	// staged kernel handles (g >= 5).
+	start3 []int32   // len g^2+1; group boundaries
+	soa3   []float64 // len 3n*2; coordinates in group order
+	perm3  []int32   // len 3n; public site index per overlapped slot
+
+	// cellsScanned counts grid cells examined by nearest queries across
+	// the Space's lifetime — instrumentation for the duplicate-scan
+	// regression tests. The kernels accumulate into a local counter and
+	// fold it in once per query (Nearest, non-atomically) or once per
+	// batch (NearestBatchInto, atomically — concurrent batch workers
+	// must not race on it).
 	cellsScanned uint64
 
 	// Per-space query scratch (see the package comment on concurrency).
-	qbuf   geom.Vec // sample point for ChooseBin/ChooseBinIn/ChooseD
-	home   []int    // query cell coordinates (generic kernel)
-	offs   []int    // shell odometer (generic kernel)
-	cellOf []int32  // rebuildCells scratch
-	cursor []int32  // rebuildCells scratch
+	qbuf   geom.Vec      // sample point for ChooseBin/ChooseBinIn/ChooseD
+	home   []int         // query cell coordinates (generic kernel)
+	offs   []int         // shell odometer (generic kernel)
+	cellOf []int32       // rebuildCells scratch
+	cursor []int32       // rebuildCells scratch
+	bsc    *BatchScratch // NearestBatch scratch (lazily allocated)
 }
 
 // NewRandom places n sites independently and uniformly at random on the
@@ -267,6 +285,58 @@ func (s *Space) rebuildCells() {
 		}
 	}
 	s.buildWrapTables()
+	s.buildOverlap2()
+}
+
+// buildOverlap2 (re)builds the overlapped 3-row index for the dim-2
+// batch kernel. It reads the freshly built CSR structure group by group
+// (three contiguous source runs per group), so the fill is a sequential
+// merge, not a scatter. Grids too small for the staged kernel (g < 5,
+// where wrapped rows coincide) skip it — the batch kernel's slow path
+// never touches it there.
+func (s *Space) buildOverlap2() {
+	if s.dim != 2 || s.g < 5 {
+		s.start3 = s.start3[:0]
+		return
+	}
+	n := len(s.sites)
+	g := s.g
+	nc := g * g
+	if cap(s.start3) < nc+1 {
+		s.start3 = make([]int32, nc+1)
+		s.soa3 = make([]float64, 3*n*2)
+		s.perm3 = make([]int32, 3*n)
+	}
+	start := s.start
+	start3 := s.start3[:nc+1]
+	soa3 := s.soa3[:3*n*2]
+	perm3 := s.perm3[:3*n]
+	soa := s.soa
+	perm := s.perm
+	pos := int32(0)
+	for r := 0; r < g; r++ {
+		rm := r - 1
+		if rm < 0 {
+			rm = g - 1
+		}
+		rp := r + 1
+		if rp == g {
+			rp = 0
+		}
+		b0, b1, b2 := rm*g, r*g, rp*g
+		for c := 0; c < g; c++ {
+			start3[r*g+c] = pos
+			for _, sb := range [3]int{b0 + c, b1 + c, b2 + c} {
+				for k := start[sb]; k < start[sb+1]; k++ {
+					soa3[2*pos] = soa[2*k]
+					soa3[2*pos+1] = soa[2*k+1]
+					perm3[pos] = perm[k]
+					pos++
+				}
+			}
+		}
+	}
+	start3[nc] = pos
 }
 
 // buildWrapTables (re)builds the biased modular-coordinate tables for
@@ -390,13 +460,19 @@ func (s *Space) Nearest(p geom.Vec) (int, float64) {
 	if len(p) != s.dim {
 		panic(fmt.Sprintf("torus: query dimension %d, want %d", len(p), s.dim))
 	}
+	var visits uint64
+	var best int
+	var bestD2 float64
 	switch s.dim {
 	case 2:
-		return s.nearest2(p[0], p[1])
+		best, bestD2 = s.nearest2(p[0], p[1], &visits)
 	case 3:
-		return s.nearest3(p[0], p[1], p[2])
+		best, bestD2 = s.nearest3(p[0], p[1], p[2], &visits)
+	default:
+		best, bestD2 = s.nearestGeneric(p, s.home, s.offs, &visits)
 	}
-	return s.nearestGeneric(p)
+	s.cellsScanned += visits
+	return best, bestD2
 }
 
 // nearestGeneric is the any-dimension kernel: shells of wrapped
@@ -413,10 +489,12 @@ func (s *Space) Nearest(p geom.Vec) (int, float64) {
 // bound no further shell can improve it. (The mb refinement only
 // tightens the classic (s-1)*cellWidth bound; the returned site is the
 // exact argmin either way.)
-func (s *Space) nearestGeneric(p geom.Vec) (int, float64) {
+// Scratch (home cell coordinates and the shell odometer) is provided by
+// the caller so concurrent batch workers do not share state; Nearest
+// passes the Space's own scratch.
+func (s *Space) nearestGeneric(p geom.Vec, home, offs []int, visits *uint64) (int, float64) {
 	g := s.g
 	gf := float64(g)
-	home := s.home
 	mb := 0.5
 	for j := 0; j < s.dim; j++ {
 		cf := p[j] * gf
@@ -444,7 +522,7 @@ func (s *Space) nearestGeneric(p geom.Vec) (int, float64) {
 				break
 			}
 		}
-		best, bestD2 = s.scanShell(p, shell, best, bestD2)
+		best, bestD2 = s.scanShell(p, home, offs, shell, best, bestD2, visits)
 		if shell >= sMax {
 			break // every cell has been visited exactly once
 		}
@@ -462,14 +540,14 @@ func (s *Space) nearestGeneric(p geom.Vec) (int, float64) {
 // odometer: the leading dim-1 axes sweep the canonical range, and the
 // last axis visits only its extremes unless an earlier axis is already
 // extreme.
-func (s *Space) scanShell(p geom.Vec, shell, best int, bestD2 float64) (int, float64) {
+func (s *Space) scanShell(p geom.Vec, home, offs []int, shell, best int, bestD2 float64, visits *uint64) (int, float64) {
 	dim := s.dim
-	offs := s.offs[:dim]
+	offs = offs[:dim]
 	if shell == 0 {
 		for j := range offs {
 			offs[j] = 0
 		}
-		return s.scanCell(p, offs, best, bestD2)
+		return s.scanCell(p, home, offs, best, bestD2, visits)
 	}
 	lo := -shell
 	if 2*shell >= s.g {
@@ -489,15 +567,15 @@ func (s *Space) scanShell(p geom.Vec, shell, best int, bestD2 float64) (int, flo
 		if extreme {
 			for o := lo; o <= shell; o++ {
 				offs[dim-1] = o
-				best, bestD2 = s.scanCell(p, offs, best, bestD2)
+				best, bestD2 = s.scanCell(p, home, offs, best, bestD2, visits)
 			}
 		} else {
 			if lo == -shell {
 				offs[dim-1] = -shell
-				best, bestD2 = s.scanCell(p, offs, best, bestD2)
+				best, bestD2 = s.scanCell(p, home, offs, best, bestD2, visits)
 			}
 			offs[dim-1] = shell
-			best, bestD2 = s.scanCell(p, offs, best, bestD2)
+			best, bestD2 = s.scanCell(p, home, offs, best, bestD2, visits)
 		}
 		// Advance the leading dim-1 axes.
 		j := dim - 2
@@ -515,13 +593,13 @@ func (s *Space) scanShell(p geom.Vec, shell, best int, bestD2 float64) (int, flo
 }
 
 // scanCell scans the SoA slots of the grid cell at home+offs (wrapped).
-func (s *Space) scanCell(p geom.Vec, offs []int, best int, bestD2 float64) (int, float64) {
-	s.cellsScanned++
+func (s *Space) scanCell(p geom.Vec, home, offs []int, best int, bestD2 float64, visits *uint64) (int, float64) {
+	*visits++
 	dim := s.dim
 	wrap := s.wrap
 	idx := 0
 	for j := 0; j < dim; j++ {
-		idx = idx*s.g + int(wrap[s.home[j]+offs[j]])
+		idx = idx*s.g + int(wrap[home[j]+offs[j]])
 	}
 	soa := s.soa
 	perm := s.perm
@@ -549,7 +627,7 @@ func (s *Space) scanCell(p geom.Vec, offs []int, best int, bestD2 float64) (int,
 // the two extreme rows of a shell each scan as one or two runs, and
 // only interior rows fall back to single-cell runs for their extreme
 // columns.
-func (s *Space) nearest2(px, py float64) (int, float64) {
+func (s *Space) nearest2(px, py float64, visits *uint64) (int, float64) {
 	g := s.g
 	gf := float64(g)
 	cfx := px * gf
@@ -568,15 +646,8 @@ func (s *Space) nearest2(px, py float64) (int, float64) {
 	fx := cfx - float64(hx)
 	fy := cfy - float64(hy)
 	mb := min(fx, 1-fx, fy, 1-fy)
-	wrap := s.wrap
-	wrapRow := s.wrapRow
-	start := s.start
 	xy := s.soa
 	perm := s.perm
-	best := -1
-	bestD2 := math.Inf(1)
-	sMax := g / 2
-	cw := s.cellWidth
 	hx += g // bias once; all offsets stay within the 3g wrap tables
 
 	// Fused shells 0+1: with about one site per cell almost every query
@@ -586,14 +657,56 @@ func (s *Space) nearest2(px, py float64) (int, float64) {
 	// the start[] loads back to back, and the single scan loop over
 	// predictable ~3-site runs avoids the branchy per-cell surface walk
 	// for the shells that matter.
+	runs, nr, cells := s.buildRuns2(hx, hy)
+	*visits += cells
+	// Track the best slot, resolving the public index only on exact
+	// distance ties (and once at the end) — the common-case loop never
+	// touches perm. The winner is the lowest public index among the
+	// sites tied at the minimum, as everywhere else.
+	bestSlot := int32(-1)
+	bestD2 := math.Inf(1)
+	for t := 0; t < nr; t++ {
+		for k := runs[t][0]; k < runs[t][1]; k++ {
+			dx := geom.WrapDelta(px - xy[2*k])
+			dy := geom.WrapDelta(py - xy[2*k+1])
+			d2 := dx*dx + dy*dy
+			if d2 < bestD2 {
+				bestSlot, bestD2 = k, d2
+			} else if d2 == bestD2 && bestSlot >= 0 && perm[k] < perm[bestSlot] {
+				bestSlot = k
+			}
+		}
+	}
+	best := -1
+	if bestSlot >= 0 {
+		best = int(perm[bestSlot])
+		// Fast certification for the common case: the fused block
+		// already proves no shell >= 2 can improve on the best (the
+		// first iteration of nearest2Tail's loop).
+		lower := (1 + mb) * s.cellWidth
+		if bestD2 <= lower*lower {
+			return best, bestD2
+		}
+	}
+	return s.nearest2Tail(px, py, hx, hy, mb, best, bestD2, visits, 2)
+}
+
+// buildRuns2 assembles the contiguous slot runs covering the wrapped
+// 3x3 block around home cell (hx, hy) — hx biased by +g — one run per
+// row, two when the column span wraps, the whole (deduplicated) grid
+// when g <= 2. It returns the runs, their count, and the number of
+// distinct cells covered. Shared by nearest2 and the batch kernel's
+// slow path so the seam handling lives in exactly one place.
+func (s *Space) buildRuns2(hx, hy int) (runs [6][2]int32, nr int, cells uint64) {
+	g := s.g
+	wrapRow := s.wrapRow
+	start := s.start
 	r0, r1 := hx-1, hx+1
 	c0, c1 := hy-1, hy+1
 	if g <= 2 { // offsets -1 and +1 wrap onto each other
 		r0, r1 = g, 2*g-1
 		c0, c1 = 0, g-1
 	}
-	var runs [6][2]int32
-	nr := 0
 	for ro := r0; ro <= r1; ro++ {
 		rb := int(wrapRow[ro])
 		a0, a1 := c0, c1
@@ -609,24 +722,26 @@ func (s *Space) nearest2(px, py float64) (int, float64) {
 		runs[nr] = [2]int32{start[rb+a0], start[rb+a1+1]}
 		nr++
 	}
-	s.cellsScanned += uint64((r1 - r0 + 1) * (c1 - c0 + 1))
-	for t := 0; t < nr; t++ {
-		for k := runs[t][0]; k < runs[t][1]; k++ {
-			dx := geom.WrapDelta(px - xy[2*k])
-			dy := geom.WrapDelta(py - xy[2*k+1])
-			d2 := dx*dx + dy*dy
-			if d2 <= bestD2 {
-				pk := int(perm[k])
-				if d2 < bestD2 || pk < best {
-					best, bestD2 = pk, d2
-				}
-			}
-		}
+	return runs, nr, uint64((r1 - r0 + 1) * (c1 - c0 + 1))
+}
+
+// nearest2Tail walks shells startShell.. for the dim=2 kernels,
+// continuing from a scan that has already covered every cell at wrapped
+// Chebyshev distance < startShell. hx is already biased by +g; mb is
+// the query's distance to its nearest home cell boundary in cell units.
+// Shared by nearest2 (startShell 2, after the fused block) and the
+// batch kernel (startShell 3, after its flat 5x5 scan) so the shell
+// enumeration and certification live in exactly one place.
+func (s *Space) nearest2Tail(px, py float64, hx, hy int, mb float64, best int, bestD2 float64, visits *uint64, startShell int) (int, float64) {
+	g := s.g
+	sMax := g / 2
+	if sMax < startShell {
+		return best, bestD2 // the prior scan covered the whole grid
 	}
-	if sMax < 2 {
-		return best, bestD2 // the block covered the whole grid
-	}
-	for shell := 2; ; shell++ {
+	wrap := s.wrap
+	wrapRow := s.wrapRow
+	cw := s.cellWidth
+	for shell := startShell; ; shell++ {
 		if best >= 0 {
 			lower := (float64(shell-1) + mb) * cw
 			if bestD2 <= lower*lower {
@@ -638,18 +753,18 @@ func (s *Space) nearest2(px, py float64) (int, float64) {
 			lo = 1 - shell // -shell wraps onto +shell; scan it once
 		}
 		// Rows at wrapped distance exactly shell: full column span.
-		best, bestD2 = s.scanRow2(int(wrapRow[hx+shell]), hy+lo, hy+shell, px, py, best, bestD2)
+		best, bestD2 = s.scanRow2(int(wrapRow[hx+shell]), hy+lo, hy+shell, px, py, best, bestD2, visits)
 		if lo == -shell {
-			best, bestD2 = s.scanRow2(int(wrapRow[hx-shell]), hy+lo, hy+shell, px, py, best, bestD2)
+			best, bestD2 = s.scanRow2(int(wrapRow[hx-shell]), hy+lo, hy+shell, px, py, best, bestD2, visits)
 		}
 		// Interior rows: only the extreme columns.
 		cHi := int(wrap[hy+shell+g])
 		cLo := int(wrap[hy-shell+g])
 		for ro := 1 - shell; ro <= shell-1; ro++ {
 			rb := int(wrapRow[hx+ro])
-			best, bestD2 = s.scanRun2(rb+cHi, rb+cHi, px, py, best, bestD2)
+			best, bestD2 = s.scanRun2(rb+cHi, rb+cHi, px, py, best, bestD2, visits)
 			if lo == -shell {
-				best, bestD2 = s.scanRun2(rb+cLo, rb+cLo, px, py, best, bestD2)
+				best, bestD2 = s.scanRun2(rb+cLo, rb+cLo, px, py, best, bestD2, visits)
 			}
 		}
 		if shell >= sMax {
@@ -662,22 +777,22 @@ func (s *Space) nearest2(px, py float64) (int, float64) {
 // scanRow2 scans columns [c0, c1] (unwrapped, c1-c0+1 <= g) of the row
 // with flat base rb, splitting at the wraparound boundary into at most
 // two contiguous runs.
-func (s *Space) scanRow2(rb, c0, c1 int, px, py float64, best int, bestD2 float64) (int, float64) {
+func (s *Space) scanRow2(rb, c0, c1 int, px, py float64, best int, bestD2 float64, visits *uint64) (int, float64) {
 	g := s.g
 	if c0 < 0 {
-		best, bestD2 = s.scanRun2(rb+c0+g, rb+g-1, px, py, best, bestD2)
+		best, bestD2 = s.scanRun2(rb+c0+g, rb+g-1, px, py, best, bestD2, visits)
 		c0 = 0
 	} else if c1 >= g {
-		best, bestD2 = s.scanRun2(rb, rb+c1-g, px, py, best, bestD2)
+		best, bestD2 = s.scanRun2(rb, rb+c1-g, px, py, best, bestD2, visits)
 		c1 = g - 1
 	}
-	return s.scanRun2(rb+c0, rb+c1, px, py, best, bestD2)
+	return s.scanRun2(rb+c0, rb+c1, px, py, best, bestD2, visits)
 }
 
 // scanRun2 scans the contiguous SoA slot range covering the adjacent
 // cells [idx0, idx1] with the dim=2 distance unrolled.
-func (s *Space) scanRun2(idx0, idx1 int, px, py float64, best int, bestD2 float64) (int, float64) {
-	s.cellsScanned += uint64(idx1 - idx0 + 1)
+func (s *Space) scanRun2(idx0, idx1 int, px, py float64, best int, bestD2 float64, visits *uint64) (int, float64) {
+	*visits += uint64(idx1 - idx0 + 1)
 	xy := s.soa
 	perm := s.perm
 	for k := s.start[idx0]; k < s.start[idx1+1]; k++ {
@@ -698,7 +813,7 @@ func (s *Space) scanRun2(idx0, idx1 int, px, py float64, best int, bestD2 float6
 // y/z block (each y row one or two contiguous z runs), interior planes
 // scan their extreme rows as z runs and only the extreme z columns of
 // interior rows.
-func (s *Space) nearest3(px, py, pz float64) (int, float64) {
+func (s *Space) nearest3(px, py, pz float64, visits *uint64) (int, float64) {
 	g := s.g
 	gf := float64(g)
 	cfx := px * gf
@@ -738,7 +853,7 @@ func (s *Space) nearest3(px, py, pz float64) (int, float64) {
 		}
 		if shell == 0 {
 			idx := int(wrapPlane[hx]) + int(wrapRow[hy]) + hz
-			best, bestD2 = s.scanRun3(idx, idx, px, py, pz, best, bestD2)
+			best, bestD2 = s.scanRun3(idx, idx, px, py, pz, best, bestD2, visits)
 		} else {
 			lo := -shell
 			if 2*shell >= g {
@@ -748,13 +863,13 @@ func (s *Space) nearest3(px, py, pz float64) (int, float64) {
 			pb := int(wrapPlane[hx+shell])
 			for yo := lo; yo <= shell; yo++ {
 				rb := pb + int(wrapRow[hy+yo])
-				best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2)
+				best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2, visits)
 			}
 			if lo == -shell {
 				pb = int(wrapPlane[hx-shell])
 				for yo := lo; yo <= shell; yo++ {
 					rb := pb + int(wrapRow[hy+yo])
-					best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2)
+					best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2, visits)
 				}
 			}
 			// Interior planes.
@@ -764,17 +879,17 @@ func (s *Space) nearest3(px, py, pz float64) (int, float64) {
 				pb = int(wrapPlane[hx+xo])
 				// Extreme rows: full z span.
 				rb := pb + int(wrapRow[hy+shell])
-				best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2)
+				best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2, visits)
 				if lo == -shell {
 					rb = pb + int(wrapRow[hy-shell])
-					best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2)
+					best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2, visits)
 				}
 				// Interior rows: extreme z columns only.
 				for yo := 1 - shell; yo <= shell-1; yo++ {
 					rb = pb + int(wrapRow[hy+yo])
-					best, bestD2 = s.scanRun3(rb+zHi, rb+zHi, px, py, pz, best, bestD2)
+					best, bestD2 = s.scanRun3(rb+zHi, rb+zHi, px, py, pz, best, bestD2, visits)
 					if lo == -shell {
-						best, bestD2 = s.scanRun3(rb+zLo, rb+zLo, px, py, pz, best, bestD2)
+						best, bestD2 = s.scanRun3(rb+zLo, rb+zLo, px, py, pz, best, bestD2, visits)
 					}
 				}
 			}
@@ -789,22 +904,22 @@ func (s *Space) nearest3(px, py, pz float64) (int, float64) {
 // scanRow3 scans z columns [c0, c1] (unwrapped, c1-c0+1 <= g) of the
 // row with flat base rb, splitting at the wraparound boundary into at
 // most two contiguous runs.
-func (s *Space) scanRow3(rb, c0, c1 int, px, py, pz float64, best int, bestD2 float64) (int, float64) {
+func (s *Space) scanRow3(rb, c0, c1 int, px, py, pz float64, best int, bestD2 float64, visits *uint64) (int, float64) {
 	g := s.g
 	if c0 < 0 {
-		best, bestD2 = s.scanRun3(rb+c0+g, rb+g-1, px, py, pz, best, bestD2)
+		best, bestD2 = s.scanRun3(rb+c0+g, rb+g-1, px, py, pz, best, bestD2, visits)
 		c0 = 0
 	} else if c1 >= g {
-		best, bestD2 = s.scanRun3(rb, rb+c1-g, px, py, pz, best, bestD2)
+		best, bestD2 = s.scanRun3(rb, rb+c1-g, px, py, pz, best, bestD2, visits)
 		c1 = g - 1
 	}
-	return s.scanRun3(rb+c0, rb+c1, px, py, pz, best, bestD2)
+	return s.scanRun3(rb+c0, rb+c1, px, py, pz, best, bestD2, visits)
 }
 
 // scanRun3 scans the contiguous SoA slot range covering the adjacent
 // cells [idx0, idx1] with the dim=3 distance unrolled.
-func (s *Space) scanRun3(idx0, idx1 int, px, py, pz float64, best int, bestD2 float64) (int, float64) {
-	s.cellsScanned += uint64(idx1 - idx0 + 1)
+func (s *Space) scanRun3(idx0, idx1 int, px, py, pz float64, best int, bestD2 float64, visits *uint64) (int, float64) {
+	*visits += uint64(idx1 - idx0 + 1)
 	xyz := s.soa
 	perm := s.perm
 	for k := s.start[idx0]; k < s.start[idx1+1]; k++ {
