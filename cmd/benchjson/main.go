@@ -31,14 +31,17 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"geobalance/internal/core"
+	"geobalance/internal/geom"
 	"geobalance/internal/hashring"
 	"geobalance/internal/loadgen"
 	"geobalance/internal/ring"
 	"geobalance/internal/rng"
+	"geobalance/internal/router"
 	"geobalance/internal/sim"
 	"geobalance/internal/torus"
 )
@@ -112,16 +115,86 @@ func newBenchRing(servers, d int) (*hashring.Ring, []string, error) {
 	return hr, keys, nil
 }
 
-// hashringLocateParallel builds the parallel Locate benchmark at the
-// current GOMAXPROCS.
-func hashringLocateParallel(hr *hashring.Ring, keys []string) func(b *testing.B) {
+// newBenchGeo builds a torus-backed geo router with servers at
+// deterministic random coordinates and a preloaded key set.
+func newBenchGeo(servers, dim, d int) (*router.Geo, []string, error) {
+	geo, err := router.NewGeo(dim, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := rng.New(17)
+	at := make(geom.Vec, dim)
+	for i := 0; i < servers; i++ {
+		for j := range at {
+			at[j] = r.Float64()
+		}
+		if err := geo.AddServer(fmt.Sprintf("dc-%d", i), at); err != nil {
+			return nil, nil, err
+		}
+	}
+	const preload = 1 << 14
+	keys := make([]string, preload)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		if _, err := geo.Place(keys[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return geo, keys, nil
+}
+
+// serveLocator is the Locate/Place/Remove surface the router benchmark
+// builders need (hashring.Ring or router.Geo).
+type serveLocator interface {
+	Locate(key string) (string, error)
+	Place(key string) (string, error)
+	Remove(key string) error
+}
+
+// locateParallel builds the parallel Locate benchmark at the current
+// GOMAXPROCS.
+func locateParallel(rt serveLocator, keys []string) func(b *testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
 		b.RunParallel(func(pb *testing.PB) {
 			i := 0
 			for pb.Next() {
-				if _, err := hr.Locate(keys[i&(len(keys)-1)]); err != nil {
+				if _, err := rt.Locate(keys[i&(len(keys)-1)]); err != nil {
 					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	}
+}
+
+// placeRemoveParallel builds the parallel write benchmark: each
+// goroutine cycles Place/Remove over its own key range so writes never
+// collide. The worker counter lives in the builder scope because
+// testing.Benchmark re-invokes the function with growing b.N against
+// the SAME router — a goroutine may end its run with a key still
+// placed, so key ranges must be unique across invocations too.
+func placeRemoveParallel(rt serveLocator) func(b *testing.B) {
+	var worker atomic.Int64
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			w := worker.Add(1)
+			own := make([]string, 256)
+			for i := range own {
+				own[i] = fmt.Sprintf("pw%d-%d", w, i)
+			}
+			i := 0
+			for pb.Next() {
+				key := own[(i>>1)&255] // place at even i, remove the SAME key at odd i
+				if i&1 == 0 {
+					if _, err := rt.Place(key); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if err := rt.Remove(key); err != nil {
+						b.Fatal(err)
+					}
 				}
 				i++
 			}
@@ -409,12 +482,58 @@ func collect() ([]result, error) {
 	nprocs := runtime.GOMAXPROCS(0)
 	prev := runtime.GOMAXPROCS(1)
 	results = append(results,
-		runParallel("hashring_locate_parallel/servers=1024/procs=1", hashringLocateParallel(hr, keys)))
+		runParallel("hashring_locate_parallel/servers=1024/procs=1", locateParallel(hr, keys)))
 	runtime.GOMAXPROCS(prev)
 	if nprocs > 1 {
 		results = append(results,
 			runParallel(fmt.Sprintf("hashring_locate_parallel/servers=1024/procs=%d", nprocs),
-				hashringLocateParallel(hr, keys)))
+				locateParallel(hr, keys)))
+	}
+
+	// --- Torus-backed geographic router (router.Geo) ---
+	// The same serving core as hashring behind the torus metric: Locate
+	// reads a key record, Place resolves d hashed torus points through
+	// the grid nearest-site kernel. Like hashring_place_remove, the
+	// place records measure one REMOVE+PLACE CYCLE per op (a key must
+	// be removed before it can be re-placed), so compare them to that
+	// record, not to a lone placement. Zero allocs on all of them is
+	// part of the gate (the baseline alloc columns are 0, so ANY
+	// allocation fails CI).
+	geo, gkeys, err := newBenchGeo(1024, 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, run("router_geo_locate/servers=1024/dim=2", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := geo.Locate(gkeys[i&(len(gkeys)-1)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	results = append(results, run("router_geo_place/servers=1024/dim=2", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			key := gkeys[i&4095]
+			if err := geo.Remove(key); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := geo.Place(key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	prev = runtime.GOMAXPROCS(1)
+	results = append(results,
+		runParallel("router_geo_locate_parallel/servers=1024/dim=2/procs=1", locateParallel(geo, gkeys)),
+		runParallel("router_geo_place_parallel/servers=1024/dim=2/procs=1", placeRemoveParallel(geo)))
+	runtime.GOMAXPROCS(prev)
+	if nprocs > 1 {
+		results = append(results,
+			runParallel(fmt.Sprintf("router_geo_locate_parallel/servers=1024/dim=2/procs=%d", nprocs),
+				locateParallel(geo, gkeys)),
+			runParallel(fmt.Sprintf("router_geo_place_parallel/servers=1024/dim=2/procs=%d", nprocs),
+				placeRemoveParallel(geo)))
 	}
 
 	// --- Load-test harness: skewed concurrent traffic ---
@@ -433,6 +552,17 @@ func collect() ([]result, error) {
 		return nil, err
 	}
 	results = append(results, lgc)
+	// The same harness over the torus-backed geo router: end-to-end
+	// serving throughput of the grid nearest-site path under skewed
+	// concurrent traffic.
+	lgt, err := loadgenRecord("loadgen_zipf_torus/servers=64/workers=4/dim=2", loadgen.Config{
+		Space: "torus", Dim: 2, Servers: 64, Workers: 4, Ops: 300_000, Keys: 1 << 12,
+		Dist: "zipf", LookupFrac: 0.9, Seed: 44,
+	})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, lgt)
 	return results, nil
 }
 

@@ -271,6 +271,18 @@ func TestCmdLoadtest(t *testing.T) {
 	runCmdErr(t, cmdLoadtest, "-ops", "100", "-dist", "bogus")
 }
 
+func TestCmdLoadtestTorus(t *testing.T) {
+	out := runCmd(t, cmdLoadtest, "-space", "torus", "-dim", "2", "-servers", "8",
+		"-workers", "2", "-ops", "10000", "-keys", "2^8", "-churn", "1ms",
+		"-report", "5ms")
+	for _, want := range []string{"torus space", "dim=2", "invariants: OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	runCmdErr(t, cmdLoadtest, "-space", "klein-bottle", "-ops", "100")
+}
+
 func TestCmdLoadtestChurn(t *testing.T) {
 	out := runCmd(t, cmdLoadtest, "-servers", "8", "-workers", "3",
 		"-ops", "20000", "-keys", "2^8", "-churn", "1ms", "-dist", "pareto")

@@ -8,15 +8,18 @@ import (
 	"geobalance/internal/loadgen"
 )
 
-// cmdLoadtest drives the concurrent hashring router with skewed
-// multi-goroutine traffic and reports throughput and latency
-// percentiles — the serving-path counterpart of the simulation
-// subcommands.
+// cmdLoadtest drives the concurrent serving layer — the ring-backed
+// hashring router or the torus-backed geographic router, selected with
+// -space — with skewed multi-goroutine traffic and reports throughput
+// and latency percentiles — the serving-path counterpart of the
+// simulation subcommands.
 func cmdLoadtest(args []string) error {
 	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
-	servers := fs.Int("servers", 64, "ring servers")
+	space := fs.String("space", "ring", "serving geometry: ring (hashring) or torus (geo router)")
+	dim := fs.Int("dim", 2, "torus dimension (space=torus only)")
+	servers := fs.Int("servers", 64, "fleet size")
 	d := fs.Int("d", 2, "hash choices per key")
-	replicas := fs.Int("replicas", 1, "ring positions per server")
+	replicas := fs.Int("replicas", 1, "ring positions per server (space=ring only)")
 	workers := fs.Int("workers", 0, "traffic goroutines (0 = GOMAXPROCS)")
 	ops := fs.Int64("ops", 0, "total op budget; takes precedence over -duration when > 0")
 	dur := fs.Duration("duration", 2*time.Second, "wall-clock run length when -ops is 0")
@@ -28,12 +31,15 @@ func cmdLoadtest(args []string) error {
 	churn := fs.Duration("churn", 0, "membership change period (0 = no churn)")
 	rebalance := fs.Bool("rebalance", true, "rebalance after each churn event")
 	sample := fs.Int("sample", 8, "measure latency on every k-th op")
+	report := fs.Duration("report", 0, "interim load-imbalance report period (0 = none)")
 	seed := fs.Uint64("seed", 1, "master seed; workers derive deterministic substreams")
 	prof := addProfile(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := loadgen.Config{
+		Space:       *space,
+		Dim:         *dim,
 		Servers:     *servers,
 		Choices:     *d,
 		Replicas:    *replicas,
@@ -48,13 +54,20 @@ func cmdLoadtest(args []string) error {
 		SampleEvery: *sample,
 		Seed:        *seed,
 	}
+	if *report > 0 {
+		cfg.ReportEvery = *report
+		cfg.ReportTo = stdout
+	}
 	if *ops > 0 {
 		cfg.Ops = *ops
 	} else {
 		cfg.Duration = *dur
 	}
-	fmt.Fprintf(stdout, "Load test: %d servers, d=%d, %s keys over %s popularity",
-		*servers, *d, pow2Label(*keys), *dist)
+	fmt.Fprintf(stdout, "Load test: %s space, %d servers, d=%d, %s keys over %s popularity",
+		*space, *servers, *d, pow2Label(*keys), *dist)
+	if *space == "torus" {
+		fmt.Fprintf(stdout, ", dim=%d", *dim)
+	}
 	if *churn > 0 {
 		fmt.Fprintf(stdout, ", churn every %v (rebalance=%v)", *churn, *rebalance)
 	}
@@ -68,11 +81,11 @@ func cmdLoadtest(args []string) error {
 		return err
 	}
 	res.Report(stdout)
-	// A load test that corrupted the ring is worse than a slow one:
+	// A load test that corrupted the router is worse than a slow one:
 	// always verify before declaring numbers.
-	res.Ring.Rebalance()
-	if err := res.Ring.CheckInvariants(); err != nil {
-		return fmt.Errorf("ring invariants violated after run: %w", err)
+	res.Router.Rebalance()
+	if err := res.Router.CheckInvariants(); err != nil {
+		return fmt.Errorf("router invariants violated after run: %w", err)
 	}
 	fmt.Fprintln(stdout, "  invariants: OK")
 	return nil

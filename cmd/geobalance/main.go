@@ -58,7 +58,7 @@ func main() {
 		{"fluid", "fluid-limit prediction vs uniform simulation", cmdFluid},
 		{"theory", "Theorem 1 beta recursion diagnostics", cmdTheory},
 		{"stabilize", "Chord stabilization: join/failure convergence and hops", cmdStabilize},
-		{"loadtest", "concurrent hashring load test: throughput + latency percentiles", cmdLoadtest},
+		{"loadtest", "concurrent router load test (ring or torus space): throughput + latency percentiles", cmdLoadtest},
 		{"all", "run the whole reduced-scale suite in one command", cmdAll},
 	}
 	if len(os.Args) < 2 || os.Args[1] == "-h" || os.Args[1] == "--help" || os.Args[1] == "help" {

@@ -16,8 +16,9 @@
 //	internal/voronoi   exact Voronoi cells and areas on the 2-D torus
 //	internal/balls     classical uniform balls-into-bins baselines
 //	internal/chord     Chord DHT simulator (the Section 1.1 application)
-//	internal/hashring  concurrent consistent-hash router with d-choice placement
-//	internal/loadgen   multi-goroutine skewed-traffic load-test harness
+//	internal/router    space-agnostic concurrent serving core + torus-backed Geo router
+//	internal/hashring  ring-backed facade over the serving core (consistent-hash router)
+//	internal/loadgen   multi-goroutine skewed-traffic load-test harness (any router)
 //	internal/workload  Zipf / bounded-Pareto popularity and size distributions
 //	internal/tailbound the paper's lemma bounds and empirical verifiers
 //	internal/fluid     fluid-limit ODE predictor for the uniform case
@@ -80,20 +81,45 @@
 //     long-lived space, allocator, and in-place-reseeded generator
 //     across trials — the pooled trial loop is allocation-free.
 //
-// # Serving-path architecture
+// # Serving-layer architecture
 //
-// internal/hashring is the deployable router distillation, rebuilt as a
-// concurrent structure: the topology (live servers, capacities, and the
-// sorted ring points in internal/jump form) is an immutable snapshot
-// published through an atomic.Pointer — membership ops copy-on-write
-// and republish, so d-choice lookups are lock-free, allocation-free,
-// and can never observe a half-applied change. Per-server load lives in
-// cache-line-padded sharded counters folded on demand. internal/loadgen
-// drives the router with N goroutines of Zipf/Pareto/uniform-keyed
-// Place/Locate/Remove traffic (optionally racing membership churn) and
-// reports throughput plus sampled latency percentiles; run it via
-// `geobalance loadtest`. cmd/benchjson records these numbers alongside
-// the simulation sweep and gates CI on regressions (-compare).
+// The serving path is split into a space-agnostic core and per-space
+// facades, mirroring the paper's structure (the d-choice scheme is the
+// same on every geometry; only the metric changes):
+//
+//   - internal/router owns the generic serving machinery once: the
+//     membership (slot tables, capacities, live set) plus its geometry
+//     lives in an immutable snapshot published through an
+//     atomic.Pointer — membership ops copy-on-write a clone through a
+//     Txn, attach the facade-built topology, and republish, so
+//     d-choice lookups are lock-free, allocation-free, and can never
+//     observe a half-applied change. Per-server load lives in
+//     cache-line-padded sharded counters folded on demand
+//     (LoadsInto is the allocation-free reporting form); key records
+//     in a hash-sharded map; Place/Locate/Remove/Rebalance and the
+//     invariant checker are all generic over a small Topology
+//     interface (resolve a hashed key to the owning server slot).
+//   - internal/hashring is the ring facade: servers hash to sorted
+//     points in internal/jump form, a key hash resolves to its arc
+//     owner in O(1). Its public API is unchanged from before the
+//     split.
+//   - router.Geo is the torus facade: servers sit at fixed k-D torus
+//     coordinates (e.g. datacenter lat/long), each key hashes to d
+//     points resolved through internal/torus's grid nearest-site
+//     kernels (NearestShared, the concurrent scratch-free entry), so
+//     placement respects geography while d-choices level the load.
+//     Membership changes build the new torus index incrementally from
+//     the prior snapshot (torus.WithSite/WithoutSite splice the
+//     cell-CSR and overlapped-row indexes instead of re-sorting) —
+//     see examples/geo-router.
+//
+// internal/loadgen drives either router (Config.Space ring/torus) with
+// N goroutines of Zipf/Pareto/uniform-keyed Place/Locate/Remove
+// traffic (optionally racing membership churn) and reports throughput
+// plus sampled latency percentiles; run it via `geobalance loadtest
+// [-space torus]`. cmd/benchjson records both routers' serial and
+// parallel numbers alongside the simulation sweep and gates CI on
+// regressions (-compare).
 //
 // Measured on the development machine (noisy shared vCPU, Go 1.24,
 // n = 2^16, d = 2, m = n, BenchmarkTable1Ring, interleaved runs): the

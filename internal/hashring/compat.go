@@ -1,0 +1,66 @@
+// White-box test adapter. Before the serving-layer split the snapshot
+// machinery lived in this package and the concurrency tests reached
+// into it directly (r.snap.Load(), topology fields, ownerOf/choose) to
+// prove that every PUBLISHED snapshot — not just the API surface — is
+// consistent under churn. Those tests are deliberately unchanged by
+// the split, so this file re-expresses one immutable router snapshot
+// in the pre-split shape. Production code never touches these types.
+package hashring
+
+import (
+	"geobalance/internal/jump"
+	"geobalance/internal/router"
+)
+
+// topology mirrors the pre-split snapshot: the generic slot tables
+// from the router snapshot plus the ring-metric point set, all sharing
+// the (immutable) published arrays, so a loaded view is exactly as
+// atomic as the snapshot it wraps.
+type topology struct {
+	d        int
+	replicas int
+	servers  []string
+	caps     []float64
+	dead     []bool
+	loads    []*router.SlotLoad
+	live     int
+	bits     []uint64
+	owner    []int32
+	points   *jump.Index
+
+	rs *router.Snapshot
+}
+
+// ownerOf resolves the server owning the ring position of hash h.
+// live must be > 0.
+func (t *topology) ownerOf(h uint64) int32 { return t.rs.Topo.Resolve(h) }
+
+// choose runs the d-choice among the key's current candidates.
+func (t *topology) choose(key string, h0 uint64) (best int32, salt int) {
+	return t.rs.Choose(key, h0)
+}
+
+// snapPointer adapts the router's snapshot accessor to the pre-split
+// `r.snap.Load()` form.
+type snapPointer struct {
+	rt *router.Router
+}
+
+// Load returns the current published snapshot in the pre-split shape.
+func (p snapPointer) Load() *topology {
+	s := p.rt.Snapshot()
+	t := &topology{
+		d:       s.D,
+		servers: s.Names,
+		caps:    s.Caps,
+		dead:    s.Dead,
+		loads:   s.Loads,
+		live:    s.Live,
+		rs:      s,
+	}
+	if rt, ok := s.Topo.(*ringTopo); ok {
+		t.replicas = rt.replicas
+		t.bits, t.owner, t.points = rt.bits, rt.owner, rt.points
+	}
+	return t
+}

@@ -11,6 +11,18 @@
 // candidate owner. The ring tracks per-server load and exposes the
 // same Add/Remove/Place/Locate surface a cache or shard router needs.
 //
+// # Architecture
+//
+// Since the serving-layer split, this package owns only the ring
+// GEOMETRY: hashing servers to sorted points on [0, 1) and resolving a
+// key hash to the owner of its arc through an internal/jump index
+// (ringTopo, the router.Topology implementation). Everything else —
+// the immutable snapshot publication, copy-on-write membership,
+// cache-line-padded sharded load counters, hash-sharded key records,
+// Place/Locate/Remove/Rebalance — is the space-agnostic serving core
+// in internal/router, shared verbatim with the torus-backed router.Geo.
+// The public API and its guarantees are unchanged by the split.
+//
 // # Concurrency model
 //
 // The ring topology (live servers, their capacities, and the sorted
@@ -46,131 +58,48 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"geobalance/internal/jump"
-	"geobalance/internal/rng"
+	"geobalance/internal/router"
 )
 
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-
-	// loadShardCount is the number of per-server load counter shards.
-	// Placements from different goroutines usually hit different shards,
-	// so the atomic adds do not serialize on one cache line.
-	loadShardCount = 8
-
-	// keyShardCount is the number of key-record map shards.
-	keyShardCount = 64
-
-	// maxChoices bounds d so the per-key choice index fits the compact
-	// key record.
-	maxChoices = 127
-)
-
-// hashLabeled hashes a labeled, salted string with full 64-bit
-// diffusion (inline FNV-1a over label || salt*phi (little-endian) || s,
-// then a SplitMix64 finalizer; see internal/chord for why the finalizer
-// matters). It is allocation-free, unlike hash/fnv's interface form.
+// hashLabeled is the router's labeled, salted hash (kept under its
+// pre-split name for the package's white-box tests).
 func hashLabeled(label byte, salt int, s string) uint64 {
-	h := uint64(fnvOffset64)
-	h = (h ^ uint64(label)) * fnvPrime64
-	x := uint64(salt) * 0x9e3779b97f4a7c15
-	for i := 0; i < 8; i++ {
-		h = (h ^ (x & 0xff)) * fnvPrime64
-		x >>= 8
-	}
-	for i := 0; i < len(s); i++ {
-		h = (h ^ uint64(s[i])) * fnvPrime64
-	}
-	return rng.Mix64(h)
+	return router.Hash(label, salt, s)
 }
 
-// unitFloat maps a 64-bit hash to a float64 in [0, 1) (53-bit mantissa,
-// the jump index's native domain).
-func unitFloat(h uint64) float64 { return float64(h>>11) / (1 << 53) }
-
-// loadShard is one cache-line-padded counter shard.
-type loadShard struct {
-	n atomic.Int64
-	_ [56]byte // pad to a 64-byte cache line
-}
-
-// serverLoad is one server's sharded load counter. The pointer is
-// shared across topology snapshots, so counts survive membership
-// changes without a stop-the-world transfer.
-type serverLoad struct {
-	shards [loadShardCount]loadShard
-}
-
-func (l *serverLoad) add(shard uint64, delta int64) {
-	l.shards[shard&(loadShardCount-1)].n.Add(delta)
-}
-
-func (l *serverLoad) total() int64 {
-	var t int64
-	for i := range l.shards {
-		t += l.shards[i].n.Load()
-	}
-	return t
-}
-
-// topology is an immutable membership snapshot. Every field except the
-// counter *values* behind loads is frozen once published; readers may
-// therefore use a loaded snapshot without synchronization.
-type topology struct {
-	d        int
+// ringTopo is the ring metric as a router.Topology: every live server
+// contributes `replicas` hashed points on [0, 1), each point owns the
+// arc clockwise from itself (predecessor rule; the paper's arcs,
+// direction is a convention), and a key hash resolves to the owner of
+// its position through a jump index — O(1), branch-free, and
+// allocation-free. A ringTopo is immutable after construction.
+type ringTopo struct {
 	replicas int
-	servers  []string         // all ever-added servers (slots are never reused for new names)
-	index    map[string]int32 // server name -> slot
-	caps     []float64        // per-slot capacity (1 unless set)
-	dead     []bool           // removed servers keep their slot
-	loads    []*serverLoad    // per-slot counters, shared by pointer across snapshots
-	live     int              // number of live servers
-	bits     []uint64         // sorted point positions (jump form) + sentinel
-	owner    []int32          // owner[i] = slot owning the i-th sorted point
-	points   *jump.Index      // O(1) position lookup; nil when live == 0
+	bits     []uint64 // sorted point positions (jump form) + sentinel
+	owner    []int32  // owner[i] = slot owning the i-th sorted point
+	points   *jump.Index
 }
 
-// clone copies the slot tables (sharing the counter pointers and, until
-// rebuildPoints replaces them, the point arrays).
-func (t *topology) clone() *topology {
-	nt := &topology{
-		d:        t.d,
-		replicas: t.replicas,
-		servers:  append([]string(nil), t.servers...),
-		caps:     append([]float64(nil), t.caps...),
-		dead:     append([]bool(nil), t.dead...),
-		loads:    append([]*serverLoad(nil), t.loads...),
-		live:     t.live,
-		index:    make(map[string]int32, len(t.index)),
-		bits:     t.bits,
-		owner:    t.owner,
-		points:   t.points,
-	}
-	for k, v := range t.index {
-		nt.index[k] = v
-	}
-	return nt
-}
-
-// rebuildPoints recomputes the sorted point set and its jump index from
-// the live servers.
+// rpoint is one server replica's ring position during construction.
 type rpoint struct {
 	pos    uint64
 	server int32
 }
 
-func (t *topology) rebuildPoints() {
-	pts := make([]rpoint, 0, t.live*t.replicas)
-	for i, name := range t.servers {
-		if t.dead[i] {
+// buildRingTopo hashes the live servers onto the ring and indexes the
+// sorted point set. With no live servers the topology is empty
+// (points == nil) and must not receive Resolve calls.
+func buildRingTopo(names []string, dead []bool, replicas, live int) *ringTopo {
+	t := &ringTopo{replicas: replicas}
+	pts := make([]rpoint, 0, live*replicas)
+	for i, name := range names {
+		if dead[i] {
 			continue
 		}
-		for k := 0; k < t.replicas; k++ {
-			pos := math.Float64bits(unitFloat(hashLabeled('s', k, name)))
+		for k := 0; k < replicas; k++ {
+			pos := math.Float64bits(router.UnitFloat(router.Hash('s', k, name)))
 			pts = append(pts, rpoint{pos: pos, server: int32(i)})
 		}
 	}
@@ -181,8 +110,7 @@ func (t *topology) rebuildPoints() {
 		return pts[a].server < pts[b].server // deterministic on (astronomically rare) ties
 	})
 	if len(pts) == 0 {
-		t.bits, t.owner, t.points = nil, nil, nil
-		return
+		return t
 	}
 	bits := make([]uint64, len(pts)+1)
 	owner := make([]int32, len(pts))
@@ -193,75 +121,50 @@ func (t *topology) rebuildPoints() {
 	bits[len(pts)] = jump.Inf64
 	t.bits, t.owner = bits, owner
 	t.points = jump.NewIndex(bits)
+	return t
 }
 
-// ownerOf resolves the server owning the ring position of hash h: each
-// point owns the arc clockwise from itself (predecessor rule; the
-// paper's arcs, direction is a convention). live must be > 0.
-func (t *topology) ownerOf(h uint64) int32 {
-	return t.owner[t.points.Locate(unitFloat(h))]
+// Resolve returns the slot owning the ring position of hash h.
+func (t *ringTopo) Resolve(h uint64) int32 {
+	return t.owner[t.points.Locate(router.UnitFloat(h))]
 }
 
-// relLoad is the placement comparison key for slot s.
-func (t *topology) relLoad(s int32) float64 {
-	return float64(t.loads[s].total()) / t.caps[s]
-}
-
-// choose runs the d-choice among the key's current candidates and
-// returns the winning slot and choice index.
-func (t *topology) choose(key string, h0 uint64) (best int32, salt int) {
-	best = t.ownerOf(h0)
-	if t.d == 1 {
-		return best, 0
-	}
-	bestLoad := t.relLoad(best)
-	for j := 1; j < t.d; j++ {
-		if s := t.ownerOf(hashLabeled('k', j, key)); s != best {
-			if rl := t.relLoad(s); rl < bestLoad {
-				best, salt, bestLoad = s, j, rl
-			}
+// CheckTopology contributes the ring-specific structural checks to
+// CheckInvariants.
+func (t *ringTopo) CheckTopology(names []string, dead []bool, live int) error {
+	for i := 1; i < len(t.bits)-1; i++ {
+		if t.bits[i-1] > t.bits[i] {
+			return fmt.Errorf("ring points unsorted")
 		}
 	}
-	return best, salt
+	for _, s := range t.owner {
+		if dead[s] {
+			return fmt.Errorf("point owned by dead server %q", names[s])
+		}
+	}
+	if t.points != nil && t.points.Len() != live*t.replicas {
+		return fmt.Errorf("point count %d != live %d * replicas %d",
+			t.points.Len(), live, t.replicas)
+	}
+	if t.points == nil && live > 0 {
+		return fmt.Errorf("live ring with no point index")
+	}
+	return nil
 }
 
-// keyRec records where a placed key lives and which of its d hash
-// choices won.
-type keyRec struct {
-	salt   int8
-	server int32
-}
-
-// keyShard is one shard of the key-record map, padded to a full
-// 64-byte cache line (RWMutex 24 B + map header 8 B + 32 B) so
-// neighboring shards' lock words never share a line.
-type keyShard struct {
-	mu sync.RWMutex
-	m  map[string]keyRec
-	_  [32]byte
-}
-
-// Ring is a concurrent consistent-hashing ring with d-choice placement.
-// Lookups (Place, Locate, Remove) may run from any number of goroutines
-// concurrently with each other and with membership changes; membership
-// ops and Rebalance serialize among themselves.
-type Ring struct {
-	mu    sync.Mutex // serializes membership writes and Rebalance
-	snap  atomic.Pointer[topology]
-	nkeys atomic.Int64
-	keys  [keyShardCount]keyShard
+// config collects the construction options.
+type config struct {
+	d        int
+	replicas int
 }
 
 // Option configures New.
-type Option func(*topology) error
+type Option func(*config) error
 
 // WithChoices sets the number of hash choices per key (default 2).
 func WithChoices(d int) Option {
-	return func(t *topology) error {
-		if d < 1 || d > maxChoices {
-			return fmt.Errorf("hashring: need 1 <= d <= %d, got %d", maxChoices, d)
-		}
-		t.d = d
+	return func(c *config) error {
+		c.d = d
 		return nil
 	}
 }
@@ -271,29 +174,39 @@ func WithChoices(d int) Option {
 // the Chord "virtual servers" remedy this library's d-choices makes
 // unnecessary, kept for comparison).
 func WithReplicas(k int) Option {
-	return func(t *topology) error {
+	return func(c *config) error {
 		if k < 1 {
 			return fmt.Errorf("hashring: need replicas >= 1, got %d", k)
 		}
-		t.replicas = k
+		c.replicas = k
 		return nil
 	}
+}
+
+// Ring is a concurrent consistent-hashing ring with d-choice placement.
+// Lookups (Place, Locate, Remove) may run from any number of goroutines
+// concurrently with each other and with membership changes; membership
+// ops and Rebalance serialize among themselves.
+type Ring struct {
+	rt       *router.Router
+	replicas int
+	snap     snapPointer // white-box test view; see compat.go
 }
 
 // New builds a ring over the given servers. Server names must be
 // non-empty and distinct.
 func New(servers []string, opts ...Option) (*Ring, error) {
-	r := &Ring{}
-	for i := range r.keys {
-		r.keys[i].m = make(map[string]keyRec)
-	}
-	t := &topology{d: 2, replicas: 1, index: make(map[string]int32)}
+	cfg := config{d: 2, replicas: 1}
 	for _, opt := range opts {
-		if err := opt(t); err != nil {
+		if err := opt(&cfg); err != nil {
 			return nil, err
 		}
 	}
-	r.snap.Store(t)
+	rt, err := router.New("hashring", cfg.d)
+	if err != nil {
+		return nil, err
+	}
+	r := &Ring{rt: rt, replicas: cfg.replicas, snap: snapPointer{rt: rt}}
 	for _, s := range servers {
 		if err := r.AddServer(s); err != nil {
 			return nil, err
@@ -302,308 +215,89 @@ func New(servers []string, opts ...Option) (*Ring, error) {
 	return r, nil
 }
 
+// rebuild constructs the ring topology for a transaction's membership.
+func (r *Ring) rebuild(tx *router.Txn) router.Topology {
+	return buildRingTopo(tx.Names(), tx.Dead(), r.replicas, tx.Live())
+}
+
 // AddServer hashes a new server onto the ring. Keys whose candidate
 // owners change are NOT moved automatically; call Rebalance to restore
 // placement invariants (split so callers control when migration cost is
 // paid). Re-adding a removed server reuses its slot.
 func (r *Ring) AddServer(name string) error {
-	if name == "" {
-		return fmt.Errorf("hashring: empty server name")
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	t := r.snap.Load()
-	if i, ok := t.index[name]; ok && !t.dead[i] {
-		return fmt.Errorf("hashring: duplicate server %q", name)
-	}
-	nt := t.clone()
-	if i, ok := nt.index[name]; ok {
-		nt.dead[i] = false
-	} else {
-		i := int32(len(nt.servers))
-		nt.servers = append(nt.servers, name)
-		nt.caps = append(nt.caps, 1)
-		nt.dead = append(nt.dead, false)
-		nt.loads = append(nt.loads, &serverLoad{})
-		nt.index[name] = i
-	}
-	nt.live++
-	nt.rebuildPoints()
-	r.snap.Store(nt)
-	return nil
+	return r.rt.Update(func(tx *router.Txn) (router.Topology, error) {
+		if _, err := tx.Add(name); err != nil {
+			return nil, err
+		}
+		return r.rebuild(tx), nil
+	})
 }
 
 // RemoveServer takes a server off the ring. Its keys remain recorded
 // but orphaned until Rebalance reassigns them. Removing the last server
 // is an error.
 func (r *Ring) RemoveServer(name string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	t := r.snap.Load()
-	i, ok := t.index[name]
-	if !ok || t.dead[i] {
-		return fmt.Errorf("hashring: unknown server %q", name)
-	}
-	if t.live == 1 {
-		return fmt.Errorf("hashring: cannot remove the last server")
-	}
-	nt := t.clone()
-	nt.dead[i] = true
-	nt.live--
-	nt.rebuildPoints()
-	r.snap.Store(nt)
-	return nil
+	return r.rt.Update(func(tx *router.Txn) (router.Topology, error) {
+		if _, err := tx.Remove(name); err != nil {
+			return nil, err
+		}
+		return r.rebuild(tx), nil
+	})
 }
 
 // SetCapacity declares a server's relative capacity (default 1); the
 // d-choice comparison then uses load/capacity, so a capacity-2 server
 // accepts twice the keys of a capacity-1 server before losing ties.
 func (r *Ring) SetCapacity(name string, capacity float64) error {
-	if !(capacity > 0) {
-		return fmt.Errorf("hashring: capacity %v must be positive", capacity)
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	t := r.snap.Load()
-	i, ok := t.index[name]
-	if !ok || t.dead[i] {
-		return fmt.Errorf("hashring: unknown server %q", name)
-	}
-	nt := t.clone()
-	nt.caps[i] = capacity
-	r.snap.Store(nt)
-	return nil
+	return r.rt.SetCapacity(name, capacity)
 }
 
 // NumServers returns the number of live servers.
-func (r *Ring) NumServers() int { return r.snap.Load().live }
+func (r *Ring) NumServers() int { return r.rt.NumServers() }
 
 // Servers returns the live server names in sorted order.
-func (r *Ring) Servers() []string {
-	t := r.snap.Load()
-	out := make([]string, 0, t.live)
-	for i, name := range t.servers {
-		if !t.dead[i] {
-			out = append(out, name)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
+func (r *Ring) Servers() []string { return r.rt.Servers() }
 
 // Choices returns the configured number of hash choices per key.
-func (r *Ring) Choices() int { return r.snap.Load().d }
-
-// keyShardFor picks the record shard for a key from its first-choice
-// hash (also reused as the load-counter shard selector).
-func (r *Ring) keyShardFor(h0 uint64) *keyShard {
-	return &r.keys[h0&(keyShardCount-1)]
-}
+func (r *Ring) Choices() int { return r.rt.Choices() }
 
 // Place assigns a key to the least-loaded of its d candidate servers
 // and returns the server name. Placing an already-placed key is an
-// error (keys are sticky; see Locate). Safe for concurrent use; the
-// candidate set is resolved against one topology snapshot, loaded
-// under the key-shard lock so a Rebalance that already visited this
-// shard cannot race an older topology in. A Place overlapping a
-// RemoveServer may still record the just-removed server (the snapshots
-// are deliberately wait-free); such keys are orphaned exactly like
-// keys stranded by RemoveServer itself and re-homed by the next
-// Rebalance.
-func (r *Ring) Place(key string) (string, error) {
-	h0 := hashLabeled('k', 0, key)
-	ks := r.keyShardFor(h0)
-	ks.mu.Lock()
-	t := r.snap.Load()
-	if t.live == 0 {
-		ks.mu.Unlock()
-		return "", fmt.Errorf("hashring: no servers")
-	}
-	if _, dup := ks.m[key]; dup {
-		ks.mu.Unlock()
-		return "", fmt.Errorf("hashring: key %q already placed", key)
-	}
-	best, salt := t.choose(key, h0)
-	t.loads[best].add(h0, 1)
-	ks.m[key] = keyRec{salt: int8(salt), server: best}
-	ks.mu.Unlock()
-	r.nkeys.Add(1)
-	return t.servers[best], nil
-}
+// error (keys are sticky; see Locate). Safe for concurrent use; see
+// router.Router.Place for the exact racing-membership semantics.
+func (r *Ring) Place(key string) (string, error) { return r.rt.Place(key) }
 
 // Locate returns the server currently holding a placed key.
-func (r *Ring) Locate(key string) (string, error) {
-	h0 := hashLabeled('k', 0, key)
-	ks := r.keyShardFor(h0)
-	ks.mu.RLock()
-	rec, ok := ks.m[key]
-	ks.mu.RUnlock()
-	if !ok {
-		return "", fmt.Errorf("hashring: key %q not placed", key)
-	}
-	return r.snap.Load().servers[rec.server], nil
-}
+func (r *Ring) Locate(key string) (string, error) { return r.rt.Locate(key) }
 
 // Remove deletes a placed key.
-func (r *Ring) Remove(key string) error {
-	h0 := hashLabeled('k', 0, key)
-	ks := r.keyShardFor(h0)
-	ks.mu.Lock()
-	rec, ok := ks.m[key]
-	if !ok {
-		ks.mu.Unlock()
-		return fmt.Errorf("hashring: key %q not placed", key)
-	}
-	delete(ks.m, key)
-	t := r.snap.Load()
-	t.loads[rec.server].add(h0, -1)
-	ks.mu.Unlock()
-	r.nkeys.Add(-1)
-	return nil
-}
+func (r *Ring) Remove(key string) error { return r.rt.Remove(key) }
 
 // Rebalance restores the placement invariant after membership changes:
 // every key must live at the owner of its recorded hash choice; keys on
 // dead servers or captured arcs are re-placed at their least-loaded
-// current candidate. Returns the number of keys moved. Keys are
-// processed in sorted order, so at quiescence the result is
-// deterministic. Concurrent Place/Remove during a Rebalance are safe
-// but may leave freshly placed keys for the NEXT Rebalance to repair
-// (a placement racing a membership change can land on a stale
-// candidate; see Place).
-func (r *Ring) Rebalance() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	t := r.snap.Load()
-	if t.live == 0 {
-		return 0
-	}
-	names := make([]string, 0, r.nkeys.Load())
-	for i := range r.keys {
-		ks := &r.keys[i]
-		ks.mu.RLock()
-		for k := range ks.m {
-			names = append(names, k)
-		}
-		ks.mu.RUnlock()
-	}
-	sort.Strings(names)
-	moved := 0
-	for _, key := range names {
-		h0 := hashLabeled('k', 0, key)
-		ks := r.keyShardFor(h0)
-		ks.mu.Lock()
-		rec, ok := ks.m[key]
-		if !ok { // removed while we walked the shards
-			ks.mu.Unlock()
-			continue
-		}
-		cur := h0
-		if rec.salt != 0 {
-			cur = hashLabeled('k', int(rec.salt), key)
-		}
-		if t.ownerOf(cur) == rec.server && !t.dead[rec.server] {
-			ks.mu.Unlock()
-			continue
-		}
-		// The recorded candidate no longer resolves to the recorded
-		// server (join captured the arc, or the server left): re-run the
-		// choice among current candidates.
-		best, salt := t.choose(key, h0)
-		t.loads[rec.server].add(h0, -1)
-		t.loads[best].add(h0, 1)
-		ks.m[key] = keyRec{salt: int8(salt), server: best}
-		ks.mu.Unlock()
-		moved++
-	}
-	return moved
-}
+// current candidate. Returns the number of keys moved. See
+// router.Router.Rebalance for the concurrency contract.
+func (r *Ring) Rebalance() int { return r.rt.Rebalance() }
 
 // Loads returns a map of live server name to current key count, folding
 // the counter shards on demand.
-func (r *Ring) Loads() map[string]int64 {
-	t := r.snap.Load()
-	out := make(map[string]int64, t.live)
-	for i, name := range t.servers {
-		if !t.dead[i] {
-			out[name] = t.loads[i].total()
-		}
-	}
-	return out
-}
+func (r *Ring) Loads() map[string]int64 { return r.rt.Loads() }
+
+// LoadsInto clears m and fills it with live server name -> key count
+// without allocating once m has grown to the membership size — the
+// reporting-loop counterpart of Loads.
+func (r *Ring) LoadsInto(m map[string]int64) { r.rt.LoadsInto(m) }
 
 // MaxLoad returns the largest key count over live servers.
-func (r *Ring) MaxLoad() int64 {
-	t := r.snap.Load()
-	var m int64
-	for i := range t.servers {
-		if !t.dead[i] {
-			if l := t.loads[i].total(); l > m {
-				m = l
-			}
-		}
-	}
-	return m
-}
+func (r *Ring) MaxLoad() int64 { return r.rt.MaxLoad() }
 
 // NumKeys returns the number of placed keys.
-func (r *Ring) NumKeys() int { return int(r.nkeys.Load()) }
+func (r *Ring) NumKeys() int { return r.rt.NumKeys() }
 
 // CheckInvariants verifies internal consistency; exported for tests.
 // Call it at quiescence (no Place/Remove in flight); membership changes
 // are excluded by its own locking. After membership churn, run
 // Rebalance first — keys legitimately sit on captured arcs or dead
 // servers until then.
-func (r *Ring) CheckInvariants() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	t := r.snap.Load()
-	counts := make([]int64, len(t.servers))
-	var total int64
-	for i := range r.keys {
-		ks := &r.keys[i]
-		ks.mu.RLock()
-		for key, rec := range ks.m {
-			if int(rec.server) >= len(t.servers) {
-				ks.mu.RUnlock()
-				return fmt.Errorf("key %q on out-of-range slot %d", key, rec.server)
-			}
-			if t.dead[rec.server] {
-				ks.mu.RUnlock()
-				return fmt.Errorf("key %q on dead server %q", key, t.servers[rec.server])
-			}
-			if got := t.ownerOf(hashLabeled('k', int(rec.salt), key)); got != rec.server {
-				ks.mu.RUnlock()
-				return fmt.Errorf("key %q recorded on %q but hashes to %q",
-					key, t.servers[rec.server], t.servers[got])
-			}
-			counts[rec.server]++
-			total++
-		}
-		ks.mu.RUnlock()
-	}
-	for i := range counts {
-		if got := t.loads[i].total(); got != counts[i] {
-			return fmt.Errorf("server %q: recorded load %d, actual %d",
-				t.servers[i], got, counts[i])
-		}
-	}
-	if total != r.nkeys.Load() {
-		return fmt.Errorf("key count %d != recorded %d", total, r.nkeys.Load())
-	}
-	for i := 1; i < len(t.bits)-1; i++ {
-		if t.bits[i-1] > t.bits[i] {
-			return fmt.Errorf("ring points unsorted")
-		}
-	}
-	for _, s := range t.owner {
-		if t.dead[s] {
-			return fmt.Errorf("point owned by dead server %q", t.servers[s])
-		}
-	}
-	if t.points != nil && t.points.Len() != t.live*t.replicas {
-		return fmt.Errorf("point count %d != live %d * replicas %d",
-			t.points.Len(), t.live, t.replicas)
-	}
-	return nil
-}
+func (r *Ring) CheckInvariants() error { return r.rt.CheckInvariants() }

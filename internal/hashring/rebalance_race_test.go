@@ -1,0 +1,111 @@
+package hashring
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"geobalance/internal/rng"
+)
+
+// TestRebalanceRacingTraffic races Rebalance itself — repeatedly, and
+// interleaved with membership changes — against live Place/Locate/
+// Remove traffic. The pre-existing churn tests run Rebalance only from
+// the churner between membership ops; this one hammers it back to back
+// so the shard-by-shard key walk constantly overlaps placements and
+// removals, which is exactly the window where a key can be observed
+// mid-move. After the run: no key may be lost, every worker's
+// retained keys must resolve, and a final quiescent Rebalance must
+// restore every invariant. Runs under the CI -race job.
+func TestRebalanceRacingTraffic(t *testing.T) {
+	r, err := New(serverNames(12), WithChoices(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0) + 2
+	const opsPerWorker = 1500
+	var traffic, balancer sync.WaitGroup
+	var stop atomic.Bool
+	errc := make(chan error, workers+1)
+
+	// The rebalancer: tight Rebalance loop with occasional membership
+	// flips so there are always captured arcs to repair.
+	balancer.Add(1)
+	go func() {
+		defer balancer.Done()
+		for i := 0; !stop.Load(); i++ {
+			if i%8 == 0 {
+				name := fmt.Sprintf("flap-%d", i%3)
+				if err := r.AddServer(name); err != nil {
+					errc <- err
+					return
+				}
+				r.Rebalance()
+				if err := r.RemoveServer(name); err != nil {
+					errc <- err
+					return
+				}
+			}
+			r.Rebalance()
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		traffic.Add(1)
+		go func(w int) {
+			defer traffic.Done()
+			rr := rng.NewStream(31, uint64(w))
+			placed := make([]string, 0, opsPerWorker)
+			for i := 0; i < opsPerWorker; i++ {
+				switch rr.Intn(4) {
+				case 0, 1:
+					key := fmt.Sprintf("rb-w%d-k%d", w, i)
+					if _, err := r.Place(key); err != nil {
+						errc <- err
+						return
+					}
+					placed = append(placed, key)
+				case 2:
+					if len(placed) > 0 {
+						key := placed[rr.Intn(len(placed))]
+						if _, err := r.Locate(key); err != nil {
+							errc <- fmt.Errorf("key %q lost mid-rebalance: %w", key, err)
+							return
+						}
+					}
+				case 3:
+					if len(placed) > 0 {
+						key := placed[len(placed)-1]
+						placed = placed[:len(placed)-1]
+						if err := r.Remove(key); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}
+			}
+			for _, key := range placed {
+				if _, err := r.Locate(key); err != nil {
+					errc <- fmt.Errorf("retained key %q lost: %w", key, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	traffic.Wait()
+	stop.Store(true)
+	balancer.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	// Quiescent repair: placements that raced a membership change may
+	// legitimately need one more pass, then everything must hold.
+	r.Rebalance()
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatalf("after racing rebalance: %v", err)
+	}
+}

@@ -1,14 +1,22 @@
-// Package loadgen drives the concurrent hashring router with the
-// skewed traffic the paper's applications face in production: N worker
+// Package loadgen drives the concurrent serving layer with the skewed
+// traffic the paper's applications face in production: N worker
 // goroutines issuing Zipf-, Pareto-, or uniform-keyed Locate traffic
-// plus Place/Remove write churn, optionally racing a membership churner
-// that adds and removes servers (with Rebalance) while the workers run.
+// plus Place/Remove write churn, optionally racing a membership
+// churner that adds and removes servers (with Rebalance) while the
+// workers run.
+//
+// Since the serving-layer split the harness drives ANY router built on
+// internal/router's core, selected by Config.Space: the ring-backed
+// hashring facade (the default) or the torus-backed geographic router
+// router.Geo, whose churned servers join at random torus coordinates.
+// The Target interface is the method set the harness needs; both
+// facades satisfy it.
 //
 // Each worker draws from its own deterministic rng stream
 // (rng.NewStream(seed, worker)), keeps its own latency histograms, and
 // merges them at the end, so a run is reproducible given (Config, Seed)
 // up to OS scheduling of the op interleaving — throughput and latency
-// are measured, correctness is asserted by the hashring invariants.
+// are measured, correctness is asserted by the router invariants.
 package loadgen
 
 import (
@@ -20,18 +28,65 @@ import (
 	"sync/atomic"
 	"time"
 
+	"geobalance/internal/geom"
 	"geobalance/internal/hashring"
 	"geobalance/internal/rng"
+	"geobalance/internal/router"
 	"geobalance/internal/stats"
 	"geobalance/internal/workload"
 )
 
+// Target is the serving surface the harness drives: the method set
+// shared by hashring.Ring and router.Geo.
+type Target interface {
+	Place(key string) (string, error)
+	Locate(key string) (string, error)
+	Remove(key string) error
+	Rebalance() int
+	NumKeys() int
+	NumServers() int
+	MaxLoad() int64
+	LoadsInto(map[string]int64)
+	CheckInvariants() error
+}
+
+// churnTarget extends Target with the membership ops the churner
+// needs; the coordinate-space routers differ in what a join requires
+// (the ring derives a position from the name, the torus needs
+// coordinates), so joins take the churner's rng.
+type churnTarget interface {
+	Target
+	addServer(name string, r *rng.Rand) error
+	removeServer(name string) error
+}
+
+// ringTarget adapts hashring.Ring.
+type ringTarget struct{ *hashring.Ring }
+
+func (t ringTarget) addServer(name string, _ *rng.Rand) error { return t.AddServer(name) }
+func (t ringTarget) removeServer(name string) error           { return t.RemoveServer(name) }
+
+// geoTarget adapts router.Geo: churned servers join at uniform random
+// torus coordinates drawn from the churner's stream.
+type geoTarget struct{ *router.Geo }
+
+func (t geoTarget) addServer(name string, r *rng.Rand) error {
+	at := make(geom.Vec, t.Dim())
+	for j := range at {
+		at[j] = r.Float64()
+	}
+	return t.AddServer(name, at)
+}
+func (t geoTarget) removeServer(name string) error { return t.RemoveServer(name) }
+
 // Config parameterizes one load-test run. Zero fields take the
 // documented defaults.
 type Config struct {
-	Servers     int           // ring size (default 64)
+	Space       string        // "ring" (default) or "torus"
+	Dim         int           // torus dimension (default 2; torus space only)
+	Servers     int           // fleet size (default 64)
 	Choices     int           // d (default 2)
-	Replicas    int           // ring positions per server (default 1)
+	Replicas    int           // ring positions per server (default 1; ring space only)
 	Workers     int           // traffic goroutines (default GOMAXPROCS)
 	Ops         int64         // total op budget; used when Duration == 0
 	Duration    time.Duration // wall-clock bound; 0 = ops-bound
@@ -43,6 +98,8 @@ type Config struct {
 	ChurnEvery  time.Duration // membership change period; 0 = no churn
 	Rebalance   bool          // rebalance after every churn event
 	SampleEvery int           // measure latency on every k-th op (default 8)
+	ReportEvery time.Duration // interim load reports to ReportTo; 0 = none
+	ReportTo    io.Writer     // destination for interim reports (required when ReportEvery > 0)
 	Seed        uint64
 }
 
@@ -70,11 +127,17 @@ type Result struct {
 	Workers   int
 	Procs     int
 
-	// Ring is the router after the run, for invariant checks.
-	Ring *hashring.Ring
+	// Router is the driven router after the run, for invariant checks.
+	Router Target
 }
 
 func (cfg *Config) applyDefaults() error {
+	if cfg.Space == "" {
+		cfg.Space = "ring"
+	}
+	if cfg.Dim == 0 {
+		cfg.Dim = 2
+	}
 	if cfg.Servers == 0 {
 		cfg.Servers = 64
 	}
@@ -111,7 +174,47 @@ func (cfg *Config) applyDefaults() error {
 	if cfg.Ops <= 0 && cfg.Duration <= 0 {
 		return fmt.Errorf("loadgen: need an op budget or a duration")
 	}
+	if cfg.ReportEvery > 0 && cfg.ReportTo == nil {
+		return fmt.Errorf("loadgen: ReportEvery set without a ReportTo writer")
+	}
 	return nil
+}
+
+// buildTarget constructs the router under test with its initial fleet.
+func (cfg *Config) buildTarget() (churnTarget, error) {
+	names := make([]string, cfg.Servers)
+	for i := range names {
+		names[i] = "server-" + strconv.Itoa(i)
+	}
+	switch cfg.Space {
+	case "ring":
+		ring, err := hashring.New(names,
+			hashring.WithChoices(cfg.Choices), hashring.WithReplicas(cfg.Replicas))
+		if err != nil {
+			return nil, err
+		}
+		return ringTarget{ring}, nil
+	case "torus":
+		if cfg.Replicas != 1 {
+			return nil, fmt.Errorf("loadgen: replicas are a ring concept (space=torus, replicas=%d)", cfg.Replicas)
+		}
+		geo, err := router.NewGeo(cfg.Dim, cfg.Choices)
+		if err != nil {
+			return nil, err
+		}
+		// Deterministic server placement from a stream the workers and
+		// churner never touch.
+		sr := rng.NewStream(cfg.Seed, 1<<33)
+		t := geoTarget{geo}
+		for _, name := range names {
+			if err := t.addServer(name, sr); err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown space %q (want ring or torus)", cfg.Space)
+	}
 }
 
 func (cfg *Config) ranker() (workload.Ranker, error) {
@@ -146,12 +249,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	servers := make([]string, cfg.Servers)
-	for i := range servers {
-		servers[i] = "server-" + strconv.Itoa(i)
-	}
-	ring, err := hashring.New(servers,
-		hashring.WithChoices(cfg.Choices), hashring.WithReplicas(cfg.Replicas))
+	target, err := cfg.buildTarget()
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +258,7 @@ func Run(cfg Config) (*Result, error) {
 	hot := make([]string, cfg.Keys)
 	for i := range hot {
 		hot[i] = "hot:" + strconv.Itoa(i)
-		if _, err := ring.Place(hot[i]); err != nil {
+		if _, err := target.Place(hot[i]); err != nil {
 			return nil, err
 		}
 	}
@@ -183,7 +281,7 @@ func Run(cfg Config) (*Result, error) {
 		traffic.Add(1)
 		go func(w int) {
 			defer traffic.Done()
-			runWorker(ring, &cfg, rk, rng.NewStream(cfg.Seed, uint64(w)), w,
+			runWorker(target, &cfg, rk, rng.NewStream(cfg.Seed, uint64(w)), w,
 				&allStats[w], &budget, opsBound, deadline, hot)
 		}(w)
 	}
@@ -213,20 +311,57 @@ func Run(cfg Config) (*Result, error) {
 				if len(added) == 0 || (len(added) < 8 && cr.Intn(2) == 0) {
 					name := "churn-" + strconv.Itoa(next)
 					next++
-					if ring.AddServer(name) == nil {
+					if target.addServer(name, cr) == nil {
 						added = append(added, name)
 						churnEvents++
 					}
 				} else {
 					name := added[0]
 					added = added[1:]
-					if ring.RemoveServer(name) == nil {
+					if target.removeServer(name) == nil {
 						churnEvents++
 					}
 				}
 				if cfg.Rebalance {
-					moved += ring.Rebalance()
+					moved += target.Rebalance()
 				}
+			}
+		}()
+	}
+
+	// Optional reporting loop: folds the live load counters into a
+	// reused map (the allocation-free LoadsInto path) every tick and
+	// prints an interim imbalance line.
+	var reportDone chan struct{}
+	reportStop := make(chan struct{})
+	if cfg.ReportEvery > 0 {
+		reportDone = make(chan struct{})
+		go func() {
+			defer close(reportDone)
+			tick := time.NewTicker(cfg.ReportEvery)
+			defer tick.Stop()
+			loads := make(map[string]int64, cfg.Servers+8)
+			for {
+				select {
+				case <-reportStop:
+					return
+				case <-tick.C:
+				}
+				target.LoadsInto(loads)
+				var total, max int64
+				for _, l := range loads {
+					total += l
+					if l > max {
+						max = l
+					}
+				}
+				mean := float64(total) / float64(len(loads))
+				ratio := 0.0
+				if mean > 0 {
+					ratio = float64(max) / mean
+				}
+				fmt.Fprintf(cfg.ReportTo, "  [%7.3fs] %d keys on %d servers   max load %d (%.2fx mean)\n",
+					time.Since(start).Seconds(), total, len(loads), max, ratio)
 			}
 		}()
 	}
@@ -236,6 +371,10 @@ func Run(cfg Config) (*Result, error) {
 	if churnDone != nil {
 		<-churnDone
 	}
+	close(reportStop)
+	if reportDone != nil {
+		<-reportDone
+	}
 	elapsed := time.Since(start)
 
 	res := &Result{
@@ -244,7 +383,7 @@ func Run(cfg Config) (*Result, error) {
 		MovedKeys:   moved,
 		Workers:     cfg.Workers,
 		Procs:       runtime.GOMAXPROCS(0),
-		Ring:        ring,
+		Router:      target,
 	}
 	for i := range allStats {
 		ws := &allStats[i]
@@ -260,8 +399,9 @@ func Run(cfg Config) (*Result, error) {
 	if elapsed > 0 {
 		res.Throughput = float64(res.Ops) / elapsed.Seconds()
 	}
-	res.FinalKeys = ring.NumKeys()
-	loads := ring.Loads()
+	res.FinalKeys = target.NumKeys()
+	loads := make(map[string]int64, cfg.Servers+8)
+	target.LoadsInto(loads)
 	var total int64
 	for _, l := range loads {
 		total += l
@@ -279,7 +419,7 @@ func Run(cfg Config) (*Result, error) {
 // traffic at LookupFrac, the rest an even mix of Place and Remove over
 // the worker's own pre-generated key pool (so write ops never collide
 // across workers and the steady state allocates nothing).
-func runWorker(ring *hashring.Ring, cfg *Config, rk workload.Ranker, r *rng.Rand,
+func runWorker(target Target, cfg *Config, rk workload.Ranker, r *rng.Rand,
 	w int, ws *workerStats, budget *atomic.Int64,
 	opsBound bool, deadline time.Time, hot []string) {
 
@@ -317,7 +457,7 @@ func runWorker(ring *hashring.Ring, cfg *Config, rk workload.Ranker, r *rng.Rand
 				if measured {
 					t0 = time.Now()
 				}
-				_, err := ring.Locate(key)
+				_, err := target.Locate(key)
 				ws.lookups++
 				if err != nil {
 					ws.errors++
@@ -333,7 +473,7 @@ func runWorker(ring *hashring.Ring, cfg *Config, rk workload.Ranker, r *rng.Rand
 				t0 = time.Now()
 			}
 			if doPlace {
-				_, err := ring.Place(own[head])
+				_, err := target.Place(own[head])
 				head = (head + 1) % len(own)
 				placed++
 				ws.places++
@@ -344,7 +484,7 @@ func runWorker(ring *hashring.Ring, cfg *Config, rk workload.Ranker, r *rng.Rand
 					ws.place.Add(time.Since(t0).Nanoseconds())
 				}
 			} else {
-				err := ring.Remove(own[tail])
+				err := target.Remove(own[tail])
 				tail = (tail + 1) % len(own)
 				placed--
 				ws.removes++
@@ -381,6 +521,6 @@ func (r *Result) Report(w io.Writer) {
 	}
 	if r.MeanLoad > 0 {
 		fmt.Fprintf(w, "  final: %d keys on %d servers   max load %d (%.2fx mean)\n",
-			r.FinalKeys, r.Ring.NumServers(), r.MaxLoad, float64(r.MaxLoad)/r.MeanLoad)
+			r.FinalKeys, r.Router.NumServers(), r.MaxLoad, float64(r.MaxLoad)/r.MeanLoad)
 	}
 }

@@ -36,7 +36,7 @@ func TestRunOpsBound(t *testing.T) {
 	if res.FinalKeys != int(1024+res.Places-res.Removes) {
 		t.Fatalf("FinalKeys = %d, want %d", res.FinalKeys, 1024+res.Places-res.Removes)
 	}
-	if err := res.Ring.CheckInvariants(); err != nil {
+	if err := res.Router.CheckInvariants(); err != nil {
 		t.Fatalf("ring inconsistent after run: %v", err)
 	}
 }
@@ -54,8 +54,8 @@ func TestRunWithChurn(t *testing.T) {
 	}
 	// The run must survive membership churn and still satisfy every
 	// invariant after a final rebalance.
-	res.Ring.Rebalance()
-	if err := res.Ring.CheckInvariants(); err != nil {
+	res.Router.Rebalance()
+	if err := res.Router.CheckInvariants(); err != nil {
 		t.Fatalf("ring inconsistent after churn: %v", err)
 	}
 	if res.FinalKeys != int(512+res.Places-res.Removes) {
@@ -94,8 +94,70 @@ func TestRunPureWrite(t *testing.T) {
 	if res.Places == 0 || res.Removes == 0 {
 		t.Fatalf("write mix degenerate: %d places, %d removes", res.Places, res.Removes)
 	}
-	if err := res.Ring.CheckInvariants(); err != nil {
+	if err := res.Router.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunTorusSpace(t *testing.T) {
+	// The same harness drives the torus-backed geographic router, with
+	// churned servers joining at random torus coordinates.
+	res, err := Run(Config{
+		Space: "torus", Dim: 2, Servers: 16, Workers: 4, Ops: 20000, Keys: 1024,
+		LookupFrac: 0.9, Dist: "zipf", ChurnEvery: time.Millisecond, Rebalance: true, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 20000 {
+		t.Fatalf("ran %d ops, want exactly 20000", res.Ops)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d op errors on the torus router", res.Errors)
+	}
+	if _, ok := res.Router.(geoTarget); !ok {
+		t.Fatalf("Router is %T, want the geo adapter", res.Router)
+	}
+	res.Router.Rebalance()
+	if err := res.Router.CheckInvariants(); err != nil {
+		t.Fatalf("geo router inconsistent after churn: %v", err)
+	}
+	if res.FinalKeys != int(1024+res.Places-res.Removes) {
+		t.Fatalf("keys lost: %d vs %d", res.FinalKeys, 1024+res.Places-res.Removes)
+	}
+}
+
+func TestRunTorusDim3(t *testing.T) {
+	res, err := Run(Config{
+		Space: "torus", Dim: 3, Servers: 8, Workers: 2, Ops: 4000, Keys: 256,
+		LookupFrac: 0.5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d op errors", res.Errors)
+	}
+	if err := res.Router.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportLoop(t *testing.T) {
+	var sb strings.Builder
+	res, err := Run(Config{
+		Servers: 8, Workers: 2, Duration: 60 * time.Millisecond, Keys: 256,
+		LookupFrac: 0.9, Seed: 8, ReportEvery: 10 * time.Millisecond, ReportTo: &sb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no work done")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "max load") || !strings.Contains(out, "servers") {
+		t.Fatalf("interim report missing load lines:\n%s", out)
 	}
 }
 
@@ -105,6 +167,15 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(Config{Ops: 100, Dist: "nope"}); err == nil {
 		t.Error("unknown distribution accepted")
+	}
+	if _, err := Run(Config{Ops: 100, Space: "klein-bottle"}); err == nil {
+		t.Error("unknown space accepted")
+	}
+	if _, err := Run(Config{Ops: 100, Space: "torus", Replicas: 3}); err == nil {
+		t.Error("replicas on the torus space accepted")
+	}
+	if _, err := Run(Config{Ops: 100, ReportEvery: time.Second}); err == nil {
+		t.Error("ReportEvery without ReportTo accepted")
 	}
 	if _, err := Run(Config{Ops: 100, LookupFrac: 1.5}); err == nil {
 		t.Error("lookup fraction > 1 accepted")

@@ -212,26 +212,33 @@ func (s *Space) Reseed(r *rng.Rand) {
 	s.rebuildCells()
 }
 
-// buildGrid constructs the CSR grid. The generic kernel gets about one
-// site per cell; for the dim-2/3 run-scanning kernels about half a
-// site per cell measures fastest (the fused 3^dim home block then
-// holds ~4-13 candidates instead of ~9-27, and the extra cells cost
-// only slot-range arithmetic, not scans) — see the grid-density
-// ablation benchmark.
-func (s *Space) buildGrid() {
-	n := len(s.sites)
+// gridFor returns the default grid resolution (cells per axis) for n
+// sites in dim dimensions. The generic kernel gets about one site per
+// cell; for the dim-2/3 run-scanning kernels about half a site per
+// cell measures fastest (the fused 3^dim home block then holds ~4-13
+// candidates instead of ~9-27, and the extra cells cost only
+// slot-range arithmetic, not scans) — see the grid-density ablation
+// benchmark. WithSite/WithoutSite use it to decide when an incremental
+// snapshot may inherit the prior grid.
+func gridFor(n, dim int) int {
 	target := float64(n)
-	if s.dim == 2 || s.dim == 3 {
+	if dim == 2 || dim == 3 {
 		target = 2 * float64(n)
 	}
-	g := int(math.Round(math.Pow(target, 1/float64(s.dim))))
+	g := int(math.Round(math.Pow(target, 1/float64(dim))))
 	if g < 1 {
 		g = 1
 	}
 	// Cap total cells to avoid pathological memory for high dim.
-	for pow(g, s.dim) > 4*n && g > 1 {
+	for pow(g, dim) > 4*n && g > 1 {
 		g--
 	}
+	return g
+}
+
+// buildGrid constructs the CSR grid at the default resolution.
+func (s *Space) buildGrid() {
+	g := gridFor(len(s.sites), s.dim)
 	s.g = g
 	s.cellWidth = 1 / float64(g)
 	s.rebuildCells()
@@ -247,6 +254,10 @@ func (s *Space) rebuildCells() {
 	nc := pow(s.g, dim)
 	if cap(s.start) < nc+1 {
 		s.start = make([]int32, nc+1)
+	}
+	// Checked separately from start: snapshot-built Spaces (WithSite,
+	// WithoutSite) arrive with a full start array but no scratch.
+	if cap(s.cursor) < nc {
 		s.cursor = make([]int32, nc)
 	}
 	counts := s.start[:nc+1]
@@ -473,6 +484,38 @@ func (s *Space) Nearest(p geom.Vec) (int, float64) {
 	}
 	s.cellsScanned += visits
 	return best, bestD2
+}
+
+// sharedScratchDims bounds the dimensions NearestShared can serve from
+// stack scratch; higher dimensions fall back to a per-call allocation.
+const sharedScratchDims = 8
+
+// NearestShared is Nearest for concurrent readers of an unchanging
+// Space: it returns exactly what Nearest would, but keeps all scratch
+// on the caller's stack (a per-call allocation above sharedScratchDims
+// dimensions) and does not update the cells-scanned statistic, so any
+// number of goroutines may query one Space simultaneously. It is the
+// serving-path entry point behind router.Geo's lock-free candidate
+// resolution; simulation code should keep using Nearest, whose
+// statistics feed the duplicate-scan regression tests.
+func (s *Space) NearestShared(p geom.Vec) (int, float64) {
+	if len(p) != s.dim {
+		panic(fmt.Sprintf("torus: query dimension %d, want %d", len(p), s.dim))
+	}
+	var visits uint64
+	switch s.dim {
+	case 2:
+		return s.nearest2(p[0], p[1], &visits)
+	case 3:
+		return s.nearest3(p[0], p[1], p[2], &visits)
+	}
+	var homeArr, offsArr [sharedScratchDims]int
+	home, offs := homeArr[:], offsArr[:]
+	if s.dim > sharedScratchDims {
+		home = make([]int, s.dim)
+		offs = make([]int, s.dim)
+	}
+	return s.nearestGeneric(p, home[:s.dim], offs[:s.dim], &visits)
 }
 
 // nearestGeneric is the any-dimension kernel: shells of wrapped
