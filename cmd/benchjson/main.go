@@ -222,6 +222,9 @@ func loadgenRecord(name string, cfg loadgen.Config) (result, error) {
 	if res.Errors > 0 {
 		return out, fmt.Errorf("loadgen %s: %d op errors", name, res.Errors)
 	}
+	if res.LostKeys > 0 {
+		return out, fmt.Errorf("loadgen %s: %d keys lost after repair", name, res.LostKeys)
+	}
 	return out, nil
 }
 
@@ -536,6 +539,68 @@ func collect() ([]result, error) {
 				placeRemoveParallel(geo)))
 	}
 
+	// --- Replicated placement and failover reads ---
+	// r=2 of d=3 candidates: one op is a REMOVE+PLACE cycle as above,
+	// now writing (and un-writing) two replica records and two load
+	// counters. Zero allocs is part of the gate.
+	geoR, rkeys, err := newBenchGeo(1024, 2, 3)
+	if err != nil {
+		return nil, err
+	}
+	if err := geoR.SetReplication(2); err != nil {
+		return nil, err
+	}
+	// Re-place the preloaded keys so every record is replicated before
+	// the clock starts.
+	for _, key := range rkeys {
+		if err := geoR.Remove(key); err != nil {
+			return nil, err
+		}
+		if _, _, err := geoR.PlaceReplicated(key); err != nil {
+			return nil, err
+		}
+	}
+	results = append(results, run("router_place_replicated/servers=1024/dim=2/r=2", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			key := rkeys[i&4095]
+			if err := geoR.Remove(key); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := geoR.PlaceReplicated(key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	// The failover read after a mass crash: 1/16 of the fleet is gone
+	// un-repaired, so LocateAny routes around dead primaries on the hot
+	// path. Keys whose every replica died are filtered out up front (a
+	// failed read returns an allocated error by design; the record is
+	// what Repair works from).
+	crashed := geoR.Servers()[:64]
+	for _, name := range crashed {
+		if err := geoR.RemoveServer(name); err != nil {
+			return nil, err
+		}
+	}
+	fkeys := rkeys[:0:0]
+	for _, key := range rkeys {
+		if _, err := geoR.LocateAny(key); err == nil {
+			fkeys = append(fkeys, key)
+		}
+	}
+	if len(fkeys) == 0 {
+		return nil, fmt.Errorf("benchjson: no locatable keys after the scripted crash")
+	}
+	results = append(results, run("router_locate_failover/servers=1024/dim=2/r=2", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := geoR.LocateAny(fkeys[i%len(fkeys)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	// --- Load-test harness: skewed concurrent traffic ---
 	lg, err := loadgenRecord("loadgen_zipf/servers=64/workers=4", loadgen.Config{
 		Servers: 64, Workers: 4, Ops: 300_000, Keys: 1 << 12, Dist: "zipf", LookupFrac: 0.9, Seed: 42,
@@ -563,6 +628,23 @@ func collect() ([]result, error) {
 		return nil, err
 	}
 	results = append(results, lgt)
+	// End-to-end failover throughput: replicated torus fleet under Zipf
+	// traffic with a scripted crash, zone outage, and graceful leave
+	// landing mid-run. loadgenRecord fails the run outright on any
+	// harness error or any key lost after repair.
+	lgf, err := loadgenRecord("loadgen_failover_torus/servers=64/workers=4/dim=2/r=2", loadgen.Config{
+		Space: "torus", Dim: 2, Servers: 64, Choices: 3, KeyReplicas: 2, Workers: 4,
+		Duration: 400 * time.Millisecond, Keys: 1 << 12, Dist: "zipf", LookupFrac: 0.9, Seed: 45,
+		Failures: loadgen.FailureScript{
+			{After: 50 * time.Millisecond, Kind: loadgen.FailCrash, Frac: 0.1},
+			{After: 150 * time.Millisecond, Kind: loadgen.FailZone, Frac: 0.2},
+			{After: 250 * time.Millisecond, Kind: loadgen.FailLeave, Frac: 0.1},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, lgf)
 	return results, nil
 }
 

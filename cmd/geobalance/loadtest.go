@@ -19,7 +19,9 @@ func cmdLoadtest(args []string) error {
 	dim := fs.Int("dim", 2, "torus dimension (space=torus only)")
 	servers := fs.Int("servers", 64, "fleet size")
 	d := fs.Int("d", 2, "hash choices per key")
-	replicas := fs.Int("replicas", 1, "ring positions per server (space=ring only)")
+	replicas := fs.Int("replicas", 1, "ring: positions per server; torus: alias for -key-replicas")
+	keyReplicas := fs.Int("key-replicas", 0, "replicas per key, <= d (0 = unreplicated)")
+	failures := fs.String("failures", "", "failure script: kind@offset[:frac],... with kinds leave, crash, zone (e.g. crash@100ms:0.1,zone@250ms:0.3)")
 	workers := fs.Int("workers", 0, "traffic goroutines (0 = GOMAXPROCS)")
 	ops := fs.Int64("ops", 0, "total op budget; takes precedence over -duration when > 0")
 	dur := fs.Duration("duration", 2*time.Second, "wall-clock run length when -ops is 0")
@@ -37,12 +39,18 @@ func cmdLoadtest(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	script, err := loadgen.ParseFailureScript(*failures)
+	if err != nil {
+		return err
+	}
 	cfg := loadgen.Config{
 		Space:       *space,
 		Dim:         *dim,
 		Servers:     *servers,
 		Choices:     *d,
 		Replicas:    *replicas,
+		KeyReplicas: *keyReplicas,
+		Failures:    script,
 		Workers:     *workers,
 		Keys:        *keys,
 		Dist:        *dist,
@@ -71,6 +79,12 @@ func cmdLoadtest(args []string) error {
 	if *churn > 0 {
 		fmt.Fprintf(stdout, ", churn every %v (rebalance=%v)", *churn, *rebalance)
 	}
+	if *keyReplicas > 1 {
+		fmt.Fprintf(stdout, ", r=%d replicas per key", *keyReplicas)
+	}
+	if len(script) > 0 {
+		fmt.Fprintf(stdout, ", %d scripted failures", len(script))
+	}
 	fmt.Fprintln(stdout)
 	var res *loadgen.Result
 	if err := prof.run(func() error {
@@ -83,9 +97,13 @@ func cmdLoadtest(args []string) error {
 	res.Report(stdout)
 	// A load test that corrupted the router is worse than a slow one:
 	// always verify before declaring numbers.
+	res.Router.Repair()
 	res.Router.Rebalance()
 	if err := res.Router.CheckInvariants(); err != nil {
 		return fmt.Errorf("router invariants violated after run: %w", err)
+	}
+	if res.LostKeys > 0 {
+		return fmt.Errorf("%d keys lost after repair", res.LostKeys)
 	}
 	fmt.Fprintln(stdout, "  invariants: OK")
 	return nil

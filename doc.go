@@ -113,13 +113,37 @@
 //     cell-CSR and overlapped-row indexes instead of re-sorting) —
 //     see examples/geo-router.
 //
+// # Replication, failover, and live migration
+//
+// The d hash candidates double as a replica set: SetReplication(r)
+// (r <= d, capped at MaxReplicas) makes PlaceReplicated pin each key
+// to the r least-loaded of its d candidate servers, recorded in a
+// fixed-size per-key struct so the replicated paths stay
+// allocation-free. LocateAny is the failover read: it returns the
+// first live replica in placement order (draining replicas only as a
+// last resort) and ErrNoLiveReplica only when all replicas are gone.
+// Repair re-replicates under-target keys after membership loss while
+// preserving surviving replicas, and converges (a second pass moves
+// nothing). Graceful removal is SetDraining + PlanMigration(limit) —
+// a bounded write-log of old-record -> new-record deltas planned
+// against one snapshot — drained by ApplyBatch during live traffic.
+// Every delta is revalidated under the key's shard lock and skipped
+// (never misapplied) if the record or membership changed since
+// planning, and records swap atomically under that lock, so a
+// concurrent LocateAny sees the old replica set or the new one, never
+// a mix.
+//
 // internal/loadgen drives either router (Config.Space ring/torus) with
 // N goroutines of Zipf/Pareto/uniform-keyed Place/Locate/Remove
-// traffic (optionally racing membership churn) and reports throughput
-// plus sampled latency percentiles; run it via `geobalance loadtest
-// [-space torus]`. cmd/benchjson records both routers' serial and
-// parallel numbers alongside the simulation sweep and gates CI on
-// regressions (-compare).
+// traffic (optionally racing membership churn and a scripted
+// FailureScript of crash / graceful-leave / torus-zone-outage events,
+// with KeyReplicas > 1 switching reads to LocateAny and auditing for
+// lost keys after a final repair) and reports throughput plus sampled
+// latency percentiles; run it via `geobalance loadtest [-space torus]
+// [-key-replicas r] [-failures script]`. cmd/benchjson records both
+// routers' serial and parallel numbers — including the replicated
+// place, failover locate, and failure-script loadgen paths — alongside
+// the simulation sweep and gates CI on regressions (-compare).
 //
 // Measured on the development machine (noisy shared vCPU, Go 1.24,
 // n = 2^16, d = 2, m = n, BenchmarkTable1Ring, interleaved runs): the

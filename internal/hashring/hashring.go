@@ -252,6 +252,47 @@ func (r *Ring) SetCapacity(name string, capacity float64) error {
 	return r.rt.SetCapacity(name, capacity)
 }
 
+// SetReplication sets the replicas-per-key factor: each key is pinned
+// to the top-r of its d ring candidates; see
+// router.Router.SetReplication. Distinct from VirtualNodes, which
+// multiplies a server's ring positions.
+func (r *Ring) SetReplication(rep int) error { return r.rt.SetReplication(rep) }
+
+// Replication returns the configured replicas-per-key factor.
+func (r *Ring) Replication() int { return r.rt.Replication() }
+
+// SetDraining marks a server draining (serving reads, refusing new
+// keys) or clears the mark; see router.Router.SetDraining.
+func (r *Ring) SetDraining(name string, draining bool) error {
+	return r.rt.SetDraining(name, draining)
+}
+
+// PlaceReplicated is Place returning the replica count alongside the
+// primary; see router.Router.PlaceReplicated.
+func (r *Ring) PlaceReplicated(key string) (string, int, error) {
+	return r.rt.PlaceReplicated(key)
+}
+
+// LocateAny returns a live server holding the key, failing over past
+// dead or draining replicas; see router.Router.LocateAny.
+func (r *Ring) LocateAny(key string) (string, error) { return r.rt.LocateAny(key) }
+
+// Owners appends the key's recorded replica owners to dst; see
+// router.Router.Owners.
+func (r *Ring) Owners(key string, dst []string) ([]string, error) {
+	return r.rt.Owners(key, dst)
+}
+
+// Repair replaces the replicas lost to failures while leaving healthy
+// replicas in place; see router.Router.Repair.
+func (r *Ring) Repair() (repaired, lost int) { return r.rt.Repair() }
+
+// PlanMigration computes the write-log of key moves that would restore
+// the placement invariants; see router.Router.PlanMigration.
+func (r *Ring) PlanMigration(limit int) *router.MigrationPlan {
+	return r.rt.PlanMigration(limit)
+}
+
 // NumServers returns the number of live servers.
 func (r *Ring) NumServers() int { return r.rt.NumServers() }
 

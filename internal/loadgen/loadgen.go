@@ -20,6 +20,7 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -37,12 +38,19 @@ import (
 )
 
 // Target is the serving surface the harness drives: the method set
-// shared by hashring.Ring and router.Geo.
+// shared by hashring.Ring and router.Geo, including the replication,
+// failover, and live-migration surface the failure scripts exercise.
 type Target interface {
 	Place(key string) (string, error)
 	Locate(key string) (string, error)
+	LocateAny(key string) (string, error)
 	Remove(key string) error
 	Rebalance() int
+	Repair() (repaired, lost int)
+	SetReplication(rep int) error
+	SetDraining(name string, draining bool) error
+	PlanMigration(limit int) *router.MigrationPlan
+	Servers() []string
 	NumKeys() int
 	NumServers() int
 	MaxLoad() int64
@@ -86,7 +94,8 @@ type Config struct {
 	Dim         int           // torus dimension (default 2; torus space only)
 	Servers     int           // fleet size (default 64)
 	Choices     int           // d (default 2)
-	Replicas    int           // ring positions per server (default 1; ring space only)
+	Replicas    int           // ring: positions per server; torus: alias for KeyReplicas (default 1)
+	KeyReplicas int           // replicas per key, <= Choices (default 1; >1 pins each key to its top-r candidates)
 	Workers     int           // traffic goroutines (default GOMAXPROCS)
 	Ops         int64         // total op budget; used when Duration == 0
 	Duration    time.Duration // wall-clock bound; 0 = ops-bound
@@ -97,6 +106,7 @@ type Config struct {
 	LookupFrac  float64       // fraction of ops that are Locate; 0 = pure write traffic (the CLI defaults to 0.9)
 	ChurnEvery  time.Duration // membership change period; 0 = no churn
 	Rebalance   bool          // rebalance after every churn event
+	Failures    FailureScript // scripted failure events racing the traffic; see failures.go
 	SampleEvery int           // measure latency on every k-th op (default 8)
 	ReportEvery time.Duration // interim load reports to ReportTo; 0 = none
 	ReportTo    io.Writer     // destination for interim reports (required when ReportEvery > 0)
@@ -113,6 +123,17 @@ type Result struct {
 	Places     int64
 	Removes    int64
 	Errors     int64
+
+	// FailedReads counts lookups that found no live replica — the
+	// window between a crash and its repair. Kept apart from Errors:
+	// they are the degradation a failure script inflicts on purpose.
+	FailedReads int64
+	// Failures records each scripted failure event's outcome in order.
+	Failures []FailureOutcome
+	// LostKeys counts hot keys unreadable after the final repair — the
+	// zero-lost-keys acceptance check. Only populated when the run used
+	// replication or a failure script.
+	LostKeys int
 
 	Lookup stats.LatencyHist
 	Place  stats.LatencyHist
@@ -165,6 +186,28 @@ func (cfg *Config) applyDefaults() error {
 	if cfg.SampleEvery == 0 {
 		cfg.SampleEvery = 8
 	}
+	// On the torus, Replicas is an alias for KeyReplicas: the ring's
+	// "positions per server" meaning does not exist there, and key
+	// replication is the torus-native reading of an r-way request.
+	if cfg.Space == "torus" && cfg.Replicas != 1 {
+		if cfg.KeyReplicas != 0 && cfg.KeyReplicas != cfg.Replicas {
+			return fmt.Errorf("loadgen: replicas=%d conflicts with key replicas=%d (on the torus they are the same knob)",
+				cfg.Replicas, cfg.KeyReplicas)
+		}
+		cfg.KeyReplicas = cfg.Replicas
+	}
+	if cfg.KeyReplicas == 0 {
+		cfg.KeyReplicas = 1
+	}
+	if cfg.KeyReplicas < 1 || cfg.KeyReplicas > cfg.Choices || cfg.KeyReplicas > router.MaxReplicas {
+		return fmt.Errorf("loadgen: need 1 <= key replicas <= min(choices=%d, %d), got %d",
+			cfg.Choices, router.MaxReplicas, cfg.KeyReplicas)
+	}
+	for i := range cfg.Failures {
+		if err := cfg.Failures[i].validate(); err != nil {
+			return err
+		}
+	}
 	if cfg.Servers < 1 || cfg.Workers < 1 || cfg.Keys < 2 {
 		return fmt.Errorf("loadgen: need servers >= 1, workers >= 1, keys >= 2")
 	}
@@ -195,9 +238,6 @@ func (cfg *Config) buildTarget() (churnTarget, error) {
 		}
 		return ringTarget{ring}, nil
 	case "torus":
-		if cfg.Replicas != 1 {
-			return nil, fmt.Errorf("loadgen: replicas are a ring concept (space=torus, replicas=%d)", cfg.Replicas)
-		}
 		geo, err := router.NewGeo(cfg.Dim, cfg.Choices)
 		if err != nil {
 			return nil, err
@@ -233,6 +273,7 @@ func (cfg *Config) ranker() (workload.Ranker, error) {
 // workerStats is one goroutine's private tally, merged after the run.
 type workerStats struct {
 	lookups, places, removes, errors int64
+	failedReads                      int64
 	lookup, place, remove            stats.LatencyHist
 }
 
@@ -253,6 +294,14 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.KeyReplicas > 1 {
+		if err := target.SetReplication(cfg.KeyReplicas); err != nil {
+			return nil, err
+		}
+	}
+	// Failover mode: replicated placement or scripted failures switch
+	// the read path to LocateAny and enable the post-run repair audit.
+	failover := cfg.KeyReplicas > 1 || len(cfg.Failures) > 0
 
 	// Preload the hot-key space the Locate traffic reads.
 	hot := make([]string, cfg.Keys)
@@ -282,8 +331,22 @@ func Run(cfg Config) (*Result, error) {
 		go func(w int) {
 			defer traffic.Done()
 			runWorker(target, &cfg, rk, rng.NewStream(cfg.Seed, uint64(w)), w,
-				&allStats[w], &budget, opsBound, deadline, hot)
+				&allStats[w], &budget, opsBound, deadline, hot, failover)
 		}(w)
+	}
+
+	// Optional scripted failures, racing the traffic.
+	var (
+		failDone chan struct{}
+		outcomes []FailureOutcome
+	)
+	failStop := make(chan struct{})
+	if len(cfg.Failures) > 0 {
+		failDone = make(chan struct{})
+		go func() {
+			defer close(failDone)
+			outcomes = runFailures(target, &cfg, failStop)
+		}()
 	}
 
 	// Optional membership churner, racing the traffic.
@@ -371,6 +434,10 @@ func Run(cfg Config) (*Result, error) {
 	if churnDone != nil {
 		<-churnDone
 	}
+	close(failStop)
+	if failDone != nil {
+		<-failDone
+	}
 	close(reportStop)
 	if reportDone != nil {
 		<-reportDone
@@ -385,12 +452,14 @@ func Run(cfg Config) (*Result, error) {
 		Procs:       runtime.GOMAXPROCS(0),
 		Router:      target,
 	}
+	res.Failures = outcomes
 	for i := range allStats {
 		ws := &allStats[i]
 		res.Lookups += ws.lookups
 		res.Places += ws.places
 		res.Removes += ws.removes
 		res.Errors += ws.errors
+		res.FailedReads += ws.failedReads
 		res.Lookup.Merge(&ws.lookup)
 		res.Place.Merge(&ws.place)
 		res.Remove.Merge(&ws.remove)
@@ -398,6 +467,16 @@ func Run(cfg Config) (*Result, error) {
 	res.Ops = res.Lookups + res.Places + res.Removes
 	if elapsed > 0 {
 		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	}
+	// The zero-lost-keys audit: after a final repair converges, every
+	// preloaded hot key must still be readable somewhere.
+	if failover {
+		target.Repair()
+		for _, key := range hot {
+			if _, err := target.LocateAny(key); err != nil {
+				res.LostKeys++
+			}
+		}
 	}
 	res.FinalKeys = target.NumKeys()
 	loads := make(map[string]int64, cfg.Servers+8)
@@ -421,7 +500,7 @@ func Run(cfg Config) (*Result, error) {
 // across workers and the steady state allocates nothing).
 func runWorker(target Target, cfg *Config, rk workload.Ranker, r *rng.Rand,
 	w int, ws *workerStats, budget *atomic.Int64,
-	opsBound bool, deadline time.Time, hot []string) {
+	opsBound bool, deadline time.Time, hot []string, failover bool) {
 
 	own := make([]string, 256)
 	for i := range own {
@@ -457,7 +536,19 @@ func runWorker(target Target, cfg *Config, rk workload.Ranker, r *rng.Rand,
 				if measured {
 					t0 = time.Now()
 				}
-				_, err := target.Locate(key)
+				var err error
+				if failover {
+					// The failover read: a dead primary is routed around,
+					// and a key with NO live replica is the scripted
+					// degradation a failure inflicts on purpose, not a
+					// harness error.
+					if _, err = target.LocateAny(key); errors.Is(err, router.ErrNoLiveReplica) {
+						ws.failedReads++
+						err = nil
+					}
+				} else {
+					_, err = target.Locate(key)
+				}
 				ws.lookups++
 				if err != nil {
 					ws.errors++
@@ -506,6 +597,15 @@ func (r *Result) Report(w io.Writer) {
 		r.Elapsed.Round(time.Millisecond), r.Ops, r.Throughput, r.Workers, r.Procs)
 	fmt.Fprintf(w, "  lookups %d   places %d   removes %d   errors %d\n",
 		r.Lookups, r.Places, r.Removes, r.Errors)
+	if r.FailedReads > 0 {
+		fmt.Fprintf(w, "  failed reads (no live replica, pre-repair): %d\n", r.FailedReads)
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(w, "  failure: %s\n", f.String())
+	}
+	if len(r.Failures) > 0 || r.FailedReads > 0 {
+		fmt.Fprintf(w, "  lost keys after final repair: %d\n", r.LostKeys)
+	}
 	if r.Lookup.N() > 0 {
 		fmt.Fprintf(w, "  locate  latency: %v\n", r.Lookup.String())
 	}

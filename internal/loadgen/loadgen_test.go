@@ -172,7 +172,13 @@ func TestRunValidation(t *testing.T) {
 		t.Error("unknown space accepted")
 	}
 	if _, err := Run(Config{Ops: 100, Space: "torus", Replicas: 3}); err == nil {
-		t.Error("replicas on the torus space accepted")
+		t.Error("torus key replicas over the hash-choice count accepted")
+	}
+	if _, err := Run(Config{Ops: 100, Space: "torus", Replicas: 3, KeyReplicas: 2}); err == nil {
+		t.Error("conflicting Replicas/KeyReplicas on the torus accepted")
+	}
+	if _, err := Run(Config{Ops: 100, Choices: 3, KeyReplicas: 5}); err == nil {
+		t.Error("key replicas over MaxReplicas accepted")
 	}
 	if _, err := Run(Config{Ops: 100, ReportEvery: time.Second}); err == nil {
 		t.Error("ReportEvery without ReportTo accepted")

@@ -5,6 +5,7 @@ package router
 
 import (
 	"fmt"
+	"sort"
 
 	"geobalance/internal/geom"
 	"geobalance/internal/rng"
@@ -206,6 +207,64 @@ func (g *Geo) Location(name string) (geom.Vec, bool) {
 // Router.SetCapacity.
 func (g *Geo) SetCapacity(name string, capacity float64) error {
 	return g.rt.SetCapacity(name, capacity)
+}
+
+// SetReplication sets the replicas-per-key factor: each key is pinned
+// to the top-r of its d hashed torus candidates; see
+// Router.SetReplication.
+func (g *Geo) SetReplication(rep int) error { return g.rt.SetReplication(rep) }
+
+// Replication returns the configured replicas-per-key factor.
+func (g *Geo) Replication() int { return g.rt.Replication() }
+
+// SetDraining marks a server draining (serving reads, refusing new
+// keys) or clears the mark; see Router.SetDraining.
+func (g *Geo) SetDraining(name string, draining bool) error {
+	return g.rt.SetDraining(name, draining)
+}
+
+// PlaceReplicated is Place returning the replica count alongside the
+// primary; see Router.PlaceReplicated.
+func (g *Geo) PlaceReplicated(key string) (string, int, error) {
+	return g.rt.PlaceReplicated(key)
+}
+
+// LocateAny returns a live server holding the key, failing over past
+// dead or draining replicas; see Router.LocateAny.
+func (g *Geo) LocateAny(key string) (string, error) { return g.rt.LocateAny(key) }
+
+// Owners appends the key's recorded replica owners to dst; see
+// Router.Owners.
+func (g *Geo) Owners(key string, dst []string) ([]string, error) {
+	return g.rt.Owners(key, dst)
+}
+
+// Repair replaces the replicas lost to failures while leaving healthy
+// replicas in place; see Router.Repair.
+func (g *Geo) Repair() (repaired, lost int) { return g.rt.Repair() }
+
+// PlanMigration computes the write-log of key moves that would restore
+// the placement invariants; see Router.PlanMigration.
+func (g *Geo) PlanMigration(limit int) *MigrationPlan { return g.rt.PlanMigration(limit) }
+
+// ServersInRegion returns the live servers whose sites fall inside the
+// wrapped axis-aligned box [lo, hi) (per axis, the wrapped interval
+// from lo to hi — lo > hi wraps through zero), in sorted order. This
+// is the blast-radius query for zone-outage scenarios: a torus
+// coordinate region maps to the set of servers a correlated failure
+// takes out together.
+func (g *Geo) ServersInRegion(lo, hi geom.Vec) []string {
+	s := g.rt.Snapshot()
+	t, ok := s.Topo.(*geoTopo)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, si := range t.space.SitesInBox(lo, hi, nil) {
+		out = append(out, s.Names[t.siteSlot[si]])
+	}
+	sort.Strings(out)
+	return out
 }
 
 // NumServers returns the number of live servers.

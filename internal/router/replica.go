@@ -1,0 +1,450 @@
+// Replicated placement, failover reads, and repair.
+//
+// The paper's d candidate locations are a natural replica set: each
+// key already hashes to d independent places, so r-way replication is
+// "keep the key at the r least-loaded distinct candidates" instead of
+// only the single winner — a geometric take on power-of-two-choices
+// replication. The serving core stores the whole replica set in the
+// fixed-size key record, charges every replica to its slot's load
+// counter, and serves failover reads (LocateAny) that skip dead or
+// draining replicas without any per-read coordination. Repair is the
+// crash-recovery pass: it replaces only the replicas a failure lost,
+// leaving healthy replicas (and therefore the bulk of the fleet's
+// data) untouched, where Rebalance re-chooses whole sets.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNoLiveReplica is wrapped by LocateAny when a key's record exists
+// but every recorded replica is dead. The record survives — Repair
+// re-homes it — but until then there is nowhere live to read from.
+var ErrNoLiveReplica = errors.New("no live replica")
+
+// SetReplication sets the number of replicas each subsequently placed
+// key gets: the r least-loaded of its d distinct candidates, with
+// slots[0] (the Place/Locate primary) the least loaded. Existing keys
+// keep their old replica count until the next Rebalance or Repair
+// re-conforms them. Requires 1 <= r <= min(d, MaxReplicas).
+func (r *Router) SetReplication(rep int) error {
+	if rep < 1 || rep > MaxReplicas {
+		return fmt.Errorf("%s: need 1 <= replicas <= %d, got %d", r.name, MaxReplicas, rep)
+	}
+	return r.Update(func(tx *Txn) (Topology, error) {
+		if rep > tx.s.D {
+			return nil, fmt.Errorf("%s: replicas %d exceed the %d hash choices per key",
+				r.name, rep, tx.s.D)
+		}
+		tx.s.R = rep
+		return tx.Topology(), nil
+	})
+}
+
+// Replication returns the configured replicas-per-key factor.
+func (r *Router) Replication() int {
+	if t := r.snap.Load(); t.R > 1 {
+		return t.R
+	}
+	return 1
+}
+
+// SetDraining marks a live server as draining (or clears the mark):
+// it keeps serving the keys it holds, but placements and failover
+// reads prefer other candidates, and the migration planner moves its
+// keys away. The graceful-leave sequence is SetDraining(name, true),
+// PlanMigration + ApplyBatch until done, then the membership removal.
+func (r *Router) SetDraining(name string, draining bool) error {
+	return r.Update(func(tx *Txn) (Topology, error) {
+		i, ok := tx.Slot(name)
+		if !ok || !tx.IsLive(i) {
+			return nil, fmt.Errorf("%s: unknown server %q", r.name, name)
+		}
+		t := tx.s
+		if t.Drain == nil {
+			t.Drain = make([]bool, len(t.Names))
+		}
+		if t.Drain[i] != draining {
+			t.Drain[i] = draining
+			if draining {
+				t.draining++
+			} else {
+				t.draining--
+			}
+		}
+		return tx.Topology(), nil
+	})
+}
+
+// PlaceReplicated is Place returning the replica count alongside the
+// primary: the key is pinned to the top-R of its d geometric
+// candidates (fewer when the candidate hashes resolve to fewer
+// distinct live servers). Allocation-free; use Owners for the full
+// owner list.
+func (r *Router) PlaceReplicated(key string) (string, int, error) {
+	t, rec, err := r.place(key)
+	if err != nil {
+		return "", 0, err
+	}
+	return t.Names[rec.slots[0]], int(rec.n), nil
+}
+
+// LocateAny returns a live server holding the key: the primary when it
+// is healthy, otherwise the first healthy replica in record order —
+// the failover read. Draining replicas are skipped while a non-draining
+// one exists. When every replica is dead the error wraps
+// ErrNoLiveReplica. Allocation-free on the success path.
+func (r *Router) LocateAny(key string) (string, error) {
+	h0 := Hash('k', 0, key)
+	ks := r.keyShardFor(h0)
+	ks.mu.RLock()
+	rec, ok := ks.m[key]
+	ks.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("%s: key %q not placed", r.name, key)
+	}
+	t := r.snap.Load()
+	drainFallback := int32(-1)
+	for i := 0; i < int(rec.n); i++ {
+		s := rec.slots[i]
+		if t.Dead[s] {
+			continue
+		}
+		if t.IsDraining(s) {
+			if drainFallback < 0 {
+				drainFallback = s
+			}
+			continue
+		}
+		return t.Names[s], nil
+	}
+	if drainFallback >= 0 {
+		return t.Names[drainFallback], nil
+	}
+	return "", fmt.Errorf("%s: key %q: %w", r.name, key, ErrNoLiveReplica)
+}
+
+// Owners appends the names of every server currently recorded for the
+// key (primary first, dead replicas included — the record is the
+// source of truth a repair works from) and returns the extended slice.
+func (r *Router) Owners(key string, dst []string) ([]string, error) {
+	h0 := Hash('k', 0, key)
+	ks := r.keyShardFor(h0)
+	ks.mu.RLock()
+	rec, ok := ks.m[key]
+	ks.mu.RUnlock()
+	if !ok {
+		return dst, fmt.Errorf("%s: key %q not placed", r.name, key)
+	}
+	t := r.snap.Load()
+	for i := 0; i < int(rec.n); i++ {
+		dst = append(dst, t.Names[rec.slots[i]])
+	}
+	return dst, nil
+}
+
+// gatherCandidates collects the key's distinct candidate slots with
+// the first choice index that resolves to each, returning the count.
+// cs/salts must have MaxChoices capacity.
+func (t *Snapshot) gatherCandidates(key string, h0 uint64, cs *[MaxChoices]int32, salts *[MaxChoices]int8) int {
+	nc := 0
+	for j := 0; j < t.D; j++ {
+		h := h0
+		if j > 0 {
+			h = Hash('k', j, key)
+		}
+		s := t.Topo.Resolve(h)
+		dup := false
+		for i := 0; i < nc; i++ {
+			if cs[i] == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cs[nc], salts[nc] = s, int8(j)
+			nc++
+		}
+	}
+	return nc
+}
+
+// dropDraining compacts draining slots out of a candidate list unless
+// that would empty it, reporting whether the drain filter applied.
+func (t *Snapshot) dropDraining(cs *[MaxChoices]int32, salts *[MaxChoices]int8, nc int) (int, bool) {
+	if t.draining == 0 {
+		return nc, false
+	}
+	k := 0
+	for i := 0; i < nc; i++ {
+		if !t.Drain[cs[i]] {
+			cs[k], salts[k] = cs[i], salts[i]
+			k++
+		}
+	}
+	if k == 0 {
+		return nc, false // every candidate drains: the filter must not apply
+	}
+	return k, k != nc
+}
+
+// chooseReplicated picks a key's full replica record: the min(R, nc)
+// least-relatively-loaded of its nc distinct candidates, draining
+// candidates excluded while an alternative exists, ties broken toward
+// the lower choice index. When loads is non-nil it overrides the live
+// counters — the migration planner uses this to simulate the load
+// movement of deltas it has already planned.
+func (t *Snapshot) chooseReplicated(key string, h0 uint64, loads []int64) keyRec {
+	var (
+		cs    [MaxChoices]int32
+		salts [MaxChoices]int8
+		rels  [MaxChoices]float64
+	)
+	nc := t.gatherCandidates(key, h0, &cs, &salts)
+	nc, _ = t.dropDraining(&cs, &salts, nc)
+	for i := 0; i < nc; i++ {
+		if loads != nil {
+			rels[i] = float64(loads[cs[i]]) / t.Caps[cs[i]]
+		} else {
+			rels[i] = t.RelLoad(cs[i])
+		}
+	}
+	want := t.R
+	if want > nc {
+		want = nc
+	}
+	var rec keyRec
+	for k := 0; k < want; k++ {
+		bi := k
+		for i := k + 1; i < nc; i++ {
+			if rels[i] < rels[bi] {
+				bi = i
+			}
+		}
+		cs[k], cs[bi] = cs[bi], cs[k]
+		salts[k], salts[bi] = salts[bi], salts[k]
+		rels[k], rels[bi] = rels[bi], rels[k]
+		rec.slots[k], rec.salts[k] = cs[k], salts[k]
+	}
+	rec.n = int8(want)
+	return rec
+}
+
+// replicaTarget returns the replica count a conforming record must
+// have under this snapshot, and whether the drain filter applied to
+// the candidate set.
+func (t *Snapshot) replicaTarget(key string, h0 uint64) (want int, drainFiltered bool) {
+	var (
+		cs    [MaxChoices]int32
+		salts [MaxChoices]int8
+	)
+	nc := t.gatherCandidates(key, h0, &cs, &salts)
+	nc, drainFiltered = t.dropDraining(&cs, &salts, nc)
+	want = t.R
+	if want < 1 {
+		want = 1
+	}
+	if want > nc {
+		want = nc
+	}
+	return want, drainFiltered
+}
+
+// recValid reports whether rec is a legal record for the key under
+// snapshot t: every replica on a distinct live slot, resolving there
+// at its recorded choice index, no replica on a draining slot while a
+// non-draining candidate exists, and the replica count at the
+// snapshot's target. A legal record need not be the least-loaded
+// choice — placement is sticky.
+func (t *Snapshot) recValid(key string, h0 uint64, rec keyRec) bool {
+	if t.R <= 1 && t.draining == 0 {
+		// The single-owner fast path (one resolve, as before the
+		// replication layer).
+		if rec.n != 1 {
+			return false
+		}
+		s := rec.slots[0]
+		if t.Dead[s] {
+			return false
+		}
+		h := h0
+		if rec.salts[0] != 0 {
+			h = Hash('k', int(rec.salts[0]), key)
+		}
+		return t.Topo.Resolve(h) == s
+	}
+	want, drainFiltered := t.replicaTarget(key, h0)
+	if int(rec.n) != want {
+		return false
+	}
+	for i := 0; i < int(rec.n); i++ {
+		s := rec.slots[i]
+		if t.Dead[s] {
+			return false
+		}
+		if drainFiltered && t.Drain[s] {
+			return false
+		}
+		h := h0
+		if rec.salts[i] != 0 {
+			h = Hash('k', int(rec.salts[i]), key)
+		}
+		if t.Topo.Resolve(h) != s {
+			return false
+		}
+		for j := 0; j < i; j++ {
+			if rec.slots[j] == s {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkRec is recValid with diagnostics, for CheckInvariants.
+func (t *Snapshot) checkRec(key string, rec keyRec) error {
+	if rec.n < 1 || int(rec.n) > MaxReplicas {
+		return fmt.Errorf("key %q has replica count %d", key, rec.n)
+	}
+	h0 := Hash('k', 0, key)
+	for i := 0; i < int(rec.n); i++ {
+		s := rec.slots[i]
+		if int(s) >= len(t.Names) {
+			return fmt.Errorf("key %q on out-of-range slot %d", key, s)
+		}
+		if t.Dead[s] {
+			return fmt.Errorf("key %q on dead server %q", key, t.Names[s])
+		}
+		h := h0
+		if rec.salts[i] != 0 {
+			h = Hash('k', int(rec.salts[i]), key)
+		}
+		if got := t.Topo.Resolve(h); got != s {
+			return fmt.Errorf("key %q recorded on %q but hashes to %q",
+				key, t.Names[s], t.Names[got])
+		}
+		for j := 0; j < i; j++ {
+			if rec.slots[j] == s {
+				return fmt.Errorf("key %q has duplicate replica on %q", key, t.Names[s])
+			}
+		}
+	}
+	want, drainFiltered := t.replicaTarget(key, h0)
+	if int(rec.n) != want {
+		return fmt.Errorf("key %q has %d replicas, want %d", key, rec.n, want)
+	}
+	if drainFiltered {
+		for i := 0; i < int(rec.n); i++ {
+			if t.Drain[rec.slots[i]] {
+				return fmt.Errorf("key %q still on draining server %q",
+					key, t.Names[rec.slots[i]])
+			}
+		}
+	}
+	return nil
+}
+
+// Repair re-replicates keys whose replica set lost a member: for every
+// key with a dead or no-longer-resolving replica (or a stale replica
+// count after SetReplication), the surviving replicas stay exactly
+// where they are and only the lost slots are refilled with the
+// least-loaded live candidates not already in the set. Unlike
+// Rebalance it never moves a healthy replica, so a crash of k servers
+// touches only the keys those servers carried — the recovery pass to
+// run after failures. Returns the number of keys repaired and how many
+// of them had lost every replica (their records survive and are
+// re-homed, but a real deployment would need to restore their data
+// from clients or backup).
+func (r *Router) Repair() (repaired, lost int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.snap.Load()
+	if t.Live == 0 {
+		return 0, 0
+	}
+	names := make([]string, 0, r.nkeys.Load())
+	for i := range r.keys {
+		ks := &r.keys[i]
+		ks.mu.RLock()
+		for k := range ks.m {
+			names = append(names, k)
+		}
+		ks.mu.RUnlock()
+	}
+	sort.Strings(names)
+	for _, key := range names {
+		h0 := Hash('k', 0, key)
+		ks := r.keyShardFor(h0)
+		ks.mu.Lock()
+		rec, ok := ks.m[key]
+		if !ok || t.recValid(key, h0, rec) {
+			ks.mu.Unlock()
+			continue
+		}
+		nrec, allLost := t.repairRec(key, h0, rec)
+		rec.addLoads(t, h0, -1)
+		nrec.addLoads(t, h0, 1)
+		ks.m[key] = nrec
+		ks.mu.Unlock()
+		repaired++
+		if allLost {
+			lost++
+		}
+	}
+	return repaired, lost
+}
+
+// repairRec rebuilds a record around its surviving replicas: keep
+// every replica that is live and still resolves, then fill up to the
+// snapshot's target count with the least-loaded candidates not already
+// in the set. Reports whether no replica survived.
+func (t *Snapshot) repairRec(key string, h0 uint64, rec keyRec) (keyRec, bool) {
+	_, drainFiltered := t.replicaTarget(key, h0)
+	var nrec keyRec
+	liveReplicas := 0
+	for i := 0; i < int(rec.n); i++ {
+		s := rec.slots[i]
+		if t.Dead[s] {
+			continue
+		}
+		liveReplicas++ // a draining or captured replica still holds the data
+		if drainFiltered && t.Drain[s] {
+			continue
+		}
+		h := h0
+		if rec.salts[i] != 0 {
+			h = Hash('k', int(rec.salts[i]), key)
+		}
+		if t.Topo.Resolve(h) != s {
+			continue
+		}
+		nrec.slots[nrec.n], nrec.salts[nrec.n] = s, rec.salts[i]
+		nrec.n++
+	}
+	allLost := liveReplicas == 0
+	// The full replacement set, least-loaded first; graft members not
+	// already surviving until the count is met. chooseReplicated and
+	// repairRec agree on the target count by construction (both are
+	// min(R, candidates)).
+	full := t.chooseReplicated(key, h0, nil)
+	if nrec.n > full.n {
+		nrec.n = full.n // replication factor lowered: shed extras
+	}
+	for i := 0; i < int(full.n) && nrec.n < full.n; i++ {
+		s := full.slots[i]
+		dup := false
+		for j := 0; j < int(nrec.n); j++ {
+			if nrec.slots[j] == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			nrec.slots[nrec.n], nrec.salts[nrec.n] = s, full.salts[i]
+			nrec.n++
+		}
+	}
+	return nrec, allLost
+}

@@ -58,6 +58,14 @@ const (
 	// MaxChoices bounds d so the per-key choice index fits the compact
 	// key record.
 	MaxChoices = 127
+
+	// MaxReplicas bounds the per-key replica count so a key record
+	// stays a small fixed-size map value: placements never allocate,
+	// and a record update under the shard lock is one value store. The
+	// paper's d candidate locations are the replica sites, so r <= d
+	// always; fleets wanting more durability than 4-way replication
+	// want a storage system, not a placement router.
+	MaxReplicas = 4
 )
 
 // Hash hashes a labeled, salted string with full 64-bit diffusion
@@ -136,15 +144,24 @@ type TopologyChecker interface {
 // data race with every concurrent reader.
 type Snapshot struct {
 	D     int
+	R     int         // replicas per key (1 = single-owner; see SetReplication)
 	Names []string    // all ever-added servers (slots are never reused for new names)
 	Caps  []float64   // per-slot capacity (1 unless set)
 	Dead  []bool      // removed servers keep their slot
+	Drain []bool      // draining servers: serving reads, refusing new keys (nil until SetDraining)
 	Loads []*SlotLoad // per-slot counters, shared by pointer across snapshots
 	Live  int         // number of live servers
-	Topo  Topology    // facade-built; nil only while Live == 0
 
-	index map[string]int32 // server name -> slot
-	name  string           // owning router's name, for error text
+	Topo Topology // facade-built; nil only while Live == 0
+
+	draining int              // number of live draining slots (fast path when 0)
+	index    map[string]int32 // server name -> slot
+	name     string           // owning router's name, for error text
+}
+
+// IsDraining reports whether slot s is draining.
+func (t *Snapshot) IsDraining(s int32) bool {
+	return t.draining > 0 && t.Drain[s]
 }
 
 // Slot returns the slot of a (live or dead) server name.
@@ -162,7 +179,13 @@ func (t *Snapshot) RelLoad(s int32) float64 {
 // Choose runs the d-choice among the key's current candidates and
 // returns the winning slot and choice index. h0 must be
 // Hash('k', 0, key). The snapshot must have at least one live slot.
+// Draining candidates are passed over while a non-draining candidate
+// exists (a drained slot keeps serving the keys it has but takes no
+// new ones).
 func (t *Snapshot) Choose(key string, h0 uint64) (best int32, salt int) {
+	if t.draining > 0 {
+		return t.chooseAvoidDraining(key, h0)
+	}
 	best = t.Topo.Resolve(h0)
 	if t.D == 1 {
 		return best, 0
@@ -178,19 +201,58 @@ func (t *Snapshot) Choose(key string, h0 uint64) (best int32, salt int) {
 	return best, salt
 }
 
+// chooseAvoidDraining is Choose for snapshots with draining slots: the
+// same least-relative-load scan restricted to non-draining candidates,
+// falling back to the unrestricted rule when every candidate drains.
+func (t *Snapshot) chooseAvoidDraining(key string, h0 uint64) (best int32, salt int) {
+	best = -1
+	var bestLoad float64
+	for j := 0; j < t.D; j++ {
+		h := h0
+		if j > 0 {
+			h = Hash('k', j, key)
+		}
+		s := t.Topo.Resolve(h)
+		if t.Drain[s] || s == best {
+			continue
+		}
+		if rl := t.RelLoad(s); best < 0 || rl < bestLoad {
+			best, salt, bestLoad = s, j, rl
+		}
+	}
+	if best >= 0 {
+		return best, salt
+	}
+	// Every candidate is draining: place anyway (the alternative is
+	// refusing the key), using the unrestricted comparison.
+	best, salt = t.Topo.Resolve(h0), 0
+	bestLoad = t.RelLoad(best)
+	for j := 1; j < t.D; j++ {
+		if s := t.Topo.Resolve(Hash('k', j, key)); s != best {
+			if rl := t.RelLoad(s); rl < bestLoad {
+				best, salt, bestLoad = s, j, rl
+			}
+		}
+	}
+	return best, salt
+}
+
 // clone copies the slot tables (sharing the counter pointers and the
 // topology until the Txn replaces it).
 func (t *Snapshot) clone() *Snapshot {
 	nt := &Snapshot{
-		D:     t.D,
-		Names: append([]string(nil), t.Names...),
-		Caps:  append([]float64(nil), t.Caps...),
-		Dead:  append([]bool(nil), t.Dead...),
-		Loads: append([]*SlotLoad(nil), t.Loads...),
-		Live:  t.Live,
-		Topo:  t.Topo,
-		index: make(map[string]int32, len(t.index)),
-		name:  t.name,
+		D:        t.D,
+		R:        t.R,
+		Names:    append([]string(nil), t.Names...),
+		Caps:     append([]float64(nil), t.Caps...),
+		Dead:     append([]bool(nil), t.Dead...),
+		Drain:    append([]bool(nil), t.Drain...),
+		Loads:    append([]*SlotLoad(nil), t.Loads...),
+		Live:     t.Live,
+		Topo:     t.Topo,
+		draining: t.draining,
+		index:    make(map[string]int32, len(t.index)),
+		name:     t.name,
 	}
 	for k, v := range t.index {
 		nt.index[k] = v
@@ -198,11 +260,30 @@ func (t *Snapshot) clone() *Snapshot {
 	return nt
 }
 
-// keyRec records where a placed key lives and which of its d hash
-// choices won.
+// keyRec records where a placed key's replicas live and which of the d
+// hash choices each replica won. slots[0] is the primary (the least
+// loaded at placement time); a single-owner router (R == 1) uses only
+// the first entry. The record is a comparable fixed-size value, so
+// storing it never allocates and a migration delta can re-validate a
+// record with one == comparison.
 type keyRec struct {
-	salt   int8
-	server int32
+	n     int8              // replica count, 1 <= n <= MaxReplicas
+	salts [MaxReplicas]int8 // choice index per replica
+	slots [MaxReplicas]int32
+}
+
+// singleRec builds the n=1 record the pre-replication router kept.
+func singleRec(salt int, server int32) keyRec {
+	rec := keyRec{n: 1}
+	rec.salts[0], rec.slots[0] = int8(salt), server
+	return rec
+}
+
+// addLoads adjusts every replica's load counter by delta.
+func (rec *keyRec) addLoads(t *Snapshot, h0 uint64, delta int64) {
+	for i := 0; i < int(rec.n); i++ {
+		t.Loads[rec.slots[i]].Add(h0, delta)
+	}
 }
 
 // keyShard is one shard of the key-record map, padded to a full
@@ -290,6 +371,10 @@ func (tx *Txn) Add(name string) (int32, error) {
 			return 0, fmt.Errorf("%s: duplicate server %q", t.name, name)
 		}
 		t.Dead[i] = false
+		if t.Drain != nil && t.Drain[i] {
+			t.Drain[i] = false
+			t.draining--
+		}
 		t.Live++
 		return i, nil
 	}
@@ -297,6 +382,9 @@ func (tx *Txn) Add(name string) (int32, error) {
 	t.Names = append(t.Names, name)
 	t.Caps = append(t.Caps, 1)
 	t.Dead = append(t.Dead, false)
+	if t.Drain != nil {
+		t.Drain = append(t.Drain, false)
+	}
 	t.Loads = append(t.Loads, &SlotLoad{})
 	t.index[name] = i
 	t.Live++
@@ -315,6 +403,10 @@ func (tx *Txn) Remove(name string) (int32, error) {
 		return 0, fmt.Errorf("%s: cannot remove the last server", t.name)
 	}
 	t.Dead[i] = true
+	if t.Drain != nil && t.Drain[i] {
+		t.Drain[i] = false
+		t.draining--
+	}
 	t.Live--
 	return i, nil
 }
@@ -377,38 +469,59 @@ func (r *Router) keyShardFor(h0 uint64) *keyShard {
 	return &r.keys[h0&(keyShardCount-1)]
 }
 
-// Place assigns a key to the least-loaded of its d candidate servers
-// and returns the server name. Placing an already-placed key is an
-// error (keys are sticky; see Locate). Safe for concurrent use; the
-// candidate set is resolved against one membership snapshot, loaded
-// under the key-shard lock so a Rebalance that already visited this
-// shard cannot race an older snapshot in. A Place overlapping a
-// membership removal may still record the just-removed server (the
-// snapshots are deliberately wait-free); such keys are orphaned
-// exactly like keys stranded by the removal itself and re-homed by the
-// next Rebalance.
-func (r *Router) Place(key string) (string, error) {
+// place runs the shared placement path: choose the record (one owner
+// when R == 1, the top-R distinct candidates otherwise), charge the
+// load counters, and store it. Returns the snapshot the choice was
+// made against and the stored record.
+func (r *Router) place(key string) (*Snapshot, keyRec, error) {
 	h0 := Hash('k', 0, key)
 	ks := r.keyShardFor(h0)
 	ks.mu.Lock()
 	t := r.snap.Load()
 	if t.Live == 0 {
 		ks.mu.Unlock()
-		return "", fmt.Errorf("%s: no servers", r.name)
+		return nil, keyRec{}, fmt.Errorf("%s: no servers", r.name)
 	}
 	if _, dup := ks.m[key]; dup {
 		ks.mu.Unlock()
-		return "", fmt.Errorf("%s: key %q already placed", r.name, key)
+		return nil, keyRec{}, fmt.Errorf("%s: key %q already placed", r.name, key)
 	}
-	best, salt := t.Choose(key, h0)
-	t.Loads[best].Add(h0, 1)
-	ks.m[key] = keyRec{salt: int8(salt), server: best}
+	var rec keyRec
+	if t.R <= 1 {
+		best, salt := t.Choose(key, h0)
+		rec = singleRec(salt, best)
+	} else {
+		rec = t.chooseReplicated(key, h0, nil)
+	}
+	rec.addLoads(t, h0, 1)
+	ks.m[key] = rec
 	ks.mu.Unlock()
 	r.nkeys.Add(1)
-	return t.Names[best], nil
+	return t, rec, nil
 }
 
-// Locate returns the server currently holding a placed key.
+// Place assigns a key to the least-loaded of its d candidate servers
+// (and, when replication is configured, mirrors it onto the next R-1
+// least-loaded distinct candidates) and returns the primary server
+// name. Placing an already-placed key is an error (keys are sticky;
+// see Locate). Safe for concurrent use; the candidate set is resolved
+// against one membership snapshot, loaded under the key-shard lock so
+// a Rebalance that already visited this shard cannot race an older
+// snapshot in. A Place overlapping a membership removal may still
+// record the just-removed server (the snapshots are deliberately
+// wait-free); such keys are orphaned exactly like keys stranded by the
+// removal itself and re-homed by the next Rebalance or Repair.
+func (r *Router) Place(key string) (string, error) {
+	t, rec, err := r.place(key)
+	if err != nil {
+		return "", err
+	}
+	return t.Names[rec.slots[0]], nil
+}
+
+// Locate returns the primary server currently recorded for a placed
+// key, dead or not — it reads only the record. Failover reads that
+// skip dead and draining replicas are LocateAny.
 func (r *Router) Locate(key string) (string, error) {
 	h0 := Hash('k', 0, key)
 	ks := r.keyShardFor(h0)
@@ -418,10 +531,10 @@ func (r *Router) Locate(key string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("%s: key %q not placed", r.name, key)
 	}
-	return r.snap.Load().Names[rec.server], nil
+	return r.snap.Load().Names[rec.slots[0]], nil
 }
 
-// Remove deletes a placed key.
+// Remove deletes a placed key from every replica.
 func (r *Router) Remove(key string) error {
 	h0 := Hash('k', 0, key)
 	ks := r.keyShardFor(h0)
@@ -433,16 +546,19 @@ func (r *Router) Remove(key string) error {
 	}
 	delete(ks.m, key)
 	t := r.snap.Load()
-	t.Loads[rec.server].Add(h0, -1)
+	rec.addLoads(t, h0, -1)
 	ks.mu.Unlock()
 	r.nkeys.Add(-1)
 	return nil
 }
 
 // Rebalance restores the placement invariant after membership changes:
-// every key must live at the owner of its recorded hash choice; keys
-// on dead servers or captured regions are re-placed at their
-// least-loaded current candidate. Returns the number of keys moved.
+// every replica must live at the owner of its recorded hash choice and
+// every key must carry the configured replica count; keys with a
+// replica on a dead server or a captured region are re-placed on their
+// least-loaded current candidates. Returns the number of keys moved.
+// (Repair is the cheaper pass that replaces only lost replicas while
+// leaving healthy ones in place; Rebalance re-chooses the whole set.)
 // Keys are processed in sorted order, so at quiescence the result is
 // deterministic. Concurrent Place/Remove during a Rebalance are safe
 // but may leave freshly placed keys for the NEXT Rebalance to repair
@@ -475,21 +591,24 @@ func (r *Router) Rebalance() int {
 			ks.mu.Unlock()
 			continue
 		}
-		cur := h0
-		if rec.salt != 0 {
-			cur = Hash('k', int(rec.salt), key)
-		}
-		if t.Topo.Resolve(cur) == rec.server && !t.Dead[rec.server] {
+		if t.recValid(key, h0, rec) {
 			ks.mu.Unlock()
 			continue
 		}
-		// The recorded candidate no longer resolves to the recorded
-		// server (a join captured the region, or the server left):
+		// A recorded candidate no longer resolves to its recorded
+		// server (a join captured the region, or the server left), or
+		// the replica count no longer matches the configured factor:
 		// re-run the choice among current candidates.
-		best, salt := t.Choose(key, h0)
-		t.Loads[rec.server].Add(h0, -1)
-		t.Loads[best].Add(h0, 1)
-		ks.m[key] = keyRec{salt: int8(salt), server: best}
+		var nrec keyRec
+		if t.R <= 1 {
+			best, salt := t.Choose(key, h0)
+			nrec = singleRec(salt, best)
+		} else {
+			nrec = t.chooseReplicated(key, h0, nil)
+		}
+		rec.addLoads(t, h0, -1)
+		nrec.addLoads(t, h0, 1)
+		ks.m[key] = nrec
 		ks.mu.Unlock()
 		moved++
 	}
@@ -542,8 +661,13 @@ func (r *Router) NumKeys() int { return int(r.nkeys.Load()) }
 // CheckInvariants verifies internal consistency; exported for tests
 // and harnesses. Call it at quiescence (no Place/Remove in flight);
 // membership changes are excluded by its own locking. After membership
-// churn, run Rebalance first — keys legitimately sit on captured
-// regions or dead servers until then. When the topology implements
+// churn or server failures, run Rebalance (or Repair) first — keys
+// legitimately sit on captured regions or dead servers until then.
+// Verified per key: every replica lives on a distinct live slot and
+// resolves there at its recorded hash choice, and the replica count
+// matches the configured factor (degraded to the number of distinct
+// candidates when the geometry offers fewer). Load counters must equal
+// the per-replica residency counts. When the topology implements
 // TopologyChecker its own structural checks run too.
 func (r *Router) CheckInvariants() error {
 	r.mu.Lock()
@@ -555,20 +679,13 @@ func (r *Router) CheckInvariants() error {
 		ks := &r.keys[i]
 		ks.mu.RLock()
 		for key, rec := range ks.m {
-			if int(rec.server) >= len(t.Names) {
+			if err := t.checkRec(key, rec); err != nil {
 				ks.mu.RUnlock()
-				return fmt.Errorf("key %q on out-of-range slot %d", key, rec.server)
+				return err
 			}
-			if t.Dead[rec.server] {
-				ks.mu.RUnlock()
-				return fmt.Errorf("key %q on dead server %q", key, t.Names[rec.server])
+			for j := 0; j < int(rec.n); j++ {
+				counts[rec.slots[j]]++
 			}
-			if got := t.Topo.Resolve(Hash('k', int(rec.salt), key)); got != rec.server {
-				ks.mu.RUnlock()
-				return fmt.Errorf("key %q recorded on %q but hashes to %q",
-					key, t.Names[rec.server], t.Names[got])
-			}
-			counts[rec.server]++
 			total++
 		}
 		ks.mu.RUnlock()

@@ -1,0 +1,49 @@
+// Region queries: which sites fall inside a wrapped axis-aligned box.
+// This is the blast-radius primitive behind zone-outage failure
+// injection — a coordinate region of the torus standing in for a
+// datacenter zone whose servers fail together.
+package torus
+
+import "geobalance/internal/geom"
+
+// inWrappedInterval reports whether coordinate c lies in the wrapped
+// half-open interval [lo, hi) on the unit circle. When lo <= hi this is
+// the ordinary interval; when lo > hi the interval wraps through zero
+// (e.g. [0.9, 0.1) covers [0.9, 1) and [0, 0.1)). lo == hi denotes the
+// empty interval.
+func inWrappedInterval(c, lo, hi float64) bool {
+	if lo <= hi {
+		return c >= lo && c < hi
+	}
+	return c >= lo || c < hi
+}
+
+// SitesInBox appends to dst the public indices of every site inside
+// the wrapped box [lo, hi) — per axis a, the wrapped half-open interval
+// [lo[a], hi[a]) — and returns the extended slice, in increasing site
+// order. Vectors shorter than Dim() apply to the leading axes only
+// (missing axes match everything); extra coordinates are ignored. The
+// scan is O(n * dim), keeps its state in dst, and is safe for
+// concurrent readers of an unchanging Space.
+func (s *Space) SitesInBox(lo, hi geom.Vec, dst []int) []int {
+	axes := s.dim
+	if len(lo) < axes {
+		axes = len(lo)
+	}
+	if len(hi) < axes {
+		axes = len(hi)
+	}
+	for i, site := range s.sites {
+		in := true
+		for a := 0; a < axes; a++ {
+			if !inWrappedInterval(site[a], lo[a], hi[a]) {
+				in = false
+				break
+			}
+		}
+		if in {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}

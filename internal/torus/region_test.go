@@ -1,0 +1,79 @@
+package torus
+
+import (
+	"testing"
+
+	"geobalance/internal/geom"
+	"geobalance/internal/rng"
+)
+
+func TestSitesInBox(t *testing.T) {
+	s, err := NewRandom(200, 2, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		lo, hi geom.Vec
+	}{
+		{"plain", geom.Vec{0.2, 0.3}, geom.Vec{0.6, 0.9}},
+		{"wrapX", geom.Vec{0.8, 0.1}, geom.Vec{0.2, 0.5}},
+		{"wrapBoth", geom.Vec{0.9, 0.7}, geom.Vec{0.3, 0.2}},
+		{"empty", geom.Vec{0.4, 0.4}, geom.Vec{0.4, 0.4}},
+		{"all", geom.Vec{0, 0}, geom.Vec{1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := s.SitesInBox(tc.lo, tc.hi, nil)
+			seen := make(map[int]bool, len(got))
+			last := -1
+			for _, i := range got {
+				if i <= last {
+					t.Fatalf("indices not strictly increasing: %v", got)
+				}
+				last = i
+				seen[i] = true
+			}
+			for i := 0; i < s.NumBins(); i++ {
+				want := true
+				for a := 0; a < 2; a++ {
+					if !inWrappedInterval(s.Site(i)[a], tc.lo[a], tc.hi[a]) {
+						want = false
+					}
+				}
+				if want != seen[i] {
+					t.Errorf("site %d at %v: in box = %v, want %v", i, s.Site(i), seen[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestSitesInBoxPartialAxes(t *testing.T) {
+	s, err := NewRandom(100, 3, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-axis box constrains only axis 0.
+	got := s.SitesInBox(geom.Vec{0.25}, geom.Vec{0.75}, nil)
+	for _, i := range got {
+		if c := s.Site(i)[0]; c < 0.25 || c >= 0.75 {
+			t.Errorf("site %d coordinate 0 = %v outside [0.25, 0.75)", i, c)
+		}
+	}
+	n := 0
+	for i := 0; i < s.NumBins(); i++ {
+		if c := s.Site(i)[0]; c >= 0.25 && c < 0.75 {
+			n++
+		}
+	}
+	if n != len(got) {
+		t.Errorf("got %d sites, want %d", len(got), n)
+	}
+	// Appending into a reused buffer preserves the prefix.
+	dst := []int{-1}
+	dst = s.SitesInBox(geom.Vec{0.25}, geom.Vec{0.75}, dst)
+	if dst[0] != -1 || len(dst) != len(got)+1 {
+		t.Errorf("append semantics broken: len %d, dst[0]=%d", len(dst), dst[0])
+	}
+}
