@@ -3,9 +3,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"time"
 
 	"geobalance/internal/loadgen"
+	"geobalance/internal/metrics"
 )
 
 // cmdLoadtest drives the concurrent serving layer — the ring-backed
@@ -34,6 +36,10 @@ func cmdLoadtest(args []string) error {
 	rebalance := fs.Bool("rebalance", true, "rebalance after each churn event")
 	sample := fs.Int("sample", 8, "measure latency on every k-th op")
 	report := fs.Duration("report", 0, "interim load-imbalance report period (0 = none)")
+	arrivals := fs.String("arrivals", "", "open-loop arrival schedule over -duration: const[:RATE], ramp[:R0-R1], spike[:BASExMULT[@AT+WIDTH]], or trace:R@D,R@D,... (empty = closed loop)")
+	watch := fs.Bool("watch", false, "live terminal view: refreshing load heatmap + metrics ticker (implies -report 500ms)")
+	metricsDump := fs.String("metrics", "", "dump the metrics registry after the run: prom (Prometheus text) or json (expvar JSON)")
+	metricsAddr := fs.String("metrics-addr", "", "serve the metrics registry over HTTP while the run executes (e.g. :9090)")
 	seed := fs.Uint64("seed", 1, "master seed; workers derive deterministic substreams")
 	prof := addProfile(fs)
 	if err := fs.Parse(args); err != nil {
@@ -42,6 +48,9 @@ func cmdLoadtest(args []string) error {
 	script, err := loadgen.ParseFailureScript(*failures)
 	if err != nil {
 		return err
+	}
+	if *metricsDump != "" && *metricsDump != "prom" && *metricsDump != "json" {
+		return fmt.Errorf("loadtest: -metrics must be prom or json, got %q", *metricsDump)
 	}
 	cfg := loadgen.Config{
 		Space:       *space,
@@ -71,6 +80,34 @@ func cmdLoadtest(args []string) error {
 	} else {
 		cfg.Duration = *dur
 	}
+	if *arrivals != "" {
+		sched, err := loadgen.ParseArrivals(*arrivals, *dur)
+		if err != nil {
+			return err
+		}
+		// The schedule bounds the run: every arrival has a timestamp and
+		// the workers drain them all, so the budget flags step aside.
+		cfg.Arrivals = sched
+		cfg.Ops = 0
+		cfg.Duration = 0
+	}
+	var reg *metrics.Registry
+	if *watch || *metricsDump != "" || *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		cfg.Registry = reg
+	}
+	if *watch {
+		if cfg.ReportEvery == 0 {
+			cfg.ReportEvery = 500 * time.Millisecond
+		}
+		cfg.ReportFunc = newWatchView(reg).render
+	}
+	if *metricsAddr != "" {
+		srv := &http.Server{Addr: *metricsAddr, Handler: reg}
+		go srv.ListenAndServe()
+		defer srv.Close()
+		fmt.Fprintf(stdout, "serving metrics on http://%s/metrics\n", *metricsAddr)
+	}
 	fmt.Fprintf(stdout, "Load test: %s space, %d servers, d=%d, %s keys over %s popularity",
 		*space, *servers, *d, pow2Label(*keys), *dist)
 	if *space == "torus" {
@@ -84,6 +121,9 @@ func cmdLoadtest(args []string) error {
 	}
 	if len(script) > 0 {
 		fmt.Fprintf(stdout, ", %d scripted failures", len(script))
+	}
+	if cfg.Arrivals != nil {
+		fmt.Fprintf(stdout, "\n  open loop: %s", cfg.Arrivals)
 	}
 	fmt.Fprintln(stdout)
 	var res *loadgen.Result
@@ -106,5 +146,13 @@ func cmdLoadtest(args []string) error {
 		return fmt.Errorf("%d keys lost after repair", res.LostKeys)
 	}
 	fmt.Fprintln(stdout, "  invariants: OK")
+	switch *metricsDump {
+	case "prom":
+		fmt.Fprintln(stdout)
+		reg.WritePrometheus(stdout)
+	case "json":
+		fmt.Fprintln(stdout)
+		reg.WriteExpvar(stdout)
+	}
 	return nil
 }

@@ -22,10 +22,14 @@
 //	internal/workload  Zipf / bounded-Pareto popularity and size distributions
 //	internal/tailbound the paper's lemma bounds and empirical verifiers
 //	internal/fluid     fluid-limit ODE predictor for the uniform case
+//	internal/queueing  supermarket-model queueing simulation (d-choice waiting times)
+//	internal/metrics   dependency-free live-metrics registry (Prometheus + expvar output)
+//	internal/viz       SVG Voronoi/heatmap renderers and the ANSI terminal heatmap
 //	internal/sim       parallel deterministic experiment harness
 //	internal/stats     histograms, summaries, and HDR-style latency quantiles
 //	internal/geom      shared geometry primitives
 //	internal/rng       fast deterministic PRNG (xoshiro256++/SplitMix64)
+//	internal/integration cross-package end-to-end suites
 //
 // # Fast-path architecture
 //
@@ -145,6 +149,53 @@
 // place, failover locate, and failure-script loadgen paths — alongside
 // the simulation sweep and gates CI on regressions (-compare).
 //
+// # Observability
+//
+// internal/metrics is the live-observability registry: dependency-free
+// (standard library only), allocation-conscious, and pull-based. Its
+// three instrument kinds mirror the serving path they watch — Counter
+// is eight cache-line-padded atomic shards picked by a caller-supplied
+// hint (the router passes the key hash it already computed, so counter
+// shards stripe like key shards), Gauge is one atomic word, and
+// Histogram stripes stats.LatencyHist behind per-stripe mutexes keyed
+// by a mixed sample value. Registration is idempotent (re-registering
+// a name returns the same instrument), and collectors (GaugeFunc,
+// GaugeVec) let the registry read live state — the router's per-server
+// load — at scrape time instead of on the hot path.
+//
+// The zero-cost-when-disabled contract: instrumented packages hold
+// their metric set in an atomic.Pointer and nil-check it at each hot
+// call site, so a router without metrics attached pays one atomic
+// pointer load and one predicted branch — nothing else, and no
+// allocation either way (AllocsPerRun-guarded in both states; with
+// metrics ATTACHED the hot paths are still allocation-free, each
+// update being one sharded atomic add, ~7ns on the reference vCPU).
+// Attach with Router.Instrument(reg) (or the Geo/Ring pass-throughs),
+// which also registers the slot-load collectors.
+//
+// Scrapes come in the two lingua francas: Registry.WritePrometheus
+// emits text exposition format 0.0.4 (histograms as quantile-labeled
+// summaries; golden-tested), Registry.WriteExpvar emits one
+// expvar-style JSON object, and Registry itself is an http.Handler
+// serving both (Prometheus by default, JSON via ?format=json or
+// Accept: application/json) — `loadtest -metrics-addr :9090` serves it
+// live, `-metrics prom|json` dumps it post-run.
+//
+// internal/loadgen generates either closed-loop traffic (workers issue
+// ops back to back against an op or wall-clock budget) or, with
+// Config.Arrivals, open-loop traffic: an ArrivalSchedule (constant
+// rate, linear ramp, spike, or piecewise trace — see ParseArrivals for
+// the -arrivals syntax) fixes every arrival's timestamp up front,
+// workers claim arrival indices from a shared atomic counter and sleep
+// until each is due, and the issue-lag histogram records how far
+// behind schedule every op ran — the open-loop form measures queueing
+// delay honestly where closed-loop load generators hide it
+// (coordinated omission). `cmd/geobalance loadtest -watch` renders the
+// run live: internal/viz's ANSI terminal heatmap (torus servers binned
+// by their actual coordinates, so a zone outage goes dark on screen)
+// plus a ticker of failover/repair/migration counters and latency
+// quantiles, all read from the same registry.
+//
 // Measured on the development machine (noisy shared vCPU, Go 1.24,
 // n = 2^16, d = 2, m = n, BenchmarkTable1Ring, interleaved runs): the
 // seed harness ran one trial in 28.2-29.2 ms (~440 ns/ball, ~1.8 MB
@@ -153,6 +204,7 @@
 // allocations), a ~10x improvement, with the per-ball placement cost
 // alone (space reuse factored out) around 34 ns.
 //
-// See README.md for usage, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// See README.md for usage, docs/ARCHITECTURE.md for the package map
+// and the serving-layer invariants, ROADMAP.md for direction, and
+// CHANGES.md for per-PR history.
 package geobalance

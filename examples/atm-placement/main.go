@@ -11,6 +11,10 @@
 // customers drawn from a clustered (mixture-of-Gaussians) distribution
 // instead of a uniform one, two choices still collapse the imbalance
 // even though the theorem's hypotheses no longer hold.
+//
+// Run it with:
+//
+//	go run ./examples/atm-placement
 package main
 
 import (

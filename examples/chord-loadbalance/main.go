@@ -5,6 +5,10 @@
 // paper's two-choices scheme with redirect stubs — and prints the load
 // and routing cost of each, showing that two choices beat virtual
 // servers on load while keeping per-node routing state constant.
+//
+// Run it with:
+//
+//	go run ./examples/chord-loadbalance
 package main
 
 import (

@@ -12,9 +12,18 @@
 // membership change builds its torus index incrementally from the
 // prior snapshot.
 //
-// For a full measured run (latency percentiles, churn, distributions):
+// Run it with:
 //
-//	go run ./cmd/geobalance loadtest -space torus -servers 64 -workers 8 -duration 5s -churn 50ms
+//	go run ./examples/geo-router
+//
+// For a full measured run (latency percentiles, churn, distributions),
+// use the CLI harness — with d=3 candidates, 2 replicas per key, and a
+// scripted failure sequence it exercises the failover/repair/migration
+// paths this demo's plain Place/Locate calls do not:
+//
+//	go run ./cmd/geobalance loadtest -space torus -servers 64 -workers 8 \
+//	    -d 3 -key-replicas 2 -duration 5s -churn 50ms \
+//	    -failures 'crash@1s:0.1,zone@2s:0.25,leave@3s:0.1'
 package main
 
 import (

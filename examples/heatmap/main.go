@@ -6,6 +6,10 @@
 // with arcs shaded by load. With d = 1 the hot cells are exactly the
 // large regions; with d = 2 the heat disappears — the paper's theorem,
 // as a picture.
+//
+// Run it with:
+//
+//	go run ./examples/heatmap
 package main
 
 import (

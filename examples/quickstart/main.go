@@ -6,6 +6,10 @@
 // least-loaded owning server. The demo prints the maximum load for
 // d = 1..4 on one shared server layout, showing the log log n collapse
 // the paper proves.
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
 package main
 
 import (

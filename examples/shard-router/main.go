@@ -6,6 +6,10 @@
 // snapshot-based API: lookups are lock-free and never observe a
 // half-applied membership change).
 //
+// Run it with:
+//
+//	go run ./examples/shard-router
+//
 // For a full measured run (latency percentiles, churn, distributions),
 // use the CLI harness instead:
 //

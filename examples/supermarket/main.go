@@ -10,6 +10,10 @@
 // proportional) selection changes the picture: with d=1 the large-arc
 // servers are individually *unstable* (arrival rate > 1), which is the
 // dynamic version of the imbalance the paper's Table 1 measures.
+//
+// Run it with:
+//
+//	go run ./examples/supermarket
 package main
 
 import (

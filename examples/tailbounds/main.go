@@ -6,6 +6,10 @@
 // large Voronoi cells). This example measures each quantity on random
 // instances and prints it against the analytic bound, then runs the
 // Theorem 1 layered-induction profile nu_i on a live allocation.
+//
+// Run it with:
+//
+//	go run ./examples/tailbounds
 package main
 
 import (

@@ -60,6 +60,7 @@ import (
 	"sort"
 
 	"geobalance/internal/jump"
+	"geobalance/internal/metrics"
 	"geobalance/internal/router"
 )
 
@@ -292,6 +293,18 @@ func (r *Ring) Repair() (repaired, lost int) { return r.rt.Repair() }
 func (r *Ring) PlanMigration(limit int) *router.MigrationPlan {
 	return r.rt.PlanMigration(limit)
 }
+
+// SetMetrics attaches (or detaches) an instrument set; see
+// router.Router.SetMetrics.
+func (r *Ring) SetMetrics(m *router.Metrics) { r.rt.SetMetrics(m) }
+
+// RegisterSlotLoads registers the scrape-time load collectors; see
+// router.Router.RegisterSlotLoads.
+func (r *Ring) RegisterSlotLoads(reg *metrics.Registry) { r.rt.RegisterSlotLoads(reg) }
+
+// Instrument builds, attaches, and registers the full instrument set;
+// see router.Router.Instrument.
+func (r *Ring) Instrument(reg *metrics.Registry) *router.Metrics { return r.rt.Instrument(reg) }
 
 // NumServers returns the number of live servers.
 func (r *Ring) NumServers() int { return r.rt.NumServers() }

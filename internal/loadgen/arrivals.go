@@ -1,0 +1,281 @@
+// Open-loop arrival schedules: the traffic's demand curve as a
+// piecewise-linear rate function, inverted per arrival.
+//
+// The closed-loop harness (the default) measures capacity: workers
+// issue the next op the moment the previous one returns, so the
+// measured rate IS the system's throughput and queueing delay is
+// invisible. An open-loop run instead fixes the OFFERED load: arrival
+// k has a timestamp determined by the schedule alone, workers sleep
+// until each claimed arrival is due and record how late they issued it
+// (the lag histogram — the open-loop analogue of queueing delay). That
+// distinction is the classic coordinated-omission point: a saturated
+// system shows up as growing lag, not as a silently slower test.
+//
+// A schedule is a sequence of segments with linearly interpolated
+// rates, so constant load, ramps, and flash-crowd spikes compose from
+// one primitive. The k-th arrival time inverts the cumulative-arrivals
+// function in closed form per segment (a quadratic, solved in the
+// numerically stable form 2k/(r0 + sqrt(r0^2 + 2ak))), so workers can
+// claim arrival indices from one shared atomic counter and compute
+// their own deadlines without coordination.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// seg is one schedule segment: rate interpolates linearly from r0 at
+// the segment start to r1 at its end.
+type seg struct {
+	t0   float64 // segment start, seconds from run start
+	dur  float64 // seconds
+	r0   float64 // arrivals/sec at t0
+	r1   float64 // arrivals/sec at t0+dur
+	cum0 float64 // arrivals scheduled before this segment
+}
+
+// arrivals returns the arrivals this segment contributes.
+func (sg *seg) arrivals() float64 { return (sg.r0 + sg.r1) / 2 * sg.dur }
+
+// timeOf returns the offset (seconds into the segment) of the k-th
+// arrival within it, inverting cum(t) = r0*t + a*t^2/2 with
+// a = (r1-r0)/dur. The stable quadratic form never subtracts nearly
+// equal magnitudes, and the discriminant is (r0+a*t)^2 >= 0 for any k
+// up to the segment's total, so decelerating segments are exact too.
+func (sg *seg) timeOf(k float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	a := (sg.r1 - sg.r0) / sg.dur
+	if math.Abs(a) < 1e-9 {
+		if sg.r0 <= 0 {
+			return sg.dur
+		}
+		return k / sg.r0
+	}
+	disc := sg.r0*sg.r0 + 2*a*k
+	if disc < 0 {
+		disc = 0
+	}
+	d := sg.r0 + math.Sqrt(disc)
+	if d <= 0 {
+		return sg.dur
+	}
+	t := 2 * k / d
+	if t > sg.dur {
+		t = sg.dur
+	}
+	return t
+}
+
+// ArrivalSchedule is an immutable open-loop demand curve. Build one
+// with ConstantRate, Ramp, Spike, Trace, or ParseArrivals; attach it
+// as Config.Arrivals to switch a run from closed to open loop.
+type ArrivalSchedule struct {
+	segs  []seg
+	total float64
+	desc  string
+}
+
+// newSchedule assembles segments given as (r0, r1, seconds) triples.
+func newSchedule(desc string, parts ...[3]float64) (*ArrivalSchedule, error) {
+	s := &ArrivalSchedule{desc: desc}
+	t := 0.0
+	for _, p := range parts {
+		r0, r1, dur := p[0], p[1], p[2]
+		if dur <= 0 {
+			continue
+		}
+		if r0 < 0 || r1 < 0 || math.IsNaN(r0) || math.IsNaN(r1) || math.IsInf(r0, 0) || math.IsInf(r1, 0) {
+			return nil, fmt.Errorf("loadgen: arrival rates must be finite and >= 0, got %g-%g", r0, r1)
+		}
+		sg := seg{t0: t, dur: dur, r0: r0, r1: r1, cum0: s.total}
+		s.segs = append(s.segs, sg)
+		s.total += sg.arrivals()
+		t += dur
+	}
+	if len(s.segs) == 0 || s.total < 1 {
+		return nil, fmt.Errorf("loadgen: arrival schedule %q is empty", desc)
+	}
+	return s, nil
+}
+
+// ConstantRate schedules rate arrivals/sec for dur.
+func ConstantRate(rate float64, dur time.Duration) (*ArrivalSchedule, error) {
+	return newSchedule(fmt.Sprintf("const %g/s for %v", rate, dur),
+		[3]float64{rate, rate, dur.Seconds()})
+}
+
+// Ramp schedules a linear rate ramp from r0 to r1 arrivals/sec over dur.
+func Ramp(r0, r1 float64, dur time.Duration) (*ArrivalSchedule, error) {
+	return newSchedule(fmt.Sprintf("ramp %g->%g/s over %v", r0, r1, dur),
+		[3]float64{r0, r1, dur.Seconds()})
+}
+
+// Spike schedules the flash-crowd shape: base arrivals/sec for dur
+// total, with the rate multiplied by mult from offset at to at+width.
+func Spike(base, mult float64, at, width, dur time.Duration) (*ArrivalSchedule, error) {
+	if at < 0 || width <= 0 || at+width > dur {
+		return nil, fmt.Errorf("loadgen: spike window %v+%v outside run duration %v", at, width, dur)
+	}
+	return newSchedule(
+		fmt.Sprintf("spike %gx%g at %v for %v (run %v)", base, mult, at, width, dur),
+		[3]float64{base, base, at.Seconds()},
+		[3]float64{base * mult, base * mult, width.Seconds()},
+		[3]float64{base, base, (dur - at - width).Seconds()})
+}
+
+// Trace schedules piecewise-constant segments, each rate@duration — a
+// replayable scripted demand curve.
+func Trace(rates []float64, durs []time.Duration) (*ArrivalSchedule, error) {
+	if len(rates) != len(durs) || len(rates) == 0 {
+		return nil, fmt.Errorf("loadgen: trace needs matching non-empty rate and duration lists")
+	}
+	parts := make([][3]float64, len(rates))
+	for i := range rates {
+		parts[i] = [3]float64{rates[i], rates[i], durs[i].Seconds()}
+	}
+	return newSchedule(fmt.Sprintf("trace of %d segments", len(rates)), parts...)
+}
+
+// ParseArrivals parses the CLI form of a schedule. dur is the total
+// run length for the shapes that need one (const, ramp, spike); a
+// trace carries its own segment durations and ignores it.
+//
+//	const:RATE           constant RATE arrivals/sec
+//	ramp:R0-R1           linear ramp R0 -> R1 arrivals/sec
+//	spike:BASExMULT@AT+W BASE/s with a MULTx spike from AT to AT+W
+//	trace:R@D,R@D,...    piecewise-constant rate R for duration D each
+//
+// The bare kind names pick demonstration defaults: "const" is 5000/s,
+// "ramp" is 500->5000/s, and "spike" is 2000/s with an 8x burst in the
+// middle third of the run.
+func ParseArrivals(spec string, dur time.Duration) (*ArrivalSchedule, error) {
+	if dur <= 0 {
+		dur = 5 * time.Second
+	}
+	kind, arg, _ := strings.Cut(strings.TrimSpace(spec), ":")
+	switch kind {
+	case "const":
+		rate := 5000.0
+		if arg != "" {
+			var err error
+			if rate, err = strconv.ParseFloat(arg, 64); err != nil {
+				return nil, fmt.Errorf("loadgen: arrivals %q: bad rate %q", spec, arg)
+			}
+		}
+		return ConstantRate(rate, dur)
+	case "ramp":
+		r0, r1 := 500.0, 5000.0
+		if arg != "" {
+			lo, hi, ok := strings.Cut(arg, "-")
+			if !ok {
+				return nil, fmt.Errorf("loadgen: arrivals %q: want ramp:R0-R1", spec)
+			}
+			var err error
+			if r0, err = strconv.ParseFloat(lo, 64); err == nil {
+				r1, err = strconv.ParseFloat(hi, 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: arrivals %q: bad ramp rates %q", spec, arg)
+			}
+		}
+		return Ramp(r0, r1, dur)
+	case "spike":
+		base, mult := 2000.0, 8.0
+		at, width := dur/3, dur/3
+		if arg != "" {
+			rates, window, hasWindow := strings.Cut(arg, "@")
+			bs, ms, ok := strings.Cut(rates, "x")
+			if !ok {
+				return nil, fmt.Errorf("loadgen: arrivals %q: want spike:BASExMULT[@AT+WIDTH]", spec)
+			}
+			var err error
+			if base, err = strconv.ParseFloat(bs, 64); err == nil {
+				mult, err = strconv.ParseFloat(ms, 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: arrivals %q: bad spike rates %q", spec, rates)
+			}
+			if hasWindow {
+				as, ws, ok := strings.Cut(window, "+")
+				if !ok {
+					return nil, fmt.Errorf("loadgen: arrivals %q: want @AT+WIDTH", spec)
+				}
+				if at, err = time.ParseDuration(as); err == nil {
+					width, err = time.ParseDuration(ws)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("loadgen: arrivals %q: bad spike window %q", spec, window)
+				}
+			}
+		}
+		return Spike(base, mult, at, width, dur)
+	case "trace":
+		if arg == "" {
+			return nil, fmt.Errorf("loadgen: arrivals %q: trace needs segments R@D,R@D,...", spec)
+		}
+		var (
+			rates []float64
+			durs  []time.Duration
+		)
+		for _, part := range strings.Split(arg, ",") {
+			rs, ds, ok := strings.Cut(strings.TrimSpace(part), "@")
+			if !ok {
+				return nil, fmt.Errorf("loadgen: arrivals %q: trace segment %q: want RATE@DURATION", spec, part)
+			}
+			r, err := strconv.ParseFloat(rs, 64)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: arrivals %q: bad trace rate %q", spec, rs)
+			}
+			d, err := time.ParseDuration(ds)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: arrivals %q: bad trace duration %q", spec, ds)
+			}
+			rates = append(rates, r)
+			durs = append(durs, d)
+		}
+		return Trace(rates, durs)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival schedule %q (want const, ramp, spike, or trace)", spec)
+	}
+}
+
+// Total returns the number of arrivals the schedule dispatches.
+func (s *ArrivalSchedule) Total() int64 { return int64(math.Floor(s.total + 1e-9)) }
+
+// Duration returns the schedule's total length.
+func (s *ArrivalSchedule) Duration() time.Duration {
+	last := &s.segs[len(s.segs)-1]
+	return time.Duration((last.t0 + last.dur) * float64(time.Second))
+}
+
+// String describes the schedule in report form.
+func (s *ArrivalSchedule) String() string {
+	return fmt.Sprintf("%s (%d arrivals over %v)", s.desc, s.Total(), s.Duration().Round(time.Millisecond))
+}
+
+// TimeOf returns the offset from run start at which arrival k (0-based)
+// is due. Monotone in k; k at or past Total clamps to the end of the
+// schedule. Safe for concurrent use — the schedule is immutable.
+func (s *ArrivalSchedule) TimeOf(k int64) time.Duration {
+	kf := float64(k)
+	if kf >= s.total {
+		return s.Duration()
+	}
+	// The first segment whose arrival range extends past k.
+	i := sort.Search(len(s.segs), func(i int) bool {
+		sg := &s.segs[i]
+		return sg.cum0+sg.arrivals() > kf
+	})
+	if i == len(s.segs) {
+		return s.Duration()
+	}
+	sg := &s.segs[i]
+	return time.Duration((sg.t0 + sg.timeOf(kf-sg.cum0)) * float64(time.Second))
+}

@@ -121,7 +121,7 @@ func (f *FailureOutcome) String() string {
 // firing order. Victim selection draws from its own rng stream
 // (1<<34), so the script is deterministic given (Config, Seed) and
 // independent of the churner and the workers.
-func runFailures(target churnTarget, cfg *Config, stop <-chan struct{}) []FailureOutcome {
+func runFailures(target churnTarget, cfg *Config, lm *LoadMetrics, stop <-chan struct{}) []FailureOutcome {
 	script := append(FailureScript(nil), cfg.Failures...)
 	sort.SliceStable(script, func(i, j int) bool { return script[i].After < script[j].After })
 	fr := rng.NewStream(cfg.Seed, 1<<34)
@@ -138,6 +138,9 @@ func runFailures(target churnTarget, cfg *Config, stop <-chan struct{}) []Failur
 			}
 		}
 		outcomes = append(outcomes, fireFailure(target, ev, fr))
+		if lm != nil {
+			lm.FailureEvents.Inc(0)
+		}
 	}
 	return outcomes
 }

@@ -31,6 +31,7 @@ import (
 
 	"geobalance/internal/geom"
 	"geobalance/internal/hashring"
+	"geobalance/internal/metrics"
 	"geobalance/internal/rng"
 	"geobalance/internal/router"
 	"geobalance/internal/stats"
@@ -50,6 +51,7 @@ type Target interface {
 	SetReplication(rep int) error
 	SetDraining(name string, draining bool) error
 	PlanMigration(limit int) *router.MigrationPlan
+	Instrument(reg *metrics.Registry) *router.Metrics
 	Servers() []string
 	NumKeys() int
 	NumServers() int
@@ -111,6 +113,27 @@ type Config struct {
 	ReportEvery time.Duration // interim load reports to ReportTo; 0 = none
 	ReportTo    io.Writer     // destination for interim reports (required when ReportEvery > 0)
 	Seed        uint64
+
+	// Arrivals switches the run from closed loop (workers issue ops
+	// back to back against the Ops/Duration budget) to open loop: the
+	// schedule fixes every arrival's timestamp, workers claim arrival
+	// indices from a shared counter and sleep until each is due, and
+	// the run ends when the schedule is exhausted (or Duration, when
+	// set, cuts it short). Ops is ignored. See arrivals.go.
+	Arrivals *ArrivalSchedule
+
+	// Registry, when set, instruments the run: the target router gets
+	// the full router_* instrument set (Target.Instrument) and the
+	// harness counts its own traffic under loadgen_* (NewLoadMetrics).
+	// Nil runs stay on the zero-alloc uninstrumented paths.
+	Registry *metrics.Registry
+
+	// ReportFunc, when set, replaces the default interim report line:
+	// it is called every ReportEvery with the elapsed time and the
+	// router under test (the -watch terminal view hangs off this
+	// hook). Called from the reporting goroutine; it must not block
+	// for long.
+	ReportFunc func(elapsed time.Duration, target Target)
 }
 
 // Result aggregates one run. The latency histograms hold sampled
@@ -138,6 +161,12 @@ type Result struct {
 	Lookup stats.LatencyHist
 	Place  stats.LatencyHist
 	Remove stats.LatencyHist
+
+	// Open-loop runs only: the arrivals the schedule offered and the
+	// issue-lag histogram (how far behind schedule each op started —
+	// the open-loop stand-in for queueing delay).
+	Offered int64
+	Lag     stats.LatencyHist
 
 	ChurnEvents int
 	MovedKeys   int
@@ -214,11 +243,11 @@ func (cfg *Config) applyDefaults() error {
 	if cfg.LookupFrac < 0 || cfg.LookupFrac > 1 {
 		return fmt.Errorf("loadgen: lookup fraction %v out of [0,1]", cfg.LookupFrac)
 	}
-	if cfg.Ops <= 0 && cfg.Duration <= 0 {
-		return fmt.Errorf("loadgen: need an op budget or a duration")
+	if cfg.Ops <= 0 && cfg.Duration <= 0 && cfg.Arrivals == nil {
+		return fmt.Errorf("loadgen: need an op budget, a duration, or an arrival schedule")
 	}
-	if cfg.ReportEvery > 0 && cfg.ReportTo == nil {
-		return fmt.Errorf("loadgen: ReportEvery set without a ReportTo writer")
+	if cfg.ReportEvery > 0 && cfg.ReportTo == nil && cfg.ReportFunc == nil {
+		return fmt.Errorf("loadgen: ReportEvery set without a ReportTo writer or ReportFunc")
 	}
 	return nil
 }
@@ -274,7 +303,7 @@ func (cfg *Config) ranker() (workload.Ranker, error) {
 type workerStats struct {
 	lookups, places, removes, errors int64
 	failedReads                      int64
-	lookup, place, remove            stats.LatencyHist
+	lookup, place, remove, lag       stats.LatencyHist
 }
 
 // opBatch is how many ops a worker claims from the shared budget at a
@@ -299,6 +328,14 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Optional instrumentation: router_* on the target, loadgen_* for
+	// the harness's own traffic. Nil stays on the uninstrumented paths.
+	var lm *LoadMetrics
+	if cfg.Registry != nil {
+		target.Instrument(cfg.Registry)
+		lm = NewLoadMetrics(cfg.Registry)
+		lm.Workers.Set(int64(cfg.Workers))
+	}
 	// Failover mode: replicated placement or scripted failures switch
 	// the read path to LocateAny and enable the post-run repair audit.
 	failover := cfg.KeyReplicas > 1 || len(cfg.Failures) > 0
@@ -322,16 +359,22 @@ func Run(cfg Config) (*Result, error) {
 
 	start := time.Now()
 	var deadline time.Time
-	if !opsBound {
+	if cfg.Duration > 0 {
 		deadline = start.Add(cfg.Duration)
 	}
 
+	var nextArrival atomic.Int64 // open-loop arrival index claims
 	for w := 0; w < cfg.Workers; w++ {
 		traffic.Add(1)
 		go func(w int) {
 			defer traffic.Done()
-			runWorker(target, &cfg, rk, rng.NewStream(cfg.Seed, uint64(w)), w,
-				&allStats[w], &budget, opsBound, deadline, hot, failover)
+			st := newOpState(target, &cfg, rk, rng.NewStream(cfg.Seed, uint64(w)), w,
+				&allStats[w], lm, hot, failover)
+			if cfg.Arrivals != nil {
+				runOpenWorker(st, cfg.Arrivals, &nextArrival, start, deadline)
+			} else {
+				runWorker(st, &budget, opsBound, deadline)
+			}
 		}(w)
 	}
 
@@ -345,7 +388,7 @@ func Run(cfg Config) (*Result, error) {
 		failDone = make(chan struct{})
 		go func() {
 			defer close(failDone)
-			outcomes = runFailures(target, &cfg, failStop)
+			outcomes = runFailures(target, &cfg, lm, failStop)
 		}()
 	}
 
@@ -377,12 +420,18 @@ func Run(cfg Config) (*Result, error) {
 					if target.addServer(name, cr) == nil {
 						added = append(added, name)
 						churnEvents++
+						if lm != nil {
+							lm.ChurnEvents.Inc(0)
+						}
 					}
 				} else {
 					name := added[0]
 					added = added[1:]
 					if target.removeServer(name) == nil {
 						churnEvents++
+						if lm != nil {
+							lm.ChurnEvents.Inc(0)
+						}
 					}
 				}
 				if cfg.Rebalance {
@@ -409,6 +458,10 @@ func Run(cfg Config) (*Result, error) {
 				case <-reportStop:
 					return
 				case <-tick.C:
+				}
+				if cfg.ReportFunc != nil {
+					cfg.ReportFunc(time.Since(start), target)
+					continue
 				}
 				target.LoadsInto(loads)
 				var total, max int64
@@ -463,6 +516,10 @@ func Run(cfg Config) (*Result, error) {
 		res.Lookup.Merge(&ws.lookup)
 		res.Place.Merge(&ws.place)
 		res.Remove.Merge(&ws.remove)
+		res.Lag.Merge(&ws.lag)
+	}
+	if cfg.Arrivals != nil {
+		res.Offered = cfg.Arrivals.Total()
 	}
 	res.Ops = res.Lookups + res.Places + res.Removes
 	if elapsed > 0 {
@@ -494,23 +551,135 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runWorker is one traffic goroutine: Zipf/Pareto/uniform-keyed Locate
-// traffic at LookupFrac, the rest an even mix of Place and Remove over
-// the worker's own pre-generated key pool (so write ops never collide
-// across workers and the steady state allocates nothing).
-func runWorker(target Target, cfg *Config, rk workload.Ranker, r *rng.Rand,
-	w int, ws *workerStats, budget *atomic.Int64,
-	opsBound bool, deadline time.Time, hot []string, failover bool) {
+// opState is one traffic goroutine's working set: the shared run
+// parameters plus the worker-private key pool and tallies. doOp issues
+// one operation against it; the closed- and open-loop drivers differ
+// only in how they pace the doOp calls.
+type opState struct {
+	target   Target
+	cfg      *Config
+	rk       workload.Ranker
+	r        *rng.Rand
+	ws       *workerStats
+	lm       *LoadMetrics
+	hot      []string
+	failover bool
+	hint     uint64 // metric shard hint (the worker index)
 
-	own := make([]string, 256)
-	for i := range own {
-		own[i] = "w" + strconv.Itoa(w) + ":" + strconv.Itoa(i)
+	own                []string // worker-private write-churn key pool
+	head, tail, placed int      // own[tail:head) (mod len) are currently placed
+	opCount            int
+}
+
+func newOpState(target Target, cfg *Config, rk workload.Ranker, r *rng.Rand,
+	w int, ws *workerStats, lm *LoadMetrics, hot []string, failover bool) *opState {
+	st := &opState{
+		target: target, cfg: cfg, rk: rk, r: r, ws: ws, lm: lm,
+		hot: hot, failover: failover, hint: uint64(w),
+		own: make([]string, 256),
 	}
-	head, tail := 0, 0 // own[tail:head) (mod len) are currently placed
-	placed := 0
+	for i := range st.own {
+		st.own[i] = "w" + strconv.Itoa(w) + ":" + strconv.Itoa(i)
+	}
+	return st
+}
 
-	sample := cfg.SampleEvery
-	opCount := 0
+// doOp issues one operation: Zipf/Pareto/uniform-keyed Locate traffic
+// at LookupFrac, the rest an even mix of Place and Remove over the
+// worker's own pre-generated key pool (so write ops never collide
+// across workers and the steady state allocates nothing).
+func (st *opState) doOp() {
+	ws, lm := st.ws, st.lm
+	measured := st.opCount%st.cfg.SampleEvery == 0
+	st.opCount++
+	if st.r.Float64() < st.cfg.LookupFrac {
+		// Pick the key before starting the clock: the Zipf rank draw is
+		// a rejection-sampling loop whose cost would otherwise dominate
+		// the ~50ns router op being measured.
+		key := st.hot[st.rk.Next(st.r)]
+		var t0 time.Time
+		if measured {
+			t0 = time.Now()
+		}
+		var err error
+		if st.failover {
+			// The failover read: a dead primary is routed around, and a
+			// key with NO live replica is the scripted degradation a
+			// failure inflicts on purpose, not a harness error.
+			if _, err = st.target.LocateAny(key); errors.Is(err, router.ErrNoLiveReplica) {
+				ws.failedReads++
+				if lm != nil {
+					lm.FailedReads.Inc(st.hint)
+				}
+				err = nil
+			}
+		} else {
+			_, err = st.target.Locate(key)
+		}
+		ws.lookups++
+		if lm != nil {
+			lm.Lookups.Inc(st.hint)
+		}
+		if err != nil {
+			ws.errors++
+			if lm != nil {
+				lm.Errors.Inc(st.hint)
+			}
+		}
+		if measured {
+			lat := time.Since(t0).Nanoseconds()
+			ws.lookup.Add(lat)
+			if lm != nil {
+				lm.LookupLatency.Observe(lat)
+			}
+		}
+		return
+	}
+	doPlace := st.placed == 0 || (st.placed < len(st.own) && st.r.Uint64()&1 == 0)
+	var t0 time.Time
+	if measured {
+		t0 = time.Now()
+	}
+	if doPlace {
+		_, err := st.target.Place(st.own[st.head])
+		st.head = (st.head + 1) % len(st.own)
+		st.placed++
+		ws.places++
+		if lm != nil {
+			lm.Places.Inc(st.hint)
+		}
+		if err != nil {
+			ws.errors++
+			if lm != nil {
+				lm.Errors.Inc(st.hint)
+			}
+		}
+		if measured {
+			ws.place.Add(time.Since(t0).Nanoseconds())
+		}
+	} else {
+		err := st.target.Remove(st.own[st.tail])
+		st.tail = (st.tail + 1) % len(st.own)
+		st.placed--
+		ws.removes++
+		if lm != nil {
+			lm.Removes.Inc(st.hint)
+		}
+		if err != nil {
+			ws.errors++
+			if lm != nil {
+				lm.Errors.Inc(st.hint)
+			}
+		}
+		if measured {
+			ws.remove.Add(time.Since(t0).Nanoseconds())
+		}
+	}
+}
+
+// runWorker is the closed-loop driver: issue ops back to back against
+// the shared budget (ops-bound) or until the deadline (time-bound).
+func runWorker(st *opState, budget *atomic.Int64, opsBound bool, deadline time.Time) {
 	for {
 		n := opBatch
 		if opsBound {
@@ -525,68 +694,43 @@ func runWorker(target Target, cfg *Config, rk workload.Ranker, r *rng.Rand,
 			return
 		}
 		for i := 0; i < n; i++ {
-			measured := opCount%sample == 0
-			opCount++
-			if r.Float64() < cfg.LookupFrac {
-				// Pick the key before starting the clock: the Zipf rank
-				// draw is a rejection-sampling loop whose cost would
-				// otherwise dominate the ~50ns router op being measured.
-				key := hot[rk.Next(r)]
-				var t0 time.Time
-				if measured {
-					t0 = time.Now()
-				}
-				var err error
-				if failover {
-					// The failover read: a dead primary is routed around,
-					// and a key with NO live replica is the scripted
-					// degradation a failure inflicts on purpose, not a
-					// harness error.
-					if _, err = target.LocateAny(key); errors.Is(err, router.ErrNoLiveReplica) {
-						ws.failedReads++
-						err = nil
-					}
-				} else {
-					_, err = target.Locate(key)
-				}
-				ws.lookups++
-				if err != nil {
-					ws.errors++
-				}
-				if measured {
-					ws.lookup.Add(time.Since(t0).Nanoseconds())
-				}
-				continue
-			}
-			doPlace := placed == 0 || (placed < len(own) && r.Uint64()&1 == 0)
-			var t0 time.Time
-			if measured {
-				t0 = time.Now()
-			}
-			if doPlace {
-				_, err := target.Place(own[head])
-				head = (head + 1) % len(own)
-				placed++
-				ws.places++
-				if err != nil {
-					ws.errors++
-				}
-				if measured {
-					ws.place.Add(time.Since(t0).Nanoseconds())
-				}
-			} else {
-				err := target.Remove(own[tail])
-				tail = (tail + 1) % len(own)
-				placed--
-				ws.removes++
-				if err != nil {
-					ws.errors++
-				}
-				if measured {
-					ws.remove.Add(time.Since(t0).Nanoseconds())
-				}
-			}
+			st.doOp()
 		}
+	}
+}
+
+// runOpenWorker is the open-loop driver: claim arrival indices from
+// the shared counter, sleep until each claimed arrival is due, record
+// how far behind schedule the op actually issued, and stop when the
+// schedule (or the optional deadline) is exhausted. Issue lag is
+// recorded for EVERY op, not sampled — lag is the open-loop harness's
+// primary signal and costs no clock read beyond the one it needs.
+func runOpenWorker(st *opState, sched *ArrivalSchedule, next *atomic.Int64,
+	start, deadline time.Time) {
+	total := sched.Total()
+	for {
+		k := next.Add(1) - 1
+		if k >= total {
+			return
+		}
+		due := start.Add(sched.TimeOf(k))
+		now := time.Now()
+		if d := due.Sub(now); d > 0 {
+			time.Sleep(d)
+			now = time.Now()
+		}
+		if !deadline.IsZero() && now.After(deadline) {
+			return
+		}
+		lag := now.Sub(due).Nanoseconds()
+		if lag < 0 {
+			lag = 0
+		}
+		st.ws.lag.Add(lag)
+		if st.lm != nil {
+			st.lm.Lag.Observe(lag)
+		}
+		st.doOp()
 	}
 }
 
@@ -597,6 +741,12 @@ func (r *Result) Report(w io.Writer) {
 		r.Elapsed.Round(time.Millisecond), r.Ops, r.Throughput, r.Workers, r.Procs)
 	fmt.Fprintf(w, "  lookups %d   places %d   removes %d   errors %d\n",
 		r.Lookups, r.Places, r.Removes, r.Errors)
+	if r.Offered > 0 {
+		fmt.Fprintf(w, "  open loop: %d of %d scheduled arrivals issued\n", r.Ops, r.Offered)
+		if r.Lag.N() > 0 {
+			fmt.Fprintf(w, "  issue lag: %v\n", r.Lag.String())
+		}
+	}
 	if r.FailedReads > 0 {
 		fmt.Fprintf(w, "  failed reads (no live replica, pre-repair): %d\n", r.FailedReads)
 	}

@@ -1,0 +1,42 @@
+// The harness's own instrument set, exported next to the router's so
+// one registry scrape shows supply (router_*) and demand (loadgen_*)
+// side by side.
+package loadgen
+
+import "geobalance/internal/metrics"
+
+// LoadMetrics is the harness instrument set, registered under
+// loadgen_* names. Run wires one up automatically when Config.Registry
+// is set; the per-op updates ride the same nil-checked hook pattern as
+// the router's, so an uninstrumented run pays only a branch.
+type LoadMetrics struct {
+	Lookups       *metrics.Counter // Locate/LocateAny ops issued
+	Places        *metrics.Counter // Place ops issued
+	Removes       *metrics.Counter // Remove ops issued
+	Errors        *metrics.Counter // ops that returned an unexpected error
+	FailedReads   *metrics.Counter // reads that found no live replica (pre-repair)
+	ChurnEvents   *metrics.Counter // membership churn events fired
+	FailureEvents *metrics.Counter // scripted failure events fired
+
+	LookupLatency *metrics.Histogram // sampled Locate latency, ns
+	Lag           *metrics.Histogram // open-loop issue lag (actual - scheduled), ns
+
+	Workers *metrics.Gauge // traffic goroutines in the current run
+}
+
+// NewLoadMetrics builds (or retrieves — registration is idempotent)
+// the harness instrument set on reg.
+func NewLoadMetrics(reg *metrics.Registry) *LoadMetrics {
+	return &LoadMetrics{
+		Lookups:       reg.Counter("loadgen_lookups_total", "lookup ops issued"),
+		Places:        reg.Counter("loadgen_places_total", "place ops issued"),
+		Removes:       reg.Counter("loadgen_removes_total", "remove ops issued"),
+		Errors:        reg.Counter("loadgen_errors_total", "ops that returned an unexpected error"),
+		FailedReads:   reg.Counter("loadgen_failed_reads_total", "reads that found no live replica"),
+		ChurnEvents:   reg.Counter("loadgen_churn_events_total", "membership churn events fired"),
+		FailureEvents: reg.Counter("loadgen_failure_events_total", "scripted failure events fired"),
+		LookupLatency: reg.Histogram("loadgen_lookup_latency_ns", "sampled lookup latency"),
+		Lag:           reg.Histogram("loadgen_lag_ns", "open-loop issue lag behind the arrival schedule"),
+		Workers:       reg.Gauge("loadgen_workers", "traffic goroutines in the current run"),
+	}
+}

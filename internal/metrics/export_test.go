@@ -1,0 +1,8 @@
+package metrics
+
+import "flag"
+
+// update regenerates golden files when set:
+//
+//	go test ./internal/metrics -run TestPrometheusGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")

@@ -1,0 +1,32 @@
+// The HTTP endpoint: a Registry is an http.Handler, so exposing the
+// metrics of a running process is one line —
+//
+//	go http.ListenAndServe(addr, reg)
+//
+// GET serves Prometheus text format by default (what a Prometheus
+// scraper sends no Accept preference for), and the expvar-style JSON
+// object when the request asks for it with ?format=json or an Accept
+// header containing application/json. ?format=prometheus forces the
+// text format regardless of headers.
+package metrics
+
+import (
+	"net/http"
+	"strings"
+)
+
+// ServeHTTP implements http.Handler; see the file comment for the
+// format negotiation.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	format := req.URL.Query().Get("format")
+	if format == "" && strings.Contains(req.Header.Get("Accept"), "application/json") {
+		format = "json"
+	}
+	if format == "json" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteExpvar(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}

@@ -1,0 +1,156 @@
+// Scrape-time rendering: expvar-style JSON and Prometheus text
+// exposition format. Both renderings sort metrics by name, so output
+// is deterministic given the recorded values and can be golden-tested.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"geobalance/internal/stats"
+)
+
+// histSummary is the JSON shape of one histogram.
+type histSummary struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+}
+
+func summarize(h stats.LatencyHist) histSummary {
+	s := histSummary{Count: h.N(), Sum: h.Sum(), Mean: h.Mean(), Max: h.Max()}
+	if h.N() > 0 {
+		s.P50 = h.Quantile(0.50)
+		s.P90 = h.Quantile(0.90)
+		s.P99 = h.Quantile(0.99)
+		s.P999 = h.Quantile(0.999)
+	}
+	return s
+}
+
+// WriteExpvar renders the registry as one JSON object in the expvar
+// /debug/vars shape: metric name -> value, with histograms as
+// {count, sum, mean, max, p50…p999} objects and labeled gauge
+// families as {labelValue: value} objects. Keys are sorted (the
+// encoding/json map behavior), so output is deterministic.
+func (r *Registry) WriteExpvar(w io.Writer) error {
+	vars := make(map[string]any)
+	for _, m := range r.snapshot() {
+		switch m.kind {
+		case kindCounter:
+			vars[m.name] = m.counter.Value()
+		case kindGauge:
+			vars[m.name] = m.gauge.Value()
+		case kindGaugeFunc:
+			vars[m.name] = m.fn()
+		case kindGaugeVec:
+			family := make(map[string]float64)
+			m.collect(func(lv string, v float64) { family[lv] = v })
+			vars[m.name] = family
+		case kindHistogram:
+			vars[m.name] = summarize(m.hist.Snapshot())
+		}
+	}
+	enc, err := json.MarshalIndent(vars, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// formatFloat renders a float the Prometheus way (shortest exact
+// representation).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as summaries with quantile labels plus _sum and _count,
+// labeled gauge families with their samples sorted by label value.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.snapshot() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+			return err
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Value())
+		case kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.fn()))
+		case kindGaugeVec:
+			type sample struct {
+				lv string
+				v  float64
+			}
+			var samples []sample
+			m.collect(func(lv string, v float64) { samples = append(samples, sample{lv, v}) })
+			sort.Slice(samples, func(i, j int) bool { return samples[i].lv < samples[j].lv })
+			for _, s := range samples {
+				if _, err = fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n",
+					m.name, m.label, escapeLabel(s.lv), formatFloat(s.v)); err != nil {
+					return err
+				}
+			}
+		case kindHistogram:
+			h := m.hist.Snapshot()
+			for _, q := range quantiles {
+				v := int64(0)
+				if h.N() > 0 {
+					v = h.Quantile(q.q)
+				}
+				if _, err = fmt.Fprintf(w, "%s{quantile=%q} %d\n", m.name, q.label, v); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %d\n", m.name, h.Sum()); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", m.name, h.N())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

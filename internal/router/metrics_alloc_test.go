@@ -1,0 +1,220 @@
+package router
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"geobalance/internal/metrics"
+)
+
+// TestMetricsCounts drives every instrumented path and checks the
+// counters agree with the operations performed.
+func TestMetricsCounts(t *testing.T) {
+	g := newTestGeo(t, 32, 2, 4, 7)
+	if err := g.SetReplication(2); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	m := g.Instrument(reg)
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if _, err := g.Place(fmt.Sprintf("mk-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Places.Value(); got != n {
+		t.Errorf("Places = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := g.Locate(fmt.Sprintf("mk-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.LocateAny(fmt.Sprintf("mk-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Locates.Value(); got != 2*n {
+		t.Errorf("Locates = %d, want %d", got, 2*n)
+	}
+	if got := m.Failovers.Value(); got != 0 {
+		t.Errorf("Failovers = %d with a healthy fleet", got)
+	}
+
+	// Kill a server: reads on its keys fail over, Repair refills them.
+	victim, err := g.Locate("mk-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.LocateAny("mk-0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Failovers.Value(); got == 0 {
+		t.Error("no failover counted after primary death")
+	}
+	repaired, _ := g.Repair()
+	if repaired == 0 {
+		t.Fatal("Repair repaired nothing after a server death")
+	}
+	if got := m.RepairedKeys.Value(); got != int64(repaired) {
+		t.Errorf("RepairedKeys = %d, want %d", got, repaired)
+	}
+
+	// Migration counters track ApplyBatch's report.
+	victim2, err := g.Locate("mk-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetDraining(victim2, true); err != nil {
+		t.Fatal(err)
+	}
+	p := g.PlanMigration(0)
+	applied, skipped := p.ApplyAll()
+	if got := m.MigrationApplied.Value(); got != int64(applied) {
+		t.Errorf("MigrationApplied = %d, want %d", got, applied)
+	}
+	if got := m.MigrationSkipped.Value(); got != int64(skipped) {
+		t.Errorf("MigrationSkipped = %d, want %d", got, skipped)
+	}
+
+	for i := 0; i < n; i++ {
+		if err := g.Remove(fmt.Sprintf("mk-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Removes.Value(); got != n {
+		t.Errorf("Removes = %d, want %d", got, n)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsNoLiveReplica pins the dead-fleet read counter: the error
+// path wrapping ErrNoLiveReplica must tick NoLiveReplica, not Locates.
+func TestMetricsNoLiveReplica(t *testing.T) {
+	g := newTestGeo(t, 3, 2, 2, 11)
+	reg := metrics.NewRegistry()
+	m := g.Instrument(reg)
+	if _, err := g.Place("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := g.Locate("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveServer(owner); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.LocateAny("doomed"); !errors.Is(err, ErrNoLiveReplica) {
+		t.Fatalf("LocateAny after owner death: %v", err)
+	}
+	if got := m.NoLiveReplica.Value(); got != 1 {
+		t.Errorf("NoLiveReplica = %d, want 1", got)
+	}
+	if got := m.Locates.Value(); got != 1 {
+		t.Errorf("Locates = %d, want 1 (the successful Locate only)", got)
+	}
+}
+
+// TestRebalanceCounted: Rebalance reports its moves to the counter.
+func TestRebalanceCounted(t *testing.T) {
+	g := newTestGeo(t, 16, 2, 3, 23)
+	reg := metrics.NewRegistry()
+	m := g.Instrument(reg)
+	for i := 0; i < 100; i++ {
+		if _, err := g.Place(fmt.Sprintf("rb-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim, _ := g.Locate("rb-0")
+	if err := g.RemoveServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	moved := g.Rebalance()
+	if moved == 0 {
+		t.Fatal("Rebalance moved nothing after a removal")
+	}
+	if got := m.RebalancedKeys.Value(); got != int64(moved) {
+		t.Errorf("RebalancedKeys = %d, want %d", got, moved)
+	}
+}
+
+// TestSlotLoadCollectors checks the scrape-time gauges against the
+// router's own accessors.
+func TestSlotLoadCollectors(t *testing.T) {
+	g := newTestGeo(t, 8, 2, 3, 31)
+	reg := metrics.NewRegistry()
+	g.Instrument(reg)
+	for i := 0; i < 64; i++ {
+		if _, err := g.Place(fmt.Sprintf("sl-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"router_keys 64\n",
+		"router_live_servers 8\n",
+		fmt.Sprintf("router_max_load %d\n", g.MaxLoad()),
+		`router_server_load{server="dc-000"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestInstrumentedAllocFree pins the instrumentation cost contract:
+// the serving hot paths stay allocation-free with metrics ATTACHED
+// (the uninstrumented guards live in replica_test.go and geo_test.go).
+func TestInstrumentedAllocFree(t *testing.T) {
+	g := newTestGeo(t, 64, 2, 3, 99)
+	if err := g.SetReplication(2); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	g.Instrument(reg)
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ia-%d", i)
+		if _, _, err := g.PlaceReplicated(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		key := keys[i%len(keys)]
+		i++
+		if _, err := g.Locate(key); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.LocateAny(key); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("instrumented Locate+LocateAny allocates %.2f per call pair", avg)
+	}
+	i = 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		key := keys[i%len(keys)]
+		i++
+		if err := g.Remove(key); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := g.PlaceReplicated(key); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("instrumented Remove+PlaceReplicated allocates %.2f per cycle", avg)
+	}
+}

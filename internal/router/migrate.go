@@ -196,6 +196,10 @@ func (p *MigrationPlan) ApplyBatch(max int) (applied, skipped int) {
 	}
 	p.applied += applied
 	p.skipped += skipped
+	if m := r.met.Load(); m != nil {
+		m.MigrationApplied.Add(0, int64(applied))
+		m.MigrationSkipped.Add(0, int64(skipped))
+	}
 	return applied, skipped
 }
 

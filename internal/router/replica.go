@@ -106,6 +106,7 @@ func (r *Router) LocateAny(key string) (string, error) {
 		return "", fmt.Errorf("%s: key %q not placed", r.name, key)
 	}
 	t := r.snap.Load()
+	m := r.met.Load()
 	drainFallback := int32(-1)
 	for i := 0; i < int(rec.n); i++ {
 		s := rec.slots[i]
@@ -118,10 +119,25 @@ func (r *Router) LocateAny(key string) (string, error) {
 			}
 			continue
 		}
+		if m != nil {
+			m.Locates.Inc(h0)
+			if s != rec.slots[0] {
+				m.Failovers.Inc(h0)
+			}
+		}
 		return t.Names[s], nil
 	}
 	if drainFallback >= 0 {
+		if m != nil {
+			m.Locates.Inc(h0)
+			if drainFallback != rec.slots[0] {
+				m.Failovers.Inc(h0)
+			}
+		}
 		return t.Names[drainFallback], nil
+	}
+	if m != nil {
+		m.NoLiveReplica.Inc(h0)
 	}
 	return "", fmt.Errorf("%s: key %q: %w", r.name, key, ErrNoLiveReplica)
 }
@@ -392,6 +408,10 @@ func (r *Router) Repair() (repaired, lost int) {
 		if allLost {
 			lost++
 		}
+	}
+	if m := r.met.Load(); m != nil {
+		m.RepairedKeys.Add(0, int64(repaired))
+		m.LostKeys.Add(0, int64(lost))
 	}
 	return repaired, lost
 }

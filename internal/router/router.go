@@ -304,6 +304,7 @@ type Router struct {
 	name  string
 	mu    sync.Mutex // serializes membership writes and Rebalance
 	snap  atomic.Pointer[Snapshot]
+	met   atomic.Pointer[Metrics] // nil when uninstrumented (see metrics.go)
 	nkeys atomic.Int64
 	keys  [keyShardCount]keyShard
 }
@@ -497,6 +498,9 @@ func (r *Router) place(key string) (*Snapshot, keyRec, error) {
 	ks.m[key] = rec
 	ks.mu.Unlock()
 	r.nkeys.Add(1)
+	if m := r.met.Load(); m != nil {
+		m.Places.Inc(h0)
+	}
 	return t, rec, nil
 }
 
@@ -531,6 +535,9 @@ func (r *Router) Locate(key string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("%s: key %q not placed", r.name, key)
 	}
+	if m := r.met.Load(); m != nil {
+		m.Locates.Inc(h0)
+	}
 	return r.snap.Load().Names[rec.slots[0]], nil
 }
 
@@ -549,6 +556,9 @@ func (r *Router) Remove(key string) error {
 	rec.addLoads(t, h0, -1)
 	ks.mu.Unlock()
 	r.nkeys.Add(-1)
+	if m := r.met.Load(); m != nil {
+		m.Removes.Inc(h0)
+	}
 	return nil
 }
 
@@ -611,6 +621,9 @@ func (r *Router) Rebalance() int {
 		ks.m[key] = nrec
 		ks.mu.Unlock()
 		moved++
+	}
+	if m := r.met.Load(); m != nil {
+		m.RebalancedKeys.Add(0, int64(moved))
 	}
 	return moved
 }

@@ -91,6 +91,10 @@ func (h *LatencyHist) Mean() float64 {
 // Max returns the exact largest sample (0 with no samples).
 func (h *LatencyHist) Max() int64 { return h.max }
 
+// Sum returns the exact sum of the samples (0 with no samples) — the
+// _sum a Prometheus summary exports alongside _count.
+func (h *LatencyHist) Sum() int64 { return h.sum }
+
 // Quantile returns the q-quantile (0 <= q <= 1) as the lower bound of
 // the bucket holding it — an underestimate by at most a factor of
 // 1 + 1/16. It panics on an empty histogram or out-of-range q.

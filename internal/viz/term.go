@@ -1,0 +1,77 @@
+// Terminal rendering: the torus load heatmap as a grid of truecolor
+// background cells, for watching a live run (cmd/geobalance loadtest
+// -watch) without leaving the terminal. The SVG renderers draw exact
+// Voronoi cells; the terminal view bins servers into a coarse grid
+// and shades each bin by the load it carries, which is plenty to see
+// a spike land or a zone go dark.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Ramp maps t in [0, 1] (clamped) to the package's load-shading color
+// ramp — near-white blue through deep red — as an RGB triple. Exported
+// so terminal renderers and the SVG renderers shade identically.
+func Ramp(t float64) (r, g, b uint8) {
+	c := ramp(t)
+	return c.r, c.g, c.b
+}
+
+// TermHeatmapOptions configures WriteTermHeatmap.
+type TermHeatmapOptions struct {
+	// Max fixes the value mapped to the hot end of the ramp; 0 derives
+	// it from the cells. Fix it across frames to keep shading stable
+	// while loads grow.
+	Max float64
+	// Legend appends a cold-to-hot ramp line with the scale bounds.
+	Legend bool
+}
+
+// WriteTermHeatmap renders a rows x cols grid of cell values as ANSI
+// truecolor background blocks, three terminal columns per cell, row 0
+// printed first (the top of the grid). NaN cells render as empty
+// (unshaded) cells — the "no server in this bin" marker. len(cells)
+// must be rows*cols, row-major.
+func WriteTermHeatmap(w io.Writer, cells []float64, rows, cols int, opts TermHeatmapOptions) error {
+	if rows <= 0 || cols <= 0 || len(cells) != rows*cols {
+		return fmt.Errorf("viz: heatmap got %d cells for %dx%d", len(cells), rows, cols)
+	}
+	max := opts.Max
+	if max <= 0 {
+		for _, v := range cells {
+			if !math.IsNaN(v) && v > max {
+				max = v
+			}
+		}
+		if max <= 0 {
+			max = 1
+		}
+	}
+	var sb strings.Builder
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			v := cells[row*cols+col]
+			if math.IsNaN(v) {
+				sb.WriteString("\x1b[0m · ")
+				continue
+			}
+			r, g, b := Ramp(v / max)
+			fmt.Fprintf(&sb, "\x1b[48;2;%d;%d;%dm   ", r, g, b)
+		}
+		sb.WriteString("\x1b[0m\n")
+	}
+	if opts.Legend {
+		sb.WriteString("  0 ")
+		for i := 0; i <= 20; i++ {
+			r, g, b := Ramp(float64(i) / 20)
+			fmt.Fprintf(&sb, "\x1b[48;2;%d;%d;%dm ", r, g, b)
+		}
+		fmt.Fprintf(&sb, "\x1b[0m %.0f keys/cell\n", max)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,79 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExportedRamp(t *testing.T) {
+	r, g, b := Ramp(0)
+	if r != 0xf7 || g != 0xfb || b != 0xff {
+		t.Errorf("Ramp(0) = #%02x%02x%02x, want #f7fbff", r, g, b)
+	}
+	r, g, b = Ramp(1)
+	if r != 0xcb || g != 0x18 || b != 0x1d {
+		t.Errorf("Ramp(1) = #%02x%02x%02x, want #cb181d", r, g, b)
+	}
+	// Out-of-range clamps.
+	r0, g0, b0 := Ramp(-5)
+	if r1, g1, b1 := Ramp(0); r0 != r1 || g0 != g1 || b0 != b1 {
+		t.Error("Ramp(-5) did not clamp to Ramp(0)")
+	}
+}
+
+func TestWriteTermHeatmap(t *testing.T) {
+	cells := []float64{0, 5, math.NaN(), 10}
+	var sb strings.Builder
+	if err := WriteTermHeatmap(&sb, cells, 2, 2, TermHeatmapOptions{Legend: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("heatmap has %d lines, want 2 rows + legend", lines)
+	}
+	// The hottest cell shades with the hot end of the ramp.
+	if !strings.Contains(out, "\x1b[48;2;203;24;29m") {
+		t.Errorf("no fully hot cell in output %q", out)
+	}
+	// The NaN cell renders unshaded.
+	if !strings.Contains(out, "\x1b[0m · ") {
+		t.Errorf("no empty cell marker in output %q", out)
+	}
+	// Every color set is eventually reset.
+	if !strings.HasSuffix(strings.TrimRight(out, "\n"), "keys/cell") {
+		t.Errorf("legend missing from %q", out)
+	}
+
+	if err := WriteTermHeatmap(&sb, cells, 3, 2, TermHeatmapOptions{}); err == nil {
+		t.Error("mismatched cell count did not error")
+	}
+}
+
+func TestWriteTermHeatmapFixedMax(t *testing.T) {
+	// With Max fixed, a half-load cell shades at the ramp midpoint
+	// regardless of the frame's own maximum.
+	var sb strings.Builder
+	if err := WriteTermHeatmap(&sb, []float64{50}, 1, 1, TermHeatmapOptions{Max: 100}); err != nil {
+		t.Fatal(err)
+	}
+	r, g, b := Ramp(0.5)
+	want := "\x1b[48;2;" + itoa(r) + ";" + itoa(g) + ";" + itoa(b) + "m"
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("fixed-max shading missing %q in %q", want, sb.String())
+	}
+}
+
+func itoa(v uint8) string {
+	b := [3]byte{}
+	i := 3
+	for {
+		i--
+		b[i] = '0' + v%10
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return string(b[i:])
+}
