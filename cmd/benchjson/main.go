@@ -573,6 +573,32 @@ func collect() ([]result, error) {
 		}
 	}))
 
+	// The bounded-load admission path: the same remove+place cycle as
+	// router_geo_place with SetBoundedLoad armed, so the delta against
+	// that record is the cost of the admission check (snapshot ceiling
+	// math plus the candidate filter). c=2 leaves the preloaded d-choice
+	// equilibrium far under the ceiling, so no op is ever rejected and
+	// every iteration measures the same admit-path work. Zero allocs is
+	// part of the gate.
+	if err := geo.SetBoundedLoad(2); err != nil {
+		return nil, err
+	}
+	results = append(results, run("router_place_bounded/servers=1024/dim=2/c=2", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			key := gkeys[i&4095]
+			if err := geo.Remove(key); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := geo.Place(key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	if err := geo.SetBoundedLoad(0); err != nil {
+		return nil, err
+	}
+
 	// --- Replicated placement and failover reads ---
 	// r=2 of d=3 candidates: one op is a REMOVE+PLACE cycle as above,
 	// now writing (and un-writing) two replica records and two load
@@ -700,6 +726,26 @@ func collect() ([]result, error) {
 		return nil, err
 	}
 	results = append(results, lgo)
+	// The overload lab end to end: bounded-load admission, a cascade
+	// brownout of a third of the fleet, client retries with backoff, and
+	// hedged reads over the simulated service model. The record gates
+	// the protected path's throughput — shed ops count as completed work
+	// for accounting but not for goodput; what matters here is that the
+	// admission+retry+hedge machinery stays cheap under pressure.
+	lgb, err := loadgenRecord("loadgen_overload_torus/servers=64/workers=4/dim=2/r=2", loadgen.Config{
+		Space: "torus", Dim: 2, Servers: 64, Choices: 3, KeyReplicas: 2, Workers: 4,
+		Duration: 400 * time.Millisecond, Keys: 1 << 10, Dist: "zipf", LookupFrac: 0.5, Seed: 47,
+		BoundedLoad: 1.5, ServiceRate: 50_000, Retries: 3,
+		RetryBase: 500 * time.Microsecond, RetryCap: 8 * time.Millisecond,
+		HedgeAfter: 2 * time.Millisecond,
+		Failures: loadgen.FailureScript{
+			{After: 50 * time.Millisecond, Kind: loadgen.FailCascade, Frac: 0.3},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, lgb)
 	return results, nil
 }
 

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+
+	"geobalance/internal/geom"
+	"geobalance/internal/rng"
+	"geobalance/internal/router"
+	"geobalance/internal/tailbound"
+)
+
+// cmdBounded validates the bounded-load admission guarantee against its
+// analytic ceiling: place m keys on an n-server torus router with
+// SetBoundedLoad(c) armed and check, per trial, that the observed max
+// load never exceeds tailbound.BoundedLoadLimit — the deterministic
+// ceil(c*m/n) ceiling of consistent hashing with bounded loads. The
+// Theorem 1 bound for the UNBOUNDED d-choice process is printed beside
+// it: the contrast (probabilistic i*+2 vs. tunable hard ceiling) is the
+// point of the admission layer.
+func cmdBounded(args []string) error {
+	fs := flag.NewFlagSet("bounded", flag.ExitOnError)
+	c := addCommon(fs)
+	nList := fs.String("n", "2^8,2^10", "fleet sizes")
+	dList := fs.String("d", "2,3", "hash choices per key")
+	cList := fs.String("c", "1.25,1.5", "bounded-load factors (each > 1)")
+	dim := fs.Int("dim", 2, "torus dimension")
+	mExpr := addIntExpr(fs, "m", 0, "keys per trial (0 = n, accepts 2^k)")
+	prof := addProfile(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseIntList(*nList)
+	if err != nil {
+		return err
+	}
+	ds, err := parseIntList(*dList)
+	if err != nil {
+		return err
+	}
+	cs, err := parseFloatList(*cList)
+	if err != nil {
+		return err
+	}
+	for _, cf := range cs {
+		if cf <= 1 {
+			return fmt.Errorf("bounded: factor c = %v needs c > 1", cf)
+		}
+	}
+	fmt.Fprintf(stdout, "Bounded-load admission vs the ceil(c*m/n) ceiling, %d trials, seed %d\n\n", c.trials, c.seed)
+	failed := false
+	for _, n := range ns {
+		for _, d := range ds {
+			theorem := tailbound.TheoremMaxLoadBound(n, d)
+			for _, cf := range cs {
+				res, err := runBoundedCell(prof, n, d, *dim, *mExpr, cf, c.trials, c.seed)
+				if err != nil {
+					return err
+				}
+				verdict := "PASS"
+				if res.violations > 0 {
+					verdict = "FAIL"
+					failed = true
+				}
+				fmt.Fprintf(stdout,
+					"n=%s d=%d c=%g: max load mean %.2f, worst %d vs ceiling %d (placed %.0f/%d, rejected %.1f%%)  [unbounded Thm 1: %d]  %s\n",
+					pow2Label(n), d, cf, res.meanMax, res.worstMax, res.worstLimit,
+					res.meanPlaced, res.m, 100*res.rejectFrac, theorem, verdict)
+			}
+		}
+	}
+	if failed {
+		return errors.New("bounded: observed max load exceeded the admission ceiling")
+	}
+	fmt.Fprintln(stdout, "\nall cells within the bounded-load ceiling")
+	return nil
+}
+
+type boundedCell struct {
+	m          int
+	meanMax    float64
+	worstMax   int64
+	worstLimit int64
+	meanPlaced float64
+	rejectFrac float64
+	violations int
+}
+
+// runBoundedCell runs one (n, d, c) cell: trials independent fleets,
+// m sequential placements each under bounded-load admission.
+func runBoundedCell(p *profileFlags, n, d, dim, m int, c float64, trials int, seed uint64) (boundedCell, error) {
+	if m == 0 {
+		m = n
+	}
+	res := boundedCell{m: m}
+	var sumMax, sumPlaced, sumOffered, sumRejected float64
+	err := p.run(func() error {
+		loads := make(map[string]int64, n)
+		for t := 0; t < trials; t++ {
+			r := rng.NewStream(seed, uint64(t))
+			g, err := router.NewGeo(dim, d)
+			if err != nil {
+				return err
+			}
+			at := make(geom.Vec, dim)
+			for i := 0; i < n; i++ {
+				for a := range at {
+					at[a] = r.Float64()
+				}
+				if err := g.AddServer(fmt.Sprintf("s%d", i), at); err != nil {
+					return err
+				}
+			}
+			if err := g.SetBoundedLoad(c); err != nil {
+				return err
+			}
+			placed, rejected := 0, 0
+			for i := 0; i < m; i++ {
+				_, err := g.Place(fmt.Sprintf("t%d:k%d", t, i))
+				switch {
+				case err == nil:
+					placed++
+				case errors.Is(err, router.ErrOverloaded):
+					rejected++
+				default:
+					return err
+				}
+			}
+			g.LoadsInto(loads)
+			var max int64
+			for _, l := range loads {
+				if l > max {
+					max = l
+				}
+			}
+			limit := int64(tailbound.BoundedLoadLimit(c, int64(placed), 1, float64(n)))
+			if max > res.worstMax {
+				res.worstMax = max
+			}
+			if limit > res.worstLimit {
+				res.worstLimit = limit
+			}
+			if max > limit {
+				res.violations++
+			}
+			sumMax += float64(max)
+			sumPlaced += float64(placed)
+			sumRejected += float64(rejected)
+			sumOffered += float64(m)
+			if err := g.CheckInvariants(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.meanMax = sumMax / float64(trials)
+	res.meanPlaced = sumPlaced / float64(trials)
+	if sumOffered > 0 {
+		res.rejectFrac = sumRejected / sumOffered
+	}
+	return res, nil
+}

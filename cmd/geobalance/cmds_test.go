@@ -188,6 +188,22 @@ func TestCmdTheory(t *testing.T) {
 	runCmdErr(t, cmdTheory, "-d", "x")
 }
 
+func TestCmdBounded(t *testing.T) {
+	out := runCmd(t, cmdBounded, "-n", "2^7", "-d", "2", "-c", "1.25,2", "-trials", "5")
+	for _, want := range []string{"c=1.25", "c=2", "PASS", "unbounded Thm 1", "within the bounded-load ceiling"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("ceiling violated:\n%s", out)
+	}
+	runCmdErr(t, cmdBounded, "-c", "0.5")
+	runCmdErr(t, cmdBounded, "-n", "x")
+	runCmdErr(t, cmdBounded, "-d", "x")
+	runCmdErr(t, cmdBounded, "-c", "x")
+}
+
 func TestCmdQueue(t *testing.T) {
 	out := runCmd(t, cmdQueue, "-n", "2^7", "-horizon", "10", "-warmup", "2", "-d", "1")
 	if !strings.Contains(out, "Supermarket") || !strings.Contains(out, "mean jobs/server") {

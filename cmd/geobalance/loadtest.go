@@ -37,6 +37,15 @@ func cmdLoadtest(args []string) error {
 	sample := fs.Int("sample", 8, "measure latency on every k-th op")
 	report := fs.Duration("report", 0, "interim load-imbalance report period (0 = none)")
 	arrivals := fs.String("arrivals", "", "open-loop arrival schedule over -duration: const[:RATE], ramp[:R0-R1], spike[:BASExMULT[@AT+WIDTH]], or trace:R@D,R@D,... (empty = closed loop)")
+	boundedLoad := fs.Float64("bounded-load", 0, "bounded-load admission factor c > 1 (0 = no admission control)")
+	capacities := fs.String("capacities", "", "heterogeneous capacity bands CAP:FRAC,... (e.g. 4:0.1,1:0.9)")
+	retries := fs.Int("retry", 0, "client retries per overload-rejected placement (backoff with full jitter)")
+	retryBase := fs.Duration("retry-base", 0, "first backoff ceiling (0 = 1ms default)")
+	retryCap := fs.Duration("retry-cap", 0, "max backoff ceiling (0 = 50ms default)")
+	opDeadline := fs.Duration("op-deadline", 0, "per-op wall-clock budget including retries (0 = none)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "hedge a read to an alternate replica past this simulated sojourn (needs -service-rate and -key-replicas >= 2)")
+	serviceRate := fs.Float64("service-rate", 0, "simulated service rate of a capacity-1 server, ops/sec (0 = no service model)")
+	expectOverload := fs.Bool("expect-overload", false, "fail unless the run both rejected placements and recovered some via retry (scenario sanity gate)")
 	watch := fs.Bool("watch", false, "live terminal view: refreshing load heatmap + metrics ticker (implies -report 500ms)")
 	metricsDump := fs.String("metrics", "", "dump the metrics registry after the run: prom (Prometheus text) or json (expvar JSON)")
 	metricsAddr := fs.String("metrics-addr", "", "serve the metrics registry over HTTP while the run executes (e.g. :9090)")
@@ -46,6 +55,10 @@ func cmdLoadtest(args []string) error {
 		return err
 	}
 	script, err := loadgen.ParseFailureScript(*failures)
+	if err != nil {
+		return err
+	}
+	classes, err := loadgen.ParseCapacities(*capacities)
 	if err != nil {
 		return err
 	}
@@ -70,6 +83,14 @@ func cmdLoadtest(args []string) error {
 		Rebalance:   *rebalance,
 		SampleEvery: *sample,
 		Seed:        *seed,
+		BoundedLoad: *boundedLoad,
+		Capacities:  classes,
+		ServiceRate: *serviceRate,
+		Retries:     *retries,
+		RetryBase:   *retryBase,
+		RetryCap:    *retryCap,
+		OpDeadline:  *opDeadline,
+		HedgeAfter:  *hedgeAfter,
 	}
 	if *report > 0 {
 		cfg.ReportEvery = *report
@@ -122,6 +143,15 @@ func cmdLoadtest(args []string) error {
 	if len(script) > 0 {
 		fmt.Fprintf(stdout, ", %d scripted failures", len(script))
 	}
+	if *boundedLoad > 0 {
+		fmt.Fprintf(stdout, ", bounded load c=%g", *boundedLoad)
+	}
+	if *capacities != "" {
+		fmt.Fprintf(stdout, ", capacities %s", *capacities)
+	}
+	if *serviceRate > 0 {
+		fmt.Fprintf(stdout, ", service model %g ops/s", *serviceRate)
+	}
 	if cfg.Arrivals != nil {
 		fmt.Fprintf(stdout, "\n  open loop: %s", cfg.Arrivals)
 	}
@@ -146,6 +176,19 @@ func cmdLoadtest(args []string) error {
 		return fmt.Errorf("%d keys lost after repair", res.LostKeys)
 	}
 	fmt.Fprintln(stdout, "  invariants: OK")
+	if *expectOverload {
+		// The overload-scenario gate: the run must have exercised the
+		// whole admission/retry loop — rejections happened, at least one
+		// op rode a retry to success, and nothing vanished unaccounted.
+		if res.Rejections == 0 {
+			return fmt.Errorf("-expect-overload: no placements were rejected — the scenario never saturated the bound")
+		}
+		if res.Recovered == 0 {
+			return fmt.Errorf("-expect-overload: %d rejections but none recovered via retry", res.Rejections)
+		}
+		fmt.Fprintf(stdout, "  overload gate: OK (%d rejected, %d recovered, %d shed)\n",
+			res.Rejections, res.Recovered, res.Shed)
+	}
 	switch *metricsDump {
 	case "prom":
 		fmt.Fprintln(stdout)

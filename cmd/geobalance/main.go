@@ -57,6 +57,7 @@ func main() {
 		{"uniform", "classical uniform-bin baseline", cmdUniform},
 		{"fluid", "fluid-limit prediction vs uniform simulation", cmdFluid},
 		{"theory", "Theorem 1 beta recursion diagnostics", cmdTheory},
+		{"bounded", "bounded-load admission vs the ceil(c*m/n) ceiling", cmdBounded},
 		{"stabilize", "Chord stabilization: join/failure convergence and hops", cmdStabilize},
 		{"loadtest", "concurrent router load test (ring or torus space): throughput + latency percentiles", cmdLoadtest},
 		{"all", "run the whole reduced-scale suite in one command", cmdAll},

@@ -253,6 +253,23 @@ func (r *Ring) SetCapacity(name string, capacity float64) error {
 	return r.rt.SetCapacity(name, capacity)
 }
 
+// SetBoundedLoad enables (c > 1) or disables (c == 0) bounded-load
+// admission: placements forward past candidates above c times the
+// capacity-relative mean load and fail with router.ErrOverloaded when
+// every candidate is saturated; see router.Router.SetBoundedLoad.
+func (r *Ring) SetBoundedLoad(c float64) error { return r.rt.SetBoundedLoad(c) }
+
+// BoundedLoad returns the active bounded-load factor (0 = off).
+func (r *Ring) BoundedLoad() float64 { return r.rt.BoundedLoad() }
+
+// MeanRelLoad returns the capacity-relative mean load; see
+// router.Router.MeanRelLoad.
+func (r *Ring) MeanRelLoad() float64 { return r.rt.MeanRelLoad() }
+
+// MaxRelLoad returns the largest load/capacity ratio over live
+// servers; see router.Router.MaxRelLoad.
+func (r *Ring) MaxRelLoad() float64 { return r.rt.MaxRelLoad() }
+
 // SetReplication sets the replicas-per-key factor: each key is pinned
 // to the top-r of its d ring candidates; see
 // router.Router.SetReplication. Distinct from VirtualNodes, which

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,11 +26,22 @@ import (
 // from the survivors. A "zone" is a correlated crash: every server
 // inside a random torus box fails together (on the ring, where there
 // is no geometry, it degrades to a crash of the same expected size).
+// A "cascade" is a correlated brownout, the overload lab's scenario:
+// the servers in the box stay up but their capacity (and simulated
+// service rate, when the service model is attached) collapses to
+// cascadeSlash of its value — arrivals scheduled past the zone's
+// remaining capacity then either snowball onto it (no admission
+// control) or get steered away and shed (bounded load + retries).
 const (
-	FailLeave = "leave"
-	FailCrash = "crash"
-	FailZone  = "zone"
+	FailLeave   = "leave"
+	FailCrash   = "crash"
+	FailZone    = "zone"
+	FailCascade = "cascade"
 )
+
+// cascadeSlash is the capacity multiplier a cascade event applies to
+// its victims: a browned-out server keeps a tenth of its capacity.
+const cascadeSlash = 0.1
 
 // FailureEvent is one scripted event: at After past the start of the
 // run, kill (or drain out) a fraction of the live fleet.
@@ -41,10 +53,10 @@ type FailureEvent struct {
 
 func (e *FailureEvent) validate() error {
 	switch e.Kind {
-	case FailLeave, FailCrash, FailZone:
+	case FailLeave, FailCrash, FailZone, FailCascade:
 	default:
-		return fmt.Errorf("loadgen: unknown failure kind %q (want %s, %s, or %s)",
-			e.Kind, FailLeave, FailCrash, FailZone)
+		return fmt.Errorf("loadgen: unknown failure kind %q (want %s, %s, %s, or %s)",
+			e.Kind, FailLeave, FailCrash, FailZone, FailCascade)
 	}
 	if e.After < 0 {
 		return fmt.Errorf("loadgen: failure %s at negative offset %v", e.Kind, e.After)
@@ -81,7 +93,9 @@ func ParseFailureScript(s string) (FailureScript, error) {
 			return nil, fmt.Errorf("loadgen: failure event %q: %v", part, err)
 		}
 		if hasFrac {
-			if _, err := fmt.Sscanf(frac, "%g", &ev.Frac); err != nil {
+			// strconv, not Sscanf: "0.5junk" must be an error, not a
+			// silently truncated 0.5.
+			if ev.Frac, err = strconv.ParseFloat(frac, 64); err != nil {
 				return nil, fmt.Errorf("loadgen: failure event %q: bad fraction %q", part, frac)
 			}
 		}
@@ -98,6 +112,7 @@ type FailureOutcome struct {
 	Kind     string
 	At       time.Duration // scheduled offset
 	Killed   []string      // servers taken out (sorted)
+	Slowed   []string      // servers browned out by a cascade (capacity slashed, still up)
 	Moved    int           // replicas migrated away before a graceful leave
 	Repaired int           // keys re-replicated by the post-event repair
 	Lost     int           // keys whose every replica died (records survive and are re-homed)
@@ -105,6 +120,10 @@ type FailureOutcome struct {
 
 // String renders the outcome in report form.
 func (f *FailureOutcome) String() string {
+	if f.Kind == FailCascade {
+		return fmt.Sprintf("%s@%v slashed %d server(s) to %.0f%% capacity",
+			f.Kind, f.At, len(f.Slowed), 100*cascadeSlash)
+	}
 	s := fmt.Sprintf("%s@%v killed %d server(s)", f.Kind, f.At, len(f.Killed))
 	if f.Moved > 0 {
 		s += fmt.Sprintf(", migrated %d replicas", f.Moved)
@@ -121,7 +140,8 @@ func (f *FailureOutcome) String() string {
 // firing order. Victim selection draws from its own rng stream
 // (1<<34), so the script is deterministic given (Config, Seed) and
 // independent of the churner and the workers.
-func runFailures(target churnTarget, cfg *Config, lm *LoadMetrics, stop <-chan struct{}) []FailureOutcome {
+func runFailures(target churnTarget, cfg *Config, lm *LoadMetrics,
+	model *serviceModel, caps map[string]float64, stop <-chan struct{}) []FailureOutcome {
 	script := append(FailureScript(nil), cfg.Failures...)
 	sort.SliceStable(script, func(i, j int) bool { return script[i].After < script[j].After })
 	fr := rng.NewStream(cfg.Seed, 1<<34)
@@ -137,7 +157,7 @@ func runFailures(target churnTarget, cfg *Config, lm *LoadMetrics, stop <-chan s
 			case <-t.C:
 			}
 		}
-		outcomes = append(outcomes, fireFailure(target, ev, fr))
+		outcomes = append(outcomes, fireFailure(target, ev, fr, model, caps))
 		if lm != nil {
 			lm.FailureEvents.Inc(0)
 		}
@@ -146,10 +166,34 @@ func runFailures(target churnTarget, cfg *Config, lm *LoadMetrics, stop <-chan s
 }
 
 // fireFailure executes one event against the live fleet.
-func fireFailure(target churnTarget, ev FailureEvent, fr *rng.Rand) FailureOutcome {
+func fireFailure(target churnTarget, ev FailureEvent, fr *rng.Rand,
+	model *serviceModel, caps map[string]float64) FailureOutcome {
 	out := FailureOutcome{Kind: ev.Kind, At: ev.After}
 	victims := pickVictims(target, ev, fr)
 	if len(victims) == 0 {
+		return out
+	}
+	if ev.Kind == FailCascade {
+		// Brownout, not outage: the victims stay in the fleet but keep
+		// only cascadeSlash of their capacity, on both sides of the
+		// ledger — the router's admission threshold (so bounded-load
+		// placement steers away) and the service model's rate (so ops
+		// still routed there queue up).
+		for _, name := range victims {
+			c := caps[name]
+			if c <= 0 {
+				c = 1
+			}
+			c *= cascadeSlash
+			if target.SetCapacity(name, c) == nil {
+				caps[name] = c
+				out.Slowed = append(out.Slowed, name)
+				if model != nil {
+					model.setCapacity(name, c)
+				}
+			}
+		}
+		sort.Strings(out.Slowed)
 		return out
 	}
 	if ev.Kind == FailLeave {
@@ -193,7 +237,7 @@ func pickVictims(target churnTarget, ev FailureEvent, fr *rng.Rand) []string {
 		return nil
 	}
 	maxKill := len(servers) - 1
-	if ev.Kind == FailZone {
+	if ev.Kind == FailZone || ev.Kind == FailCascade {
 		if gt, ok := target.(geoTarget); ok {
 			dim := gt.Dim()
 			side := math.Pow(ev.Frac, 1/float64(dim))

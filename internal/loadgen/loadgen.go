@@ -45,11 +45,16 @@ type Target interface {
 	Place(key string) (string, error)
 	Locate(key string) (string, error)
 	LocateAny(key string) (string, error)
+	Owners(key string, dst []string) ([]string, error)
 	Remove(key string) error
 	Rebalance() int
 	Repair() (repaired, lost int)
 	SetReplication(rep int) error
 	SetDraining(name string, draining bool) error
+	SetCapacity(name string, capacity float64) error
+	SetBoundedLoad(c float64) error
+	MeanRelLoad() float64
+	MaxRelLoad() float64
 	PlanMigration(limit int) *router.MigrationPlan
 	Instrument(reg *metrics.Registry) *router.Metrics
 	Servers() []string
@@ -114,6 +119,41 @@ type Config struct {
 	ReportTo    io.Writer     // destination for interim reports (required when ReportEvery > 0)
 	Seed        uint64
 
+	// Overload protection. BoundedLoad > 1 arms the router's
+	// bounded-load admission (router.SetBoundedLoad); Capacities
+	// assigns heterogeneous per-server capacity weights to the initial
+	// fleet (see ParseCapacities); ServiceRate > 0 attaches the
+	// simulated per-server service-time model (ops/sec a capacity-1
+	// server serves — see serviceModel), which the sojourn histogram,
+	// hedging, and the breaker all hang off.
+	BoundedLoad float64
+	Capacities  []CapacityClass
+	ServiceRate float64
+
+	// Client retry discipline for placements rejected with
+	// router.ErrOverloaded: up to Retries retries with full-jitter
+	// capped exponential backoff (RetryBase doubling up to RetryCap,
+	// floored at the rejection's retry-after hint). An op that exhausts
+	// its retries — or would blow through OpDeadline — is SHED: counted
+	// in Result.Shed, never silently dropped, so open-loop goodput
+	// stays coordination-omission-free. Retries = 0 sheds on first
+	// rejection.
+	Retries    int
+	RetryBase  time.Duration // default 1ms
+	RetryCap   time.Duration // default 50ms
+	OpDeadline time.Duration // wall-clock budget per op incl. retries; 0 = none
+
+	// HedgeAfter > 0 arms hedged reads (needs ServiceRate > 0 and key
+	// replication to matter): a read whose primary sojourn exceeds
+	// HedgeAfter issues a second read to an alternate replica and keeps
+	// the faster of the two. Slow reads also feed a per-server circuit
+	// breaker (BreakerTrip consecutive slow reads open it for
+	// BreakerCooldown) that routes reads straight to the alternate
+	// while open.
+	HedgeAfter      time.Duration
+	BreakerTrip     int           // consecutive slow reads to open (default 8)
+	BreakerCooldown time.Duration // how long an open breaker holds (default 100ms)
+
 	// Arrivals switches the run from closed loop (workers issue ops
 	// back to back against the Ops/Duration budget) to open loop: the
 	// schedule fixes every arrival's timestamp, workers claim arrival
@@ -157,6 +197,30 @@ type Result struct {
 	// zero-lost-keys acceptance check. Only populated when the run used
 	// replication or a failure script.
 	LostKeys int
+
+	// Overload discipline tallies. Rejections counts every
+	// ErrOverloaded a placement attempt received; Retries the backoff
+	// sleeps taken; Recovered the ops that succeeded after at least one
+	// retry; Shed the ops abandoned after exhausting retries or their
+	// deadline (shed ops are NOT in Ops/Places — they never completed);
+	// DeadlineMisses the ops cut off by OpDeadline; Hedges the hedged
+	// second reads issued; BreakerOpens the breaker trip transitions.
+	Rejections     int64
+	Retries        int64
+	Recovered      int64
+	Shed           int64
+	DeadlineMisses int64
+	Hedges         int64
+	BreakerOpens   int64
+
+	// Simulated service-time results (ServiceRate > 0 only): the
+	// sampled sojourn histogram, the deepest virtual backlog at the end
+	// of the run, and the router's final max relative (per-capacity)
+	// load.
+	Sojourn    stats.LatencyHist
+	MaxBacklog time.Duration
+	WorstQueue string
+	MaxRelLoad float64
 
 	Lookup stats.LatencyHist
 	Place  stats.LatencyHist
@@ -232,10 +296,47 @@ func (cfg *Config) applyDefaults() error {
 		return fmt.Errorf("loadgen: need 1 <= key replicas <= min(choices=%d, %d), got %d",
 			cfg.Choices, router.MaxReplicas, cfg.KeyReplicas)
 	}
+	// A script event past the run horizon would silently never fire:
+	// reject it loudly instead when the horizon is knowable up front.
+	horizon := cfg.Duration
+	if horizon <= 0 && cfg.Arrivals != nil {
+		horizon = cfg.Arrivals.Duration()
+	}
 	for i := range cfg.Failures {
 		if err := cfg.Failures[i].validate(); err != nil {
 			return err
 		}
+		if horizon > 0 && cfg.Failures[i].After >= horizon {
+			return fmt.Errorf("loadgen: failure %s at offset %v would never fire (run horizon %v)",
+				cfg.Failures[i].Kind, cfg.Failures[i].After, horizon)
+		}
+	}
+	if cfg.BoundedLoad != 0 && !(cfg.BoundedLoad > 1) {
+		return fmt.Errorf("loadgen: bounded-load factor %v: need c > 1 (or 0 to disable)", cfg.BoundedLoad)
+	}
+	if cfg.ServiceRate < 0 || cfg.Retries < 0 {
+		return fmt.Errorf("loadgen: service rate and retries must be >= 0")
+	}
+	if cfg.HedgeAfter > 0 && cfg.ServiceRate <= 0 {
+		return fmt.Errorf("loadgen: hedged reads need the service-time model (set ServiceRate > 0)")
+	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = time.Millisecond
+	}
+	if cfg.RetryCap == 0 {
+		cfg.RetryCap = 50 * time.Millisecond
+	}
+	if cfg.RetryBase <= 0 || cfg.RetryCap < cfg.RetryBase {
+		return fmt.Errorf("loadgen: need 0 < retry base <= retry cap, got %v, %v", cfg.RetryBase, cfg.RetryCap)
+	}
+	if cfg.BreakerTrip == 0 {
+		cfg.BreakerTrip = 8
+	}
+	if cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = 100 * time.Millisecond
+	}
+	if cfg.BreakerTrip < 1 || cfg.BreakerCooldown < 0 {
+		return fmt.Errorf("loadgen: need breaker trip >= 1 and cooldown >= 0")
 	}
 	if cfg.Servers < 1 || cfg.Workers < 1 || cfg.Keys < 2 {
 		return fmt.Errorf("loadgen: need servers >= 1, workers >= 1, keys >= 2")
@@ -252,24 +353,27 @@ func (cfg *Config) applyDefaults() error {
 	return nil
 }
 
-// buildTarget constructs the router under test with its initial fleet.
-func (cfg *Config) buildTarget() (churnTarget, error) {
+// buildTarget constructs the router under test with its initial fleet,
+// applies the capacity bands, and returns the per-server capacity map
+// the service model seeds from.
+func (cfg *Config) buildTarget() (churnTarget, map[string]float64, error) {
 	names := make([]string, cfg.Servers)
 	for i := range names {
 		names[i] = "server-" + strconv.Itoa(i)
 	}
+	var target churnTarget
 	switch cfg.Space {
 	case "ring":
 		ring, err := hashring.New(names,
 			hashring.WithChoices(cfg.Choices), hashring.WithReplicas(cfg.Replicas))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return ringTarget{ring}, nil
+		target = ringTarget{ring}
 	case "torus":
 		geo, err := router.NewGeo(cfg.Dim, cfg.Choices)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// Deterministic server placement from a stream the workers and
 		// churner never touch.
@@ -277,13 +381,18 @@ func (cfg *Config) buildTarget() (churnTarget, error) {
 		t := geoTarget{geo}
 		for _, name := range names {
 			if err := t.addServer(name, sr); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
-		return t, nil
+		target = t
 	default:
-		return nil, fmt.Errorf("loadgen: unknown space %q (want ring or torus)", cfg.Space)
+		return nil, nil, fmt.Errorf("loadgen: unknown space %q (want ring or torus)", cfg.Space)
 	}
+	caps, err := assignCapacities(target, names, cfg.Capacities)
+	if err != nil {
+		return nil, nil, err
+	}
+	return target, caps, nil
 }
 
 func (cfg *Config) ranker() (workload.Ranker, error) {
@@ -303,7 +412,10 @@ func (cfg *Config) ranker() (workload.Ranker, error) {
 type workerStats struct {
 	lookups, places, removes, errors int64
 	failedReads                      int64
+	rejections, retries, recovered   int64
+	shed, deadlineMisses, hedges     int64
 	lookup, place, remove, lag       stats.LatencyHist
+	sojourn                          stats.LatencyHist
 }
 
 // opBatch is how many ops a worker claims from the shared budget at a
@@ -319,7 +431,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	target, err := cfg.buildTarget()
+	target, caps, err := cfg.buildTarget()
 	if err != nil {
 		return nil, err
 	}
@@ -340,11 +452,18 @@ func Run(cfg Config) (*Result, error) {
 	// the read path to LocateAny and enable the post-run repair audit.
 	failover := cfg.KeyReplicas > 1 || len(cfg.Failures) > 0
 
-	// Preload the hot-key space the Locate traffic reads.
+	// Preload the hot-key space the Locate traffic reads. The bound is
+	// armed only afterwards: preloaded keys are the pre-existing data
+	// set, not the admission-controlled arrivals.
 	hot := make([]string, cfg.Keys)
 	for i := range hot {
 		hot[i] = "hot:" + strconv.Itoa(i)
 		if _, err := target.Place(hot[i]); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.BoundedLoad > 0 {
+		if err := target.SetBoundedLoad(cfg.BoundedLoad); err != nil {
 			return nil, err
 		}
 	}
@@ -363,6 +482,17 @@ func Run(cfg Config) (*Result, error) {
 		deadline = start.Add(cfg.Duration)
 	}
 
+	// The optional client-side overload machinery: the per-server
+	// service-time model and the read-path circuit breaker.
+	var model *serviceModel
+	if cfg.ServiceRate > 0 {
+		model = newServiceModel(cfg.ServiceRate, caps, start)
+	}
+	var br *breakerSet
+	if cfg.HedgeAfter > 0 {
+		br = newBreakerSet(cfg.BreakerTrip, cfg.BreakerCooldown)
+	}
+
 	var nextArrival atomic.Int64 // open-loop arrival index claims
 	for w := 0; w < cfg.Workers; w++ {
 		traffic.Add(1)
@@ -370,6 +500,7 @@ func Run(cfg Config) (*Result, error) {
 			defer traffic.Done()
 			st := newOpState(target, &cfg, rk, rng.NewStream(cfg.Seed, uint64(w)), w,
 				&allStats[w], lm, hot, failover)
+			st.model, st.br = model, br
 			if cfg.Arrivals != nil {
 				runOpenWorker(st, cfg.Arrivals, &nextArrival, start, deadline)
 			} else {
@@ -388,7 +519,7 @@ func Run(cfg Config) (*Result, error) {
 		failDone = make(chan struct{})
 		go func() {
 			defer close(failDone)
-			outcomes = runFailures(target, &cfg, lm, failStop)
+			outcomes = runFailures(target, &cfg, lm, model, caps, failStop)
 		}()
 	}
 
@@ -513,11 +644,25 @@ func Run(cfg Config) (*Result, error) {
 		res.Removes += ws.removes
 		res.Errors += ws.errors
 		res.FailedReads += ws.failedReads
+		res.Rejections += ws.rejections
+		res.Retries += ws.retries
+		res.Recovered += ws.recovered
+		res.Shed += ws.shed
+		res.DeadlineMisses += ws.deadlineMisses
+		res.Hedges += ws.hedges
 		res.Lookup.Merge(&ws.lookup)
 		res.Place.Merge(&ws.place)
 		res.Remove.Merge(&ws.remove)
 		res.Lag.Merge(&ws.lag)
+		res.Sojourn.Merge(&ws.sojourn)
 	}
+	if br != nil {
+		res.BreakerOpens = br.openCount()
+	}
+	if model != nil {
+		res.WorstQueue, res.MaxBacklog = model.maxBacklog()
+	}
+	res.MaxRelLoad = target.MaxRelLoad()
 	if cfg.Arrivals != nil {
 		res.Offered = cfg.Arrivals.Total()
 	}
@@ -569,6 +714,12 @@ type opState struct {
 	own                []string // worker-private write-churn key pool
 	head, tail, placed int      // own[tail:head) (mod len) are currently placed
 	opCount            int
+	gen                int // shed-key regeneration counter (fresh candidate sets)
+
+	// Overload machinery (nil when the run doesn't arm it).
+	model     *serviceModel
+	br        *breakerSet
+	ownersBuf []string // reusable Owners scratch for hedged reads
 }
 
 func newOpState(target Target, cfg *Config, rk workload.Ranker, r *rng.Rand,
@@ -576,7 +727,8 @@ func newOpState(target Target, cfg *Config, rk workload.Ranker, r *rng.Rand,
 	st := &opState{
 		target: target, cfg: cfg, rk: rk, r: r, ws: ws, lm: lm,
 		hot: hot, failover: failover, hint: uint64(w),
-		own: make([]string, 256),
+		own:       make([]string, 256),
+		ownersBuf: make([]string, 0, router.MaxChoices),
 	}
 	for i := range st.own {
 		st.own[i] = "w" + strconv.Itoa(w) + ":" + strconv.Itoa(i)
@@ -601,20 +753,26 @@ func (st *opState) doOp() {
 		if measured {
 			t0 = time.Now()
 		}
-		var err error
+		var (
+			err error
+			srv string
+		)
 		if st.failover {
 			// The failover read: a dead primary is routed around, and a
 			// key with NO live replica is the scripted degradation a
 			// failure inflicts on purpose, not a harness error.
-			if _, err = st.target.LocateAny(key); errors.Is(err, router.ErrNoLiveReplica) {
+			if srv, err = st.target.LocateAny(key); errors.Is(err, router.ErrNoLiveReplica) {
 				ws.failedReads++
 				if lm != nil {
 					lm.FailedReads.Inc(st.hint)
 				}
-				err = nil
+				err, srv = nil, ""
 			}
 		} else {
-			_, err = st.target.Locate(key)
+			srv, err = st.target.Locate(key)
+		}
+		if st.model != nil && srv != "" {
+			st.observeRead(key, srv)
 		}
 		ws.lookups++
 		if lm != nil {
@@ -637,11 +795,30 @@ func (st *opState) doOp() {
 	}
 	doPlace := st.placed == 0 || (st.placed < len(st.own) && st.r.Uint64()&1 == 0)
 	var t0 time.Time
-	if measured {
+	if measured || st.cfg.OpDeadline > 0 {
 		t0 = time.Now()
 	}
 	if doPlace {
-		_, err := st.target.Place(st.own[st.head])
+		srv, err := st.placeWithRetry(st.own[st.head], t0)
+		if err != nil && errors.Is(err, router.ErrOverloaded) {
+			// Shed: retries (or the deadline) ran out. The pool cursor
+			// does NOT advance — the key was never placed — and the op is
+			// counted as shed, not as a completed place, so goodput
+			// reflects the refusal instead of hiding it. The slot gets a
+			// FRESH key name: a key's candidate set is fixed by its hash,
+			// so retrying the identical key against a saturated candidate
+			// set would wedge the worker's write path for good (the
+			// client-side analogue of giving up on a request instead of
+			// hammering the same overloaded shard).
+			st.gen++
+			st.own[st.head] = "w" + strconv.Itoa(int(st.hint)) + ":" +
+				strconv.Itoa(st.head) + "#" + strconv.Itoa(st.gen)
+			ws.shed++
+			if lm != nil {
+				lm.Shed.Inc(st.hint)
+			}
+			return
+		}
 		st.head = (st.head + 1) % len(st.own)
 		st.placed++
 		ws.places++
@@ -652,6 +829,14 @@ func (st *opState) doOp() {
 			ws.errors++
 			if lm != nil {
 				lm.Errors.Inc(st.hint)
+			}
+		} else if st.model != nil {
+			// The accepted write consumes service time on the server that
+			// took it — write demand is demand.
+			soj := st.model.observe(srv, st.r)
+			ws.sojourn.Add(int64(soj))
+			if lm != nil {
+				lm.Sojourn.Observe(int64(soj))
 			}
 		}
 		if measured {
@@ -674,6 +859,126 @@ func (st *opState) doOp() {
 		if measured {
 			ws.remove.Add(time.Since(t0).Nanoseconds())
 		}
+	}
+}
+
+// observeRead routes one read through the service-time model: observe
+// the serving server's virtual queue, hedge to an alternate replica
+// when the sojourn crosses HedgeAfter (or the server's breaker is
+// already open), keep the faster of the two, and feed the breaker.
+func (st *opState) observeRead(key, srv string) {
+	ws, lm := st.ws, st.lm
+	now := time.Now()
+	var (
+		soj    time.Duration
+		hedged bool
+	)
+	if st.br != nil && st.br.open(srv, now) {
+		// Breaker open: go straight to an alternate replica, sparing the
+		// struggling server the sample entirely. No alternate (single
+		// replica, or every owner is srv) means eating the slow read.
+		if alt := st.altReplica(key, srv); alt != "" {
+			soj, hedged = st.model.observe(alt, st.r), true
+		} else {
+			soj = st.model.observe(srv, st.r)
+		}
+	} else {
+		soj = st.model.observe(srv, st.r)
+		if st.br != nil {
+			slow := soj > st.cfg.HedgeAfter
+			if slow {
+				// Hedge: a second read to an alternate replica, keeping
+				// whichever finishes first.
+				if alt := st.altReplica(key, srv); alt != "" {
+					if s2 := st.model.observe(alt, st.r); s2 < soj {
+						soj = s2
+					}
+					hedged = true
+				}
+			}
+			if st.br.record(srv, slow, now) && lm != nil {
+				lm.BreakerOpens.Inc(st.hint)
+			}
+		}
+	}
+	if hedged {
+		ws.hedges++
+		if lm != nil {
+			lm.Hedges.Inc(st.hint)
+		}
+	}
+	ws.sojourn.Add(int64(soj))
+	if lm != nil {
+		lm.Sojourn.Observe(int64(soj))
+	}
+	if st.cfg.OpDeadline > 0 && soj > st.cfg.OpDeadline {
+		ws.deadlineMisses++
+		if lm != nil {
+			lm.DeadlineMisses.Inc(st.hint)
+		}
+	}
+}
+
+// altReplica returns one of key's owners other than srv, or "".
+func (st *opState) altReplica(key, srv string) string {
+	owners, err := st.target.Owners(key, st.ownersBuf[:0])
+	if err != nil {
+		return ""
+	}
+	for _, o := range owners {
+		if o != srv {
+			return o
+		}
+	}
+	return ""
+}
+
+// placeWithRetry is the client-side retry discipline: on
+// ErrOverloaded, back off (full jitter, doubling from RetryBase up to
+// RetryCap, floored at the rejection's retry-after hint) and try
+// again, up to Retries times and never past OpDeadline. Any other
+// error returns immediately; a still-overloaded error after the loop
+// means the caller sheds the op.
+func (st *opState) placeWithRetry(key string, t0 time.Time) (string, error) {
+	ws, lm := st.ws, st.lm
+	attempt := 0
+	for {
+		srv, err := st.target.Place(key)
+		if err == nil {
+			if attempt > 0 {
+				ws.recovered++
+				if lm != nil {
+					lm.Recovered.Inc(st.hint)
+				}
+			}
+			return srv, nil
+		}
+		if !errors.Is(err, router.ErrOverloaded) {
+			return srv, err
+		}
+		ws.rejections++
+		if attempt >= st.cfg.Retries {
+			return srv, err
+		}
+		var hint time.Duration
+		var oe *router.OverloadedError
+		if errors.As(err, &oe) {
+			hint = oe.RetryAfter
+		}
+		attempt++
+		sleep := backoff(st.r, attempt, st.cfg.RetryBase, st.cfg.RetryCap, hint)
+		if st.cfg.OpDeadline > 0 && time.Since(t0)+sleep > st.cfg.OpDeadline {
+			ws.deadlineMisses++
+			if lm != nil {
+				lm.DeadlineMisses.Inc(st.hint)
+			}
+			return srv, err
+		}
+		ws.retries++
+		if lm != nil {
+			lm.Retries.Inc(st.hint)
+		}
+		time.Sleep(sleep)
 	}
 }
 
@@ -755,6 +1060,32 @@ func (r *Result) Report(w io.Writer) {
 	}
 	if len(r.Failures) > 0 || r.FailedReads > 0 {
 		fmt.Fprintf(w, "  lost keys after final repair: %d\n", r.LostKeys)
+	}
+	if r.Rejections > 0 || r.Shed > 0 || r.Retries > 0 {
+		fmt.Fprintf(w, "  overload: %d rejections   %d retries   %d recovered   %d shed\n",
+			r.Rejections, r.Retries, r.Recovered, r.Shed)
+		good := r.Ops - r.Errors - r.FailedReads
+		if r.Elapsed > 0 {
+			line := fmt.Sprintf("  goodput: %.0f ops/sec", float64(good)/r.Elapsed.Seconds())
+			if r.Offered > 0 {
+				line += fmt.Sprintf(" (%.1f%% of %d offered)", 100*float64(good)/float64(r.Offered), r.Offered)
+			}
+			fmt.Fprintf(w, "%s\n", line)
+		}
+	}
+	if r.Hedges > 0 || r.BreakerOpens > 0 || r.DeadlineMisses > 0 {
+		fmt.Fprintf(w, "  hedged reads %d   breaker opens %d   deadline misses %d\n",
+			r.Hedges, r.BreakerOpens, r.DeadlineMisses)
+	}
+	if r.Sojourn.N() > 0 {
+		fmt.Fprintf(w, "  sojourn (simulated service): %v\n", r.Sojourn.String())
+		if r.MaxBacklog > 0 {
+			fmt.Fprintf(w, "  deepest virtual queue at end: %v on %s\n",
+				r.MaxBacklog.Round(time.Millisecond), r.WorstQueue)
+		}
+	}
+	if r.MaxRelLoad > 0 && (r.Rejections > 0 || r.Shed > 0) {
+		fmt.Fprintf(w, "  max relative load (load/capacity): %.2f\n", r.MaxRelLoad)
 	}
 	if r.Lookup.N() > 0 {
 		fmt.Fprintf(w, "  locate  latency: %v\n", r.Lookup.String())

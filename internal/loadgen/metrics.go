@@ -18,8 +18,18 @@ type LoadMetrics struct {
 	ChurnEvents   *metrics.Counter // membership churn events fired
 	FailureEvents *metrics.Counter // scripted failure events fired
 
+	// Overload discipline (the client half of bounded-load admission;
+	// the router half is router_forwards_total / router_rejects_total).
+	Retries        *metrics.Counter // backoff retries after ErrOverloaded
+	Recovered      *metrics.Counter // ops that succeeded after >= 1 retry
+	Shed           *metrics.Counter // ops abandoned after retries/deadline ran out
+	DeadlineMisses *metrics.Counter // ops cut off by the per-op deadline
+	Hedges         *metrics.Counter // hedged second reads issued
+	BreakerOpens   *metrics.Counter // circuit-breaker open transitions
+
 	LookupLatency *metrics.Histogram // sampled Locate latency, ns
 	Lag           *metrics.Histogram // open-loop issue lag (actual - scheduled), ns
+	Sojourn       *metrics.Histogram // simulated per-op sojourn (queue + service), ns
 
 	Workers *metrics.Gauge // traffic goroutines in the current run
 }
@@ -28,15 +38,22 @@ type LoadMetrics struct {
 // the harness instrument set on reg.
 func NewLoadMetrics(reg *metrics.Registry) *LoadMetrics {
 	return &LoadMetrics{
-		Lookups:       reg.Counter("loadgen_lookups_total", "lookup ops issued"),
-		Places:        reg.Counter("loadgen_places_total", "place ops issued"),
-		Removes:       reg.Counter("loadgen_removes_total", "remove ops issued"),
-		Errors:        reg.Counter("loadgen_errors_total", "ops that returned an unexpected error"),
-		FailedReads:   reg.Counter("loadgen_failed_reads_total", "reads that found no live replica"),
-		ChurnEvents:   reg.Counter("loadgen_churn_events_total", "membership churn events fired"),
-		FailureEvents: reg.Counter("loadgen_failure_events_total", "scripted failure events fired"),
-		LookupLatency: reg.Histogram("loadgen_lookup_latency_ns", "sampled lookup latency"),
-		Lag:           reg.Histogram("loadgen_lag_ns", "open-loop issue lag behind the arrival schedule"),
-		Workers:       reg.Gauge("loadgen_workers", "traffic goroutines in the current run"),
+		Lookups:        reg.Counter("loadgen_lookups_total", "lookup ops issued"),
+		Places:         reg.Counter("loadgen_places_total", "place ops issued"),
+		Removes:        reg.Counter("loadgen_removes_total", "remove ops issued"),
+		Errors:         reg.Counter("loadgen_errors_total", "ops that returned an unexpected error"),
+		FailedReads:    reg.Counter("loadgen_failed_reads_total", "reads that found no live replica"),
+		ChurnEvents:    reg.Counter("loadgen_churn_events_total", "membership churn events fired"),
+		FailureEvents:  reg.Counter("loadgen_failure_events_total", "scripted failure events fired"),
+		Retries:        reg.Counter("loadgen_retries_total", "backoff retries after an overload rejection"),
+		Recovered:      reg.Counter("loadgen_recovered_total", "ops that succeeded after at least one retry"),
+		Shed:           reg.Counter("loadgen_shed_total", "ops abandoned after retries or deadline ran out"),
+		DeadlineMisses: reg.Counter("loadgen_deadline_misses_total", "ops cut off by the per-op deadline"),
+		Hedges:         reg.Counter("loadgen_hedges_total", "hedged second reads issued"),
+		BreakerOpens:   reg.Counter("loadgen_breaker_opens_total", "circuit-breaker open transitions"),
+		LookupLatency:  reg.Histogram("loadgen_lookup_latency_ns", "sampled lookup latency"),
+		Lag:            reg.Histogram("loadgen_lag_ns", "open-loop issue lag behind the arrival schedule"),
+		Sojourn:        reg.Histogram("loadgen_sojourn_ns", "simulated per-op sojourn (queueing delay + service)"),
+		Workers:        reg.Gauge("loadgen_workers", "traffic goroutines in the current run"),
 	}
 }

@@ -175,6 +175,12 @@ func goldenRegistry() *Registry {
 	for i := int64(0); i < 1000; i++ {
 		h.Observe(100 + i)
 	}
+	// The overload-protection counter pair: supply side (admission
+	// rejections) and demand side (ops the client gave up on).
+	rej := reg.Counter("router_rejects_total", "placements rejected by bounded-load admission")
+	rej.Add(0, 37)
+	shed := reg.Counter("loadgen_shed_total", "ops abandoned after retries or deadline ran out")
+	shed.Add(0, 4)
 	return reg
 }
 

@@ -182,14 +182,17 @@ func Run(space core.Space, cfg Config, r *rng.Rand) (*Result, error) {
 			nextDep = depHeap[0].t
 		}
 		nextT := math.Min(nextArrival, nextDep)
+		if !measured && math.Min(nextT, end) >= cfg.Warmup {
+			// Start measuring exactly at the warmup boundary — also when
+			// the very next event falls past the horizon (a short or
+			// quiet window must still time-weight the idle state, not
+			// return an all-zero tail).
+			lastT = cfg.Warmup
+			measured = true
+		}
 		if nextT >= end {
 			advance(end)
 			break
-		}
-		if !measured && nextT >= cfg.Warmup {
-			// Start measuring exactly at the warmup boundary.
-			lastT = cfg.Warmup
-			measured = true
 		}
 		advance(nextT)
 

@@ -123,6 +123,91 @@ func TestSupermarketFixedPoint(t *testing.T) {
 	}
 }
 
+// TestSupermarketTailSweep widens the fixed-point check across load and
+// choice count: for every (lambda, d) in {0.5, 0.9} x {2, 3} the
+// simulated uniform tail must track s_i = lambda^{(d^i - 1)/(d - 1)}.
+// The sweep is what the overload lab's tailbound comparison leans on —
+// d=3 is the cascade scenario's choice count, and both load levels
+// bracket the browned-out zone's effective utilization.
+func TestSupermarketTailSweep(t *testing.T) {
+	u := uniformSpace(t, 512)
+	seed := uint64(50)
+	for _, lambda := range []float64{0.5, 0.9} {
+		for _, d := range []int{2, 3} {
+			seed++
+			res, err := Run(u, Config{Lambda: lambda, D: d, Warmup: 80, Horizon: 400}, rng.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := UniformTail(lambda, d, 4)
+			for i := 1; i <= 4; i++ {
+				// Deep levels are vanishingly rare at low load; skip
+				// targets too small for a 512-server, 400-unit window to
+				// resolve and check the rest at the usual tolerance.
+				if want[i] < 1e-4 {
+					if res.Tail[i] > 1e-3 {
+						t.Errorf("lambda=%v d=%d: s_%d = %v, want ~%v (should be negligible)",
+							lambda, d, i, res.Tail[i], want[i])
+					}
+					continue
+				}
+				if math.Abs(res.Tail[i]-want[i]) > 0.15*want[i]+0.01 {
+					t.Errorf("lambda=%v d=%d: s_%d = %v, fixed point %v",
+						lambda, d, i, res.Tail[i], want[i])
+				}
+			}
+			// More choices can only thin the tail at equal load.
+			if d == 3 && res.Tail[2] > UniformTail(lambda, 2, 2)[2]+0.01 {
+				t.Errorf("lambda=%v: d=3 tail s_2 = %v above the d=2 fixed point", lambda, res.Tail[2])
+			}
+		}
+	}
+}
+
+// FuzzConfigValidation throws arbitrary configs at Run and checks the
+// validation boundary: a config either errors out cleanly or runs to a
+// well-formed result (normalized, monotone tail) — never a panic, never
+// a NaN in the output.
+func FuzzConfigValidation(f *testing.F) {
+	f.Add(0.5, 2, 1.0, 5.0, 8)
+	f.Add(0.9, 1, 0.0, 0.0, 0)
+	f.Add(-1.0, 3, -2.0, 1.0, -1)
+	f.Add(math.Inf(1), 0, 1.0, math.NaN(), 1<<20)
+	u, err := core.NewUniform(16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, lambda float64, d int, warmup, horizon float64, maxLevel int) {
+		// Keep accepted runs tiny: the fuzzer explores the validation
+		// surface, not the simulator's asymptotics.
+		if horizon > 20 {
+			horizon = 20
+		}
+		if warmup > 20 {
+			warmup = 20
+		}
+		if maxLevel > 1<<10 {
+			maxLevel = 1 << 10
+		}
+		res, err := Run(u, Config{Lambda: lambda, D: d, Warmup: warmup, Horizon: horizon, MaxLevel: maxLevel}, rng.New(60))
+		if err != nil {
+			return
+		}
+		if len(res.Tail) == 0 || math.Abs(res.Tail[0]-1) > 1e-9 {
+			t.Fatalf("accepted config %v/%d/%v/%v/%d returned malformed tail %v",
+				lambda, d, warmup, horizon, maxLevel, res.Tail)
+		}
+		for i := 1; i < len(res.Tail); i++ {
+			if math.IsNaN(res.Tail[i]) || res.Tail[i] < 0 || res.Tail[i] > res.Tail[i-1]+1e-12 {
+				t.Fatalf("tail broken at level %d: %v", i, res.Tail)
+			}
+		}
+		if math.IsNaN(res.MeanJobs) || math.IsNaN(res.MeanSojourn) {
+			t.Fatalf("NaN in results: %+v", res)
+		}
+	})
+}
+
 // TestTwoChoicesShortenQueues: the dynamic headline. In the uniform
 // model d=2 crushes the whole tail. In the geometric model the mid-tail
 // actually RISES with d=2 (queues equalize near rho = lambda instead of

@@ -131,12 +131,19 @@ func freshSlotSite(n int) []int32 {
 // the ring facade). Re-adding a removed server reuses its slot — the
 // new coordinates need not match the old ones.
 func (g *Geo) AddServer(name string, at geom.Vec) error {
+	return g.AddServerWithCapacity(name, at, 1)
+}
+
+// AddServerWithCapacity is AddServer with an explicit relative
+// capacity (see Txn.AddWithCapacity): the d-choice comparison and the
+// bounded-load admission threshold use load/capacity.
+func (g *Geo) AddServerWithCapacity(name string, at geom.Vec, capacity float64) error {
 	if len(at) != g.dim {
 		return fmt.Errorf("geo: server %q at %d coordinates, want %d", name, len(at), g.dim)
 	}
 	site := append(geom.Vec(nil), at...) // the topology keeps it; detach from the caller
 	return g.rt.Update(func(tx *Txn) (Topology, error) {
-		slot, err := tx.Add(name)
+		slot, err := tx.AddWithCapacity(name, capacity)
 		if err != nil {
 			return nil, err
 		}
@@ -208,6 +215,21 @@ func (g *Geo) Location(name string) (geom.Vec, bool) {
 func (g *Geo) SetCapacity(name string, capacity float64) error {
 	return g.rt.SetCapacity(name, capacity)
 }
+
+// SetBoundedLoad enables (c > 1) or disables (c == 0) bounded-load
+// admission; see Router.SetBoundedLoad.
+func (g *Geo) SetBoundedLoad(c float64) error { return g.rt.SetBoundedLoad(c) }
+
+// BoundedLoad returns the active bounded-load factor (0 = off).
+func (g *Geo) BoundedLoad() float64 { return g.rt.BoundedLoad() }
+
+// MeanRelLoad returns the capacity-relative mean load; see
+// Router.MeanRelLoad.
+func (g *Geo) MeanRelLoad() float64 { return g.rt.MeanRelLoad() }
+
+// MaxRelLoad returns the largest load/capacity ratio over live
+// servers; see Router.MaxRelLoad.
+func (g *Geo) MaxRelLoad() float64 { return g.rt.MaxRelLoad() }
 
 // SetReplication sets the replicas-per-key factor: each key is pinned
 // to the top-r of its d hashed torus candidates; see

@@ -29,6 +29,8 @@ type Metrics struct {
 	LostKeys         *metrics.Counter // repaired keys that had lost every replica
 	MigrationApplied *metrics.Counter // migration deltas committed by ApplyBatch
 	MigrationSkipped *metrics.Counter // migration deltas dropped as stale
+	Forwards         *metrics.Counter // bounded-load: saturated candidates forwarded past
+	Rejects          *metrics.Counter // bounded-load: placements refused with ErrOverloaded
 }
 
 // NewMetrics builds (or retrieves — registration is idempotent) the
@@ -45,6 +47,8 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		LostKeys:         reg.Counter("router_lost_keys_total", "repaired keys that had lost every replica"),
 		MigrationApplied: reg.Counter("router_migration_applied_total", "migration deltas committed"),
 		MigrationSkipped: reg.Counter("router_migration_skipped_total", "migration deltas skipped as stale"),
+		Forwards:         reg.Counter("router_forwards_total", "saturated candidates forwarded past by bounded-load admission"),
+		Rejects:          reg.Counter("router_rejects_total", "placements refused because every candidate was saturated"),
 	}
 }
 

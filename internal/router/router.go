@@ -36,6 +36,7 @@ package router
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -152,6 +153,14 @@ type Snapshot struct {
 	Loads []*SlotLoad // per-slot counters, shared by pointer across snapshots
 	Live  int         // number of live servers
 
+	// Bound is the bounded-load admission factor (0 = off; see
+	// SetBoundedLoad), CapSum the total live capacity the c·mean
+	// threshold is relative to, and Total the fleet-wide replica
+	// counter (shared by pointer across snapshots, like Loads).
+	Bound  float64
+	CapSum float64
+	Total  *SlotLoad
+
 	Topo Topology // facade-built; nil only while Live == 0
 
 	draining int              // number of live draining slots (fast path when 0)
@@ -249,6 +258,9 @@ func (t *Snapshot) clone() *Snapshot {
 		Drain:    append([]bool(nil), t.Drain...),
 		Loads:    append([]*SlotLoad(nil), t.Loads...),
 		Live:     t.Live,
+		Bound:    t.Bound,
+		CapSum:   t.CapSum,
+		Total:    t.Total,
 		Topo:     t.Topo,
 		draining: t.draining,
 		index:    make(map[string]int32, len(t.index)),
@@ -279,11 +291,13 @@ func singleRec(salt int, server int32) keyRec {
 	return rec
 }
 
-// addLoads adjusts every replica's load counter by delta.
+// addLoads adjusts every replica's load counter (and the fleet-wide
+// total the bounded-load mean is computed from) by delta.
 func (rec *keyRec) addLoads(t *Snapshot, h0 uint64, delta int64) {
 	for i := 0; i < int(rec.n); i++ {
 		t.Loads[rec.slots[i]].Add(h0, delta)
 	}
+	t.Total.Add(h0, delta*int64(rec.n))
 }
 
 // keyShard is one shard of the key-record map, padded to a full
@@ -320,7 +334,7 @@ func New(name string, d int) (*Router, error) {
 	for i := range r.keys {
 		r.keys[i].m = make(map[string]keyRec)
 	}
-	r.snap.Store(&Snapshot{D: d, name: name, index: make(map[string]int32)})
+	r.snap.Store(&Snapshot{D: d, name: name, index: make(map[string]int32), Total: &SlotLoad{}})
 	return r, nil
 }
 
@@ -359,12 +373,22 @@ func (tx *Txn) IsLive(i int32) bool { return !tx.s.Dead[i] }
 // capacity changes) that leave the geometry untouched.
 func (tx *Txn) Topology() Topology { return tx.s.Topo }
 
-// Add adds a server, reviving its old slot if the name was previously
-// removed, and returns the slot. Adding a live name or an empty name
-// is an error.
-func (tx *Txn) Add(name string) (int32, error) {
+// Add adds a server at the default capacity 1, reviving its old slot
+// if the name was previously removed, and returns the slot. Adding a
+// live name or an empty name is an error.
+func (tx *Txn) Add(name string) (int32, error) { return tx.AddWithCapacity(name, 1) }
+
+// AddWithCapacity is Add with an explicit relative capacity: the
+// d-choice comparison (and the bounded-load admission threshold) use
+// load/capacity, so a capacity-2 server absorbs twice the keys of a
+// capacity-1 server. Reviving a removed slot resets its capacity to
+// the given value.
+func (tx *Txn) AddWithCapacity(name string, capacity float64) (int32, error) {
 	if name == "" {
 		return 0, fmt.Errorf("%s: empty server name", tx.s.name)
+	}
+	if !(capacity > 0) {
+		return 0, fmt.Errorf("%s: capacity %v must be positive", tx.s.name, capacity)
 	}
 	t := tx.s
 	if i, ok := t.index[name]; ok {
@@ -372,6 +396,7 @@ func (tx *Txn) Add(name string) (int32, error) {
 			return 0, fmt.Errorf("%s: duplicate server %q", t.name, name)
 		}
 		t.Dead[i] = false
+		t.Caps[i] = capacity
 		if t.Drain != nil && t.Drain[i] {
 			t.Drain[i] = false
 			t.draining--
@@ -381,7 +406,7 @@ func (tx *Txn) Add(name string) (int32, error) {
 	}
 	i := int32(len(t.Names))
 	t.Names = append(t.Names, name)
-	t.Caps = append(t.Caps, 1)
+	t.Caps = append(t.Caps, capacity)
 	t.Dead = append(t.Dead, false)
 	if t.Drain != nil {
 		t.Drain = append(t.Drain, false)
@@ -427,6 +452,16 @@ func (r *Router) Update(fn func(tx *Txn) (Topology, error)) error {
 		return err
 	}
 	nt.Topo = topo
+	// CapSum is derived, not mutated: recompute from the post-mutation
+	// slot tables so the bounded-load mean is always consistent with
+	// the membership it publishes with.
+	var capSum float64
+	for i := range nt.Names {
+		if !nt.Dead[i] {
+			capSum += nt.Caps[i]
+		}
+	}
+	nt.CapSum = capSum
 	r.snap.Store(nt)
 	return nil
 }
@@ -487,8 +522,29 @@ func (r *Router) place(key string) (*Snapshot, keyRec, error) {
 		ks.mu.Unlock()
 		return nil, keyRec{}, fmt.Errorf("%s: key %q already placed", r.name, key)
 	}
-	var rec keyRec
-	if t.R <= 1 {
+	var (
+		rec     keyRec
+		skipped int
+	)
+	if t.Bound > 0 {
+		var (
+			overshoot float64
+			ok        bool
+		)
+		rec, skipped, overshoot, ok = t.chooseBounded(key, h0)
+		if !ok {
+			ks.mu.Unlock()
+			if m := r.met.Load(); m != nil {
+				m.Rejects.Inc(h0)
+				if skipped > 0 {
+					m.Forwards.Add(h0, int64(skipped))
+				}
+			}
+			return nil, keyRec{}, &OverloadedError{
+				Router: r.name, Key: key, RetryAfter: retryAfter(overshoot),
+			}
+		}
+	} else if t.R <= 1 {
 		best, salt := t.Choose(key, h0)
 		rec = singleRec(salt, best)
 	} else {
@@ -500,6 +556,9 @@ func (r *Router) place(key string) (*Snapshot, keyRec, error) {
 	r.nkeys.Add(1)
 	if m := r.met.Load(); m != nil {
 		m.Places.Inc(h0)
+		if skipped > 0 {
+			m.Forwards.Add(h0, int64(skipped))
+		}
 	}
 	return t, rec, nil
 }
@@ -515,6 +574,9 @@ func (r *Router) place(key string) (*Snapshot, keyRec, error) {
 // record the just-removed server (the snapshots are deliberately
 // wait-free); such keys are orphaned exactly like keys stranded by the
 // removal itself and re-homed by the next Rebalance or Repair.
+// With bounded-load admission active (SetBoundedLoad), a key whose
+// candidates are all saturated is NOT placed and the error wraps
+// ErrOverloaded.
 func (r *Router) Place(key string) (string, error) {
 	t, rec, err := r.place(key)
 	if err != nil {
@@ -687,7 +749,7 @@ func (r *Router) CheckInvariants() error {
 	defer r.mu.Unlock()
 	t := r.snap.Load()
 	counts := make([]int64, len(t.Names))
-	var total int64
+	var total, reps int64
 	for i := range r.keys {
 		ks := &r.keys[i]
 		ks.mu.RLock()
@@ -700,6 +762,7 @@ func (r *Router) CheckInvariants() error {
 				counts[rec.slots[j]]++
 			}
 			total++
+			reps += int64(rec.n)
 		}
 		ks.mu.RUnlock()
 	}
@@ -711,6 +774,25 @@ func (r *Router) CheckInvariants() error {
 	}
 	if total != r.nkeys.Load() {
 		return fmt.Errorf("key count %d != recorded %d", total, r.nkeys.Load())
+	}
+	// The bounded-load bookkeeping must agree with ground truth: the
+	// fleet-wide replica counter with the records, the capacity sum
+	// with the live slot table, and the factor with SetBoundedLoad's
+	// contract.
+	if got := t.Total.Total(); got != reps {
+		return fmt.Errorf("total load counter %d != %d placed replicas", got, reps)
+	}
+	var capSum float64
+	for i := range t.Names {
+		if !t.Dead[i] {
+			capSum += t.Caps[i]
+		}
+	}
+	if math.Abs(capSum-t.CapSum) > 1e-6*(1+capSum) {
+		return fmt.Errorf("capacity sum %v != live capacities %v", t.CapSum, capSum)
+	}
+	if t.Bound != 0 && !(t.Bound > 1) {
+		return fmt.Errorf("bounded-load factor %v outside {0} ∪ (1, ∞)", t.Bound)
 	}
 	if tc, ok := t.Topo.(TopologyChecker); ok {
 		if err := tc.CheckTopology(t.Names, t.Dead, t.Live); err != nil {

@@ -111,6 +111,28 @@ func TheoremMaxLoadBound(n, d int) int {
 	return iStar + 2
 }
 
+// BoundedLoadLimit returns the per-server load ceiling that bounded-load
+// admission (router.SetBoundedLoad) enforces: a server with capacity
+// weight cap, in a fleet whose weights sum to capSum serving m keys in
+// total, never holds more than
+//
+//	ceil(c * m * cap / capSum)
+//
+// keys. This is the consistent-hashing-with-bounded-loads guarantee
+// (Mirrokni-Thorup-Zadimoghaddam) specialized to capacity-weighted
+// slots: the router admits a placement only while the target sits under
+// this ceiling, so the observed max load of a bounded run must respect
+// it exactly — no concentration argument, no failure probability. The
+// contrast with TheoremMaxLoadBound is the point: Theorem 1 bounds the
+// UNBOUNDED d-choice process at i* + 2 with high probability, while the
+// admission ceiling is deterministic and tunable via c.
+func BoundedLoadLimit(c float64, m int64, cap, capSum float64) float64 {
+	if c <= 1 || cap <= 0 || capSum <= 0 || m < 0 {
+		panic(fmt.Sprintf("tailbound: BoundedLoadLimit(%v, %d, %v, %v)", c, m, cap, capSum))
+	}
+	return math.Ceil(c * float64(m) * cap / capSum)
+}
+
 // TailResult summarizes an empirical check of a count-tail lemma.
 type TailResult struct {
 	N          int     // number of sites per trial

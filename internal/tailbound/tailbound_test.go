@@ -63,6 +63,35 @@ func TestLemma9Bounds(t *testing.T) {
 	}
 }
 
+func TestBoundedLoadLimit(t *testing.T) {
+	// Uniform capacities: ceil(c*m/n).
+	if got := BoundedLoadLimit(1.25, 2000, 1, 16); got != math.Ceil(1.25*2000/16) {
+		t.Fatalf("BoundedLoadLimit = %v", got)
+	}
+	// Capacity-weighted: a server with 4 of 7 total weight gets 4/7 of
+	// the c*m budget.
+	if got, want := BoundedLoadLimit(1.5, 700, 4, 7), math.Ceil(1.5*700*4/7); got != want {
+		t.Fatalf("weighted limit = %v, want %v", got, want)
+	}
+	// Ceiling never rounds below one admitted key for a live server.
+	if got := BoundedLoadLimit(1.1, 1, 1, 1024); got != 1 {
+		t.Fatalf("tiny-fleet limit = %v, want 1", got)
+	}
+	// Monotone in m and in cap.
+	if BoundedLoadLimit(1.25, 100, 1, 8) > BoundedLoadLimit(1.25, 200, 1, 8) {
+		t.Fatal("limit not monotone in m")
+	}
+	if BoundedLoadLimit(1.25, 100, 1, 8) > BoundedLoadLimit(1.25, 100, 2, 8) {
+		t.Fatal("limit not monotone in capacity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("c <= 1 did not panic")
+		}
+	}()
+	BoundedLoadLimit(1, 100, 1, 8)
+}
+
 func TestBetaRecursionTerminates(t *testing.T) {
 	for _, n := range []int{1 << 10, 1 << 16, 1 << 24} {
 		for _, d := range []int{2, 3, 4} {
