@@ -38,6 +38,7 @@ import (
 	"geobalance/internal/core"
 	"geobalance/internal/geom"
 	"geobalance/internal/hashring"
+	"geobalance/internal/journal"
 	"geobalance/internal/loadgen"
 	"geobalance/internal/metrics"
 	"geobalance/internal/ring"
@@ -596,6 +597,78 @@ func collect() ([]result, error) {
 		}
 	}))
 	if err := geo.SetBoundedLoad(0); err != nil {
+		return nil, err
+	}
+
+	// --- Durable placement: the write-ahead journal's hot-path cost ---
+	// The same remove+place cycle as router_geo_place with a NoSync
+	// journal attached, so the delta against that record is the cost of
+	// encoding, CRC-framing, and buffering two WAL records per cycle
+	// (the fsync is the disk's price, not the code's — sync mode
+	// group-commits it across writers). Min-of-3 on both sides of the
+	// pair. The log is compacted every 128k cycles off the clock so the
+	// WAL cannot eat the disk at large b.N.
+	jdir, err := os.MkdirTemp("", "benchjson-journal")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(jdir)
+	jlg, err := geo.StartJournal(jdir, journal.Options{NoSync: true})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, runMin("router_place_journaled/servers=1024/dim=2", 1, 3, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			key := gkeys[i&4095]
+			if err := geo.Remove(key); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := geo.Place(key); err != nil {
+				b.Fatal(err)
+			}
+			if i&(1<<17-1) == 1<<17-1 {
+				b.StopTimer()
+				if err := geo.CompactJournal(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		}
+	}))
+	if err := jlg.Close(); err != nil {
+		return nil, err
+	}
+
+	// The raw append, isolated from the router: one OpPlace record
+	// encoded, framed, and buffered per op (NoSync, compacted off the
+	// clock as above).
+	alg, err := journal.Create(jdir+"-append", journal.Header{Kind: "geo", Dim: 2, D: 2}, nil, journal.Options{NoSync: true})
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(jdir + "-append")
+	appendEntry := journal.Entry{
+		Op:   journal.OpPlace,
+		Name: "key-00001234",
+		Rec:  journal.Rec{N: 1, Slots: [journal.MaxReplicas]int32{271}},
+	}
+	results = append(results, runMin("journal_append", 1, 3, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := alg.Append(appendEntry); err != nil {
+				b.Fatal(err)
+			}
+			if i&(1<<18-1) == 1<<18-1 {
+				b.StopTimer()
+				if err := alg.Compact(nil); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		}
+	}))
+	if err := alg.Close(); err != nil {
 		return nil, err
 	}
 

@@ -23,7 +23,8 @@ func cmdLoadtest(args []string) error {
 	d := fs.Int("d", 2, "hash choices per key")
 	replicas := fs.Int("replicas", 1, "ring: positions per server; torus: alias for -key-replicas")
 	keyReplicas := fs.Int("key-replicas", 0, "replicas per key, <= d (0 = unreplicated)")
-	failures := fs.String("failures", "", "failure script: kind@offset[:frac],... with kinds leave, crash, zone (e.g. crash@100ms:0.1,zone@250ms:0.3)")
+	failures := fs.String("failures", "", "failure script: kind@offset[:frac],... with kinds leave, crash, zone, cascade, kill (e.g. crash@100ms:0.1,zone@250ms:0.3; kill takes no fraction and needs -journal)")
+	journalDir := fs.String("journal", "", "write-ahead journal directory: journal every mutation and let kill events recover from it (empty = no journal)")
 	workers := fs.Int("workers", 0, "traffic goroutines (0 = GOMAXPROCS)")
 	ops := fs.Int64("ops", 0, "total op budget; takes precedence over -duration when > 0")
 	dur := fs.Duration("duration", 2*time.Second, "wall-clock run length when -ops is 0")
@@ -73,6 +74,7 @@ func cmdLoadtest(args []string) error {
 		Replicas:    *replicas,
 		KeyReplicas: *keyReplicas,
 		Failures:    script,
+		JournalDir:  *journalDir,
 		Workers:     *workers,
 		Keys:        *keys,
 		Dist:        *dist,
@@ -142,6 +144,9 @@ func cmdLoadtest(args []string) error {
 	}
 	if len(script) > 0 {
 		fmt.Fprintf(stdout, ", %d scripted failures", len(script))
+	}
+	if *journalDir != "" {
+		fmt.Fprintf(stdout, ", journal in %s", *journalDir)
 	}
 	if *boundedLoad > 0 {
 		fmt.Fprintf(stdout, ", bounded load c=%g", *boundedLoad)

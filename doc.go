@@ -18,6 +18,7 @@
 //	internal/chord     Chord DHT simulator (the Section 1.1 application)
 //	internal/router    space-agnostic concurrent serving core + torus-backed Geo router
 //	internal/hashring  ring-backed facade over the serving core (consistent-hash router)
+//	internal/journal   write-ahead journal + snapshot/compaction for durable router state
 //	internal/loadgen   multi-goroutine skewed-traffic load-test harness (any router)
 //	internal/workload  Zipf / bounded-Pareto popularity and size distributions
 //	internal/tailbound the paper's lemma bounds and empirical verifiers
@@ -136,6 +137,17 @@
 // planning, and records swap atomically under that lock, so a
 // concurrent LocateAny sees the old replica set or the new one, never
 // a mix.
+//
+// internal/journal makes that state durable when asked: StartJournal
+// attaches a write-ahead log (CRC-32C-framed, LSN-stamped records of
+// every mutation, group-commit fsync, snapshot + compaction) behind
+// the same nil-checked atomic-pointer seam as metrics, so a
+// journal-free router is untouched and zero-alloc. RecoverGeo /
+// hashring.Recover rebuild a router from snapshot + replay, truncating
+// torn tails and rejecting deeper corruption with a typed error; the
+// internal/journal/crashtest lab proves the contract at every WAL
+// record boundary, and loadgen's kill@offset failure exercises it
+// under live traffic.
 //
 // internal/loadgen drives either router (Config.Space ring/torus) with
 // N goroutines of Zipf/Pareto/uniform-keyed Place/Locate/Remove

@@ -59,6 +59,7 @@ import (
 	"math"
 	"sort"
 
+	"geobalance/internal/journal"
 	"geobalance/internal/jump"
 	"geobalance/internal/metrics"
 	"geobalance/internal/router"
@@ -226,7 +227,8 @@ func (r *Ring) rebuild(tx *router.Txn) router.Topology {
 // placement invariants (split so callers control when migration cost is
 // paid). Re-adding a removed server reuses its slot.
 func (r *Ring) AddServer(name string) error {
-	return r.rt.Update(func(tx *router.Txn) (router.Topology, error) {
+	e := journal.Entry{Op: journal.OpAddServer, Name: name, Value: 1}
+	return r.rt.UpdateJournaled(e, func(tx *router.Txn) (router.Topology, error) {
 		if _, err := tx.Add(name); err != nil {
 			return nil, err
 		}
@@ -238,7 +240,8 @@ func (r *Ring) AddServer(name string) error {
 // but orphaned until Rebalance reassigns them. Removing the last server
 // is an error.
 func (r *Ring) RemoveServer(name string) error {
-	return r.rt.Update(func(tx *router.Txn) (router.Topology, error) {
+	e := journal.Entry{Op: journal.OpRemoveServer, Name: name}
+	return r.rt.UpdateJournaled(e, func(tx *router.Txn) (router.Topology, error) {
 		if _, err := tx.Remove(name); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,96 @@
+// Durability for the ring facade: the write-ahead journal hook and
+// the recovery constructor. The mechanics live in internal/journal
+// and the serving core's journal.go; this file only supplies the
+// ring-shaped header and replay dispatch. Unlike the geo facade, ring
+// membership entries carry no coordinates — server positions are a
+// pure function of the name, so replaying the adds reproduces the
+// ring bit-for-bit.
+package hashring
+
+import (
+	"errors"
+	"fmt"
+
+	"geobalance/internal/journal"
+)
+
+// StartJournal makes the ring durable: it creates a journal in dir
+// (replacing any prior journal there) seeded with the full current
+// state, attaches it, and records every subsequent mutation. Recover
+// the ring with Recover.
+func (r *Ring) StartJournal(dir string, opts journal.Options) (*journal.Log, error) {
+	hdr := journal.Header{Kind: "ring", D: r.rt.Choices(), Replicas: r.replicas}
+	return r.rt.StartJournal(dir, hdr, nil, opts)
+}
+
+// CompactJournal folds the journal's WAL into a fresh snapshot; see
+// router.Router.CompactJournal.
+func (r *Ring) CompactJournal() error { return r.rt.CompactJournal(nil) }
+
+// Journal returns the attached journal (nil when durability is off).
+func (r *Ring) Journal() *journal.Log { return r.rt.Journal() }
+
+// Recover rebuilds a ring from the journal in dir — snapshot plus WAL
+// replay — and returns it with the journal attached and positioned to
+// append. The recovered ring holds exactly the recorded state, which
+// may include records stranded on dead servers; run Repair and
+// Rebalance before CheckInvariants, as after any failure. Corruption
+// beyond a torn WAL tail yields an error wrapping journal.ErrCorrupt.
+func Recover(dir string, opts journal.Options) (*Ring, *journal.Recovered, error) {
+	lg, rec, err := journal.Open(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.Header.Kind != "ring" {
+		lg.Close()
+		return nil, nil, &journal.CorruptError{Reason: fmt.Sprintf("journal is for a %q router, not ring", rec.Header.Kind)}
+	}
+	rg, err := New(nil, WithChoices(rec.Header.D), WithReplicas(rec.Header.Replicas))
+	if err != nil {
+		lg.Close()
+		return nil, nil, &journal.CorruptError{Reason: err.Error()}
+	}
+	for i := range rec.Entries {
+		if err := rg.applyEntry(&rec.Entries[i]); err != nil {
+			lg.Close()
+			if !errors.Is(err, journal.ErrCorrupt) {
+				err = &journal.CorruptError{Reason: err.Error()}
+			}
+			return nil, nil, fmt.Errorf("hashring: replaying entry %d: %w", i, err)
+		}
+	}
+	rg.rt.SetJournal(lg)
+	return rg, rec, nil
+}
+
+// applyEntry replays one journal entry through the facade. The journal
+// is detached during replay, so nothing is re-journaled.
+func (rg *Ring) applyEntry(e *journal.Entry) error {
+	switch e.Op {
+	case journal.OpAddServer:
+		if err := rg.AddServer(e.Name); err != nil {
+			return err
+		}
+		if e.Value != 1 {
+			return rg.SetCapacity(e.Name, e.Value)
+		}
+		return nil
+	case journal.OpRemoveServer:
+		return rg.RemoveServer(e.Name)
+	case journal.OpSetCapacity:
+		return rg.SetCapacity(e.Name, e.Value)
+	case journal.OpSetDraining:
+		return rg.SetDraining(e.Name, e.Flag)
+	case journal.OpSetReplication:
+		return rg.SetReplication(e.Count)
+	case journal.OpSetBoundedLoad:
+		return rg.SetBoundedLoad(e.Value)
+	case journal.OpPlace:
+		return rg.rt.RestorePlace(e.Name, e.Rec)
+	case journal.OpUpdateRec:
+		return rg.rt.RestoreUpdate(e.Name, e.Rec)
+	case journal.OpRemoveKey:
+		return rg.rt.RestoreRemove(e.Name)
+	}
+	return &journal.CorruptError{Reason: fmt.Sprintf("unknown op %d", e.Op)}
+}

@@ -1,0 +1,133 @@
+package hashring
+
+import (
+	"fmt"
+	"testing"
+
+	"geobalance/internal/journal"
+)
+
+// TestRingJournalRecoveryRoundTrip drives every journaled mutation
+// kind against a durable ring, recovers from the journal, and asserts
+// the recovered ring is state-for-state identical.
+func TestRingJournalRecoveryRoundTrip(t *testing.T) {
+	r, err := New(serverNames(10), WithChoices(2), WithReplicas(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	lg, err := r.StartJournal(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetReplication(2); err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		if _, _, err := r.PlaceReplicated(k); err != nil {
+			t.Fatal(err)
+		}
+		keys[k] = true
+	}
+	for i := 0; i < 100; i += 4 {
+		k := fmt.Sprintf("key-%03d", i)
+		if err := r.Remove(k); err != nil {
+			t.Fatal(err)
+		}
+		delete(keys, k)
+	}
+	if err := r.AddServer("server-new"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetCapacity("server-new", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetDraining("server-001", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveServer("server-002"); err != nil {
+		t.Fatal(err)
+	}
+	if _, lost := r.Repair(); lost != 0 {
+		t.Fatal("repair lost keys")
+	}
+	r.Rebalance()
+	if err := r.SetBoundedLoad(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, rec, err := Recover(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Header.Kind != "ring" || rec.Header.D != 2 || rec.Header.Replicas != 3 {
+		t.Fatalf("recovered header = %+v", rec.Header)
+	}
+	if got, want := r2.NumKeys(), r.NumKeys(); got != want {
+		t.Fatalf("NumKeys = %d, want %d", got, want)
+	}
+	if got, want := fmt.Sprint(r2.Servers()), fmt.Sprint(r.Servers()); got != want {
+		t.Fatalf("Servers = %s, want %s", got, want)
+	}
+	if got, want := r2.Replication(), r.Replication(); got != want {
+		t.Fatalf("Replication = %d, want %d", got, want)
+	}
+	if got, want := r2.BoundedLoad(), r.BoundedLoad(); got != want {
+		t.Fatalf("BoundedLoad = %v, want %v", got, want)
+	}
+	if got, want := fmt.Sprint(r2.Loads()), fmt.Sprint(r.Loads()); got != want {
+		t.Fatalf("Loads = %s, want %s", got, want)
+	}
+	var oa, ob []string
+	for k := range keys {
+		if oa, err = r.Owners(k, oa[:0]); err != nil {
+			t.Fatal(err)
+		}
+		if ob, err = r2.Owners(k, ob[:0]); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(oa) != fmt.Sprint(ob) {
+			t.Fatalf("Owners(%s) = %v, want %v", k, ob, oa)
+		}
+	}
+	if err := r2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered journal keeps appending.
+	if _, err := r2.Place("gen2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Journal().Close(); err != nil {
+		t.Fatal(err)
+	}
+	r3, _, err := Recover(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r3.Locate("gen2"); err != nil {
+		t.Fatalf("gen2 key lost: %v", err)
+	}
+}
+
+// TestRecoverRejectsGeoJournal pins the kind check.
+func TestRecoverRejectsGeoJournal(t *testing.T) {
+	dir := t.TempDir()
+	lg, err := journal.Create(dir, journal.Header{Kind: "geo", Dim: 2, D: 3}, nil, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(dir, journal.Options{}); err == nil {
+		t.Fatal("expected kind mismatch error")
+	}
+}

@@ -1,0 +1,125 @@
+// Package crashtest is the deterministic crash-recovery lab for the
+// durable router. It runs a scripted mutation mix against a journaled
+// torus router, then simulates a crash at every record boundary (and
+// inside records) of the resulting write-ahead log by truncating a
+// copy of the log and recovering from it. Each recovery must either
+// succeed with exactly the keys the log prefix acked — zero lost,
+// zero resurrected — or fail with a typed corruption error; it must
+// never panic or come back silently wrong.
+//
+// The package holds only test infrastructure; nothing imports it.
+package crashtest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"geobalance/internal/geom"
+	"geobalance/internal/journal"
+	"geobalance/internal/router"
+)
+
+// Script drives every journaled operation kind against a fresh
+// 2-dimensional, 3-choice torus router with the journal attached in
+// dir: placements (plain and replicated), removals, capacity changes,
+// replication and bounded-load toggles, draining, server join and
+// crash with repair, rebalancing, and a drain migration. The journal
+// is attached before the first key placement, so the snapshot holds
+// membership only and the expected key set at any crash point is a
+// pure function of the WAL prefix. The journal is closed (flushing
+// everything to disk) before returning.
+func Script(dir string) error {
+	g, err := router.NewGeo(2, 3)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("srv-%02d", i)
+		at := geom.Vec{float64(i%5) * 0.2, float64(i/5) * 0.5}
+		if err := g.AddServerWithCapacity(name, at, 1+float64(i%3)); err != nil {
+			return err
+		}
+	}
+	lg, err := g.StartJournal(dir, journal.Options{NoSync: true})
+	if err != nil {
+		return err
+	}
+	if err := g.SetReplication(2); err != nil {
+		return err
+	}
+	for i := 0; i < 90; i++ {
+		if _, _, err := g.PlaceReplicated(key(i)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 90; i += 6 {
+		if err := g.Remove(key(i)); err != nil {
+			return err
+		}
+	}
+	if err := g.AddServerWithCapacity("srv-10", geom.Vec{0.9, 0.1}, 2); err != nil {
+		return err
+	}
+	if err := g.SetCapacity("srv-04", 4); err != nil {
+		return err
+	}
+	if err := g.SetBoundedLoad(8); err != nil {
+		return err
+	}
+	for i := 100; i < 140; i++ {
+		if _, err := g.Place(key(i)); err != nil {
+			return err
+		}
+	}
+	// A server crash strands replicas; Repair re-homes them (async
+	// OpUpdateRec records) and Rebalance tightens the rest.
+	if err := g.RemoveServer("srv-03"); err != nil {
+		return err
+	}
+	g.Repair()
+	g.Rebalance()
+	// A drain migration exercises the ApplyBatch append path.
+	if err := g.SetDraining("srv-07", true); err != nil {
+		return err
+	}
+	p := g.PlanMigration(0)
+	p.ApplyAll()
+	for i := 200; i < 220; i++ {
+		if _, _, err := g.PlaceReplicated(key(i)); err != nil {
+			return err
+		}
+	}
+	for i := 200; i < 220; i += 5 {
+		if err := g.Remove(key(i)); err != nil {
+			return err
+		}
+	}
+	return lg.Close()
+}
+
+func key(i int) string { return fmt.Sprintf("key-%03d", i) }
+
+// CloneTruncated copies the journal in src to dst with the WAL cut to
+// walBytes bytes — the on-disk image a crash at that offset leaves
+// behind.
+func CloneTruncated(src, dst string, walBytes int64) error {
+	snap, err := os.ReadFile(filepath.Join(src, "snapshot"))
+	if err != nil {
+		return err
+	}
+	wal, err := os.ReadFile(filepath.Join(src, "wal"))
+	if err != nil {
+		return err
+	}
+	if walBytes > int64(len(wal)) {
+		return fmt.Errorf("truncation point %d past WAL end %d", walBytes, len(wal))
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dst, "snapshot"), snap, 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dst, "wal"), wal[:walBytes], 0o644)
+}

@@ -32,11 +32,16 @@ import (
 // cascadeSlash of its value — arrivals scheduled past the zone's
 // remaining capacity then either snowball onto it (no admission
 // control) or get steered away and shed (bounded load + retries).
+// A "kill" is a whole-router crash, the durability lab's scenario: the
+// router process dies mid-traffic and is rebuilt from its write-ahead
+// journal (snapshot + WAL replay); it takes no fraction and requires
+// the run to have a journal attached (Config.JournalDir).
 const (
 	FailLeave   = "leave"
 	FailCrash   = "crash"
 	FailZone    = "zone"
 	FailCascade = "cascade"
+	FailKill    = "kill"
 )
 
 // cascadeSlash is the capacity multiplier a cascade event applies to
@@ -47,19 +52,26 @@ const cascadeSlash = 0.1
 // run, kill (or drain out) a fraction of the live fleet.
 type FailureEvent struct {
 	After time.Duration // offset from run start
-	Kind  string        // FailLeave, FailCrash, or FailZone
-	Frac  float64       // target fraction of live servers, in (0, 1)
+	Kind  string        // FailLeave, FailCrash, FailZone, FailCascade, or FailKill
+	Frac  float64       // target fraction of live servers, in (0, 1); unused for kill
 }
 
 func (e *FailureEvent) validate() error {
 	switch e.Kind {
-	case FailLeave, FailCrash, FailZone, FailCascade:
+	case FailLeave, FailCrash, FailZone, FailCascade, FailKill:
 	default:
-		return fmt.Errorf("loadgen: unknown failure kind %q (want %s, %s, %s, or %s)",
-			e.Kind, FailLeave, FailCrash, FailZone, FailCascade)
+		return fmt.Errorf("loadgen: unknown failure kind %q (want %s, %s, %s, %s, or %s)",
+			e.Kind, FailLeave, FailCrash, FailZone, FailCascade, FailKill)
 	}
 	if e.After < 0 {
 		return fmt.Errorf("loadgen: failure %s at negative offset %v", e.Kind, e.After)
+	}
+	if e.Kind == FailKill {
+		// The whole router dies; there is no fraction to pick.
+		if e.Frac != 0 {
+			return fmt.Errorf("loadgen: kill event takes no fraction (got %v)", e.Frac)
+		}
+		return nil
 	}
 	if !(e.Frac > 0 && e.Frac < 1) {
 		return fmt.Errorf("loadgen: failure %s fraction %v outside (0, 1)", e.Kind, e.Frac)
@@ -74,7 +86,8 @@ type FailureScript []FailureEvent
 // ParseFailureScript parses the CLI form of a script: comma-separated
 // events "kind@offset[:frac]", e.g.
 // "crash@100ms:0.1,zone@250ms:0.3,leave@400ms:0.1". The fraction
-// defaults to 0.1 — the "kill a tenth of the fleet" scenario.
+// defaults to 0.1 — the "kill a tenth of the fleet" scenario. A kill
+// event ("kill@300ms") takes no fraction at all.
 func ParseFailureScript(s string) (FailureScript, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil
@@ -86,11 +99,17 @@ func ParseFailureScript(s string) (FailureScript, error) {
 		if !ok {
 			return nil, fmt.Errorf("loadgen: failure event %q: want kind@offset[:frac]", part)
 		}
-		ev := FailureEvent{Kind: kind, Frac: 0.1}
+		ev := FailureEvent{Kind: kind}
+		if kind != FailKill {
+			ev.Frac = 0.1
+		}
 		offs, frac, hasFrac := strings.Cut(rest, ":")
 		var err error
 		if ev.After, err = time.ParseDuration(offs); err != nil {
 			return nil, fmt.Errorf("loadgen: failure event %q: %v", part, err)
+		}
+		if hasFrac && kind == FailKill {
+			return nil, fmt.Errorf("loadgen: failure event %q: kill takes no fraction", part)
 		}
 		if hasFrac {
 			// strconv, not Sscanf: "0.5junk" must be an error, not a
@@ -116,10 +135,19 @@ type FailureOutcome struct {
 	Moved    int           // replicas migrated away before a graceful leave
 	Repaired int           // keys re-replicated by the post-event repair
 	Lost     int           // keys whose every replica died (records survive and are re-homed)
+	Replayed int           // journal entries replayed by a kill's recovery
+	Err      string        // recovery failure, if a kill could not come back
 }
 
 // String renders the outcome in report form.
 func (f *FailureOutcome) String() string {
+	if f.Kind == FailKill {
+		if f.Err != "" {
+			return fmt.Sprintf("%s@%v recovery FAILED: %s", f.Kind, f.At, f.Err)
+		}
+		return fmt.Sprintf("%s@%v crashed the router, replayed %d journal entries, repaired %d keys",
+			f.Kind, f.At, f.Replayed, f.Repaired)
+	}
 	if f.Kind == FailCascade {
 		return fmt.Sprintf("%s@%v slashed %d server(s) to %.0f%% capacity",
 			f.Kind, f.At, len(f.Slowed), 100*cascadeSlash)
@@ -169,6 +197,26 @@ func runFailures(target churnTarget, cfg *Config, lm *LoadMetrics,
 func fireFailure(target churnTarget, ev FailureEvent, fr *rng.Rand,
 	model *serviceModel, caps map[string]float64) FailureOutcome {
 	out := FailureOutcome{Kind: ev.Kind, At: ev.After}
+	if ev.Kind == FailKill {
+		// Whole-router crash and journal recovery; only runs with a
+		// journal attached, which is exactly when Run wraps the target.
+		w, ok := target.(*restartableTarget)
+		if !ok {
+			out.Err = "no journal attached"
+			return out
+		}
+		replayed, err := w.kill()
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		out.Replayed = replayed
+		// Standard post-crash discipline: re-home anything the replayed
+		// state left under-replicated, then tighten placement.
+		out.Repaired, out.Lost = target.Repair()
+		target.Rebalance()
+		return out
+	}
 	victims := pickVictims(target, ev, fr)
 	if len(victims) == 0 {
 		return out
@@ -226,6 +274,23 @@ func fireFailure(target churnTarget, ev FailureEvent, fr *rng.Rand,
 	return out
 }
 
+// regionTarget is the torus-geometry surface zone and cascade victim
+// selection needs. The torus target has it; the ring has no geometry.
+type regionTarget interface {
+	Dim() int
+	ServersInRegion(lo, hi geom.Vec) []string
+}
+
+// asRegionTarget unwraps the target's geometry surface, looking through
+// the crash-recovery wrapper when a journal is attached.
+func asRegionTarget(target churnTarget) (regionTarget, bool) {
+	if w, ok := target.(*restartableTarget); ok {
+		return w.region()
+	}
+	gt, ok := target.(regionTarget)
+	return gt, ok
+}
+
 // pickVictims selects the event's casualties from the current live
 // fleet, always leaving at least one server standing. A zone event on
 // the torus kills the servers inside a random box whose volume is the
@@ -238,7 +303,7 @@ func pickVictims(target churnTarget, ev FailureEvent, fr *rng.Rand) []string {
 	}
 	maxKill := len(servers) - 1
 	if ev.Kind == FailZone || ev.Kind == FailCascade {
-		if gt, ok := target.(geoTarget); ok {
+		if gt, ok := asRegionTarget(target); ok {
 			dim := gt.Dim()
 			side := math.Pow(ev.Frac, 1/float64(dim))
 			lo := make(geom.Vec, dim)

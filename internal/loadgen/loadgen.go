@@ -31,6 +31,7 @@ import (
 
 	"geobalance/internal/geom"
 	"geobalance/internal/hashring"
+	"geobalance/internal/journal"
 	"geobalance/internal/metrics"
 	"geobalance/internal/rng"
 	"geobalance/internal/router"
@@ -167,6 +168,14 @@ type Config struct {
 	// harness counts its own traffic under loadgen_* (NewLoadMetrics).
 	// Nil runs stay on the zero-alloc uninstrumented paths.
 	Registry *metrics.Registry
+
+	// JournalDir, when set, makes the run durable: after the hot keys
+	// are preloaded the target starts a write-ahead journal in that
+	// directory (snapshot at attach, every later mutation logged), and a
+	// scripted kill event crashes the router mid-traffic and recovers it
+	// from that journal. Required by kill events; useful on its own to
+	// measure journaled-placement overhead under live load.
+	JournalDir string
 
 	// ReportFunc, when set, replaces the default interim report line:
 	// it is called every ReportEvery with the elapsed time and the
@@ -309,6 +318,9 @@ func (cfg *Config) applyDefaults() error {
 		if horizon > 0 && cfg.Failures[i].After >= horizon {
 			return fmt.Errorf("loadgen: failure %s at offset %v would never fire (run horizon %v)",
 				cfg.Failures[i].Kind, cfg.Failures[i].After, horizon)
+		}
+		if cfg.Failures[i].Kind == FailKill && cfg.JournalDir == "" {
+			return fmt.Errorf("loadgen: kill failure needs a journal to recover from (set JournalDir)")
 		}
 	}
 	if cfg.BoundedLoad != 0 && !(cfg.BoundedLoad > 1) {
@@ -466,6 +478,31 @@ func Run(cfg Config) (*Result, error) {
 		if err := target.SetBoundedLoad(cfg.BoundedLoad); err != nil {
 			return nil, err
 		}
+	}
+
+	// Durable mode: attach the write-ahead journal after the preload —
+	// the snapshot carries the initial fleet and hot-key set, the WAL
+	// records only the run's own mutations — and swap in the
+	// crash-recovery wrapper that kill events restart the router
+	// through.
+	if cfg.JournalDir != "" {
+		opts := journal.Options{}
+		if cfg.Registry != nil {
+			opts.Metrics = journal.NewMetrics(cfg.Registry)
+		}
+		var jerr error
+		switch t := target.(type) {
+		case geoTarget:
+			_, jerr = t.StartJournal(cfg.JournalDir, opts)
+		case ringTarget:
+			_, jerr = t.StartJournal(cfg.JournalDir, opts)
+		}
+		if jerr != nil {
+			return nil, jerr
+		}
+		rt := &restartableTarget{t: target, cfg: &cfg, opts: opts}
+		target = rt
+		defer rt.closeJournal()
 	}
 
 	var (

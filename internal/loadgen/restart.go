@@ -1,0 +1,223 @@
+// The crash-recovery harness: a churnTarget wrapper that can kill the
+// router under test mid-traffic and bring it back from its journal.
+//
+// The wrapper guards the live router with an RWMutex — every op takes
+// the read lock for its whole call, the kill takes the write lock — so
+// no operation can land on the abandoned pre-crash router after the
+// swap. A kill closes the journal (releasing the file and flushing any
+// buffered async records; in sync mode every acked mutation was already
+// durable), recovers a fresh router from the journal directory by
+// replaying snapshot plus WAL, re-points the metrics collectors at it,
+// and swaps it in. Traffic resumes against the recovered router; in-
+// flight migration plans bound to the old router apply into the void,
+// which is the same contract as losing them in the crash.
+package loadgen
+
+import (
+	"sync"
+
+	"geobalance/internal/hashring"
+	"geobalance/internal/journal"
+	"geobalance/internal/metrics"
+	"geobalance/internal/rng"
+	"geobalance/internal/router"
+)
+
+type restartableTarget struct {
+	mu   sync.RWMutex
+	t    churnTarget
+	cfg  *Config
+	opts journal.Options
+}
+
+func (rt *restartableTarget) Place(key string) (string, error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.Place(key)
+}
+
+func (rt *restartableTarget) Locate(key string) (string, error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.Locate(key)
+}
+
+func (rt *restartableTarget) LocateAny(key string) (string, error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.LocateAny(key)
+}
+
+func (rt *restartableTarget) Owners(key string, dst []string) ([]string, error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.Owners(key, dst)
+}
+
+func (rt *restartableTarget) Remove(key string) error {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.Remove(key)
+}
+
+func (rt *restartableTarget) Rebalance() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.Rebalance()
+}
+
+func (rt *restartableTarget) Repair() (int, int) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.Repair()
+}
+
+func (rt *restartableTarget) SetReplication(rep int) error {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.SetReplication(rep)
+}
+
+func (rt *restartableTarget) SetDraining(name string, draining bool) error {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.SetDraining(name, draining)
+}
+
+func (rt *restartableTarget) SetCapacity(name string, capacity float64) error {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.SetCapacity(name, capacity)
+}
+
+func (rt *restartableTarget) SetBoundedLoad(c float64) error {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.SetBoundedLoad(c)
+}
+
+func (rt *restartableTarget) MeanRelLoad() float64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.MeanRelLoad()
+}
+
+func (rt *restartableTarget) MaxRelLoad() float64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.MaxRelLoad()
+}
+
+func (rt *restartableTarget) PlanMigration(limit int) *router.MigrationPlan {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.PlanMigration(limit)
+}
+
+func (rt *restartableTarget) Instrument(reg *metrics.Registry) *router.Metrics {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.Instrument(reg)
+}
+
+func (rt *restartableTarget) Servers() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.Servers()
+}
+
+func (rt *restartableTarget) NumKeys() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.NumKeys()
+}
+
+func (rt *restartableTarget) NumServers() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.NumServers()
+}
+
+func (rt *restartableTarget) MaxLoad() int64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.MaxLoad()
+}
+
+func (rt *restartableTarget) LoadsInto(m map[string]int64) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	rt.t.LoadsInto(m)
+}
+
+func (rt *restartableTarget) CheckInvariants() error {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.CheckInvariants()
+}
+
+func (rt *restartableTarget) addServer(name string, r *rng.Rand) error {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.addServer(name, r)
+}
+
+func (rt *restartableTarget) removeServer(name string) error {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.t.removeServer(name)
+}
+
+// region exposes the inner router's torus surface (zone/cascade victim
+// selection) when it has one; the ring has no geometry.
+func (rt *restartableTarget) region() (regionTarget, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	g, ok := rt.t.(regionTarget)
+	return g, ok
+}
+
+// kill crashes the router under test and recovers it from the journal:
+// close the journal, replay snapshot + WAL into a fresh router, re-bind
+// the metrics collectors, swap it in. Returns how many journal entries
+// the recovery replayed. On a recovery failure the old (now
+// journal-less) router stays in place and the error is reported in the
+// failure outcome — the run keeps serving rather than tearing down.
+func (rt *restartableTarget) kill() (replayed int, err error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	switch t := rt.t.(type) {
+	case geoTarget:
+		t.Journal().Close()
+		g, rec, rerr := router.RecoverGeo(rt.cfg.JournalDir, rt.opts)
+		if rerr != nil {
+			return 0, rerr
+		}
+		rt.t, replayed = geoTarget{g}, len(rec.Entries)
+	case ringTarget:
+		t.Journal().Close()
+		rg, rec, rerr := hashring.Recover(rt.cfg.JournalDir, rt.opts)
+		if rerr != nil {
+			return 0, rerr
+		}
+		rt.t, replayed = ringTarget{rg}, len(rec.Entries)
+	}
+	if rt.cfg.Registry != nil {
+		rt.t.Instrument(rt.cfg.Registry)
+	}
+	return replayed, nil
+}
+
+// closeJournal flushes and closes the attached journal at the end of a
+// run (reads keep working; further journaled writes would fail).
+func (rt *restartableTarget) closeJournal() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	switch t := rt.t.(type) {
+	case geoTarget:
+		return t.Journal().Close()
+	case ringTarget:
+		return t.Journal().Close()
+	}
+	return nil
+}

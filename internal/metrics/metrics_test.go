@@ -181,6 +181,15 @@ func goldenRegistry() *Registry {
 	rej.Add(0, 37)
 	shed := reg.Counter("loadgen_shed_total", "ops abandoned after retries or deadline ran out")
 	shed.Add(0, 4)
+	// The durability counters the write-ahead journal exports.
+	app := reg.Counter("journal_appends_total", "mutation records appended to the WAL")
+	app.Add(0, 2048)
+	fs := reg.Counter("journal_fsyncs_total", "WAL fsyncs (one per group-commit batch)")
+	fs.Add(0, 96)
+	rec := reg.Counter("journal_recoveries_total", "journal recoveries performed by Open")
+	rec.Add(0, 1)
+	tb := reg.Counter("journal_truncated_bytes", "WAL bytes discarded as torn tails or compacted prefixes")
+	tb.Add(0, 17)
 	return reg
 }
 

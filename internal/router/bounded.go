@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"geobalance/internal/journal"
 )
 
 // ErrOverloaded is wrapped by Place/PlaceReplicated when bounded-load
@@ -85,7 +87,8 @@ func (r *Router) SetBoundedLoad(c float64) error {
 	if c != 0 && !(c > 1) {
 		return fmt.Errorf("%s: bounded-load factor %v: need c > 1 (or 0 to disable)", r.name, c)
 	}
-	return r.Update(func(tx *Txn) (Topology, error) {
+	e := journal.Entry{Op: journal.OpSetBoundedLoad, Value: c}
+	return r.UpdateJournaled(e, func(tx *Txn) (Topology, error) {
 		tx.s.Bound = c
 		return tx.Topology(), nil
 	})

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"geobalance/internal/geom"
+	"geobalance/internal/journal"
 	"geobalance/internal/rng"
 	"geobalance/internal/torus"
 )
@@ -142,7 +143,8 @@ func (g *Geo) AddServerWithCapacity(name string, at geom.Vec, capacity float64) 
 		return fmt.Errorf("geo: server %q at %d coordinates, want %d", name, len(at), g.dim)
 	}
 	site := append(geom.Vec(nil), at...) // the topology keeps it; detach from the caller
-	return g.rt.Update(func(tx *Txn) (Topology, error) {
+	e := journal.Entry{Op: journal.OpAddServer, Name: name, Value: capacity, Coords: site}
+	return g.rt.UpdateJournaled(e, func(tx *Txn) (Topology, error) {
 		slot, err := tx.AddWithCapacity(name, capacity)
 		if err != nil {
 			return nil, err
@@ -177,7 +179,8 @@ func (g *Geo) AddServerWithCapacity(name string, at geom.Vec, capacity float64) 
 // but orphaned until Rebalance reassigns them. Removing the last
 // server is an error.
 func (g *Geo) RemoveServer(name string) error {
-	return g.rt.Update(func(tx *Txn) (Topology, error) {
+	e := journal.Entry{Op: journal.OpRemoveServer, Name: name}
+	return g.rt.UpdateJournaled(e, func(tx *Txn) (Topology, error) {
 		slot, err := tx.Remove(name)
 		if err != nil {
 			return nil, err

@@ -23,6 +23,8 @@ package router
 import (
 	"fmt"
 	"sort"
+
+	"geobalance/internal/journal"
 )
 
 // MoveDelta is one write-log entry of a MigrationPlan in exported
@@ -175,6 +177,7 @@ func (p *MigrationPlan) ApplyBatch(max int) (applied, skipped int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	t := r.snap.Load()
+	lg := r.jl.Load()
 	sameSnap := t == p.snap
 	for (max <= 0 || applied+skipped < max) && p.next < len(p.ops) {
 		op := p.ops[p.next]
@@ -187,6 +190,14 @@ func (p *MigrationPlan) ApplyBatch(max int) (applied, skipped int) {
 			ks.mu.Unlock()
 			skipped++
 			continue
+		}
+		if lg != nil {
+			// Async: a lost tail delta re-homes on the next pass.
+			if err := lg.AppendAsync(journal.Entry{Op: journal.OpUpdateRec, Name: op.key, Rec: recToJournal(op.new)}); err != nil {
+				ks.mu.Unlock()
+				skipped++
+				continue
+			}
 		}
 		op.old.addLoads(t, h0, -1)
 		op.new.addLoads(t, h0, 1)

@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"geobalance/internal/journal"
 )
 
 // ErrNoLiveReplica is wrapped by LocateAny when a key's record exists
@@ -33,7 +35,8 @@ func (r *Router) SetReplication(rep int) error {
 	if rep < 1 || rep > MaxReplicas {
 		return fmt.Errorf("%s: need 1 <= replicas <= %d, got %d", r.name, MaxReplicas, rep)
 	}
-	return r.Update(func(tx *Txn) (Topology, error) {
+	e := journal.Entry{Op: journal.OpSetReplication, Count: rep}
+	return r.UpdateJournaled(e, func(tx *Txn) (Topology, error) {
 		if rep > tx.s.D {
 			return nil, fmt.Errorf("%s: replicas %d exceed the %d hash choices per key",
 				r.name, rep, tx.s.D)
@@ -57,7 +60,8 @@ func (r *Router) Replication() int {
 // keys away. The graceful-leave sequence is SetDraining(name, true),
 // PlanMigration + ApplyBatch until done, then the membership removal.
 func (r *Router) SetDraining(name string, draining bool) error {
-	return r.Update(func(tx *Txn) (Topology, error) {
+	e := journal.Entry{Op: journal.OpSetDraining, Name: name, Flag: draining}
+	return r.UpdateJournaled(e, func(tx *Txn) (Topology, error) {
 		i, ok := tx.Slot(name)
 		if !ok || !tx.IsLive(i) {
 			return nil, fmt.Errorf("%s: unknown server %q", r.name, name)
@@ -390,6 +394,7 @@ func (r *Router) Repair() (repaired, lost int) {
 		ks.mu.RUnlock()
 	}
 	sort.Strings(names)
+	lg := r.jl.Load()
 	for _, key := range names {
 		h0 := Hash('k', 0, key)
 		ks := r.keyShardFor(h0)
@@ -400,6 +405,13 @@ func (r *Router) Repair() (repaired, lost int) {
 			continue
 		}
 		nrec, allLost := t.repairRec(key, h0, rec)
+		if lg != nil {
+			// Async: a lost tail update re-homes on the next pass.
+			if err := lg.AppendAsync(journal.Entry{Op: journal.OpUpdateRec, Name: key, Rec: recToJournal(nrec)}); err != nil {
+				ks.mu.Unlock()
+				continue // journal dead: leave the record as journaled
+			}
+		}
 		rec.addLoads(t, h0, -1)
 		nrec.addLoads(t, h0, 1)
 		ks.m[key] = nrec

@@ -41,6 +41,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"geobalance/internal/journal"
 	"geobalance/internal/rng"
 )
 
@@ -318,7 +319,8 @@ type Router struct {
 	name  string
 	mu    sync.Mutex // serializes membership writes and Rebalance
 	snap  atomic.Pointer[Snapshot]
-	met   atomic.Pointer[Metrics] // nil when uninstrumented (see metrics.go)
+	met   atomic.Pointer[Metrics]     // nil when uninstrumented (see metrics.go)
+	jl    atomic.Pointer[journal.Log] // nil when durability is off (see journal.go)
 	nkeys atomic.Int64
 	keys  [keyShardCount]keyShard
 }
@@ -442,28 +444,11 @@ func (tx *Txn) Remove(name string) (int32, error) {
 // membership (which may be tx.Topology() when the geometry is
 // unchanged). On error nothing is published; on success the new
 // snapshot becomes visible atomically. Update serializes with other
-// membership changes and Rebalance.
+// membership changes and Rebalance. Facades whose mutations must be
+// journaled use UpdateJournaled (journal.go); a plain Update is
+// invisible to an attached journal.
 func (r *Router) Update(fn func(tx *Txn) (Topology, error)) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	nt := r.snap.Load().clone()
-	topo, err := fn(&Txn{s: nt})
-	if err != nil {
-		return err
-	}
-	nt.Topo = topo
-	// CapSum is derived, not mutated: recompute from the post-mutation
-	// slot tables so the bounded-load mean is always consistent with
-	// the membership it publishes with.
-	var capSum float64
-	for i := range nt.Names {
-		if !nt.Dead[i] {
-			capSum += nt.Caps[i]
-		}
-	}
-	nt.CapSum = capSum
-	r.snap.Store(nt)
-	return nil
+	return r.UpdateJournaled(journal.Entry{}, fn)
 }
 
 // SetCapacity declares a server's relative capacity (default 1); the
@@ -473,7 +458,8 @@ func (r *Router) SetCapacity(name string, capacity float64) error {
 	if !(capacity > 0) {
 		return fmt.Errorf("%s: capacity %v must be positive", r.name, capacity)
 	}
-	return r.Update(func(tx *Txn) (Topology, error) {
+	e := journal.Entry{Op: journal.OpSetCapacity, Name: name, Value: capacity}
+	return r.UpdateJournaled(e, func(tx *Txn) (Topology, error) {
 		i, ok := tx.Slot(name)
 		if !ok || !tx.IsLive(i) {
 			return nil, fmt.Errorf("%s: unknown server %q", r.name, name)
@@ -550,6 +536,14 @@ func (r *Router) place(key string) (*Snapshot, keyRec, error) {
 	} else {
 		rec = t.chooseReplicated(key, h0, nil)
 	}
+	if lg := r.jl.Load(); lg != nil {
+		// Write-ahead: the record must be durable before the placement
+		// becomes visible, so every acked placement survives a crash.
+		if err := lg.Append(journal.Entry{Op: journal.OpPlace, Name: key, Rec: recToJournal(rec)}); err != nil {
+			ks.mu.Unlock()
+			return nil, keyRec{}, fmt.Errorf("%s: journal: %w", r.name, err)
+		}
+	}
 	rec.addLoads(t, h0, 1)
 	ks.m[key] = rec
 	ks.mu.Unlock()
@@ -613,6 +607,12 @@ func (r *Router) Remove(key string) error {
 		ks.mu.Unlock()
 		return fmt.Errorf("%s: key %q not placed", r.name, key)
 	}
+	if lg := r.jl.Load(); lg != nil {
+		if err := lg.Append(journal.Entry{Op: journal.OpRemoveKey, Name: key}); err != nil {
+			ks.mu.Unlock()
+			return fmt.Errorf("%s: journal: %w", r.name, err)
+		}
+	}
 	delete(ks.m, key)
 	t := r.snap.Load()
 	rec.addLoads(t, h0, -1)
@@ -653,6 +653,7 @@ func (r *Router) Rebalance() int {
 		ks.mu.RUnlock()
 	}
 	sort.Strings(names)
+	lg := r.jl.Load()
 	moved := 0
 	for _, key := range names {
 		h0 := Hash('k', 0, key)
@@ -677,6 +678,13 @@ func (r *Router) Rebalance() int {
 			nrec = singleRec(salt, best)
 		} else {
 			nrec = t.chooseReplicated(key, h0, nil)
+		}
+		if lg != nil {
+			// Async: a lost tail update re-homes on the next pass.
+			if err := lg.AppendAsync(journal.Entry{Op: journal.OpUpdateRec, Name: key, Rec: recToJournal(nrec)}); err != nil {
+				ks.mu.Unlock()
+				continue // journal dead: leave the record as journaled
+			}
 		}
 		rec.addLoads(t, h0, -1)
 		nrec.addLoads(t, h0, 1)
