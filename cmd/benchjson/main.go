@@ -247,6 +247,11 @@ func loadgenRecord(name string, cfg loadgen.Config) (result, error) {
 
 func collect() ([]result, error) {
 	const n = 1 << 16
+	// dim=4 runs at a quarter of the batch: the generic any-dimension
+	// kernel costs several times the specialized dims per ball, and
+	// ns/ball — the gated number — is batch-size-insensitive, so the
+	// smaller run keeps the record's wall clock sane.
+	const n4 = 1 << 14
 	results := []result{
 		// balls=1 for single-lookup ops puts them under the ns/ball
 		// regression gate; batch ops use their batch size.
@@ -344,8 +349,10 @@ func collect() ([]result, error) {
 		}),
 		// The torus bulk placement path (core's concrete torus loop):
 		// zero allocs per ball is part of the gate — the baseline alloc
-		// column is 0, so ANY allocation fails CI.
-		run("torus_place_batch/n=65536/dim=2/d=2", n, func(b *testing.B) {
+		// column is 0, so ANY allocation fails CI. These three records
+		// carry per-dimension ns/ball targets, so they run min-of-3 like
+		// the paired records below.
+		runMin("torus_place_batch/n=65536/dim=2/d=2", n, 3, func(b *testing.B) {
 			r := rng.New(7)
 			sp, err := torus.NewRandom(n, 2, r)
 			if err != nil {
@@ -363,7 +370,7 @@ func collect() ([]result, error) {
 				a.PlaceBatch(n, r)
 			}
 		}),
-		run("torus_place_batch/n=65536/dim=3/d=2", n, func(b *testing.B) {
+		runMin("torus_place_batch/n=65536/dim=3/d=2", n, 3, func(b *testing.B) {
 			r := rng.New(8)
 			sp, err := torus.NewRandom(n, 3, r)
 			if err != nil {
@@ -384,9 +391,9 @@ func collect() ([]result, error) {
 		// The generic-dimension kernel path (no specialized nearest
 		// kernel exists for dim >= 4), so the non-specialized code is
 		// perf-tracked too.
-		run("torus_place_batch/n=65536/dim=4/d=2", n, func(b *testing.B) {
+		runMin("torus_place_batch/n=16384/dim=4/d=2", n4, 3, func(b *testing.B) {
 			r := rng.New(8)
-			sp, err := torus.NewRandom(n, 4, r)
+			sp, err := torus.NewRandom(n4, 4, r)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -394,12 +401,12 @@ func collect() ([]result, error) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			a.PlaceBatch(n, r) // size the pipeline scratch before the alloc gate
+			a.PlaceBatch(n4, r) // size the pipeline scratch before the alloc gate
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				a.Reset()
-				a.PlaceBatch(n, r)
+				a.PlaceBatch(n4, r)
 			}
 		}),
 		// The cell-sorted bulk-nearest kernel on its own (one op = one
@@ -555,6 +562,69 @@ func collect() ([]result, error) {
 			runParallel(fmt.Sprintf("router_geo_place_parallel/servers=1024/dim=2/procs=%d", nprocs),
 				placeRemoveParallel(geo)))
 	}
+
+	// --- Bulk serving path: LocateBatch/PlaceBatch on the same router ---
+	// One op is a 256-key bulk call, so ns/ball is per key and compares
+	// directly against the scalar router_geo_locate and router_geo_place
+	// cycles above (the place record is a REMOVE+PLACE cycle per key,
+	// like its scalar sibling). The batch path loads the snapshot once,
+	// bulk-hashes the keys, resolves candidates through the torus batch
+	// kernel, and commits shard by shard under one lock pass. Zero
+	// allocs is part of the gate — the shared scratch is pooled and
+	// sized by a warm-up call before the clock starts.
+	const bsz = 256
+	bout := make([]router.BatchResult, bsz)
+	checkBatch := func(b *testing.B, out []router.BatchResult) {
+		for j := range out {
+			if out[j].Err != nil {
+				b.Fatal(out[j].Err)
+			}
+		}
+	}
+	results = append(results, runMin("router_locate_batch/servers=1024/dim=2/batch=256", bsz, 5, func(b *testing.B) {
+		geo.LocateBatch(gkeys[:bsz], bout) // size the pooled scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := (i * bsz) & (len(gkeys) - 1)
+			geo.LocateBatch(gkeys[off:off+bsz], bout)
+			checkBatch(b, bout)
+		}
+	}))
+	results = append(results, runMin("router_place_batch/servers=1024/dim=2/batch=256", bsz, 5, func(b *testing.B) {
+		geo.RemoveBatch(gkeys[:bsz], bout)
+		geo.PlaceBatch(gkeys[:bsz], bout) // size the pooled scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := (i * bsz) & 4095
+			keys := gkeys[off : off+bsz]
+			geo.RemoveBatch(keys, bout)
+			checkBatch(b, bout)
+			geo.PlaceBatch(keys, bout)
+			checkBatch(b, bout)
+		}
+	}))
+	// The dim-3 batch cycle rides the 3x3x3-brick overlapped torus
+	// kernel end to end through the router.
+	geo3, g3keys, err := newBenchGeo(1024, 3, 2)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, runMin("router_place_batch/servers=1024/dim=3/batch=256", bsz, 5, func(b *testing.B) {
+		geo3.RemoveBatch(g3keys[:bsz], bout)
+		geo3.PlaceBatch(g3keys[:bsz], bout) // size the pooled scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := (i * bsz) & 4095
+			keys := g3keys[off : off+bsz]
+			geo3.RemoveBatch(keys, bout)
+			checkBatch(b, bout)
+			geo3.PlaceBatch(keys, bout)
+			checkBatch(b, bout)
+		}
+	}))
 
 	// The instrumented Locate path: the same router with the full
 	// router_* instrument set attached (counters + slot-load

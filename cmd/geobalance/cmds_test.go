@@ -299,6 +299,21 @@ func TestCmdLoadtestTorus(t *testing.T) {
 	runCmdErr(t, cmdLoadtest, "-space", "klein-bottle", "-ops", "100")
 }
 
+// TestCmdLoadtestBatch drives the bulk serving path from the CLI: a
+// -batch run on the dim-3 torus with failures must still verify
+// invariants and echo the batch size in its header.
+func TestCmdLoadtestBatch(t *testing.T) {
+	out := runCmd(t, cmdLoadtest, "-space", "torus", "-dim", "3", "-servers", "16",
+		"-workers", "2", "-ops", "20000", "-keys", "2^8", "-batch", "32",
+		"-failures", "crash@5ms:0.1")
+	for _, want := range []string{"batch=32 bulk ops/call", "invariants: OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	runCmdErr(t, cmdLoadtest, "-ops", "100", "-batch", "-3")
+}
+
 func TestCmdLoadtestChurn(t *testing.T) {
 	out := runCmd(t, cmdLoadtest, "-servers", "8", "-workers", "3",
 		"-ops", "20000", "-keys", "2^8", "-churn", "1ms", "-dist", "pareto")

@@ -35,6 +35,7 @@ func cmdLoadtest(args []string) error {
 	lookup := fs.Float64("lookup-frac", 0.9, "fraction of ops that are Locate")
 	churn := fs.Duration("churn", 0, "membership change period (0 = no churn)")
 	rebalance := fs.Bool("rebalance", true, "rebalance after each churn event")
+	batch := fs.Int("batch", 1, "ops per bulk router call: > 1 drives LocateBatch/PlaceBatch/RemoveBatch, 1 the scalar path")
 	sample := fs.Int("sample", 8, "measure latency on every k-th op")
 	report := fs.Duration("report", 0, "interim load-imbalance report period (0 = none)")
 	arrivals := fs.String("arrivals", "", "open-loop arrival schedule over -duration: const[:RATE], ramp[:R0-R1], spike[:BASExMULT[@AT+WIDTH]], or trace:R@D,R@D,... (empty = closed loop)")
@@ -84,6 +85,7 @@ func cmdLoadtest(args []string) error {
 		ChurnEvery:  *churn,
 		Rebalance:   *rebalance,
 		SampleEvery: *sample,
+		Batch:       *batch,
 		Seed:        *seed,
 		BoundedLoad: *boundedLoad,
 		Capacities:  classes,
@@ -156,6 +158,9 @@ func cmdLoadtest(args []string) error {
 	}
 	if *serviceRate > 0 {
 		fmt.Fprintf(stdout, ", service model %g ops/s", *serviceRate)
+	}
+	if *batch > 1 {
+		fmt.Fprintf(stdout, ", batch=%d bulk ops/call", *batch)
 	}
 	if cfg.Arrivals != nil {
 		fmt.Fprintf(stdout, "\n  open loop: %s", cfg.Arrivals)

@@ -1,0 +1,81 @@
+// Batch pass-through tests: the ring's bulk path runs the router's
+// batch engine over ringTopo's LocateBlock kernel, so the pinning
+// property is the same as the torus router's — a batch-driven ring
+// traces exactly like a scalar-driven twin.
+package hashring
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"geobalance/internal/router"
+)
+
+// TestBatchMatchesSequential drives two identical rings, one with
+// scalar calls and one with batches, through place/locate/remove and
+// demands identical per-key outcomes and load vectors. This pins the
+// ringTopo.ResolveBlock kernel (jump.Index.LocateBlock) against the
+// scalar Resolve path end to end.
+func TestBatchMatchesSequential(t *testing.T) {
+	for _, rep := range []int{1, 2} {
+		t.Run(fmt.Sprintf("r=%d", rep), func(t *testing.T) {
+			mk := func() *Ring {
+				r, err := New(serverNames(16), WithChoices(3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep > 1 {
+					if err := r.SetReplication(rep); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return r
+			}
+			rs, rb := mk(), mk()
+			keys := make([]string, 256)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("rk-%d", i)
+			}
+			out := make([]router.BatchResult, len(keys))
+			rb.PlaceBatch(keys, out)
+			for i, key := range keys {
+				srv, n, err := rs.PlaceReplicated(key)
+				if err != nil || out[i].Err != nil {
+					t.Fatalf("key %q: scalar err %v, batch err %v", key, err, out[i].Err)
+				}
+				if out[i].Server != srv || out[i].N != n {
+					t.Fatalf("key %q: scalar %s x%d, batch %s x%d", key, srv, n, out[i].Server, out[i].N)
+				}
+			}
+			if !reflect.DeepEqual(rs.Loads(), rb.Loads()) {
+				t.Fatalf("loads diverge:\nscalar %v\nbatch  %v", rs.Loads(), rb.Loads())
+			}
+			rb.LocateBatch(keys, out)
+			for i, key := range keys {
+				srv, err := rs.Locate(key)
+				if err != nil || out[i].Err != nil {
+					t.Fatalf("Locate %q: scalar err %v, batch err %v", key, err, out[i].Err)
+				}
+				if out[i].Server != srv {
+					t.Fatalf("Locate %q: scalar %s, batch %s", key, srv, out[i].Server)
+				}
+			}
+			rb.RemoveBatch(keys, out)
+			for i, key := range keys {
+				err := rs.Remove(key)
+				if err != nil || out[i].Err != nil {
+					t.Fatalf("Remove %q: scalar err %v, batch err %v", key, err, out[i].Err)
+				}
+			}
+			if rs.NumKeys() != 0 || rb.NumKeys() != 0 {
+				t.Fatalf("NumKeys after removal: scalar %d, batch %d", rs.NumKeys(), rb.NumKeys())
+			}
+			for _, r := range []*Ring{rs, rb} {
+				if err := r.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -131,6 +131,21 @@ func (t *ringTopo) Resolve(h uint64) int32 {
 	return t.owner[t.points.Locate(router.UnitFloat(h))]
 }
 
+// ResolveBlock is the bulk form of Resolve: the whole block of hashes
+// goes through the jump index's block lookup, then the point->owner
+// map. dst[i] == Resolve(hs[i]) for every i (pinned by
+// TestBatchMatchesSequential in batch_test.go).
+func (t *ringTopo) ResolveBlock(sc *router.ResolveScratch, hs []uint64, dst []int32) {
+	us := sc.Floats(len(hs))
+	for i, h := range hs {
+		us[i] = router.UnitFloat(h)
+	}
+	t.points.LocateBlock(us, dst)
+	for i, p := range dst {
+		dst[i] = t.owner[p]
+	}
+}
+
 // CheckTopology contributes the ring-specific structural checks to
 // CheckInvariants.
 func (t *ringTopo) CheckTopology(names []string, dead []bool, live int) error {
@@ -368,6 +383,25 @@ func (r *Ring) MaxLoad() int64 { return r.rt.MaxLoad() }
 
 // NumKeys returns the number of placed keys.
 func (r *Ring) NumKeys() int { return r.rt.NumKeys() }
+
+// PlaceBatch places a block of keys through the bulk serving path —
+// one snapshot load, one jump-index block resolve, one shard lock
+// round, one journal group commit; see router.Router.PlaceBatch.
+func (r *Ring) PlaceBatch(keys []string, out []router.BatchResult) { r.rt.PlaceBatch(keys, out) }
+
+// PlaceReplicatedBatch is PlaceBatch under a replication factor; see
+// router.Router.PlaceReplicatedBatch.
+func (r *Ring) PlaceReplicatedBatch(keys []string, out []router.BatchResult) {
+	r.rt.PlaceReplicatedBatch(keys, out)
+}
+
+// LocateBatch looks up a block of placed keys; see
+// router.Router.LocateBatch.
+func (r *Ring) LocateBatch(keys []string, out []router.BatchResult) { r.rt.LocateBatch(keys, out) }
+
+// RemoveBatch deletes a block of placed keys; see
+// router.Router.RemoveBatch.
+func (r *Ring) RemoveBatch(keys []string, out []router.BatchResult) { r.rt.RemoveBatch(keys, out) }
 
 // CheckInvariants verifies internal consistency; exported for tests.
 // Call it at quiescence (no Place/Remove in flight); membership changes

@@ -401,6 +401,49 @@ func (l *Log) Append(e Entry) error {
 	if m := l.opts.Metrics; m != nil {
 		m.Appends.Inc(seq)
 	}
+	return l.commitAppended(seq)
+}
+
+// AppendBatch durably records a block of mutations with consecutive
+// LSNs and returns once the whole block is on disk — one group-commit
+// fsync covers every record (amortized further by concurrent
+// appenders), never one per entry. Entries are framed under the log
+// mutex, so no other record interleaves within the block, but the
+// block is NOT atomic under a crash: a torn tail can leave a durable
+// prefix of it, exactly as if the entries had been appended one at a
+// time. Callers must therefore journal batches whose per-entry prefix
+// is a valid state — the router's per-key placements are.
+func (l *Log) AppendBatch(es []Entry) error {
+	if len(es) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	for i := range es {
+		l.seq++
+		l.pending = appendFrame(l.pending, l.seq, &es[i])
+	}
+	seq := l.seq
+	if m := l.opts.Metrics; m != nil {
+		m.Appends.Add(seq, int64(len(es)))
+	}
+	return l.commitAppended(seq)
+}
+
+// commitAppended completes an Append/AppendBatch whose frames are
+// already in the pending buffer with highest LSN seq: NoSync mode just
+// flushes past the threshold; otherwise it runs the group-commit
+// protocol and returns once LSN seq is durable. Called with l.mu held;
+// unlocks before returning.
+func (l *Log) commitAppended(seq uint64) error {
 	if l.opts.NoSync {
 		var err error
 		if len(l.pending) >= flushPending {

@@ -1,0 +1,65 @@
+package jump
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"geobalance/internal/rng"
+)
+
+// TestIndexLocateBlockMatchesLocate pins Index.LocateBlock — the
+// router batch path's ring kernel — element-wise against Index.Locate
+// on both representations: the compact delta form and the int32
+// fallback the delta overflow forces.
+func TestIndexLocateBlockMatchesLocate(t *testing.T) {
+	r := rng.New(91)
+	cases := map[string][]float64{}
+
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	cases["delta"] = vals
+
+	// All mass in the last bucket overflows the int16 deltas at this n
+	// (see TestIndexFallback), forcing the fallback representation.
+	fb := make([]float64, 1<<16)
+	for i := range fb {
+		fb[i] = 1 - 1e-9 + float64(i)*1e-15
+	}
+	cases["fallback"] = fb
+
+	for name, vals := range cases {
+		t.Run(name, func(t *testing.T) {
+			sort.Float64s(vals)
+			bits := make([]uint64, len(vals)+1)
+			for i, v := range vals {
+				bits[i] = math.Float64bits(v)
+			}
+			bits[len(vals)] = Inf64
+			ix := NewIndex(bits)
+			if name == "delta" && ix.delta == nil {
+				t.Fatal("delta form unexpectedly overflowed")
+			}
+			if name == "fallback" && ix.delta != nil {
+				t.Fatal("fallback case kept the compact form")
+			}
+			us := make([]float64, 777) // odd length: exercises any tail handling
+			for i := range us {
+				us[i] = r.Float64()
+			}
+			// Exact site values land on bucket boundaries.
+			for i := 0; i < 32; i++ {
+				us[i] = vals[(i*len(vals))/32]
+			}
+			dst := make([]int32, len(us))
+			ix.LocateBlock(us, dst)
+			for i, u := range us {
+				if want := ix.Locate(u); int(dst[i]) != want {
+					t.Fatalf("u=%v: LocateBlock = %d, Locate = %d", u, dst[i], want)
+				}
+			}
+		})
+	}
+}

@@ -181,6 +181,20 @@ func (ix *Index) Locate(u float64) int {
 	return LocateIdx(ix.bits, ix.idx, ix.nbf, u)
 }
 
+// LocateBlock resolves a block of locations: dst[i] = ix.Locate(us[i]).
+// The bulk form the router's batch path feeds with a block of hashed
+// keys; in the common compact-index case consecutive branch-free
+// lookups overlap their table accesses.
+func (ix *Index) LocateBlock(us []float64, dst []int32) {
+	if ix.delta != nil {
+		LocateBlock(ix.bits, ix.delta, us, dst)
+		return
+	}
+	for k, u := range us {
+		dst[k] = int32(LocateIdx(ix.bits, ix.idx, ix.nbf, u))
+	}
+}
+
 // LocateIdx is Locate against the full int32 index, for element counts
 // whose delta overflows int16.
 func LocateIdx(bits []uint64, idx []int32, nbf float64, u float64) int {

@@ -48,6 +48,9 @@ type Target interface {
 	LocateAny(key string) (string, error)
 	Owners(key string, dst []string) ([]string, error)
 	Remove(key string) error
+	PlaceBatch(keys []string, out []router.BatchResult)
+	LocateBatch(keys []string, out []router.BatchResult)
+	RemoveBatch(keys []string, out []router.BatchResult)
 	Rebalance() int
 	Repair() (repaired, lost int)
 	SetReplication(rep int) error
@@ -116,6 +119,7 @@ type Config struct {
 	Rebalance   bool          // rebalance after every churn event
 	Failures    FailureScript // scripted failure events racing the traffic; see failures.go
 	SampleEvery int           // measure latency on every k-th op (default 8)
+	Batch       int           // ops per bulk call; > 1 drives the batch serving path (batch.go), 0/1 the scalar path
 	ReportEvery time.Duration // interim load reports to ReportTo; 0 = none
 	ReportTo    io.Writer     // destination for interim reports (required when ReportEvery > 0)
 	Seed        uint64
@@ -287,6 +291,12 @@ func (cfg *Config) applyDefaults() error {
 	}
 	if cfg.SampleEvery == 0 {
 		cfg.SampleEvery = 8
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 1
+	}
+	if cfg.Batch < 1 || cfg.Batch > 1<<16 {
+		return fmt.Errorf("loadgen: batch size %d out of [1, %d]", cfg.Batch, 1<<16)
 	}
 	// On the torus, Replicas is an alias for KeyReplicas: the ring's
 	// "positions per server" meaning does not exist there, and key
@@ -538,9 +548,14 @@ func Run(cfg Config) (*Result, error) {
 			st := newOpState(target, &cfg, rk, rng.NewStream(cfg.Seed, uint64(w)), w,
 				&allStats[w], lm, hot, failover)
 			st.model, st.br = model, br
-			if cfg.Arrivals != nil {
+			switch {
+			case cfg.Arrivals != nil && cfg.Batch > 1:
+				runOpenBatchWorker(st, cfg.Arrivals, &nextArrival, start, deadline)
+			case cfg.Arrivals != nil:
 				runOpenWorker(st, cfg.Arrivals, &nextArrival, start, deadline)
-			} else {
+			case cfg.Batch > 1:
+				runBatchWorker(st, &budget, opsBound, deadline)
+			default:
 				runWorker(st, &budget, opsBound, deadline)
 			}
 		}(w)
@@ -757,6 +772,12 @@ type opState struct {
 	model     *serviceModel
 	br        *breakerSet
 	ownersBuf []string // reusable Owners scratch for hedged reads
+
+	// Batch-mode scratch (Batch > 1 only; see batch.go): reusable key
+	// blocks and result buffers so a steady-state batch allocates
+	// nothing beyond what the router's own batch path does.
+	blook, bplace, bremove, bpend []string
+	bout                          []router.BatchResult
 }
 
 func newOpState(target Target, cfg *Config, rk workload.Ranker, r *rng.Rand,
@@ -769,6 +790,13 @@ func newOpState(target Target, cfg *Config, rk workload.Ranker, r *rng.Rand,
 	}
 	for i := range st.own {
 		st.own[i] = "w" + strconv.Itoa(w) + ":" + strconv.Itoa(i)
+	}
+	if b := cfg.Batch; b > 1 {
+		st.blook = make([]string, 0, b)
+		st.bplace = make([]string, 0, b)
+		st.bremove = make([]string, 0, b)
+		st.bpend = make([]string, 0, b)
+		st.bout = make([]router.BatchResult, b)
 	}
 	return st
 }

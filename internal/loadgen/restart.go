@@ -60,6 +60,24 @@ func (rt *restartableTarget) Remove(key string) error {
 	return rt.t.Remove(key)
 }
 
+func (rt *restartableTarget) PlaceBatch(keys []string, out []router.BatchResult) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	rt.t.PlaceBatch(keys, out)
+}
+
+func (rt *restartableTarget) LocateBatch(keys []string, out []router.BatchResult) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	rt.t.LocateBatch(keys, out)
+}
+
+func (rt *restartableTarget) RemoveBatch(keys []string, out []router.BatchResult) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	rt.t.RemoveBatch(keys, out)
+}
+
 func (rt *restartableTarget) Rebalance() int {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()

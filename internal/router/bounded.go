@@ -134,9 +134,17 @@ func (t *Snapshot) chooseBounded(key string, h0 uint64) (rec keyRec, skipped int
 	var (
 		cs    [MaxChoices]int32
 		salts [MaxChoices]int8
-		rels  [MaxChoices]float64
 	)
 	nc := t.gatherCandidates(key, h0, &cs, &salts)
+	return t.admitBounded(&cs, &salts, nc)
+}
+
+// admitBounded finishes a bounded-load choice over gathered distinct
+// candidates. Split from chooseBounded so the batch placement path
+// (batch.go), which pre-resolves its candidates in bulk, shares the
+// admission and selection verbatim with the scalar path.
+func (t *Snapshot) admitBounded(cs *[MaxChoices]int32, salts *[MaxChoices]int8, nc int) (rec keyRec, skipped int, overshoot float64, ok bool) {
+	var rels [MaxChoices]float64
 
 	// The replication target follows recValid's rule exactly: min(R,
 	// distinct candidates), with draining candidates excluded while a

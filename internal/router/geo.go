@@ -63,6 +63,27 @@ func (t *geoTopo) Resolve(h uint64) int32 {
 	return t.siteSlot[best]
 }
 
+// ResolveBlock is the bulk form of Resolve: it decodes every hash to
+// its torus point (the same SplitMix64 stream), resolves the whole
+// block through the cell-sorted torus batch kernel, and maps sites to
+// slots. dst[i] == Resolve(hs[i]) for every i — NearestBatch is pinned
+// bit-identical to Nearest, so the batch serving path answers exactly
+// like the scalar one.
+func (t *geoTopo) ResolveBlock(sc *ResolveScratch, hs []uint64, dst []int32) {
+	dim := t.dim
+	pts := sc.Floats(len(hs) * dim)
+	for i, h := range hs {
+		state := h
+		for j := 0; j < dim; j++ {
+			pts[i*dim+j] = UnitFloat(rng.SplitMix64(&state))
+		}
+	}
+	t.space.NearestBatchInto(&sc.Torus, pts, dst)
+	for i, si := range dst {
+		dst[i] = t.siteSlot[si]
+	}
+}
+
 // CheckTopology contributes the torus-specific structural checks to
 // CheckInvariants: the grid index invariants plus a live-slot <-> site
 // bijection.
@@ -327,6 +348,23 @@ func (g *Geo) MaxLoad() int64 { return g.rt.MaxLoad() }
 
 // NumKeys returns the number of placed keys.
 func (g *Geo) NumKeys() int { return g.rt.NumKeys() }
+
+// PlaceBatch places a block of keys through the bulk serving path —
+// one snapshot load, one torus batch resolve, one shard lock round,
+// one journal group commit; see Router.PlaceBatch.
+func (g *Geo) PlaceBatch(keys []string, out []BatchResult) { g.rt.PlaceBatch(keys, out) }
+
+// PlaceReplicatedBatch is PlaceBatch under a replication factor; see
+// Router.PlaceReplicatedBatch.
+func (g *Geo) PlaceReplicatedBatch(keys []string, out []BatchResult) {
+	g.rt.PlaceReplicatedBatch(keys, out)
+}
+
+// LocateBatch looks up a block of placed keys; see Router.LocateBatch.
+func (g *Geo) LocateBatch(keys []string, out []BatchResult) { g.rt.LocateBatch(keys, out) }
+
+// RemoveBatch deletes a block of placed keys; see Router.RemoveBatch.
+func (g *Geo) RemoveBatch(keys []string, out []BatchResult) { g.rt.RemoveBatch(keys, out) }
 
 // CheckInvariants verifies the serving core's invariants plus the
 // torus index and site<->slot bijection; see Router.CheckInvariants.

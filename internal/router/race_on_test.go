@@ -1,0 +1,8 @@
+//go:build race
+
+package router
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// gates that depend on sync.Pool retention skip under it (the pool
+// deliberately drops items in race mode to expose reuse races).
+const raceEnabled = true

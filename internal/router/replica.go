@@ -220,10 +220,20 @@ func (t *Snapshot) chooseReplicated(key string, h0 uint64, loads []int64) keyRec
 	var (
 		cs    [MaxChoices]int32
 		salts [MaxChoices]int8
-		rels  [MaxChoices]float64
 	)
 	nc := t.gatherCandidates(key, h0, &cs, &salts)
-	nc, _ = t.dropDraining(&cs, &salts, nc)
+	return t.selectReplicas(&cs, &salts, nc, loads)
+}
+
+// selectReplicas finishes a replicated choice over gathered distinct
+// candidates: drop draining candidates while an alternative exists,
+// then keep the min(R, remaining) least relatively loaded, ties toward
+// the lower choice index. Split from chooseReplicated so the batch
+// placement path (batch.go), which pre-resolves its candidates in
+// bulk, shares the selection verbatim with the scalar path.
+func (t *Snapshot) selectReplicas(cs *[MaxChoices]int32, salts *[MaxChoices]int8, nc int, loads []int64) keyRec {
+	var rels [MaxChoices]float64
+	nc, _ = t.dropDraining(cs, salts, nc)
 	for i := 0; i < nc; i++ {
 		if loads != nil {
 			rels[i] = float64(loads[cs[i]]) / t.Caps[cs[i]]

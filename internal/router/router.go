@@ -322,6 +322,7 @@ type Router struct {
 	met   atomic.Pointer[Metrics]     // nil when uninstrumented (see metrics.go)
 	jl    atomic.Pointer[journal.Log] // nil when durability is off (see journal.go)
 	nkeys atomic.Int64
+	bpool sync.Pool // *batchScratch, reused across batch calls (batch.go)
 	keys  [keyShardCount]keyShard
 }
 

@@ -97,15 +97,13 @@ func (s *Space) NearestBatchInto(sc *BatchScratch, pts []float64, out []int32) {
 	}
 	ord := s.sortByCell(sc, pts, q)
 	var visits uint64
-	switch dim {
-	case 2:
+	switch {
+	case dim == 2:
 		s.nearestBatch2(pts, out, ord, sc, &visits)
-	case 3:
-		for _, qi := range ord {
-			p := pts[int(qi)*3:]
-			best, _ := s.nearest3(p[0], p[1], p[2], &visits)
-			out[qi] = int32(best)
-		}
+	case dim == 3:
+		s.nearestBatch3(pts, out, ord, sc, &visits)
+	case dim == 4 && s.g >= 5:
+		s.nearestBatch4(pts, out, ord, sc, &visits)
 	default:
 		if cap(sc.home) < dim {
 			sc.home = make([]int, dim)
@@ -528,6 +526,495 @@ func (s *Space) nearestBatch2(pts []float64, out []int32, ord []int32, sc *Batch
 		// Wrapping columns or a tiny grid: continue from the block
 		// result through the generic shell walk.
 		best, _ := s.nearest2Tail(px, py, hxb, hy, mb, int(out[qi]), dd[i], &v, 2)
+		out[qi] = int32(best)
+	}
+	*visits += v
+}
+
+// scanRun3Flat is the dim-3 stage-B leaf: scanRun2Flat with the third
+// coordinate unrolled, over one contiguous brick-index slot run. Same
+// bits-tracked min, dual accumulator chains, and stale-tie contract.
+//
+//go:noinline
+func scanRun3Flat(xyz []float64, px, py, pz float64, b, e int32) (bestSlot int32, bestBits uint64, sawTie bool) {
+	s0, s1 := int32(-1), int32(-1)
+	b0, b1 := uint64(1)<<63, uint64(1)<<63
+	k := b
+	for ; k+1 < e; k += 2 {
+		dx0 := geom.WrapDelta(px - xyz[3*k])
+		dy0 := geom.WrapDelta(py - xyz[3*k+1])
+		dz0 := geom.WrapDelta(pz - xyz[3*k+2])
+		db0 := math.Float64bits(dx0*dx0 + dy0*dy0 + dz0*dz0)
+		dx1 := geom.WrapDelta(px - xyz[3*k+3])
+		dy1 := geom.WrapDelta(py - xyz[3*k+4])
+		dz1 := geom.WrapDelta(pz - xyz[3*k+5])
+		db1 := math.Float64bits(dx1*dx1 + dy1*dy1 + dz1*dz1)
+		if db0 == b0 || db1 == b1 {
+			sawTie = true
+		}
+		if db0 < b0 {
+			s0 = k
+		}
+		if db0 < b0 {
+			b0 = db0
+		}
+		if db1 < b1 {
+			s1 = k + 1
+		}
+		if db1 < b1 {
+			b1 = db1
+		}
+	}
+	if k < e {
+		dx := geom.WrapDelta(px - xyz[3*k])
+		dy := geom.WrapDelta(py - xyz[3*k+1])
+		dz := geom.WrapDelta(pz - xyz[3*k+2])
+		db := math.Float64bits(dx*dx + dy*dy + dz*dz)
+		if db == b0 {
+			sawTie = true
+		}
+		if db < b0 {
+			s0 = k
+		}
+		if db < b0 {
+			b0 = db
+		}
+	}
+	if b0 == b1 && s1 >= 0 {
+		sawTie = true
+	}
+	if b1 < b0 {
+		return s1, b1, sawTie
+	}
+	return s0, b0, sawTie
+}
+
+// rescanTies3Flat resolves an exact distance tie in a brick-index run
+// with the contract's lowest-public-index rule; cold by construction.
+//
+//go:noinline
+func rescanTies3Flat(xyz []float64, perm []int32, px, py, pz float64, b, e int32) (int32, float64) {
+	bestSlot := int32(-1)
+	bestD2 := math.Inf(1)
+	for k := b; k < e; k++ {
+		dx := geom.WrapDelta(px - xyz[3*k])
+		dy := geom.WrapDelta(py - xyz[3*k+1])
+		dz := geom.WrapDelta(pz - xyz[3*k+2])
+		d2 := dx*dx + dy*dy + dz*dz
+		if d2 < bestD2 {
+			bestSlot, bestD2 = k, d2
+		} else if d2 == bestD2 && bestSlot >= 0 && perm[k] < perm[bestSlot] {
+			bestSlot = k
+		}
+	}
+	return bestSlot, bestD2
+}
+
+// scanRuns3x25 scans the 25 contiguous z-column runs of a deferred
+// dim-3 query's flat 5x5x5 block with the bits-tracked min.
+//
+//go:noinline
+func scanRuns3x25(xyz []float64, px, py, pz float64, b, e *[25]int32) (bestSlot int32, bestBits uint64, sawTie bool) {
+	bestSlot = -1
+	bestBits = uint64(1) << 63
+	for t := 0; t < 25; t++ {
+		for k := b[t]; k < e[t]; k++ {
+			dx := geom.WrapDelta(px - xyz[3*k])
+			dy := geom.WrapDelta(py - xyz[3*k+1])
+			dz := geom.WrapDelta(pz - xyz[3*k+2])
+			db := math.Float64bits(dx*dx + dy*dy + dz*dz)
+			if db == bestBits {
+				sawTie = true
+			}
+			if db < bestBits {
+				bestSlot = k
+			}
+			if db < bestBits {
+				bestBits = db
+			}
+		}
+	}
+	return bestSlot, bestBits, sawTie
+}
+
+// rescanTies3x25 is rescanTies3Flat for the 5x5x5 block.
+//
+//go:noinline
+func rescanTies3x25(xyz []float64, perm []int32, px, py, pz float64, b, e *[25]int32) (int32, float64) {
+	bestSlot := int32(-1)
+	bestD2 := math.Inf(1)
+	for t := 0; t < 25; t++ {
+		for k := b[t]; k < e[t]; k++ {
+			dx := geom.WrapDelta(px - xyz[3*k])
+			dy := geom.WrapDelta(py - xyz[3*k+1])
+			dz := geom.WrapDelta(pz - xyz[3*k+2])
+			d2 := dx*dx + dy*dy + dz*dz
+			if d2 < bestD2 {
+				bestSlot, bestD2 = k, d2
+			} else if d2 == bestD2 && bestSlot >= 0 && perm[k] < perm[bestSlot] {
+				bestSlot = k
+			}
+		}
+	}
+	return bestSlot, bestD2
+}
+
+// nearestBatch3 is nearestBatch2's shape lifted to dim 3: the hot pass
+// stages each window's home bricks as single overlapped-index runs
+// (start9 bounds loaded back to back), stage B scans them with the
+// register-resident leaf, and queries the (1+mb) bound cannot certify
+// are settled after the block by a flat 5x5x5 scan with the shell
+// machinery reserved for the residue. Queries on the z seam (where the
+// brick's z span wraps and is not one overlapped run) and tiny grids
+// take the unstaged buildRuns3 slow path, exactly as nearest3 scans.
+func (s *Space) nearestBatch3(pts []float64, out []int32, ord []int32, sc *BatchScratch, visits *uint64) {
+	g := s.g
+	gf := float64(g)
+	wrapRow := s.wrapRow
+	wrapPlane := s.wrapPlane
+	start := s.start
+	xyz := s.soa
+	perm := s.perm
+	cw := s.cellWidth
+	if cap(sc.dq) < len(ord) {
+		sc.dq = make([]int32, len(ord))
+		sc.dd = make([]float64, len(ord))
+	}
+	dq, dd := sc.dq[:0], sc.dd
+	nd := 0
+	v := uint64(0)
+
+	const batchWindow = 64
+	var wqi [batchWindow]int32
+	var wpx, wpy, wpz [batchWindow]float64
+	var wthr [batchWindow]float64 // squared (1+mb)*cw certification radius
+	var wb [batchWindow]int32     // overlapped run start
+	var we [batchWindow]int32     // overlapped run end
+	var slow [batchWindow]int32   // wrap-column queries of this window
+	start9 := s.start9
+	xyz9 := s.soa9
+	perm9 := s.perm9
+	staged := g >= 5
+	for w := 0; w < len(ord); w += batchWindow {
+		wn := len(ord) - w
+		if wn > batchWindow {
+			wn = batchWindow
+		}
+		na, ns := 0, 0
+		// Stage A: home cells, certification radii, run bounds.
+		for _, qi := range ord[w : w+wn] {
+			px := pts[3*qi]
+			py := pts[3*qi+1]
+			pz := pts[3*qi+2]
+			cfx := px * gf
+			hx := int(cfx)
+			if hx >= g {
+				hx = g - 1
+			}
+			cfy := py * gf
+			hy := int(cfy)
+			if hy >= g {
+				hy = g - 1
+			}
+			cfz := pz * gf
+			hz := int(cfz)
+			if hz >= g {
+				hz = g - 1
+			}
+			if !staged || hz == 0 || hz == g-1 {
+				slow[ns] = qi
+				ns++
+				continue
+			}
+			fx := cfx - float64(hx)
+			fy := cfy - float64(hy)
+			fz := cfz - float64(hz)
+			mb := min(fx, 1-fx, fy, 1-fy, fz, 1-fz)
+			lower := (1 + mb) * cw
+			wqi[na] = qi
+			wpx[na] = px
+			wpy[na] = py
+			wpz[na] = pz
+			wthr[na] = lower * lower
+			gb := (hx*g+hy)*g + hz
+			wb[na] = start9[gb-1]
+			we[na] = start9[gb+2]
+			na++
+		}
+		v += uint64(27 * na)
+		// Stage B: scan the staged runs; exact ties resolve through the
+		// cold exact re-scan.
+		for j := 0; j < na; j++ {
+			px, py, pz := wpx[j], wpy[j], wpz[j]
+			bestSlot, bestBits, sawTie := scanRun3Flat(xyz9, px, py, pz, wb[j], we[j])
+			bestD2 := math.Float64frombits(bestBits)
+			if bestSlot < 0 {
+				bestD2 = math.Inf(1)
+			}
+			if sawTie {
+				bestSlot, bestD2 = rescanTies3Flat(xyz9, perm9, px, py, pz, wb[j], we[j])
+			}
+			qi := wqi[j]
+			best := int32(-1)
+			if bestSlot >= 0 {
+				best = perm9[bestSlot]
+			}
+			out[qi] = best
+			if best < 0 || bestD2 > wthr[j] {
+				dd[nd] = bestD2
+				dq = append(dq, qi)
+				nd++
+			}
+		}
+		// Slow path: wrapping z columns or a tiny grid — assemble the
+		// split runs per query, exactly as nearest3 does.
+		for _, qi := range slow[:ns] {
+			px := pts[3*qi]
+			py := pts[3*qi+1]
+			pz := pts[3*qi+2]
+			cfx := px * gf
+			hx := int(cfx)
+			if hx >= g {
+				hx = g - 1
+			}
+			cfy := py * gf
+			hy := int(cfy)
+			if hy >= g {
+				hy = g - 1
+			}
+			cfz := pz * gf
+			hz := int(cfz)
+			if hz >= g {
+				hz = g - 1
+			}
+			fx := cfx - float64(hx)
+			fy := cfy - float64(hy)
+			fz := cfz - float64(hz)
+			mb := min(fx, 1-fx, fy, 1-fy, fz, 1-fz)
+			runs, nr, cells := s.buildRuns3(hx+g, hy+g, hz)
+			v += cells
+			bestSlot := int32(-1)
+			bestD2 := math.Inf(1)
+			for t := 0; t < nr; t++ {
+				for k := runs[t][0]; k < runs[t][1]; k++ {
+					dx := geom.WrapDelta(px - xyz[3*k])
+					dy := geom.WrapDelta(py - xyz[3*k+1])
+					dz := geom.WrapDelta(pz - xyz[3*k+2])
+					d2 := dx*dx + dy*dy + dz*dz
+					if d2 < bestD2 {
+						bestSlot, bestD2 = k, d2
+					} else if d2 == bestD2 && bestSlot >= 0 && perm[k] < perm[bestSlot] {
+						bestSlot = k
+					}
+				}
+			}
+			best := int32(-1)
+			if bestSlot >= 0 {
+				best = perm[bestSlot]
+			}
+			out[qi] = best
+			lower := (1 + mb) * cw
+			if best < 0 || bestD2 > lower*lower {
+				dd[nd] = bestD2
+				dq = append(dq, qi)
+				nd++
+			}
+		}
+	}
+	sc.dq = dq // keep length observable (and the backing array growable)
+	// Deferred pass: shell 2 and beyond. A deferred interior query scans
+	// the flat 5x5x5 block around its home cell — 25 contiguous z-column
+	// runs covering exactly the cells Nearest would have seen after its
+	// shell-2 ring — and only escalates to the shell machinery when even
+	// the (2+mb) certification fails.
+	for i, qi := range dq {
+		px := pts[3*qi]
+		py := pts[3*qi+1]
+		pz := pts[3*qi+2]
+		cfx := px * gf
+		hx := int(cfx)
+		if hx >= g {
+			hx = g - 1
+		}
+		cfy := py * gf
+		hy := int(cfy)
+		if hy >= g {
+			hy = g - 1
+		}
+		cfz := pz * gf
+		hz := int(cfz)
+		if hz >= g {
+			hz = g - 1
+		}
+		fx := cfx - float64(hx)
+		fy := cfy - float64(hy)
+		fz := cfz - float64(hz)
+		mb := min(fx, 1-fx, fy, 1-fy, fz, 1-fz)
+		hxb := hx + g
+		hyb := hy + g
+		if g >= 5 && hz >= 2 && hz <= g-3 {
+			var b25, e25 [25]int32
+			o := 0
+			for xo := -2; xo <= 2; xo++ {
+				pb := int(wrapPlane[hxb+xo])
+				for yo := -2; yo <= 2; yo++ {
+					rb := pb + int(wrapRow[hyb+yo]) + hz
+					b25[o] = start[rb-2]
+					e25[o] = start[rb+3]
+					o++
+				}
+			}
+			bestSlot, bestBits, sawTie := scanRuns3x25(xyz, px, py, pz, &b25, &e25)
+			bestD2 := math.Float64frombits(bestBits)
+			if bestSlot < 0 {
+				bestD2 = math.Inf(1)
+			}
+			if sawTie {
+				bestSlot, bestD2 = rescanTies3x25(xyz, perm, px, py, pz, &b25, &e25)
+			}
+			v += 125
+			best := -1
+			if bestSlot >= 0 {
+				best = int(perm[bestSlot])
+			}
+			lower := (2 + mb) * cw
+			if (best >= 0 && bestD2 <= lower*lower) || g/2 < 3 {
+				out[qi] = int32(best)
+				continue
+			}
+			best, _ = s.nearest3Tail(px, py, pz, hxb, hyb, hz, mb, best, bestD2, &v, 3)
+			out[qi] = int32(best)
+			continue
+		}
+		// Wrapping z columns or a tiny grid: continue from the brick
+		// result through the generic shell walk.
+		best, _ := s.nearest3Tail(px, py, pz, hxb, hyb, hz, mb, int(out[qi]), dd[i], &v, 2)
+		out[qi] = int32(best)
+	}
+	*visits += v
+}
+
+// scanRun4 scans one contiguous slot run with the dim-4 distance
+// unrolled and the exact lowest-public-index tie rule — the leaf of
+// nearestBatch4's row-major block scan.
+func scanRun4(soa []float64, perm []int32, px, py, pz, pw float64, b, e int32, bestSlot int32, bestD2 float64) (int32, float64) {
+	for k := b; k < e; k++ {
+		dx := geom.WrapDelta(px - soa[4*k])
+		dy := geom.WrapDelta(py - soa[4*k+1])
+		dz := geom.WrapDelta(pz - soa[4*k+2])
+		dw := geom.WrapDelta(pw - soa[4*k+3])
+		d2 := dx*dx + dy*dy + dz*dz + dw*dw
+		if d2 <= bestD2 {
+			if d2 < bestD2 || (bestSlot >= 0 && perm[k] < perm[bestSlot]) {
+				bestSlot, bestD2 = k, d2
+			}
+		}
+	}
+	return bestSlot, bestD2
+}
+
+// nearestBatch4 lifts dim 4 off the generic odometer: each cell-sorted
+// query's fused 3^4 home block is scanned as 27 row-major w-column
+// runs — the CSR order makes each (x, y, z) row's w span one or two
+// contiguous slot ranges, so the walk is flat-index adds against the
+// wrap tables with no odometer state, and consecutive sorted queries
+// hit adjacent rows. The home cell is scanned first so the mb bound
+// can retire boundary-distant queries before the block; a query even
+// the (1+mb) bound cannot certify (about e^-6 of them at the default
+// density) reruns the generic kernel, which re-derives the identical
+// certified argmin. NearestBatchInto dispatches here only for g >= 5,
+// where the wrapped offsets -1..1 and the seam splits are distinct.
+func (s *Space) nearestBatch4(pts []float64, out []int32, ord []int32, sc *BatchScratch, visits *uint64) {
+	g := s.g
+	gf := float64(g)
+	wrapRow := s.wrapRow
+	wrapPlane := s.wrapPlane
+	wrapCube := s.wrapCube
+	start := s.start
+	soa := s.soa
+	perm := s.perm
+	cw := s.cellWidth
+	if cap(sc.home) < 4 {
+		sc.home = make([]int, 4)
+		sc.offs = make([]int, 4)
+	}
+	home, offs := sc.home[:4], sc.offs[:4]
+	v := uint64(0)
+	for _, qi := range ord {
+		p := pts[4*qi : 4*qi+4]
+		px, py, pz, pw := p[0], p[1], p[2], p[3]
+		cfx := px * gf
+		hx := int(cfx)
+		if hx >= g {
+			hx = g - 1
+		}
+		cfy := py * gf
+		hy := int(cfy)
+		if hy >= g {
+			hy = g - 1
+		}
+		cfz := pz * gf
+		hz := int(cfz)
+		if hz >= g {
+			hz = g - 1
+		}
+		cfw := pw * gf
+		hw := int(cfw)
+		if hw >= g {
+			hw = g - 1
+		}
+		fx := cfx - float64(hx)
+		fy := cfy - float64(hy)
+		fz := cfz - float64(hz)
+		fw := cfw - float64(hw)
+		mb := min(fx, 1-fx, fy, 1-fy, fz, 1-fz, fw, 1-fw)
+		hxb, hyb, hzb := hx+g, hy+g, hz+g
+		// Home cell first: a boundary-distant query (mb large) whose
+		// home cell holds a close site certifies without the block.
+		hbase := int(wrapCube[hxb]) + int(wrapPlane[hyb]) + int(wrapRow[hzb]) + hw
+		bestSlot, bestD2 := scanRun4(soa, perm, px, py, pz, pw, start[hbase], start[hbase+1], -1, math.Inf(1))
+		v++
+		if bestSlot >= 0 {
+			lower := mb * cw
+			if lower > 0 && bestD2 <= lower*lower {
+				out[qi] = perm[bestSlot]
+				continue
+			}
+		}
+		// The 3^4 block as 27 w-runs, split at the torus seam. The home
+		// cell is rescanned — harmless for the exact argmin and cheaper
+		// than carving it out of its run.
+		c0, c1 := hw-1, hw+1
+		for xo := -1; xo <= 1; xo++ {
+			cb := int(wrapCube[hxb+xo])
+			for yo := -1; yo <= 1; yo++ {
+				pb := cb + int(wrapPlane[hyb+yo])
+				for zo := -1; zo <= 1; zo++ {
+					rb := pb + int(wrapRow[hzb+zo])
+					a0, a1 := c0, c1
+					if a0 < 0 {
+						bestSlot, bestD2 = scanRun4(soa, perm, px, py, pz, pw, start[rb+a0+g], start[rb+g], bestSlot, bestD2)
+						a0 = 0
+					} else if a1 >= g {
+						bestSlot, bestD2 = scanRun4(soa, perm, px, py, pz, pw, start[rb], start[rb+a1-g+1], bestSlot, bestD2)
+						a1 = g - 1
+					}
+					bestSlot, bestD2 = scanRun4(soa, perm, px, py, pz, pw, start[rb+a0], start[rb+a1+1], bestSlot, bestD2)
+				}
+			}
+		}
+		v += 27
+		if bestSlot >= 0 {
+			lower := (1 + mb) * cw
+			if bestD2 <= lower*lower {
+				out[qi] = perm[bestSlot]
+				continue
+			}
+		}
+		// Uncertified (or an empty block): the generic kernel re-derives
+		// the certified argmin from scratch, identical to sequential
+		// Nearest by construction.
+		best, _ := s.nearestGeneric(geom.Vec(p), home, offs, &v)
 		out[qi] = int32(best)
 	}
 	*visits += v

@@ -45,28 +45,32 @@ func batchQueries(sp *Space, dim, g int, r *rng.Rand) []float64 {
 func TestNearestBatchAdversarialAgainstNearest(t *testing.T) {
 	r := rng.New(193)
 	sizes := map[int]int{1: 64, 2: 256, 3: 343, 4: 256}
-	grids := map[int]int{1: 16, 2: 16, 3: 7, 4: 4}
+	// Grids below and at the staged kernels' minimum (g >= 5): dim=3
+	// g=5 and g=7 take the brick-index path, dim=4 g=4 the generic
+	// loop and g=6 the staged row-ordered kernel.
+	grids := map[int][]int{1: {16}, 2: {4, 16}, 3: {4, 5, 7}, 4: {4, 6}}
 	for dim := 1; dim <= 4; dim++ {
-		g := grids[dim]
-		for name, sites := range adversarialLayouts(dim, g, sizes[dim], r) {
-			t.Run(fmt.Sprintf("dim=%d/%s", dim, name), func(t *testing.T) {
-				sp, err := FromSitesGrid(sites, dim, g)
-				if err != nil {
-					t.Fatal(err)
-				}
-				pts := batchQueries(sp, dim, g, r)
-				q := len(pts) / dim
-				out := make([]int32, q)
-				sp.NearestBatch(pts, out)
-				for i := 0; i < q; i++ {
-					p := geom.Vec(pts[i*dim : (i+1)*dim])
-					want, _ := sp.Nearest(p)
-					if int(out[i]) != want {
-						t.Fatalf("query %d at %v: NearestBatch %d, Nearest %d",
-							i, p, out[i], want)
+		for _, g := range grids[dim] {
+			for name, sites := range adversarialLayouts(dim, g, sizes[dim], r) {
+				t.Run(fmt.Sprintf("dim=%d/g=%d/%s", dim, g, name), func(t *testing.T) {
+					sp, err := FromSitesGrid(sites, dim, g)
+					if err != nil {
+						t.Fatal(err)
 					}
-				}
-			})
+					pts := batchQueries(sp, dim, g, r)
+					q := len(pts) / dim
+					out := make([]int32, q)
+					sp.NearestBatch(pts, out)
+					for i := 0; i < q; i++ {
+						p := geom.Vec(pts[i*dim : (i+1)*dim])
+						want, _ := sp.Nearest(p)
+						if int(out[i]) != want {
+							t.Fatalf("query %d at %v: NearestBatch %d, Nearest %d",
+								i, p, out[i], want)
+						}
+					}
+				})
+			}
 		}
 	}
 }

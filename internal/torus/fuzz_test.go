@@ -21,6 +21,23 @@ func FuzzNearest(f *testing.F) {
 	f.Add([]byte{2, 255, 255, 0, 0, 128, 0, 0, 128, 7, 7, 7, 7, 9, 9, 200, 1, 3, 3})
 	f.Add([]byte{3, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 50, 60, 70, 80, 90, 100})
 	f.Add([]byte{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 160, 170})
+	// Seeds big enough that gridFor picks g >= 5, so the fuzzer starts
+	// inside the staged kernels: the dim-3 brick index needs ~46+ sites,
+	// the dim-4 row-ordered scan ~256. Coordinates come from a fixed
+	// LCG so the corpus is deterministic.
+	for _, c := range []struct {
+		tag byte // data[0]; dim = tag%4 + 1
+		nb  int  // coordinate bytes
+	}{{2, 72*3*2 + 4*3*2}, {3, 256*4*2 + 4*4*2}} {
+		data := make([]byte, 1, 1+c.nb)
+		data[0] = c.tag
+		s := uint32(0x9e3779b9)
+		for i := 0; i < c.nb; i++ {
+			s = s*1664525 + 1013904223
+			data = append(data, byte(s>>24))
+		}
+		f.Add(data)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 3 {
 			return

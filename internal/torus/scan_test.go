@@ -22,7 +22,7 @@ func TestTinyGridNoDuplicateCellScans(t *testing.T) {
 	}{
 		{1, 2, 4}, {1, 5, 10},
 		{2, 2, 8}, {2, 3, 12}, {2, 4, 20},
-		{3, 2, 16}, {3, 3, 40},
+		{3, 2, 16}, {3, 3, 40}, {3, 4, 30}, {3, 5, 60},
 		{4, 2, 32},
 	}
 	for _, tc := range cases {

@@ -130,6 +130,7 @@ func (s *Space) WithSite(p geom.Vec) (*Space, error) {
 
 	nt.start, nt.perm, nt.slotOf, nt.soa, nt.cellOf = start, perm, slotOf, soa, cellOf
 	nt.buildOverlap2()
+	nt.buildOverlap3()
 	return nt, nil
 }
 
@@ -188,6 +189,7 @@ func (s *Space) WithoutSite(i int) (*Space, error) {
 
 	nt.start, nt.perm, nt.slotOf, nt.soa, nt.cellOf = start, perm, slotOf, soa, cellOf
 	nt.buildOverlap2()
+	nt.buildOverlap3()
 	return nt, nil
 }
 
@@ -257,7 +259,10 @@ func (s *Space) CheckIndex() error {
 			return fmt.Errorf("torus: wrap[%d] = %d", j, w)
 		}
 	}
-	return s.checkOverlap2()
+	if err := s.checkOverlap2(); err != nil {
+		return err
+	}
+	return s.checkOverlap3()
 }
 
 // checkOverlap2 verifies the dim-2 overlapped 3-row index against the
@@ -293,6 +298,53 @@ func (s *Space) checkOverlap2() error {
 			}
 			if pos != s.start3[r*g+c+1] {
 				return fmt.Errorf("torus: overlapped group (%d,%d) too long", r, c)
+			}
+		}
+	}
+	return nil
+}
+
+// checkOverlap3 verifies the dim-3 overlapped 9-cell brick index
+// against the CSR structure by an independent walk (not the builder's
+// merge).
+func (s *Space) checkOverlap3() error {
+	g := s.g
+	if s.dim != 3 || g < 5 {
+		if len(s.start9) != 0 {
+			return fmt.Errorf("torus: unexpected brick index (dim %d, g %d)", s.dim, g)
+		}
+		return nil
+	}
+	n := len(s.sites)
+	nc := g * g * g
+	if len(s.start9) != nc+1 || s.start9[0] != 0 || s.start9[nc] != int32(9*n) {
+		return fmt.Errorf("torus: brick boundaries malformed")
+	}
+	for x := 0; x < g; x++ {
+		for y := 0; y < g; y++ {
+			for z := 0; z < g; z++ {
+				gb := (x*g+y)*g + z
+				pos := s.start9[gb]
+				for _, xo := range [3]int{(x + g - 1) % g, x, (x + 1) % g} {
+					for _, yo := range [3]int{(y + g - 1) % g, y, (y + 1) % g} {
+						sb := (xo*g+yo)*g + z
+						for k := s.start[sb]; k < s.start[sb+1]; k++ {
+							if pos >= s.start9[gb+1] {
+								return fmt.Errorf("torus: brick group (%d,%d,%d) too short", x, y, z)
+							}
+							if s.perm9[pos] != s.perm[k] ||
+								s.soa9[3*pos] != s.soa[3*k] ||
+								s.soa9[3*pos+1] != s.soa[3*k+1] ||
+								s.soa9[3*pos+2] != s.soa[3*k+2] {
+								return fmt.Errorf("torus: brick group (%d,%d,%d) diverges at %d", x, y, z, pos)
+							}
+							pos++
+						}
+					}
+				}
+				if pos != s.start9[gb+1] {
+					return fmt.Errorf("torus: brick group (%d,%d,%d) too long", x, y, z)
+				}
 			}
 		}
 	}

@@ -96,11 +96,13 @@ type Space struct {
 
 	// Wrapped cell-coordinate tables, each of length 3g and indexed by
 	// a biased coordinate c+g for c in [-g, 2g): wrap[c+g] = c mod g.
-	// wrapRow and wrapPlane premultiply by the axis strides g and g*g so
-	// the dim-2/3 kernels compute flat cell indices with adds only.
+	// wrapRow, wrapPlane, and wrapCube premultiply by the axis strides
+	// g, g*g, and g*g*g so the dim-2/3/4 kernels compute flat cell
+	// indices with adds only.
 	wrap      []int32 // built for every dim (the generic kernel uses it)
-	wrapRow   []int32 // dim 2 and 3
-	wrapPlane []int32 // dim 3
+	wrapRow   []int32 // dims 2-4
+	wrapPlane []int32 // dims 3-4
+	wrapCube  []int32 // dim 4
 
 	// Overlapped 3-row index for the dim-2 batch kernel (see batch.go):
 	// group (r, c) stores the sites of cells (r-1, c), (r, c), (r+1, c)
@@ -111,6 +113,18 @@ type Space struct {
 	start3 []int32   // len g^2+1; group boundaries
 	soa3   []float64 // len 3n*2; coordinates in group order
 	perm3  []int32   // len 3n; public site index per overlapped slot
+
+	// Overlapped 9-cell index for the dim-3 batch kernel, the brick
+	// generalization of the 3-row index above: group (x, y, z) stores
+	// the sites of the nine cells (x+dx, y+dy, z) for dx, dy in
+	// {-1, 0, 1} — wrapped — contiguously, so a query's whole fused
+	// 3x3x3 home brick is the single slot run
+	// start9[gb-1]..start9[gb+2]. Each site appears nine times (9x the
+	// SoA memory); built by rebuildCells for dim 3 on grids the staged
+	// kernel handles (g >= 5).
+	start9 []int32   // len g^3+1; group boundaries
+	soa9   []float64 // len 9n*3; coordinates in group order
+	perm9  []int32   // len 9n; public site index per overlapped slot
 
 	// cellsScanned counts grid cells examined by nearest queries across
 	// the Space's lifetime — instrumentation for the duplicate-scan
@@ -214,15 +228,15 @@ func (s *Space) Reseed(r *rng.Rand) {
 
 // gridFor returns the default grid resolution (cells per axis) for n
 // sites in dim dimensions. The generic kernel gets about one site per
-// cell; for the dim-2/3 run-scanning kernels about half a site per
-// cell measures fastest (the fused 3^dim home block then holds ~4-13
-// candidates instead of ~9-27, and the extra cells cost only
+// cell; for the dim-2/3/4 run-scanning kernels about half a site per
+// cell measures fastest (the fused 3^dim home block then holds ~4-40
+// candidates instead of ~9-81, and the extra cells cost only
 // slot-range arithmetic, not scans) — see the grid-density ablation
 // benchmark. WithSite/WithoutSite use it to decide when an incremental
 // snapshot may inherit the prior grid.
 func gridFor(n, dim int) int {
 	target := float64(n)
-	if dim == 2 || dim == 3 {
+	if dim >= 2 && dim <= 4 {
 		target = 2 * float64(n)
 	}
 	g := int(math.Round(math.Pow(target, 1/float64(dim))))
@@ -297,6 +311,7 @@ func (s *Space) rebuildCells() {
 	}
 	s.buildWrapTables()
 	s.buildOverlap2()
+	s.buildOverlap3()
 }
 
 // buildOverlap2 (re)builds the overlapped 3-row index for the dim-2
@@ -350,9 +365,81 @@ func (s *Space) buildOverlap2() {
 	start3[nc] = pos
 }
 
+// buildOverlap3 (re)builds the overlapped 9-cell brick index for the
+// dim-3 batch kernel — the 3D generalization of buildOverlap2: group
+// (x, y, z) stores the nine cells (x±1, y±1, z) contiguously, so the
+// three consecutive groups (x, y, z-1..z+1) concatenate to exactly the
+// 27 cells of the fused home brick. Like the 3-row index the fill is a
+// sequential merge of contiguous CSR source runs (each group's nine
+// cells are nine z-columns at fixed (x, y) rows), and grids too small
+// for the staged kernel (g < 5) skip it.
+func (s *Space) buildOverlap3() {
+	if s.dim != 3 || s.g < 5 {
+		s.start9 = s.start9[:0]
+		return
+	}
+	n := len(s.sites)
+	g := s.g
+	nc := g * g * g
+	if cap(s.start9) < nc+1 {
+		s.start9 = make([]int32, nc+1)
+		s.soa9 = make([]float64, 9*n*3)
+		s.perm9 = make([]int32, 9*n)
+	}
+	start := s.start
+	start9 := s.start9[:nc+1]
+	soa9 := s.soa9[:9*n*3]
+	perm9 := s.perm9[:9*n]
+	soa := s.soa
+	perm := s.perm
+	pos := int32(0)
+	var rows [9]int
+	for x := 0; x < g; x++ {
+		xm, xp := x-1, x+1
+		if xm < 0 {
+			xm = g - 1
+		}
+		if xp == g {
+			xp = 0
+		}
+		for y := 0; y < g; y++ {
+			ym, yp := y-1, y+1
+			if ym < 0 {
+				ym = g - 1
+			}
+			if yp == g {
+				yp = 0
+			}
+			nr := 0
+			for _, xx := range [3]int{xm, x, xp} {
+				pb := xx * g * g
+				for _, yy := range [3]int{ym, y, yp} {
+					rows[nr] = pb + yy*g
+					nr++
+				}
+			}
+			base := (x*g + y) * g
+			for z := 0; z < g; z++ {
+				start9[base+z] = pos
+				for _, rb := range rows {
+					sb := rb + z
+					for k := start[sb]; k < start[sb+1]; k++ {
+						soa9[3*pos] = soa[3*k]
+						soa9[3*pos+1] = soa[3*k+1]
+						soa9[3*pos+2] = soa[3*k+2]
+						perm9[pos] = perm[k]
+						pos++
+					}
+				}
+			}
+		}
+	}
+	start9[nc] = pos
+}
+
 // buildWrapTables (re)builds the biased modular-coordinate tables for
-// the current grid resolution. Row/plane tables are only materialized
-// for the dimensions whose specialized kernels use them.
+// the current grid resolution. Row/plane/cube tables are only
+// materialized for the dimensions whose specialized kernels use them.
 func (s *Space) buildWrapTables() {
 	g := s.g
 	if cap(s.wrap) < 3*g {
@@ -362,7 +449,7 @@ func (s *Space) buildWrapTables() {
 	for j := range s.wrap {
 		s.wrap[j] = int32(j % g)
 	}
-	if s.dim == 2 || s.dim == 3 {
+	if s.dim >= 2 && s.dim <= 4 {
 		if cap(s.wrapRow) < 3*g {
 			s.wrapRow = make([]int32, 3*g)
 		}
@@ -371,7 +458,7 @@ func (s *Space) buildWrapTables() {
 			s.wrapRow[j] = w * int32(g)
 		}
 	}
-	if s.dim == 3 {
+	if s.dim == 3 || s.dim == 4 {
 		if cap(s.wrapPlane) < 3*g {
 			s.wrapPlane = make([]int32, 3*g)
 		}
@@ -379,6 +466,16 @@ func (s *Space) buildWrapTables() {
 		g2 := int32(g) * int32(g)
 		for j, w := range s.wrap {
 			s.wrapPlane[j] = w * g2
+		}
+	}
+	if s.dim == 4 {
+		if cap(s.wrapCube) < 3*g {
+			s.wrapCube = make([]int32, 3*g)
+		}
+		s.wrapCube = s.wrapCube[:3*g]
+		g3 := int32(g) * int32(g) * int32(g)
+		for j, w := range s.wrap {
+			s.wrapCube[j] = w * g3
 		}
 	}
 }
@@ -852,10 +949,11 @@ func (s *Space) scanRun2(idx0, idx1 int, px, py float64, best int, bestD2 float6
 	return best, bestD2
 }
 
-// nearest3 is the dim=3 kernel: the two extreme planes scan their full
-// y/z block (each y row one or two contiguous z runs), interior planes
-// scan their extreme rows as z runs and only the extreme z columns of
-// interior rows.
+// nearest3 is the dim=3 kernel, shaped like nearest2: the fused 3x3x3
+// home brick is scanned unconditionally (nine z-column runs whose
+// bounds are gathered up front), the (1+mb) certification settles the
+// common case, and only the rare uncertified query continues into the
+// branchy shell machinery of nearest3Tail.
 func (s *Space) nearest3(px, py, pz float64, visits *uint64) (int, float64) {
 	g := s.g
 	gf := float64(g)
@@ -878,62 +976,140 @@ func (s *Space) nearest3(px, py, pz float64, visits *uint64) (int, float64) {
 	fy := cfy - float64(hy)
 	fz := cfz - float64(hz)
 	mb := min(fx, 1-fx, fy, 1-fy, fz, 1-fz)
+	xyz := s.soa
+	perm := s.perm
+	hx += g // bias once; all offsets stay within the 3g wrap tables
+	hy += g
+	runs, nr, cells := s.buildRuns3(hx, hy, hz)
+	*visits += cells
+	bestSlot := int32(-1)
+	bestD2 := math.Inf(1)
+	for t := 0; t < nr; t++ {
+		for k := runs[t][0]; k < runs[t][1]; k++ {
+			dx := geom.WrapDelta(px - xyz[3*k])
+			dy := geom.WrapDelta(py - xyz[3*k+1])
+			dz := geom.WrapDelta(pz - xyz[3*k+2])
+			d2 := dx*dx + dy*dy + dz*dz
+			if d2 < bestD2 {
+				bestSlot, bestD2 = k, d2
+			} else if d2 == bestD2 && bestSlot >= 0 && perm[k] < perm[bestSlot] {
+				bestSlot = k
+			}
+		}
+	}
+	best := -1
+	if bestSlot >= 0 {
+		best = int(perm[bestSlot])
+		// Fast certification for the common case: the fused brick
+		// already proves no shell >= 2 can improve on the best.
+		lower := (1 + mb) * s.cellWidth
+		if bestD2 <= lower*lower {
+			return best, bestD2
+		}
+	}
+	return s.nearest3Tail(px, py, pz, hx, hy, hz, mb, best, bestD2, visits, 2)
+}
+
+// buildRuns3 assembles the contiguous slot runs covering the wrapped
+// 3x3x3 brick around home cell (hx, hy, hz) — hx and hy biased by +g,
+// hz unbiased — one z-column run per (x, y) row, two when the z span
+// wraps, the whole (deduplicated) grid when g <= 2. Shared by nearest3
+// and the batch kernel's slow path so the seam handling lives in
+// exactly one place.
+func (s *Space) buildRuns3(hx, hy, hz int) (runs [18][2]int32, nr int, cells uint64) {
+	g := s.g
+	start := s.start
+	if g <= 2 { // offsets -1 and +1 wrap onto each other: whole grid
+		nc := g * g * g
+		runs[0] = [2]int32{start[0], start[nc]}
+		return runs, 1, uint64(nc)
+	}
+	wrapRow := s.wrapRow
+	wrapPlane := s.wrapPlane
+	c0, c1 := hz-1, hz+1
+	for xo := -1; xo <= 1; xo++ {
+		pb := int(wrapPlane[hx+xo])
+		for yo := -1; yo <= 1; yo++ {
+			rb := pb + int(wrapRow[hy+yo])
+			a0, a1 := c0, c1
+			if a0 < 0 {
+				runs[nr] = [2]int32{start[rb+a0+g], start[rb+g]}
+				nr++
+				a0 = 0
+			} else if a1 >= g {
+				runs[nr] = [2]int32{start[rb], start[rb+a1-g+1]}
+				nr++
+				a1 = g - 1
+			}
+			runs[nr] = [2]int32{start[rb+a0], start[rb+a1+1]}
+			nr++
+		}
+	}
+	return runs, nr, 27
+}
+
+// nearest3Tail walks shells startShell.. for the dim=3 kernels,
+// continuing from a scan that has already covered every cell at wrapped
+// Chebyshev distance < startShell. hx and hy are already biased by +g;
+// mb is the query's distance to its nearest home cell boundary in cell
+// units. The two extreme planes of a shell scan their full y/z block
+// (each y row one or two contiguous z runs), interior planes scan their
+// extreme rows as z runs and only the extreme z columns of interior
+// rows. Shared by nearest3 (startShell 2, after the fused brick) and
+// the batch kernel (startShell 3, after its flat 5x5x5 scan) so the
+// shell enumeration and certification live in exactly one place.
+func (s *Space) nearest3Tail(px, py, pz float64, hx, hy, hz int, mb float64, best int, bestD2 float64, visits *uint64, startShell int) (int, float64) {
+	g := s.g
+	sMax := g / 2
+	if sMax < startShell {
+		return best, bestD2 // the prior scan covered the whole grid
+	}
 	wrap := s.wrap
 	wrapRow := s.wrapRow
 	wrapPlane := s.wrapPlane
-	best := -1
-	bestD2 := math.Inf(1)
-	sMax := g / 2
 	cw := s.cellWidth
-	hx += g
-	hy += g
-	for shell := 0; ; shell++ {
-		if best >= 0 && shell >= 1 {
+	for shell := startShell; ; shell++ {
+		if best >= 0 {
 			lower := (float64(shell-1) + mb) * cw
-			if lower > 0 && bestD2 <= lower*lower {
+			if bestD2 <= lower*lower {
 				break
 			}
 		}
-		if shell == 0 {
-			idx := int(wrapPlane[hx]) + int(wrapRow[hy]) + hz
-			best, bestD2 = s.scanRun3(idx, idx, px, py, pz, best, bestD2, visits)
-		} else {
-			lo := -shell
-			if 2*shell >= g {
-				lo = 1 - shell
-			}
-			// Planes at wrapped x-distance exactly shell: full y/z block.
-			pb := int(wrapPlane[hx+shell])
+		lo := -shell
+		if 2*shell >= g {
+			lo = 1 - shell // -shell wraps onto +shell; scan it once
+		}
+		// Planes at wrapped x-distance exactly shell: full y/z block.
+		pb := int(wrapPlane[hx+shell])
+		for yo := lo; yo <= shell; yo++ {
+			rb := pb + int(wrapRow[hy+yo])
+			best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2, visits)
+		}
+		if lo == -shell {
+			pb = int(wrapPlane[hx-shell])
 			for yo := lo; yo <= shell; yo++ {
 				rb := pb + int(wrapRow[hy+yo])
 				best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2, visits)
 			}
+		}
+		// Interior planes.
+		zHi := int(wrap[hz+shell+g])
+		zLo := int(wrap[hz-shell+g])
+		for xo := 1 - shell; xo <= shell-1; xo++ {
+			pb = int(wrapPlane[hx+xo])
+			// Extreme rows: full z span.
+			rb := pb + int(wrapRow[hy+shell])
+			best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2, visits)
 			if lo == -shell {
-				pb = int(wrapPlane[hx-shell])
-				for yo := lo; yo <= shell; yo++ {
-					rb := pb + int(wrapRow[hy+yo])
-					best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2, visits)
-				}
-			}
-			// Interior planes.
-			zHi := int(wrap[hz+shell+g])
-			zLo := int(wrap[hz-shell+g])
-			for xo := 1 - shell; xo <= shell-1; xo++ {
-				pb = int(wrapPlane[hx+xo])
-				// Extreme rows: full z span.
-				rb := pb + int(wrapRow[hy+shell])
+				rb = pb + int(wrapRow[hy-shell])
 				best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2, visits)
+			}
+			// Interior rows: extreme z columns only.
+			for yo := 1 - shell; yo <= shell-1; yo++ {
+				rb = pb + int(wrapRow[hy+yo])
+				best, bestD2 = s.scanRun3(rb+zHi, rb+zHi, px, py, pz, best, bestD2, visits)
 				if lo == -shell {
-					rb = pb + int(wrapRow[hy-shell])
-					best, bestD2 = s.scanRow3(rb, hz+lo, hz+shell, px, py, pz, best, bestD2, visits)
-				}
-				// Interior rows: extreme z columns only.
-				for yo := 1 - shell; yo <= shell-1; yo++ {
-					rb = pb + int(wrapRow[hy+yo])
-					best, bestD2 = s.scanRun3(rb+zHi, rb+zHi, px, py, pz, best, bestD2, visits)
-					if lo == -shell {
-						best, bestD2 = s.scanRun3(rb+zLo, rb+zLo, px, py, pz, best, bestD2, visits)
-					}
+					best, bestD2 = s.scanRun3(rb+zLo, rb+zLo, px, py, pz, best, bestD2, visits)
 				}
 			}
 		}
